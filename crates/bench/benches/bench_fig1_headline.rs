@@ -1,0 +1,18 @@
+//! Fig. 1 headline: CamAL trained with weak labels on the dishwasher case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilm_bench::{bench_camal_cfg, bench_case};
+use camal::CamalModel;
+
+fn bench(c: &mut Criterion) {
+    let case = bench_case();
+    c.bench_function("fig1_camal_train_weak_labels", |b| {
+        b.iter(|| {
+            let model = CamalModel::train(&bench_camal_cfg(), &case.train, &case.val, 2);
+            std::hint::black_box(model.ensemble_size())
+        })
+    });
+}
+
+criterion_group!(name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 5: one label-budget point of the sweep (train + evaluate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilm_bench::{bench_case, bench_scale};
+use nilm_eval::runner::{run_camal, run_baseline, Case};
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::templates::DatasetId;
+use nilm_models::baselines::BaselineKind;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let case = Case { dataset: DatasetId::Refit, appliance: ApplianceKind::Kettle };
+    let data = bench_case();
+    let mut g = c.benchmark_group("fig5_one_budget_point");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("camal", |b| {
+        b.iter(|| std::hint::black_box(run_camal(&case, &data, &scale, None).report.localization.f1))
+    });
+    g.bench_function("crnn_weak", |b| {
+        b.iter(|| std::hint::black_box(run_baseline(BaselineKind::CrnnWeak, &case, &data, &scale).report.localization.f1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 6(a): training at an alternative window length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilm_bench::bench_camal_cfg;
+use camal::CamalModel;
+use nilm_data::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let scale = ScaleOverride { submetered_houses: Some(5), days_per_house: Some(2), ..Default::default() };
+    let ds = generate_dataset(&refit(), scale, 3);
+    let mut g = c.benchmark_group("fig6a_train_at_window");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for w in [64usize, 128] {
+        let case = prepare_case(&ds, ApplianceKind::Kettle, w, &SplitConfig::default());
+        g.bench_function(format!("w{w}"), |b| {
+            b.iter(|| {
+                let m = CamalModel::train(&bench_camal_cfg(), &case.train, &case.val, 2);
+                std::hint::black_box(m.ensemble_size())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 7(a): one training epoch per method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilm_bench::bench_case;
+use nilm_models::baselines::BaselineKind;
+use nilm_models::{train_strong, train_weak_mil, TrainConfig};
+
+fn bench(c: &mut Criterion) {
+    let case = bench_case();
+    let cfg = TrainConfig { epochs: 1, batch_size: 16, lr: 1e-3, clip: 0.0, seed: 1 };
+    let mut g = c.benchmark_group("fig7a_one_epoch");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for &kind in BaselineKind::all() {
+        g.bench_function(kind.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let mut rng = nilm_tensor::init::rng(1);
+                let mut m = kind.build(&mut rng, 16);
+                let stats = if kind.is_weakly_supervised() {
+                    train_weak_mil(m.as_mut(), &case.train, &cfg)
+                } else {
+                    train_strong(m.as_mut(), &case.train, &cfg)
+                };
+                std::hint::black_box(stats.final_loss())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

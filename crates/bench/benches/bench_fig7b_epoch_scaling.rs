@@ -1,0 +1,51 @@
+//! Fig. 7(b): per-epoch training cost as households grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nilm_data::preprocess::Window;
+use nilm_data::windows::WindowSet;
+use nilm_models::baselines::BaselineKind;
+use nilm_models::{train_strong, TrainConfig};
+use rand::{RngExt, SeedableRng};
+
+fn noise_windows(houses: usize, w: usize) -> WindowSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut windows = Vec::new();
+    for h in 0..houses {
+        for _ in 0..4 {
+            let input: Vec<f32> = (0..w).map(|_| rng.random::<f32>()).collect();
+            let status: Vec<u8> = (0..w).map(|_| rng.random_bool(0.2) as u8).collect();
+            windows.push(Window {
+                aggregate_w: input.iter().map(|v| v * 1000.0).collect(),
+                appliance_w: vec![0.0; w],
+                weak_label: status.iter().any(|&s| s == 1) as u8,
+                input,
+                status,
+                house_id: h,
+            });
+        }
+    }
+    WindowSet::new(windows)
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = TrainConfig { epochs: 1, batch_size: 16, lr: 1e-3, clip: 0.0, seed: 1 };
+    let mut g = c.benchmark_group("fig7b_epoch_vs_households");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for houses in [1usize, 2, 4] {
+        let data = noise_windows(houses, 128);
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("tpnilm", houses), &data, |b, d| {
+            b.iter(|| {
+                let mut rng = nilm_tensor::init::rng(1);
+                let mut m = BaselineKind::TpNilm.build(&mut rng, 16);
+                std::hint::black_box(train_strong(m.as_mut(), d, &cfg).final_loss())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

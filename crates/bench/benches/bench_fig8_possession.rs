@@ -1,0 +1,25 @@
+//! Fig. 8: the possession-only pipeline (survey windows -> CamAL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilm_bench::bench_camal_cfg;
+use camal::CamalModel;
+use nilm_data::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let scale = ScaleOverride {
+        submetered_houses: Some(4),
+        possession_only_houses: Some(8),
+        days_per_house: Some(2),
+    };
+    let ds = generate_dataset(&ideal(), scale, 8);
+    let case = prepare_possession_case(&ds, ApplianceKind::Shower, 64, &SplitConfig::default());
+    c.bench_function("fig8_camal_from_possession_labels", |b| {
+        b.iter(|| {
+            let m = CamalModel::train(&bench_camal_cfg(), &case.train, &case.val, 2);
+            std::hint::black_box(m.ensemble_size())
+        })
+    });
+}
+
+criterion_group!(name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 9: the cost-model arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilm_eval::cost::{strong_storage_tb_per_year, weak_storage_tb_per_year, StorageModel};
+
+fn bench(c: &mut Criterion) {
+    let s = StorageModel::default();
+    c.bench_function("fig9_cost_model", |b| {
+        b.iter(|| {
+            let strong = strong_storage_tb_per_year(&s, 1_000_000, 5, 60);
+            let weak = weak_storage_tb_per_year(&s, 1_000_000, 5, 60);
+            std::hint::black_box(strong / weak)
+        })
+    });
+}
+
+criterion_group!(name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Table II: parameter counting of all paper-scale models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2_param_counts", |b| {
+        b.iter(|| std::hint::black_box(nilm_eval::complexity::table2_rows(0).len()))
+    });
+}
+
+criterion_group!(name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table IV: the attention-sigmoid module vs raw CAM thresholding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use camal::localize::{attention_status, raw_cam_status};
+use rand::{RngExt, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let cam: Vec<f32> = (0..510).map(|_| rng.random::<f32>()).collect();
+    let xs: Vec<f32> = (0..510).map(|_| rng.random::<f32>() * 3.0).collect();
+    let mut g = c.benchmark_group("table4_localization_modules");
+    g.bench_function("attention_sigmoid", |b| {
+        b.iter(|| std::hint::black_box(attention_status(&cam, &xs, 0.5).0.len()))
+    });
+    g.bench_function("raw_cam", |b| {
+        b.iter(|| std::hint::black_box(raw_cam_status(&cam).0.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1)); targets = bench);
+criterion_main!(benches);

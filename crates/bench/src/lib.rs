@@ -1,0 +1,45 @@
+//! # nilm-bench
+//!
+//! Criterion benchmarks, one target per table/figure of the CamAL paper.
+//! Each benchmark exercises the same code path as the corresponding
+//! `nilm-eval` experiment binary at smoke scale, so `cargo bench` doubles as
+//! a performance regression suite for the reproduction.
+
+use camal::{CamalConfig, CamalModel};
+use nilm_data::prelude::*;
+use nilm_eval::runner::Scale;
+use nilm_models::TrainConfig;
+
+/// The tiniest usable experiment scale (single kernel, one epoch).
+pub fn bench_scale() -> Scale {
+    let mut s = Scale::smoke();
+    s.epochs = 1;
+    s.trials = 1;
+    s.kernels = vec![5];
+    s.n_ensemble = 1;
+    s.threads = 2;
+    s
+}
+
+/// A CamAL configuration matching [`bench_scale`].
+pub fn bench_camal_cfg() -> CamalConfig {
+    let mut cfg = bench_scale().camal_config();
+    cfg.train = TrainConfig { epochs: 1, batch_size: 16, lr: 1e-3, clip: 0.0, seed: 1 };
+    cfg
+}
+
+/// A small REFIT kettle case shared by several benches.
+pub fn bench_case() -> CaseData {
+    let scale = ScaleOverride {
+        submetered_houses: Some(5),
+        days_per_house: Some(2),
+        ..Default::default()
+    };
+    let ds = generate_dataset(&refit(), scale, 3);
+    prepare_case(&ds, ApplianceKind::Kettle, 128, &SplitConfig::default())
+}
+
+/// A pre-trained tiny CamAL model on [`bench_case`].
+pub fn bench_model(case: &CaseData) -> CamalModel {
+    CamalModel::train(&bench_camal_cfg(), &case.train, &case.val, 2)
+}

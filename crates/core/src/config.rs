@@ -1,0 +1,108 @@
+//! CamAL hyper-parameters (paper §IV and Algorithm 1).
+
+use nilm_models::{Backbone, TrainConfig};
+
+/// Default kernel grid K_p of the ensemble (paper §IV-A.1).
+pub const DEFAULT_KERNELS: [usize; 5] = [5, 7, 9, 15, 25];
+
+/// Configuration of the CamAL framework.
+#[derive(Clone, Debug)]
+pub struct CamalConfig {
+    /// Number of ResNets kept in the ensemble (paper default n = 5).
+    pub n_ensemble: usize,
+    /// Kernel sizes k_p to sweep; one candidate is trained per (kernel,
+    /// trial) pair. Setting a single kernel reproduces the Table IV
+    /// "w/o different kernel k_p" ablation.
+    pub kernels: Vec<usize>,
+    /// Training trials per kernel (Algorithm 1 uses 3).
+    pub trials: usize,
+    /// Ensemble-probability threshold for detection (paper: 0.5).
+    pub detection_threshold: f32,
+    /// Margin of the attention-sigmoid module: a timestep is ON when
+    /// `CAM(t) · x̃(t) > margin` (see [`crate::localize::attention_status`]).
+    pub attention_margin: f32,
+    /// Enables the attention-sigmoid localization module; disabling it
+    /// reproduces the Table IV "w/o Attention module" ablation (raw
+    /// averaged CAM thresholding).
+    pub use_attention: bool,
+    /// Channel-width divisor of the ResNets (1 = paper scale `[64,128,128]`).
+    pub width_div: usize,
+    /// Detector architecture (paper: ResNet; InceptionTime is the backbone
+    /// ablation discussed in §IV-A).
+    pub backbone: Backbone,
+    /// Optimizer settings for each member.
+    pub train: TrainConfig,
+    /// Balance the training set by random undersampling before training.
+    pub balance: bool,
+    /// Master seed; member seeds derive from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for CamalConfig {
+    fn default() -> Self {
+        CamalConfig {
+            n_ensemble: 5,
+            kernels: DEFAULT_KERNELS.to_vec(),
+            trials: 3,
+            detection_threshold: 0.5,
+            attention_margin: 0.5,
+            use_attention: true,
+            width_div: 1,
+            backbone: Backbone::ResNet,
+            train: TrainConfig::default(),
+            balance: true,
+            seed: 0xCA_3A1,
+        }
+    }
+}
+
+impl CamalConfig {
+    /// A laptop-scale configuration: narrow ResNets, fewer trials, short
+    /// training. Used by the examples and smoke experiments.
+    pub fn small() -> Self {
+        CamalConfig {
+            n_ensemble: 3,
+            kernels: vec![5, 9, 15],
+            trials: 1,
+            width_div: 8,
+            train: TrainConfig { epochs: 6, batch_size: 16, lr: 1e-3, clip: 0.0, seed: 7 },
+            ..Default::default()
+        }
+    }
+
+    /// The Table IV "w/o different kernel" ablation: every member uses
+    /// k_p = 7 (the original ResNet baseline of ref. [14]).
+    pub fn fixed_kernel(mut self) -> Self {
+        self.kernels = vec![7];
+        self
+    }
+
+    /// The Table IV "w/o Attention module" ablation.
+    pub fn without_attention(mut self) -> Self {
+        self.use_attention = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = CamalConfig::default();
+        assert_eq!(cfg.n_ensemble, 5);
+        assert_eq!(cfg.kernels, vec![5, 7, 9, 15, 25]);
+        assert_eq!(cfg.trials, 3);
+        assert_eq!(cfg.detection_threshold, 0.5);
+        assert!(cfg.use_attention);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let cfg = CamalConfig::default().fixed_kernel();
+        assert_eq!(cfg.kernels, vec![7]);
+        let cfg = CamalConfig::default().without_attention();
+        assert!(!cfg.use_attention);
+    }
+}

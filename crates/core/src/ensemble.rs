@@ -1,0 +1,240 @@
+//! Algorithm 1: training and selection of the CamAL ResNet ensemble.
+//!
+//! For each kernel size k_p and each trial, a ResNet is trained on an 80%
+//! sub-split of the training windows (cross-entropy on the weak labels);
+//! candidates are ranked by loss on the validation set and the best `n`
+//! are kept. Candidate training runs on parallel threads.
+
+use crate::config::CamalConfig;
+use nilm_data::windows::WindowSet;
+use nilm_models::detector::{build_detector, Detector};
+use nilm_tensor::layer::Mode;
+use nilm_tensor::loss::cross_entropy;
+use nilm_tensor::optim::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One trained candidate/member of the ensemble.
+pub struct EnsembleMember {
+    /// The trained detector.
+    pub net: Box<dyn Detector>,
+    /// Kernel size k_p this member was built with.
+    pub kernel: usize,
+    /// Cross-entropy loss on the validation windows (selection criterion).
+    pub val_loss: f32,
+}
+
+/// Statistics of one ensemble training run.
+#[derive(Clone, Debug, Default)]
+pub struct EnsembleStats {
+    /// Candidates trained ( |kernels| × trials ).
+    pub candidates: usize,
+    /// Members selected.
+    pub selected: usize,
+    /// Validation losses of the selected members (ascending).
+    pub selected_losses: Vec<f32>,
+    /// Wall-clock seconds for the whole Algorithm 1 run.
+    pub total_secs: f64,
+    /// Sum over candidates of per-candidate training seconds (CPU work).
+    pub candidate_secs_total: f64,
+}
+
+/// Trains one ResNet candidate on `train` and scores it on `val`.
+fn train_candidate(
+    kernel: usize,
+    cfg: &CamalConfig,
+    train: &WindowSet,
+    val: &WindowSet,
+    seed: u64,
+) -> (Box<dyn Detector>, f32, f64) {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = build_detector(&mut rng, cfg.backbone, kernel, cfg.width_div);
+    let mut opt = Adam::new(cfg.train.lr);
+    let mut order_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    for _ in 0..cfg.train.epochs {
+        let order = train.shuffled_indices(&mut order_rng);
+        for chunk in order.chunks(cfg.train.batch_size.max(1)) {
+            let x = train.batch_inputs(chunk);
+            let labels = train.batch_weak_labels(chunk);
+            net.zero_grad();
+            let logits = net.forward(&x, Mode::Train);
+            let (_, grad) = cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            opt.step(net.as_mut());
+        }
+    }
+    let val_loss = eval_loss(net.as_mut(), val, cfg.train.batch_size);
+    (net, val_loss, start.elapsed().as_secs_f64())
+}
+
+/// Mean cross-entropy of `net` on `data` (weak labels), eval mode.
+pub fn eval_loss(net: &mut dyn Detector, data: &WindowSet, batch: usize) -> f32 {
+    if data.is_empty() {
+        return f32::INFINITY;
+    }
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for chunk in indices.chunks(batch.max(1)) {
+        let x = data.batch_inputs(chunk);
+        let labels = data.batch_weak_labels(chunk);
+        let logits = net.forward(&x, Mode::Eval);
+        let (loss, _) = cross_entropy(&logits, &labels);
+        total += loss as f64 * chunk.len() as f64;
+        n += chunk.len();
+    }
+    (total / n as f64) as f32
+}
+
+/// Runs Algorithm 1 and returns the selected members (ascending val loss)
+/// plus run statistics.
+///
+/// `threads` caps the number of concurrently training candidates
+/// (1 = sequential, useful for timing experiments).
+pub fn train_ensemble(
+    cfg: &CamalConfig,
+    train_set: &WindowSet,
+    val_set: &WindowSet,
+    threads: usize,
+) -> (Vec<EnsembleMember>, EnsembleStats) {
+    assert!(!train_set.is_empty(), "cannot train the ensemble on an empty training set");
+    let start = Instant::now();
+    // Algorithm 1 line 1: split D_train into 80% train-sub / 20% val-sub to
+    // monitor training; selection uses the separate validation dataset.
+    let mut split_rng = StdRng::seed_from_u64(cfg.seed ^ 0x80);
+    let balanced;
+    let train_for_members = if cfg.balance {
+        balanced = train_set.balance_undersample(&mut split_rng);
+        &balanced
+    } else {
+        train_set
+    };
+    let (train_sub, _val_sub) = train_for_members.split_train_val(0.2, &mut split_rng);
+
+    // Candidate grid.
+    let jobs: Vec<(usize, u64)> = cfg
+        .kernels
+        .iter()
+        .flat_map(|&k| {
+            (0..cfg.trials.max(1)).map(move |t| (k, (k as u64) << 32 | t as u64))
+        })
+        .collect();
+
+    let threads = threads.max(1);
+    let mut results: Vec<(usize, Box<dyn Detector>, f32, f64)> = Vec::with_capacity(jobs.len());
+    for batch in jobs.chunks(threads) {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .map(|&(kernel, salt)| {
+                    let cfg_ref = &*cfg;
+                    let train_ref = &train_sub;
+                    let val_ref = val_set;
+                    scope.spawn(move || {
+                        let (net, loss, secs) =
+                            train_candidate(kernel, cfg_ref, train_ref, val_ref, cfg_ref.seed ^ salt);
+                        (kernel, net, loss, secs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("candidate training panicked"));
+            }
+        });
+    }
+
+    let candidate_secs_total: f64 = results.iter().map(|r| r.3).sum();
+    let candidates = results.len();
+    // Rank by validation loss (NaN losses sink to the end).
+    results.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Greater));
+    results.truncate(cfg.n_ensemble.max(1));
+
+    let selected_losses: Vec<f32> = results.iter().map(|r| r.2).collect();
+    let members = results
+        .into_iter()
+        .map(|(kernel, net, val_loss, _)| EnsembleMember { net, kernel, val_loss })
+        .collect::<Vec<_>>();
+    let stats = EnsembleStats {
+        candidates,
+        selected: members.len(),
+        selected_losses,
+        total_secs: start.elapsed().as_secs_f64(),
+        candidate_secs_total,
+    };
+    (members, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+    use crate::test_support::toy_set;
+    use nilm_models::TrainConfig;
+
+    fn fast_cfg() -> CamalConfig {
+        CamalConfig {
+            n_ensemble: 2,
+            kernels: vec![5, 9],
+            trials: 1,
+            width_div: 16,
+            train: TrainConfig { epochs: 3, batch_size: 8, lr: 2e-3, clip: 0.0, seed: 3 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn algorithm1_selects_n_members_sorted_by_val_loss() {
+        let train = toy_set(24, 32, 1);
+        let val = toy_set(8, 32, 2);
+        let (members, stats) = train_ensemble(&fast_cfg(), &train, &val, 2);
+        assert_eq!(members.len(), 2);
+        assert_eq!(stats.candidates, 2);
+        assert!(members[0].val_loss <= members[1].val_loss);
+        assert!(stats.total_secs > 0.0);
+    }
+
+    #[test]
+    fn trained_ensemble_detects_toy_signal() {
+        let train = toy_set(32, 32, 3);
+        let val = toy_set(8, 32, 4);
+        let mut cfg = fast_cfg();
+        cfg.train.epochs = 8;
+        let (mut members, _) = train_ensemble(&cfg, &train, &val, 2);
+        // Evaluate detection accuracy on fresh data.
+        let test = toy_set(16, 32, 5);
+        let idx: Vec<usize> = (0..test.len()).collect();
+        let x = test.batch_inputs(&idx);
+        let mut correct = 0;
+        let probs = members[0].net.predict_proba(&x);
+        for (i, w) in test.windows.iter().enumerate() {
+            let p1 = probs.at2(i, 1);
+            if (p1 > 0.5) == (w.weak_label == 1) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 12, "detection too weak: {correct}/16");
+    }
+
+    #[test]
+    fn eval_loss_empty_set_is_infinite() {
+        let train = toy_set(8, 16, 6);
+        let cfg = fast_cfg();
+        let (mut members, _) = train_ensemble(&cfg, &train, &train, 1);
+        let empty = WindowSet::default();
+        assert_eq!(eval_loss(members[0].net.as_mut(), &empty, 4), f32::INFINITY);
+    }
+
+    #[test]
+    fn kernel_grid_times_trials_candidates() {
+        let train = toy_set(12, 16, 7);
+        let mut cfg = fast_cfg();
+        cfg.kernels = vec![5, 7, 9];
+        cfg.trials = 2;
+        cfg.n_ensemble = 4;
+        let (members, stats) = train_ensemble(&cfg, &train, &train, 3);
+        assert_eq!(stats.candidates, 6);
+        assert_eq!(members.len(), 4);
+    }
+}

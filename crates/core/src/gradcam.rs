@@ -1,0 +1,123 @@
+//! Grad-CAM (Selvaraju et al., paper ref. [12]) adapted to 1-D series, as an
+//! alternative explainer for the localization step.
+//!
+//! Grad-CAM weights each feature map by the average gradient of the class
+//! logit with respect to it: `α_k = mean_t ∂y_c/∂f_k(t)`, then
+//! `GradCAM_c(t) = ReLU(Σ_k α_k f_k(t))`.
+//!
+//! For CamAL's ResNet the classifier head is a single linear layer behind
+//! global average pooling, so `∂y_c/∂f_k(t) = w_ck / T` is constant and
+//! Grad-CAM reduces *exactly* to `ReLU(CAM_c / T)` — i.e., after the
+//! max-normalization of the localization pipeline, the two explainers are
+//! identical. This module exists to (a) prove that equivalence in tests
+//! (validating both implementations) and (b) support architectures whose
+//! heads are deeper than one linear layer.
+
+use nilm_models::Detector;
+use nilm_tensor::layer::Mode;
+use nilm_tensor::tensor::Tensor;
+
+/// Computes Grad-CAM maps `[b, t]` for `class` by differentiating the class
+/// logit with respect to the feature maps.
+///
+/// The gradient is obtained analytically for the GAP + linear head: the
+/// feature-map gradient of logit `c` is `w_ck / T`. (Running the network's
+/// full backward pass would also update parameter gradients, which an
+/// explainer must not do.)
+pub fn grad_cam(net: &mut dyn Detector, x: &Tensor, class: usize) -> Tensor {
+    let (features, _logits) = net.forward_features(x, Mode::Eval);
+    let (b, c, t) = features.dims3();
+    let w = net.head_weights();
+    assert!(class < w.dims2().0, "class {class} out of range");
+
+    let mut out = Tensor::zeros(&[b, t]);
+    for bi in 0..b {
+        // α_k = mean_t ∂y/∂f_k(t) = w_ck / T  (constant per channel).
+        for ci in 0..c {
+            let alpha = w.at2(class, ci) / t as f32;
+            if alpha == 0.0 {
+                continue;
+            }
+            let row = features.row(bi, ci);
+            let or = &mut out.data_mut()[bi * t..(bi + 1) * t];
+            for (o, &f) in or.iter_mut().zip(row) {
+                *o += alpha * f;
+            }
+        }
+        // Final ReLU per Grad-CAM.
+        for o in &mut out.data_mut()[bi * t..(bi + 1) * t] {
+            *o = o.max(0.0);
+        }
+    }
+    out
+}
+
+/// Maximum relative deviation between normalized Grad-CAM and normalized CAM
+/// (should be ~0 for GAP-linear heads; useful as a self-check diagnostic).
+pub fn cam_gradcam_divergence(net: &mut dyn Detector, x: &Tensor, class: usize) -> f32 {
+    let gc = grad_cam(net, x, class);
+    let cam = net.cam(class);
+    let (b, t) = gc.dims2();
+    let mut worst = 0.0f32;
+    for bi in 0..b {
+        let g = &gc.data()[bi * t..(bi + 1) * t];
+        let c = &cam.data()[bi * t..(bi + 1) * t];
+        let gmax = g.iter().copied().fold(0.0f32, f32::max);
+        let cmax = c.iter().copied().fold(0.0f32, f32::max);
+        if gmax == 0.0 || cmax == 0.0 {
+            continue;
+        }
+        for (gv, cv) in g.iter().zip(c) {
+            let gn = gv / gmax;
+            let cn = (cv / cmax).max(0.0);
+            worst = worst.max((gn - cn).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_models::resnet::{ResNet, ResNetConfig};
+    use nilm_tensor::init::{randn_tensor, rng};
+    use nilm_tensor::layer::Layer;
+
+    fn tiny_net() -> ResNet {
+        let mut r = rng(4);
+        ResNet::new(&mut r, ResNetConfig { kernel: 5, channels: [4, 8, 8], num_classes: 2 })
+    }
+
+    #[test]
+    fn gradcam_shape_matches_input() {
+        let mut net = tiny_net();
+        let mut r = rng(5);
+        let x = randn_tensor(&mut r, &[2, 1, 24], 1.0);
+        let gc = grad_cam(&mut net, &x, 1);
+        assert_eq!(gc.shape(), &[2, 24]);
+        assert!(gc.data().iter().all(|&v| v >= 0.0), "Grad-CAM is ReLU'd");
+    }
+
+    #[test]
+    fn gradcam_equals_cam_for_gap_linear_head() {
+        // The theoretical equivalence: for a GAP + single-linear head,
+        // normalized Grad-CAM == normalized (ReLU'd) CAM.
+        let mut net = tiny_net();
+        let mut r = rng(6);
+        let x = randn_tensor(&mut r, &[3, 1, 32], 1.0);
+        let div = cam_gradcam_divergence(&mut net, &x, 1);
+        assert!(div < 1e-4, "divergence {div}");
+    }
+
+    #[test]
+    fn gradcam_does_not_touch_parameter_gradients() {
+        let mut net = tiny_net();
+        let mut r = rng(7);
+        let x = randn_tensor(&mut r, &[1, 1, 16], 1.0);
+        net.zero_grad();
+        let _ = grad_cam(&mut net, &x, 1);
+        let mut grad_norm = 0.0f32;
+        net.visit_params(&mut |p| grad_norm += p.grad.norm());
+        assert_eq!(grad_norm, 0.0, "explainer must not accumulate gradients");
+    }
+}

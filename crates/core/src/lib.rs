@@ -1,0 +1,46 @@
+//! # camal
+//!
+//! Rust implementation of **CamAL** (Class Activation Map based Appliance
+//! Localization), the weakly supervised NILM framework of Petralia et al.,
+//! ICDE 2025. CamAL trains an ensemble of convolutional ResNet classifiers
+//! on *weak* labels (one label per window — or one possession answer per
+//! household), then localizes appliance activations by averaging the
+//! ensemble's Class Activation Maps and applying them as an attention mask
+//! over the input.
+//!
+//! Pipeline (paper Fig. 3):
+//! 1. [`ensemble`] — Algorithm 1: train `|K_p| × trials` ResNet candidates,
+//!    keep the `n` best by validation loss.
+//! 2. [`localize`] — extract/normalize/average CAMs, attention-sigmoid.
+//! 3. [`power`] — binary status → per-appliance power, clipped by the
+//!    aggregate.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use camal::{CamalConfig, CamalModel};
+//! use nilm_data::prelude::*;
+//!
+//! let ds = generate_dataset(&refit(), ScaleOverride::default(), 1);
+//! let case = prepare_case(&ds, ApplianceKind::Kettle, 510, &SplitConfig::default());
+//! let mut model = CamalModel::train(&CamalConfig::small(), &case.train, &case.val, 4);
+//! let report = model.evaluate(&case.test, 2000.0, 16);
+//! println!("localization F1 = {:.3}", report.localization.f1);
+//! ```
+
+pub mod config;
+pub mod gradcam;
+pub mod postprocess;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+pub mod ensemble;
+pub mod localize;
+pub mod model;
+pub mod power;
+
+pub use config::{CamalConfig, DEFAULT_KERNELS};
+pub use gradcam::{cam_gradcam_divergence, grad_cam};
+pub use ensemble::{train_ensemble, EnsembleMember, EnsembleStats};
+pub use model::{report_from_status, CamalModel, CaseReport, Localization};
+pub use power::estimate_power;

@@ -1,0 +1,187 @@
+//! Step 2 of CamAL (paper §IV-B): CAM extraction, normalization, ensemble
+//! averaging, and the attention-sigmoid module that turns the averaged CAM
+//! into per-timestep ON/OFF status.
+//!
+//! Normalization note: the paper states each CAM is "normalized to [0, 1] by
+//! dividing by its maximum value" and that the averaged CAM is applied to
+//! the input by pointwise multiplication followed by a sigmoid. Taken
+//! literally (non-negative CAM × non-negative power), `sigmoid(·) ≥ 0.5`
+//! would hold everywhere. We therefore (a) clamp negative CAM values to
+//! zero and divide by the max (the standard CAM practice), and (b) apply the
+//! attention mask to the *window-standardized* input (zero mean, unit
+//! variance), so the decision rule is `CAM(t) > 0 AND x(t) above the window
+//! mean` — this reproduces the paper's described behaviour (the attention
+//! module suppresses activations in low-power regions, trading a little
+//! recall for much higher precision; see Table IV).
+
+use nilm_tensor::activation::sigmoid;
+use nilm_tensor::tensor::Tensor;
+
+/// Normalizes one CAM row in place: negatives clamped to zero, then divided
+/// by the maximum. A CAM with no positive value becomes all-zero.
+pub fn normalize_cam(cam: &mut [f32]) {
+    let mut max = 0.0f32;
+    for v in cam.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        } else if *v > max {
+            max = *v;
+        }
+    }
+    if max > 0.0 {
+        let inv = 1.0 / max;
+        cam.iter_mut().for_each(|v| *v *= inv);
+    }
+}
+
+/// Averages per-member normalized CAMs: `cams[i]` is member `i`'s `[b, t]`
+/// map. Returns the `[b, t]` ensemble CAM (paper step 4).
+pub fn average_cams(cams: &[Tensor]) -> Tensor {
+    assert!(!cams.is_empty(), "no CAMs to average");
+    let shape = cams[0].shape().to_vec();
+    let mut out = Tensor::zeros(&shape);
+    for cam in cams {
+        assert_eq!(cam.shape(), &shape[..], "CAM shape mismatch");
+        out.add_assign(cam);
+    }
+    out.scale_inplace(1.0 / cams.len() as f32);
+    out
+}
+
+/// Standardizes one window to zero mean / unit variance (constant windows
+/// become all-zero).
+pub fn standardize(x: &[f32]) -> Vec<f32> {
+    let n = x.len().max(1) as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std <= 1e-12 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|v| (v - mean) / std).collect()
+}
+
+/// The attention-sigmoid module (paper steps 5–6): multiplies the ensemble
+/// CAM with the standardized input, squashes through a sigmoid and rounds.
+/// Returns the binary status and the post-sigmoid localization scores.
+///
+/// `margin` shifts the sigmoid so that a timestep counts as ON only when
+/// `CAM(t) · x̃(t) > margin`. The paper's literal formula corresponds to
+/// `margin = 0`; because both factors are non-negative after normalization,
+/// that degenerates to "any positive CAM over any above-mean power", so a
+/// small positive margin (default 0.5 in [`crate::CamalConfig`]) restores
+/// the precision/recall trade-off the paper reports for this module
+/// (Table IV). Scores stay in [0, 1] with 0.5 as the decision boundary.
+pub fn attention_status(cam_ens: &[f32], input: &[f32], margin: f32) -> (Vec<u8>, Vec<f32>) {
+    assert_eq!(cam_ens.len(), input.len(), "CAM/input length mismatch");
+    let xs = standardize(input);
+    let mut status = Vec::with_capacity(input.len());
+    let mut scores = Vec::with_capacity(input.len());
+    for (&c, &x) in cam_ens.iter().zip(&xs) {
+        let s = sigmoid(c * x - margin);
+        scores.push(s);
+        status.push((s > 0.5) as u8);
+    }
+    (status, scores)
+}
+
+/// The Table IV "w/o Attention module" ablation: thresholds the averaged
+/// normalized CAM directly (sigmoid of the raw CAM, rounded — since the
+/// normalized CAM is in [0, 1], this is `cam > 0`).
+pub fn raw_cam_status(cam_ens: &[f32]) -> (Vec<u8>, Vec<f32>) {
+    let mut status = Vec::with_capacity(cam_ens.len());
+    let mut scores = Vec::with_capacity(cam_ens.len());
+    for &c in cam_ens {
+        let s = sigmoid(c);
+        scores.push(s);
+        status.push((s > 0.5) as u8);
+    }
+    (status, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_clamps_and_scales() {
+        let mut cam = vec![-1.0, 0.5, 2.0];
+        normalize_cam(&mut cam);
+        assert_eq!(cam, vec![0.0, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn normalize_all_negative_is_zero() {
+        let mut cam = vec![-3.0, -1.0];
+        normalize_cam(&mut cam);
+        assert_eq!(cam, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_cam_is_in_unit_interval() {
+        let mut cam: Vec<f32> = (-10..10).map(|i| i as f32 * 0.7).collect();
+        normalize_cam(&mut cam);
+        assert!(cam.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((cam.iter().fold(0.0f32, |a, &b| a.max(b)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_is_elementwise_mean() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let avg = average_cams(&[a, b]);
+        assert_eq!(avg.data(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn standardize_centers_and_scales() {
+        let z = standardize(&[1.0, 2.0, 3.0]);
+        let mean: f32 = z.iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-6);
+        assert!(z[0] < 0.0 && z[2] > 0.0);
+    }
+
+    #[test]
+    fn standardize_constant_window_is_zero() {
+        assert_eq!(standardize(&[5.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn attention_fires_on_supported_high_power() {
+        // CAM positive only on the plateau; power above mean there.
+        let cam = vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let x = vec![0.1, 0.1, 2.0, 2.0, 0.1, 0.1];
+        let (status, scores) = attention_status(&cam, &x, 0.5);
+        assert_eq!(status, vec![0, 0, 1, 1, 0, 0]);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn attention_suppresses_low_power_even_with_cam() {
+        // CAM fires everywhere, but only the plateau is above window mean.
+        let cam = vec![1.0; 6];
+        let x = vec![0.1, 0.1, 2.0, 2.0, 0.1, 0.1];
+        let (status, _) = attention_status(&cam, &x, 0.5);
+        assert_eq!(status, vec![0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn raw_cam_fires_wherever_cam_is_positive() {
+        let cam = vec![0.0, 0.2, 0.9];
+        let (status, _) = raw_cam_status(&cam);
+        assert_eq!(status, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn raw_cam_has_higher_or_equal_recall_than_attention() {
+        // The ablation finding of Table IV: raw CAM activates a superset of
+        // cam-positive regions, so its recall can only be >= attention's.
+        let cam = vec![0.3, 0.8, 0.0, 0.6];
+        let x = vec![0.1, 5.0, 0.1, 0.05];
+        let (att, _) = attention_status(&cam, &x, 0.0);
+        let (raw, _) = raw_cam_status(&cam);
+        for (a, r) in att.iter().zip(&raw) {
+            assert!(r >= a, "raw must dominate attention activations");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Status post-processing: duration filters that remove physically
+//! implausible predictions (an extension the paper's conclusion calls for —
+//! "more advanced post-processing methods are needed").
+//!
+//! Two morphological filters on the binary status sequence:
+//! - [`drop_short_on_runs`]: an appliance cannot run for less than its
+//!   minimal program duration (e.g. a dishwasher never runs 1 minute).
+//! - [`fill_short_off_gaps`]: micro-gaps inside one activation (duty
+//!   cycling, sensor jitter) are merged.
+
+use nilm_data::appliance::ApplianceKind;
+
+/// Removes ON-runs shorter than `min_len` samples.
+pub fn drop_short_on_runs(status: &mut [u8], min_len: usize) {
+    if min_len <= 1 {
+        return;
+    }
+    let n = status.len();
+    let mut i = 0;
+    while i < n {
+        if status[i] == 1 {
+            let start = i;
+            while i < n && status[i] == 1 {
+                i += 1;
+            }
+            if i - start < min_len {
+                status[start..i].iter_mut().for_each(|s| *s = 0);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Fills OFF-gaps shorter than `max_gap` samples that are surrounded by ON.
+pub fn fill_short_off_gaps(status: &mut [u8], max_gap: usize) {
+    if max_gap == 0 {
+        return;
+    }
+    let n = status.len();
+    let mut i = 0;
+    while i < n {
+        if status[i] == 0 {
+            let start = i;
+            while i < n && status[i] == 0 {
+                i += 1;
+            }
+            let bounded_left = start > 0 && status[start - 1] == 1;
+            let bounded_right = i < n && status[i] == 1;
+            if bounded_left && bounded_right && i - start <= max_gap {
+                status[start..i].iter_mut().for_each(|s| *s = 1);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Appliance-specific duration priors in seconds: (min ON duration,
+/// mergeable OFF gap). Derived from the signature models in `nilm-data`.
+pub fn duration_prior_s(kind: ApplianceKind) -> (u32, u32) {
+    match kind {
+        ApplianceKind::Kettle => (60, 60),
+        ApplianceKind::Microwave => (60, 120),
+        ApplianceKind::Dishwasher => (20 * 60, 10 * 60),
+        ApplianceKind::WashingMachine => (15 * 60, 10 * 60),
+        ApplianceKind::Shower => (2 * 60, 60),
+        ApplianceKind::ElectricVehicle => (30 * 60, 30 * 60),
+        ApplianceKind::Fridge => (5 * 60, 5 * 60),
+    }
+}
+
+/// Applies both filters using the appliance's duration prior at the given
+/// sampling interval.
+pub fn apply_duration_prior(status: &mut [u8], kind: ApplianceKind, step_s: u32) {
+    let (min_on_s, max_gap_s) = duration_prior_s(kind);
+    let min_on = (min_on_s / step_s.max(1)).max(1) as usize;
+    let max_gap = (max_gap_s / step_s.max(1)) as usize;
+    fill_short_off_gaps(status, max_gap);
+    drop_short_on_runs(status, min_on);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_isolated_blips() {
+        let mut s = vec![0, 1, 0, 1, 1, 1, 0, 1, 0];
+        drop_short_on_runs(&mut s, 2);
+        assert_eq!(s, vec![0, 0, 0, 1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn keeps_runs_at_exact_threshold() {
+        let mut s = vec![1, 1, 0, 1];
+        drop_short_on_runs(&mut s, 2);
+        assert_eq!(s, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn min_len_one_is_identity() {
+        let mut s = vec![0, 1, 0];
+        drop_short_on_runs(&mut s, 1);
+        assert_eq!(s, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn fills_interior_gaps_only() {
+        let mut s = vec![0, 1, 0, 1, 0, 0];
+        fill_short_off_gaps(&mut s, 1);
+        // Gap at index 2 is bounded by ON on both sides -> filled.
+        // Leading zeros and trailing zeros stay.
+        assert_eq!(s, vec![0, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn respects_gap_limit() {
+        let mut s = vec![1, 0, 0, 0, 1];
+        fill_short_off_gaps(&mut s, 2);
+        assert_eq!(s, vec![1, 0, 0, 0, 1]);
+        fill_short_off_gaps(&mut s, 3);
+        assert_eq!(s, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn duration_prior_end_to_end() {
+        // Dishwasher at 60 s sampling: min ON = 20 samples, gap = 10.
+        let mut s = vec![0u8; 64];
+        // Plausible 25-sample run with a 3-sample dropout inside.
+        for v in s[10..35].iter_mut() {
+            *v = 1;
+        }
+        for v in s[20..23].iter_mut() {
+            *v = 0;
+        }
+        // Implausible 2-sample blip.
+        s[50] = 1;
+        s[51] = 1;
+        apply_duration_prior(&mut s, ApplianceKind::Dishwasher, 60);
+        assert!(s[10..35].iter().all(|&v| v == 1), "dropout not merged");
+        assert!(s[50] == 0 && s[51] == 0, "blip not removed");
+    }
+
+    #[test]
+    fn all_kinds_have_positive_priors() {
+        for &k in ApplianceKind::targets() {
+            let (on, gap) = duration_prior_s(k);
+            assert!(on > 0);
+            assert!(gap > 0);
+        }
+    }
+
+    #[test]
+    fn empty_status_is_fine() {
+        let mut s: Vec<u8> = vec![];
+        apply_duration_prior(&mut s, ApplianceKind::Kettle, 60);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! From binary labels to per-appliance consumption (paper §IV-C):
+//! `p̂_init(t) = ŝ(t) · P_a`, clipped so the estimate never exceeds the
+//! observed aggregate: `p̂(t) = min(p̂_init(t), x(t))`.
+
+/// Estimates appliance power in Watts from predicted status, the appliance's
+/// average running power `avg_power_w`, and the raw aggregate `aggregate_w`.
+pub fn estimate_power(status: &[u8], avg_power_w: f32, aggregate_w: &[f32]) -> Vec<f32> {
+    assert_eq!(status.len(), aggregate_w.len(), "status/aggregate length mismatch");
+    status
+        .iter()
+        .zip(aggregate_w)
+        .map(|(&s, &x)| if s != 0 { (avg_power_w).min(x.max(0.0)) } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_timesteps_are_zero() {
+        let p = estimate_power(&[0, 1, 0], 800.0, &[1000.0, 1000.0, 1000.0]);
+        assert_eq!(p, vec![0.0, 800.0, 0.0]);
+    }
+
+    #[test]
+    fn clipped_by_aggregate() {
+        let p = estimate_power(&[1, 1], 2000.0, &[500.0, 3000.0]);
+        assert_eq!(p, vec![500.0, 2000.0]);
+    }
+
+    #[test]
+    fn never_exceeds_aggregate_or_goes_negative() {
+        let agg = [0.0, -5.0, 100.0, 1e6];
+        let p = estimate_power(&[1, 1, 1, 1], 800.0, &agg);
+        for (est, x) in p.iter().zip(&agg) {
+            assert!(*est >= 0.0);
+            assert!(*est <= x.max(0.0));
+        }
+    }
+}

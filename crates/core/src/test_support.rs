@@ -1,0 +1,36 @@
+//! Shared test fixtures for the camal crate.
+
+use nilm_data::preprocess::Window;
+use nilm_data::windows::WindowSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Separable toy data: ON windows contain a strong plateau.
+pub(crate) fn toy_set(n: usize, w: usize, seed: u64) -> WindowSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut windows = Vec::new();
+    for i in 0..n {
+        let on = i % 2 == 0;
+        let mut input = vec![0.15f32; w];
+        let mut status = vec![0u8; w];
+        for v in input.iter_mut() {
+            *v += nilm_tensor::init::randn(&mut rng).abs() * 0.02;
+        }
+        if on {
+            let start = (i * 3) % (w / 2);
+            for t in start..(start + w / 3).min(w) {
+                input[t] += 2.0;
+                status[t] = 1;
+            }
+        }
+        windows.push(Window {
+            aggregate_w: input.iter().map(|v| v * 1000.0).collect(),
+            appliance_w: status.iter().map(|&s| s as f32 * 2000.0).collect(),
+            input,
+            status,
+            weak_label: on as u8,
+            house_id: i % 4,
+        });
+    }
+    WindowSet::new(windows)
+}

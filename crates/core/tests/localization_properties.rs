@@ -1,0 +1,111 @@
+//! Property-based tests on the CamAL localization pipeline pieces.
+
+use camal::localize::{attention_status, average_cams, normalize_cam, raw_cam_status};
+use camal::postprocess::{drop_short_on_runs, fill_short_off_gaps};
+use camal::power::estimate_power;
+use nilm_tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// The averaged ensemble CAM of per-window-normalized member CAMs stays
+    /// in [0, 1].
+    #[test]
+    fn ensemble_cam_stays_normalized(
+        a in proptest::collection::vec(-10.0f32..10.0, 32),
+        b in proptest::collection::vec(-10.0f32..10.0, 32),
+    ) {
+        let mut ca = a.clone();
+        let mut cb = b.clone();
+        normalize_cam(&mut ca);
+        normalize_cam(&mut cb);
+        let avg = average_cams(&[
+            Tensor::from_vec(ca, &[1, 32]),
+            Tensor::from_vec(cb, &[1, 32]),
+        ]);
+        prop_assert!(avg.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Raising the attention margin is monotone: it can only turn ON
+    /// timesteps OFF, never the reverse.
+    #[test]
+    fn attention_margin_is_monotone(
+        cam in proptest::collection::vec(0.0f32..1.0, 24),
+        xs in proptest::collection::vec(0.0f32..5.0, 24),
+        m1 in 0.0f32..1.0,
+        delta in 0.0f32..1.0,
+    ) {
+        let (loose, _) = attention_status(&cam, &xs, m1);
+        let (tight, _) = attention_status(&cam, &xs, m1 + delta);
+        for (l, t) in loose.iter().zip(&tight) {
+            prop_assert!(t <= l, "tightening the margin turned a timestep ON");
+        }
+    }
+
+    /// Raw-CAM localization is a superset of zero-margin attention
+    /// localization wherever the input is at or below the window mean.
+    #[test]
+    fn raw_cam_dominates_on_low_power(
+        cam in proptest::collection::vec(0.0f32..1.0, 16),
+        xs in proptest::collection::vec(0.0f32..3.0, 16),
+    ) {
+        let (att, _) = attention_status(&cam, &xs, 0.0);
+        let (raw, _) = raw_cam_status(&cam);
+        for (a, r) in att.iter().zip(&raw) {
+            prop_assert!(r >= a);
+        }
+    }
+
+    /// Power estimation is clipped by the aggregate and zero where OFF.
+    #[test]
+    fn power_estimate_invariants(
+        status in proptest::collection::vec(0u8..2, 1..64),
+        agg in proptest::collection::vec(-100.0f32..5000.0, 1..64),
+        avg_power in 1.0f32..9000.0,
+    ) {
+        let n = status.len().min(agg.len());
+        let est = estimate_power(&status[..n], avg_power, &agg[..n]);
+        for i in 0..n {
+            if status[i] == 0 {
+                prop_assert_eq!(est[i], 0.0);
+            } else {
+                prop_assert!(est[i] >= 0.0);
+                prop_assert!(est[i] <= agg[i].max(0.0));
+                prop_assert!(est[i] <= avg_power);
+            }
+        }
+    }
+
+    /// Post-processing filters never create new event boundaries outside the
+    /// original signal support: dropping short runs only removes ON samples,
+    /// gap filling only adds ON samples between existing ON samples.
+    #[test]
+    fn postprocess_filters_are_one_sided(
+        status in proptest::collection::vec(0u8..2, 4..128),
+        min_len in 1usize..6,
+        max_gap in 0usize..6,
+    ) {
+        let mut dropped = status.clone();
+        drop_short_on_runs(&mut dropped, min_len);
+        for (orig, new) in status.iter().zip(&dropped) {
+            prop_assert!(new <= orig, "drop filter added an ON sample");
+        }
+        let mut filled = status.clone();
+        fill_short_off_gaps(&mut filled, max_gap);
+        for (orig, new) in status.iter().zip(&filled) {
+            prop_assert!(new >= orig, "fill filter removed an ON sample");
+        }
+    }
+
+    /// Dropping short runs is idempotent.
+    #[test]
+    fn drop_short_runs_idempotent(
+        status in proptest::collection::vec(0u8..2, 4..64),
+        min_len in 1usize..6,
+    ) {
+        let mut once = status.clone();
+        drop_short_on_runs(&mut once, min_len);
+        let mut twice = once.clone();
+        drop_short_on_runs(&mut twice, min_len);
+        prop_assert_eq!(once, twice);
+    }
+}

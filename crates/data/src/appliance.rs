@@ -1,0 +1,269 @@
+//! Appliance signature models.
+//!
+//! Each appliance kind generates realistic single-activation power profiles
+//! at a 1-minute base resolution. The shapes follow the qualitative
+//! descriptions used across the NILM literature (and the power levels of
+//! Table I in the paper): kettles are short rectangular spikes, dishwashers
+//! are long multi-phase cycles with two heating plateaus, EV charging is a
+//! multi-hour constant block, and so on.
+
+use rand::{Rng, RngExt};
+
+/// The appliances simulated in this workspace (superset of Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ApplianceKind {
+    /// Electric kettle: ~2 kW for a few minutes, several times a day.
+    Kettle,
+    /// Microwave oven: ~1.2 kW bursts of a few minutes.
+    Microwave,
+    /// Dishwasher: 1.5–2.5 h cycle with two heating plateaus.
+    Dishwasher,
+    /// Washing machine: heating phase then low-power drum with spin spikes.
+    WashingMachine,
+    /// Electric shower: very high power (~8 kW) for minutes.
+    Shower,
+    /// Electric-vehicle charger: hours of multi-kW charging.
+    ElectricVehicle,
+    /// Fridge/freezer: always-on background compressor cycling (not a
+    /// localization target; contributes to the noise term v(t)).
+    Fridge,
+}
+
+impl ApplianceKind {
+    /// Short lowercase name used in CSV output and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplianceKind::Kettle => "kettle",
+            ApplianceKind::Microwave => "microwave",
+            ApplianceKind::Dishwasher => "dishwasher",
+            ApplianceKind::WashingMachine => "washer",
+            ApplianceKind::Shower => "shower",
+            ApplianceKind::ElectricVehicle => "ev",
+            ApplianceKind::Fridge => "fridge",
+        }
+    }
+
+    /// Parses [`Self::name`] back into a kind.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "kettle" => ApplianceKind::Kettle,
+            "microwave" => ApplianceKind::Microwave,
+            "dishwasher" => ApplianceKind::Dishwasher,
+            "washer" | "washing_machine" => ApplianceKind::WashingMachine,
+            "shower" => ApplianceKind::Shower,
+            "ev" | "electric_vehicle" => ApplianceKind::ElectricVehicle,
+            "fridge" => ApplianceKind::Fridge,
+            _ => return None,
+        })
+    }
+
+    /// Mean number of activations per day when the appliance is owned.
+    pub fn activations_per_day(self) -> f64 {
+        match self {
+            ApplianceKind::Kettle => 4.0,
+            ApplianceKind::Microwave => 3.0,
+            ApplianceKind::Dishwasher => 0.7,
+            ApplianceKind::WashingMachine => 0.6,
+            ApplianceKind::Shower => 1.5,
+            ApplianceKind::ElectricVehicle => 0.5,
+            ApplianceKind::Fridge => 0.0, // continuous; handled separately
+        }
+    }
+
+    /// Relative probability of an activation starting in each hour of the
+    /// day (unnormalized 24-element weights).
+    pub fn hour_weights(self) -> [f32; 24] {
+        match self {
+            // Morning and evening peaks for kitchen appliances.
+            ApplianceKind::Kettle | ApplianceKind::Microwave => [
+                0.2, 0.1, 0.1, 0.1, 0.3, 1.0, 3.0, 4.0, 3.0, 1.5, 1.0, 1.5, 2.0, 1.5, 1.0, 1.0,
+                1.5, 2.5, 3.5, 3.0, 2.0, 1.5, 1.0, 0.5,
+            ],
+            // Dishwasher after meals, some overnight off-peak runs.
+            ApplianceKind::Dishwasher => [
+                1.0, 0.5, 0.3, 0.2, 0.2, 0.3, 0.5, 1.0, 2.0, 1.5, 1.0, 1.0, 2.0, 2.0, 1.0, 0.8,
+                1.0, 1.5, 2.5, 3.5, 3.0, 2.5, 2.0, 1.5,
+            ],
+            ApplianceKind::WashingMachine => [
+                0.3, 0.2, 0.2, 0.2, 0.3, 0.5, 1.0, 2.5, 3.0, 3.0, 2.5, 2.0, 1.5, 1.5, 1.5, 1.5,
+                1.5, 2.0, 2.0, 1.5, 1.0, 0.8, 0.5, 0.3,
+            ],
+            ApplianceKind::Shower => [
+                0.2, 0.1, 0.1, 0.2, 0.5, 1.5, 4.0, 5.0, 3.0, 1.5, 1.0, 0.8, 0.8, 0.8, 0.8, 1.0,
+                1.2, 1.5, 2.5, 3.0, 2.5, 2.0, 1.0, 0.5,
+            ],
+            // EV charging dominated by evening plug-in and off-peak tariffs.
+            ApplianceKind::ElectricVehicle => [
+                2.0, 2.5, 2.5, 2.0, 1.0, 0.5, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.5,
+                1.0, 2.0, 3.5, 4.0, 3.5, 3.0, 2.5, 2.0,
+            ],
+            ApplianceKind::Fridge => [1.0; 24],
+        }
+    }
+
+    /// Ownership probability used by the possession-only survey datasets.
+    pub fn ownership_probability(self) -> f64 {
+        match self {
+            ApplianceKind::Kettle => 0.95,
+            ApplianceKind::Microwave => 0.9,
+            ApplianceKind::Dishwasher => 0.55,
+            ApplianceKind::WashingMachine => 0.9,
+            ApplianceKind::Shower => 0.45,
+            ApplianceKind::ElectricVehicle => 0.35,
+            ApplianceKind::Fridge => 1.0,
+        }
+    }
+
+    /// Generates one activation profile at 1-minute resolution (Watts).
+    pub fn signature(self, rng: &mut impl Rng) -> Vec<f32> {
+        match self {
+            ApplianceKind::Kettle => {
+                let mins = rng.random_range(2..=4);
+                let power = rng.random_range(1800.0..2400.0);
+                vec![power; mins]
+            }
+            ApplianceKind::Microwave => {
+                let mins = rng.random_range(1..=8);
+                let power: f32 = rng.random_range(900.0..1500.0);
+                // Duty cycling at lower heat settings: some minutes ~40%.
+                (0..mins)
+                    .map(|_| if rng.random_bool(0.25) { power * 0.4 } else { power })
+                    .collect()
+            }
+            ApplianceKind::Dishwasher => {
+                let heat: f32 = rng.random_range(1800.0..2200.0);
+                let low: f32 = rng.random_range(60.0..120.0);
+                let mut sig = Vec::new();
+                sig.extend(std::iter::repeat_n(low, rng.random_range(5..12))); // fill
+                sig.extend(std::iter::repeat_n(heat, rng.random_range(15..25))); // heat wash
+                sig.extend(std::iter::repeat_n(low * 1.5, rng.random_range(20..35))); // wash
+                sig.extend(std::iter::repeat_n(heat, rng.random_range(10..20))); // heat rinse
+                sig.extend(std::iter::repeat_n(low, rng.random_range(15..30))); // dry
+                sig
+            }
+            ApplianceKind::WashingMachine => {
+                let heat: f32 = rng.random_range(1700.0..2100.0);
+                let drum: f32 = rng.random_range(150.0..300.0);
+                let spin: f32 = rng.random_range(500.0..800.0);
+                let mut sig = Vec::new();
+                sig.extend(std::iter::repeat_n(heat, rng.random_range(10..18))); // heating
+                for _ in 0..rng.random_range(30..60) {
+                    // agitation with motor spikes
+                    sig.push(if rng.random_bool(0.2) { spin } else { drum });
+                }
+                sig.extend(std::iter::repeat_n(spin, rng.random_range(5..12))); // final spin
+                sig
+            }
+            ApplianceKind::Shower => {
+                let mins = rng.random_range(4..=12);
+                let power = rng.random_range(7000.0..9000.0);
+                vec![power; mins]
+            }
+            ApplianceKind::ElectricVehicle => {
+                let mins = rng.random_range(90..420);
+                let power: f32 = rng.random_range(3200.0..4200.0);
+                let mut sig = vec![power; mins];
+                // Taper at end of charge.
+                let taper = (mins / 10).max(1);
+                for (i, v) in sig[mins - taper..].iter_mut().enumerate() {
+                    *v *= 1.0 - i as f32 / taper as f32 * 0.6;
+                }
+                sig
+            }
+            ApplianceKind::Fridge => {
+                // One compressor cycle: ~15 min on.
+                let mins = rng.random_range(10..=20);
+                let power = rng.random_range(80.0..140.0);
+                vec![power; mins]
+            }
+        }
+    }
+
+    /// All localization-target appliance kinds (everything except the fridge).
+    pub fn targets() -> &'static [ApplianceKind] {
+        &[
+            ApplianceKind::Kettle,
+            ApplianceKind::Microwave,
+            ApplianceKind::Dishwasher,
+            ApplianceKind::WashingMachine,
+            ApplianceKind::Shower,
+            ApplianceKind::ElectricVehicle,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for &k in ApplianceKind::targets() {
+            assert_eq!(ApplianceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ApplianceKind::from_name("toaster"), None);
+    }
+
+    #[test]
+    fn signatures_are_positive_and_bounded() {
+        let mut r = rng();
+        for &k in ApplianceKind::targets() {
+            for _ in 0..20 {
+                let sig = k.signature(&mut r);
+                assert!(!sig.is_empty(), "{k:?} empty signature");
+                assert!(sig.iter().all(|&v| v > 0.0 && v < 10_000.0), "{k:?} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn kettle_is_short_and_strong() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let sig = ApplianceKind::Kettle.signature(&mut r);
+            assert!(sig.len() <= 4);
+            assert!(sig.iter().all(|&v| v >= 1800.0));
+        }
+    }
+
+    #[test]
+    fn dishwasher_has_two_heat_plateaus() {
+        let mut r = rng();
+        let sig = ApplianceKind::Dishwasher.signature(&mut r);
+        // Count transitions into the >1500W region; should be exactly 2.
+        let mut plateaus = 0;
+        let mut in_heat = false;
+        for &v in &sig {
+            let hot = v > 1500.0;
+            if hot && !in_heat {
+                plateaus += 1;
+            }
+            in_heat = hot;
+        }
+        assert_eq!(plateaus, 2, "dishwasher should have two heating plateaus");
+        assert!(sig.len() >= 65, "cycle too short: {}", sig.len());
+    }
+
+    #[test]
+    fn ev_is_long() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let sig = ApplianceKind::ElectricVehicle.signature(&mut r);
+            assert!(sig.len() >= 90);
+        }
+    }
+
+    #[test]
+    fn hour_weights_have_24_entries_and_are_positive() {
+        for &k in ApplianceKind::targets() {
+            let w = k.hour_weights();
+            assert!(w.iter().all(|&x| x > 0.0));
+        }
+    }
+}

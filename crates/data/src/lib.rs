@@ -1,0 +1,52 @@
+//! # nilm-data
+//!
+//! Synthetic smart-meter data: appliance signature models, a household
+//! simulator following the additive aggregation model of the CamAL paper
+//! (Eq. 1), dataset templates replicating Table I (UKDALE, REFIT, IDEAL,
+//! EDF EV, EDF Weak), and the preprocessing pipeline of §V-B (resampling,
+//! bounded forward-fill, thresholded status, 1/1000 scaling, non-overlapping
+//! windows with NaN discard).
+//!
+//! The real datasets are private (EDF) or large (UKDALE/REFIT/IDEAL); this
+//! crate is the documented substitution — see DESIGN.md §2.
+//!
+//! ## Example
+//!
+//! ```
+//! use nilm_data::prelude::*;
+//!
+//! let scale = ScaleOverride {
+//!     submetered_houses: Some(4),
+//!     days_per_house: Some(2),
+//!     ..Default::default()
+//! };
+//! let ds = generate_dataset(&refit(), scale, 42);
+//! let case = prepare_case(&ds, ApplianceKind::Kettle, 128, &SplitConfig::default());
+//! assert!(!case.train.is_empty());
+//! ```
+
+pub mod appliance;
+pub mod generator;
+pub mod pipeline;
+pub mod preprocess;
+pub mod series;
+pub mod templates;
+pub mod windows;
+
+/// Convenient glob import for dataset construction.
+pub mod prelude {
+    pub use crate::appliance::ApplianceKind;
+    pub use crate::generator::{generate_house, sample_ownership, House, SimConfig, BASE_STEP_S};
+    pub use crate::pipeline::{
+        house_windows, prepare_case, prepare_possession_case, split_houses, CaseData, SplitConfig,
+    };
+    pub use crate::preprocess::{
+        forward_fill, resample, slice_windows, status_from_power, Window, INPUT_SCALE,
+    };
+    pub use crate::series::TimeSeries;
+    pub use crate::templates::{
+        edf_ev, edf_weak, generate_dataset, ideal, refit, template, ukdale, ApplianceCase,
+        Dataset, DatasetId, DatasetTemplate, ScaleOverride,
+    };
+    pub use crate::windows::{bootstrap, WindowSet};
+}

@@ -1,0 +1,254 @@
+//! End-to-end pipeline from a simulated [`Dataset`] to train/val/test
+//! [`WindowSet`]s for one appliance case, with house-level splits so that
+//! evaluation always happens on unseen houses (paper §V-B).
+
+use crate::appliance::ApplianceKind;
+use crate::generator::House;
+use crate::preprocess::{forward_fill, resample, slice_windows};
+use crate::templates::{ApplianceCase, Dataset, DatasetId};
+use crate::windows::WindowSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// House-level split fractions (test and validation; the rest trains).
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// Fraction of houses held out for testing.
+    pub test_frac: f64,
+    /// Fraction of houses held out for validation.
+    pub val_frac: f64,
+    /// Split seed.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { test_frac: 0.2, val_frac: 0.15, seed: 0xC0FFEE }
+    }
+}
+
+/// The windows for one appliance case, split by house.
+#[derive(Clone, Debug, Default)]
+pub struct CaseData {
+    /// Training windows.
+    pub train: WindowSet,
+    /// Validation windows (model selection for Algorithm 1).
+    pub val: WindowSet,
+    /// Test windows (unseen houses).
+    pub test: WindowSet,
+}
+
+/// Converts one house into windows for `case` at the template's resolution.
+///
+/// When `possession_only` is true, per-timestep labels are withheld and the
+/// windows carry the household ownership answer as their weak label
+/// (paper §V-H "Possession Only Pipeline").
+pub fn house_windows(
+    house: &House,
+    case: &ApplianceCase,
+    step_s: u32,
+    max_ffill_s: u32,
+    window: usize,
+    possession_only: bool,
+) -> WindowSet {
+    let agg = forward_fill(&resample(&house.aggregate, step_s), max_ffill_s);
+    let sub_resampled;
+    let submeter = if possession_only {
+        None
+    } else {
+        match house.submeters.get(&case.kind) {
+            Some(s) => {
+                sub_resampled = resample(s, step_s);
+                Some(&sub_resampled)
+            }
+            // Houses not owning the appliance: all-off ground truth.
+            None => None,
+        }
+    };
+    let windows = match (submeter, possession_only) {
+        (Some(sub), _) => {
+            slice_windows(&agg, Some(sub), case.on_threshold_w, window, house.id, false)
+        }
+        (None, true) => {
+            slice_windows(&agg, None, case.on_threshold_w, window, house.id, house.owns(case.kind))
+        }
+        (None, false) => {
+            // Submetered pipeline but the house lacks the appliance: the
+            // ground truth is identically zero.
+            let zeros = crate::series::TimeSeries::zeros(agg.len(), step_s);
+            slice_windows(&agg, Some(&zeros), case.on_threshold_w, window, house.id, false)
+        }
+    };
+    WindowSet::new(windows)
+}
+
+/// Splits house indices into (train, val, test) sets.
+pub fn split_houses(n: usize, cfg: &SplitConfig) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * cfg.test_frac).round().max(1.0) as usize;
+    let n_val = ((n as f64) * cfg.val_frac).round().max(1.0) as usize;
+    let n_test = n_test.min(n.saturating_sub(2));
+    let n_val = n_val.min(n.saturating_sub(n_test + 1));
+    let test = idx[..n_test].to_vec();
+    let val = idx[n_test..n_test + n_val].to_vec();
+    let train = idx[n_test + n_val..].to_vec();
+    (train, val, test)
+}
+
+/// Builds the per-case train/val/test window sets from a generated dataset,
+/// using submeter-derived weak labels (the Fig. 5 / Table III regime).
+pub fn prepare_case(ds: &Dataset, kind: ApplianceKind, window: usize, split: &SplitConfig) -> CaseData {
+    let case = ds
+        .template
+        .case(kind)
+        .unwrap_or_else(|| panic!("{kind:?} is not a case of {:?}", ds.template.id));
+    let (train_h, val_h, test_h) = if ds.template.id == DatasetId::UkDale {
+        // Paper: houses 1,3,4 train; 2,5 split between val and test.
+        // Our ids are 0-based.
+        (vec![0, 2, 3], vec![1], vec![4])
+    } else {
+        split_houses(ds.houses.len(), split)
+    };
+    let collect = |ids: &[usize]| {
+        let mut set = WindowSet::default();
+        for &h in ids {
+            if h < ds.houses.len() {
+                set.extend(house_windows(
+                    &ds.houses[h],
+                    case,
+                    ds.template.step_s,
+                    ds.template.max_ffill_s,
+                    window,
+                    false,
+                ));
+            }
+        }
+        set
+    };
+    CaseData { train: collect(&train_h), val: collect(&val_h), test: collect(&test_h) }
+}
+
+/// Builds a possession-only training set from survey houses (weak label =
+/// ownership) plus a submetered test set — the RQ4 regime (paper §V-H).
+pub fn prepare_possession_case(
+    ds: &Dataset,
+    kind: ApplianceKind,
+    window: usize,
+    split: &SplitConfig,
+) -> CaseData {
+    let case = ds
+        .template
+        .case(kind)
+        .unwrap_or_else(|| panic!("{kind:?} is not a case of {:?}", ds.template.id));
+    // Survey houses: 70/10/20-style split at the household level.
+    let (train_h, val_h, _test_h) = split_houses(ds.survey_houses.len(), split);
+    let collect_survey = |ids: &[usize]| {
+        let mut set = WindowSet::default();
+        for &h in ids {
+            set.extend(house_windows(
+                &ds.survey_houses[h],
+                case,
+                ds.template.step_s,
+                ds.template.max_ffill_s,
+                window,
+                true,
+            ));
+        }
+        set
+    };
+    // All submetered houses serve as the ground-truth test bed.
+    let mut test = WindowSet::default();
+    for house in &ds.houses {
+        test.extend(house_windows(
+            house,
+            case,
+            ds.template.step_s,
+            ds.template.max_ffill_s,
+            window,
+            false,
+        ));
+    }
+    CaseData { train: collect_survey(&train_h), val: collect_survey(&val_h), test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{generate_dataset, refit, ScaleOverride};
+
+    fn tiny_dataset() -> Dataset {
+        let scale = ScaleOverride {
+            submetered_houses: Some(6),
+            possession_only_houses: Some(4),
+            days_per_house: Some(2),
+        };
+        generate_dataset(&refit(), scale, 77)
+    }
+
+    #[test]
+    fn split_houses_partitions_all() {
+        let (tr, va, te) = split_houses(10, &SplitConfig::default());
+        let mut all: Vec<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(!te.is_empty() && !va.is_empty() && !tr.is_empty());
+    }
+
+    #[test]
+    fn prepare_case_separates_houses() {
+        let ds = tiny_dataset();
+        let cd = prepare_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
+        let train_houses: std::collections::BTreeSet<usize> =
+            cd.train.windows.iter().map(|w| w.house_id).collect();
+        let test_houses: std::collections::BTreeSet<usize> =
+            cd.test.windows.iter().map(|w| w.house_id).collect();
+        assert!(train_houses.is_disjoint(&test_houses), "train/test houses overlap");
+        assert!(!cd.train.is_empty());
+        assert!(!cd.test.is_empty());
+    }
+
+    #[test]
+    fn prepare_case_windows_have_strong_labels() {
+        let ds = tiny_dataset();
+        let cd = prepare_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
+        for w in &cd.train.windows {
+            assert_eq!(w.status.len(), 64);
+        }
+    }
+
+    #[test]
+    fn possession_case_train_has_no_strong_labels() {
+        let ds = tiny_dataset();
+        let cd =
+            prepare_possession_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
+        assert!(!cd.train.is_empty());
+        for w in &cd.train.windows {
+            assert!(w.status.is_empty(), "possession windows must not carry strong labels");
+        }
+        // Test set still has ground truth for evaluation.
+        for w in &cd.test.windows {
+            assert_eq!(w.status.len(), 64);
+        }
+    }
+
+    #[test]
+    fn possession_weak_labels_match_ownership() {
+        let ds = tiny_dataset();
+        let cd =
+            prepare_possession_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
+        for w in &cd.train.windows {
+            let owns = ds.survey_houses.iter().find(|h| h.id == w.house_id).unwrap().owns(ApplianceKind::Kettle);
+            assert_eq!(w.weak_label == 1, owns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a case")]
+    fn prepare_case_rejects_unknown_appliance() {
+        let ds = tiny_dataset();
+        let _ = prepare_case(&ds, ApplianceKind::ElectricVehicle, 64, &SplitConfig::default());
+    }
+}

@@ -1,0 +1,261 @@
+//! Preprocessing pipeline (paper §V-B): resample by averaging, forward-fill
+//! bounded gaps, derive ON/OFF status from the Table-I threshold, scale by
+//! 1/1000, and slice into non-overlapping windows, discarding windows that
+//! still contain missing values.
+
+use crate::series::TimeSeries;
+
+/// Resamples `series` to `target_step_s` by averaging the non-missing
+/// samples inside each bucket. Buckets with no valid samples become NaN.
+/// `target_step_s` must be a multiple of the source step.
+pub fn resample(series: &TimeSeries, target_step_s: u32) -> TimeSeries {
+    assert!(target_step_s >= series.step_s, "can only downsample");
+    assert_eq!(
+        target_step_s % series.step_s,
+        0,
+        "target step {target_step_s} not a multiple of source step {}",
+        series.step_s
+    );
+    let ratio = (target_step_s / series.step_s) as usize;
+    if ratio == 1 {
+        return series.clone();
+    }
+    let n_out = series.len() / ratio;
+    let mut out = Vec::with_capacity(n_out);
+    for b in 0..n_out {
+        let bucket = &series.values[b * ratio..(b + 1) * ratio];
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &v in bucket {
+            if !v.is_nan() {
+                sum += v as f64;
+                count += 1;
+            }
+        }
+        out.push(if count == 0 { f32::NAN } else { (sum / count as f64) as f32 });
+    }
+    TimeSeries::new(out, target_step_s)
+}
+
+/// Forward-fills NaN runs of at most `max_gap_s` worth of samples with the
+/// last valid value. Longer runs (and leading NaNs) are left missing.
+pub fn forward_fill(series: &TimeSeries, max_gap_s: u32) -> TimeSeries {
+    let max_gap = (max_gap_s / series.step_s) as usize;
+    let mut out = series.values.clone();
+    let mut last_valid: Option<f32> = None;
+    let mut i = 0usize;
+    while i < out.len() {
+        if out[i].is_nan() {
+            // Measure the run.
+            let start = i;
+            while i < out.len() && out[i].is_nan() {
+                i += 1;
+            }
+            let run = i - start;
+            if run <= max_gap {
+                if let Some(v) = last_valid {
+                    for o in &mut out[start..start + run] {
+                        *o = v;
+                    }
+                }
+            }
+        } else {
+            last_valid = Some(out[i]);
+            i += 1;
+        }
+    }
+    TimeSeries::new(out, series.step_s)
+}
+
+/// Ground-truth appliance status: `1` where the submeter power is at or
+/// above the ON threshold (Table I), else `0`. NaN maps to `0`.
+pub fn status_from_power(submeter: &TimeSeries, on_threshold_w: f32) -> Vec<u8> {
+    submeter
+        .values
+        .iter()
+        .map(|&v| if !v.is_nan() && v >= on_threshold_w { 1 } else { 0 })
+        .collect()
+}
+
+/// Input scaling used for training stability (paper §V-B): Watts / 1000.
+pub const INPUT_SCALE: f32 = 1.0 / 1000.0;
+
+/// One preprocessed, NaN-free window ready for model consumption.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Scaled aggregate input (Watts / 1000), length `w`.
+    pub input: Vec<f32>,
+    /// Raw aggregate in Watts (for power clipping and energy metrics).
+    pub aggregate_w: Vec<f32>,
+    /// Per-timestep ground-truth status of the target appliance (empty for
+    /// possession-only houses).
+    pub status: Vec<u8>,
+    /// Ground-truth appliance power in Watts (empty for possession-only).
+    pub appliance_w: Vec<f32>,
+    /// Weak label: 1 iff the appliance was ON anywhere in the window.
+    pub weak_label: u8,
+    /// Source house id.
+    pub house_id: usize,
+}
+
+impl Window {
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// True when empty (never produced by the slicer).
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+}
+
+/// Slices an aggregate/submeter pair into non-overlapping windows of length
+/// `w`, dropping any window where the aggregate still contains NaN.
+///
+/// `submeter` may be `None` for possession-only houses; in that case the
+/// per-timestep fields are empty and `weak_label` is `possession as u8`
+/// (the label is the household-level ownership answer).
+pub fn slice_windows(
+    aggregate: &TimeSeries,
+    submeter: Option<&TimeSeries>,
+    on_threshold_w: f32,
+    w: usize,
+    house_id: usize,
+    possession: bool,
+) -> Vec<Window> {
+    assert!(w > 0);
+    if let Some(s) = submeter {
+        assert_eq!(s.step_s, aggregate.step_s, "submeter step mismatch");
+    }
+    let n = aggregate.len() / w;
+    let mut out = Vec::with_capacity(n);
+    for wi in 0..n {
+        let range = wi * w..(wi + 1) * w;
+        let agg = &aggregate.values[range.clone()];
+        if agg.iter().any(|v| v.is_nan()) {
+            continue;
+        }
+        let (status, appliance_w, weak) = match submeter {
+            Some(s) => {
+                let sub = &s.values[range.clone()];
+                let status: Vec<u8> = sub
+                    .iter()
+                    .map(|&v| if !v.is_nan() && v >= on_threshold_w { 1 } else { 0 })
+                    .collect();
+                let weak = status.iter().any(|&b| b == 1) as u8;
+                (status, sub.to_vec(), weak)
+            }
+            None => (Vec::new(), Vec::new(), possession as u8),
+        };
+        out.push(Window {
+            input: agg.iter().map(|&v| v * INPUT_SCALE).collect(),
+            aggregate_w: agg.to_vec(),
+            status,
+            appliance_w,
+            weak_label: weak,
+            house_id,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_averages_buckets() {
+        let s = TimeSeries::new(vec![1.0, 3.0, 5.0, 7.0], 60);
+        let r = resample(&s, 120);
+        assert_eq!(r.values, vec![2.0, 6.0]);
+        assert_eq!(r.step_s, 120);
+    }
+
+    #[test]
+    fn resample_ignores_nan_within_bucket() {
+        let s = TimeSeries::new(vec![2.0, f32::NAN, f32::NAN, f32::NAN], 60);
+        let r = resample(&s, 120);
+        assert_eq!(r.values[0], 2.0);
+        assert!(r.values[1].is_nan());
+    }
+
+    #[test]
+    fn resample_preserves_overall_mean_when_clean() {
+        let s = TimeSeries::new((0..120).map(|i| i as f32).collect(), 60);
+        let r = resample(&s, 600);
+        assert!((r.mean_ignore_nan() - s.mean_ignore_nan()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn resample_rejects_non_multiple() {
+        let s = TimeSeries::new(vec![0.0; 10], 60);
+        let _ = resample(&s, 90);
+    }
+
+    #[test]
+    fn forward_fill_respects_max_gap() {
+        let s = TimeSeries::new(vec![1.0, f32::NAN, f32::NAN, 4.0, f32::NAN, f32::NAN, f32::NAN, 8.0], 60);
+        let f = forward_fill(&s, 120); // max 2 samples
+        assert_eq!(&f.values[0..4], &[1.0, 1.0, 1.0, 4.0]);
+        assert!(f.values[4].is_nan() && f.values[5].is_nan() && f.values[6].is_nan());
+        assert_eq!(f.values[7], 8.0);
+    }
+
+    #[test]
+    fn forward_fill_leaves_leading_nan() {
+        let s = TimeSeries::new(vec![f32::NAN, 2.0], 60);
+        let f = forward_fill(&s, 600);
+        assert!(f.values[0].is_nan());
+    }
+
+    #[test]
+    fn status_thresholding() {
+        let s = TimeSeries::new(vec![0.0, 299.9, 300.0, 500.0, f32::NAN], 60);
+        assert_eq!(status_from_power(&s, 300.0), vec![0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn windows_are_non_overlapping_and_scaled() {
+        let agg = TimeSeries::new((0..10).map(|i| 1000.0 * i as f32).collect(), 60);
+        let sub = TimeSeries::new(vec![0.0; 10], 60);
+        let ws = slice_windows(&agg, Some(&sub), 300.0, 4, 7, true);
+        assert_eq!(ws.len(), 2); // 10 / 4 = 2, tail dropped
+        for (got, want) in ws[0].input.iter().zip([0.0, 1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-4);
+        }
+        for (got, want) in ws[1].input.iter().zip([4.0, 5.0, 6.0, 7.0]) {
+            assert!((got - want).abs() < 1e-4);
+        }
+        assert_eq!(ws[0].house_id, 7);
+    }
+
+    #[test]
+    fn windows_with_nan_are_discarded() {
+        let mut vals: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        vals[1] = f32::NAN;
+        let agg = TimeSeries::new(vals, 60);
+        let ws = slice_windows(&agg, None, 300.0, 4, 0, false);
+        assert_eq!(ws.len(), 1); // first window dropped
+        assert_eq!(ws[0].aggregate_w, vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn weak_label_reflects_any_activation() {
+        let agg = TimeSeries::new(vec![100.0; 6], 60);
+        let sub = TimeSeries::new(vec![0.0, 0.0, 400.0, 0.0, 0.0, 0.0], 60);
+        let ws = slice_windows(&agg, Some(&sub), 300.0, 3, 0, false);
+        assert_eq!(ws[0].weak_label, 1);
+        assert_eq!(ws[1].weak_label, 0);
+    }
+
+    #[test]
+    fn possession_only_windows_have_household_label() {
+        let agg = TimeSeries::new(vec![100.0; 6], 60);
+        let ws = slice_windows(&agg, None, 300.0, 3, 0, true);
+        assert!(ws.iter().all(|w| w.weak_label == 1 && w.status.is_empty()));
+        let ws0 = slice_windows(&agg, None, 300.0, 3, 0, false);
+        assert!(ws0.iter().all(|w| w.weak_label == 0));
+    }
+}

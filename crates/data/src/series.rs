@@ -1,0 +1,119 @@
+//! Time-series container for smart-meter signals.
+//!
+//! Power readings are in Watts; missing readings are `f32::NAN` (the
+//! preprocessing pipeline resamples, forward-fills bounded gaps, and drops
+//! windows that still contain NaNs — mirroring §V-B of the paper).
+
+/// A regularly sampled power series. `values[i]` is the average power over
+/// the `i`-th interval of `step_s` seconds; `NAN` marks a missing reading.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeries {
+    /// Power values in Watts (NaN = missing).
+    pub values: Vec<f32>,
+    /// Sampling interval in seconds.
+    pub step_s: u32,
+}
+
+impl TimeSeries {
+    /// Creates a series from values and a sampling step.
+    pub fn new(values: Vec<f32>, step_s: u32) -> Self {
+        assert!(step_s > 0, "step must be positive");
+        TimeSeries { values, step_s }
+    }
+
+    /// A zero-valued series covering `n` samples.
+    pub fn zeros(n: usize, step_s: u32) -> Self {
+        Self::new(vec![0.0; n], step_s)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration in seconds.
+    pub fn duration_s(&self) -> u64 {
+        self.values.len() as u64 * self.step_s as u64
+    }
+
+    /// Number of missing (NaN) samples.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Mean over the non-missing samples (0.0 if all missing).
+    pub fn mean_ignore_nan(&self) -> f32 {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for &v in &self.values {
+            if !v.is_nan() {
+                sum += v as f64;
+                n += 1;
+            }
+        }
+        if n == 0 { 0.0 } else { (sum / n as f64) as f32 }
+    }
+
+    /// Adds another series elementwise (propagating NaN), padding with the
+    /// shorter length. Both series must share the sampling step.
+    pub fn add_in_place(&mut self, other: &TimeSeries) {
+        assert_eq!(self.step_s, other.step_s, "step mismatch in add");
+        let n = self.values.len().min(other.values.len());
+        for i in 0..n {
+            self.values[i] += other.values[i];
+        }
+    }
+
+    /// Total energy in watt-hours over non-missing samples.
+    pub fn energy_wh(&self) -> f64 {
+        let hours = self.step_s as f64 / 3600.0;
+        self.values.iter().filter(|v| !v.is_nan()).map(|&v| v as f64 * hours).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = TimeSeries::new(vec![1.0, f32::NAN, 3.0], 60);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.duration_s(), 180);
+        assert_eq!(s.missing_count(), 1);
+        assert!((s.mean_ignore_nan() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zeros_is_clean() {
+        let s = TimeSeries::zeros(10, 30);
+        assert_eq!(s.missing_count(), 0);
+        assert_eq!(s.mean_ignore_nan(), 0.0);
+    }
+
+    #[test]
+    fn add_in_place_sums() {
+        let mut a = TimeSeries::new(vec![1.0, 2.0], 60);
+        let b = TimeSeries::new(vec![10.0, 20.0], 60);
+        a.add_in_place(&b);
+        assert_eq!(a.values, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        // 1000 W for two 30-minute intervals = 1 kWh.
+        let s = TimeSeries::new(vec![1000.0, 1000.0], 1800);
+        assert!((s.energy_wh() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_missing_mean_is_zero() {
+        let s = TimeSeries::new(vec![f32::NAN; 4], 60);
+        assert_eq!(s.mean_ignore_nan(), 0.0);
+    }
+}

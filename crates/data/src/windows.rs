@@ -1,0 +1,243 @@
+//! Window collections: balancing, batching into tensors, and label-budget
+//! subsampling for the label-efficiency experiments (Fig. 1 / Fig. 5).
+
+use crate::preprocess::Window;
+use nilm_tensor::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// A set of preprocessed windows sharing one window length.
+#[derive(Clone, Debug, Default)]
+pub struct WindowSet {
+    /// The windows.
+    pub windows: Vec<Window>,
+}
+
+impl WindowSet {
+    /// Wraps a vector of windows, asserting consistent lengths.
+    pub fn new(windows: Vec<Window>) -> Self {
+        if let Some(first) = windows.first() {
+            let w = first.len();
+            assert!(windows.iter().all(|x| x.len() == w), "inconsistent window lengths");
+        }
+        WindowSet { windows }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when the set holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Window length (0 when empty).
+    pub fn window_len(&self) -> usize {
+        self.windows.first().map_or(0, Window::len)
+    }
+
+    /// Count of windows with weak label 1.
+    pub fn positives(&self) -> usize {
+        self.windows.iter().filter(|w| w.weak_label == 1).count()
+    }
+
+    /// Appends all windows from `other`.
+    pub fn extend(&mut self, other: WindowSet) {
+        if !self.is_empty() && !other.is_empty() {
+            assert_eq!(self.window_len(), other.window_len(), "window length mismatch");
+        }
+        self.windows.extend(other.windows);
+    }
+
+    /// Random undersampling of the majority class so that positives and
+    /// negatives are equal (paper §V-H balances the training set this way).
+    /// Returns a new set; order is shuffled.
+    pub fn balance_undersample(&self, rng: &mut StdRng) -> WindowSet {
+        let (mut pos, mut neg): (Vec<_>, Vec<_>) =
+            self.windows.iter().cloned().partition(|w| w.weak_label == 1);
+        pos.shuffle(rng);
+        neg.shuffle(rng);
+        let k = pos.len().min(neg.len());
+        let mut out: Vec<Window> = pos.into_iter().take(k).chain(neg.into_iter().take(k)).collect();
+        out.shuffle(rng);
+        WindowSet { windows: out }
+    }
+
+    /// Keeps at most `n` windows, chosen uniformly at random — this is the
+    /// label-budget knob of Fig. 5 (each kept window costs 1 weak label, or
+    /// `window_len()` strong labels for the strongly supervised baselines).
+    pub fn subsample(&self, n: usize, rng: &mut StdRng) -> WindowSet {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        WindowSet { windows: idx.into_iter().map(|i| self.windows[i].clone()).collect() }
+    }
+
+    /// Shuffled index order for epoch iteration.
+    pub fn shuffled_indices(&self, rng: &mut StdRng) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx
+    }
+
+    /// Builds the `[batch, 1, w]` input tensor for the given window indices.
+    pub fn batch_inputs(&self, indices: &[usize]) -> Tensor {
+        let w = self.window_len();
+        let mut data = Vec::with_capacity(indices.len() * w);
+        for &i in indices {
+            data.extend_from_slice(&self.windows[i].input);
+        }
+        Tensor::from_vec(data, &[indices.len(), 1, w])
+    }
+
+    /// Weak labels (one per window) for the given indices.
+    pub fn batch_weak_labels(&self, indices: &[usize]) -> Vec<usize> {
+        indices.iter().map(|&i| self.windows[i].weak_label as usize).collect()
+    }
+
+    /// Strong labels as a `[batch, 1, w]` tensor of 0.0/1.0 targets.
+    /// Panics if any selected window lacks per-timestep labels.
+    pub fn batch_strong_labels(&self, indices: &[usize]) -> Tensor {
+        let w = self.window_len();
+        let mut data = Vec::with_capacity(indices.len() * w);
+        for &i in indices {
+            let st = &self.windows[i].status;
+            assert_eq!(st.len(), w, "window {i} has no strong labels");
+            data.extend(st.iter().map(|&b| b as f32));
+        }
+        Tensor::from_vec(data, &[indices.len(), 1, w])
+    }
+
+    /// Weak labels broadcast as `[batch, 1]` float targets (for MIL heads).
+    pub fn batch_weak_targets(&self, indices: &[usize]) -> Tensor {
+        let data: Vec<f32> = indices.iter().map(|&i| self.windows[i].weak_label as f32).collect();
+        Tensor::from_vec(data, &[indices.len(), 1])
+    }
+
+    /// Total number of labels this set represents under a labeling regime:
+    /// weak = 1 per window; strong = window_len per window.
+    pub fn label_count(&self, strong: bool) -> usize {
+        if strong {
+            self.len() * self.window_len()
+        } else {
+            self.len()
+        }
+    }
+
+    /// Splits off a validation fraction (last `frac` after a shuffle).
+    pub fn split_train_val(&self, frac_val: f64, rng: &mut StdRng) -> (WindowSet, WindowSet) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_val = ((self.len() as f64) * frac_val).round() as usize;
+        let n_val = n_val.min(self.len());
+        let (val_idx, train_idx) = idx.split_at(n_val);
+        let grab = |ids: &[usize]| WindowSet {
+            windows: ids.iter().map(|&i| self.windows[i].clone()).collect(),
+        };
+        (grab(train_idx), grab(val_idx))
+    }
+}
+
+/// Draws a bootstrap resample of the same size (used for ensemble trials'
+/// data diversity when the training set is small).
+pub fn bootstrap(set: &WindowSet, rng: &mut StdRng) -> WindowSet {
+    if set.is_empty() {
+        return set.clone();
+    }
+    let n = set.len();
+    let windows = (0..n).map(|_| set.windows[rng.random_range(0..n)].clone()).collect();
+    WindowSet { windows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mk_window(weak: u8, house: usize, w: usize) -> Window {
+        Window {
+            input: vec![0.1; w],
+            aggregate_w: vec![100.0; w],
+            status: vec![weak; w],
+            appliance_w: vec![0.0; w],
+            weak_label: weak,
+            house_id: house,
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    fn mixed_set(pos: usize, neg: usize) -> WindowSet {
+        let mut v = Vec::new();
+        for i in 0..pos {
+            v.push(mk_window(1, i, 8));
+        }
+        for i in 0..neg {
+            v.push(mk_window(0, pos + i, 8));
+        }
+        WindowSet::new(v)
+    }
+
+    #[test]
+    fn balance_equalizes_classes() {
+        let set = mixed_set(3, 17);
+        let bal = set.balance_undersample(&mut rng());
+        assert_eq!(bal.len(), 6);
+        assert_eq!(bal.positives(), 3);
+    }
+
+    #[test]
+    fn subsample_caps_size() {
+        let set = mixed_set(10, 10);
+        let sub = set.subsample(5, &mut rng());
+        assert_eq!(sub.len(), 5);
+        let all = set.subsample(100, &mut rng());
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn batch_tensors_have_expected_shapes() {
+        let set = mixed_set(2, 2);
+        let idx = [0usize, 2, 3];
+        assert_eq!(set.batch_inputs(&idx).shape(), &[3, 1, 8]);
+        assert_eq!(set.batch_strong_labels(&idx).shape(), &[3, 1, 8]);
+        assert_eq!(set.batch_weak_targets(&idx).shape(), &[3, 1]);
+        assert_eq!(set.batch_weak_labels(&idx), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn label_count_regimes() {
+        let set = mixed_set(4, 0);
+        assert_eq!(set.label_count(false), 4);
+        assert_eq!(set.label_count(true), 32);
+    }
+
+    #[test]
+    fn train_val_split_partitions() {
+        let set = mixed_set(10, 10);
+        let (tr, va) = set.split_train_val(0.25, &mut rng());
+        assert_eq!(tr.len() + va.len(), 20);
+        assert_eq!(va.len(), 5);
+    }
+
+    #[test]
+    fn bootstrap_preserves_size() {
+        let set = mixed_set(5, 5);
+        let bs = bootstrap(&set, &mut rng());
+        assert_eq!(bs.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn rejects_mixed_lengths() {
+        let _ = WindowSet::new(vec![mk_window(0, 0, 4), mk_window(0, 1, 8)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the data simulator and preprocessing pipeline.
+
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::generator::{generate_house, SimConfig};
+use nilm_data::preprocess::{forward_fill, resample};
+use nilm_data::series::TimeSeries;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every appliance signature is bounded in power and duration.
+    #[test]
+    fn signatures_are_physical(seed in 0u64..5000) {
+        let mut rng = nilm_tensor::init::rng(seed);
+        for &kind in ApplianceKind::targets() {
+            let sig = kind.signature(&mut rng);
+            prop_assert!(!sig.is_empty());
+            prop_assert!(sig.len() <= 8 * 60, "{kind:?} longer than 8h: {}", sig.len());
+            prop_assert!(sig.iter().all(|&v| v > 0.0 && v <= 9_500.0), "{kind:?} power out of range");
+        }
+    }
+
+    /// Generated aggregates are non-negative and have the exact length.
+    #[test]
+    fn aggregates_are_nonnegative(seed in 0u64..1000, days in 1usize..3) {
+        let cfg = SimConfig { days, missing_rate: 0.0, ..Default::default() };
+        let owned: BTreeSet<ApplianceKind> = [ApplianceKind::Kettle].into_iter().collect();
+        let house = generate_house(0, &owned, &cfg, seed);
+        prop_assert_eq!(house.aggregate.len(), days * 24 * 60);
+        prop_assert!(house.aggregate.values.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Resampling twice (a->b->c) equals resampling once (a->c) for clean
+    /// series when the ratios are integral.
+    #[test]
+    fn resample_composes(values in proptest::collection::vec(0.0f32..5000.0, 120..360)) {
+        let n = values.len() - values.len() % 60;
+        let s = TimeSeries::new(values[..n].to_vec(), 60);
+        let direct = resample(&s, 3600);
+        let stepped = resample(&resample(&s, 600), 3600);
+        prop_assert_eq!(direct.len(), stepped.len());
+        for (a, b) in direct.values.iter().zip(&stepped.values) {
+            prop_assert!((a - b).abs() < 0.5, "{} vs {}", a, b);
+        }
+    }
+
+    /// Forward-fill is idempotent.
+    #[test]
+    fn forward_fill_is_idempotent(
+        values in proptest::collection::vec(prop_oneof![4 => (0.0f32..100.0).boxed(), 1 => Just(f32::NAN).boxed()], 8..64),
+        max_gap in 1u32..5,
+    ) {
+        let s = TimeSeries::new(values, 60);
+        let once = forward_fill(&s, 60 * max_gap);
+        let twice = forward_fill(&once, 60 * max_gap);
+        for (a, b) in once.values.iter().zip(&twice.values) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+
+    /// Forward-fill never invents values: every filled sample equals some
+    /// earlier valid sample.
+    #[test]
+    fn forward_fill_uses_existing_values(
+        values in proptest::collection::vec(prop_oneof![3 => (0.0f32..100.0).boxed(), 1 => Just(f32::NAN).boxed()], 8..64),
+    ) {
+        let s = TimeSeries::new(values.clone(), 60);
+        let filled = forward_fill(&s, 60 * 100);
+        for (i, v) in filled.values.iter().enumerate() {
+            if !v.is_nan() && values[i].is_nan() {
+                // Must match the closest previous valid original value.
+                let prev = values[..i].iter().rev().find(|x| !x.is_nan());
+                prop_assert_eq!(Some(*v), prev.copied());
+            }
+        }
+    }
+
+    /// Ownership sampling respects the candidate set.
+    #[test]
+    fn ownership_is_subset_of_candidates(seed in 0u64..500) {
+        let mut rng = nilm_tensor::init::rng(seed);
+        let candidates = [ApplianceKind::Kettle, ApplianceKind::Dishwasher];
+        let owned = nilm_data::generator::sample_ownership(&mut rng, &candidates, None);
+        for k in &owned {
+            prop_assert!(candidates.contains(k));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Extension ablations beyond the paper: detector backbone (ResNet vs
+//! InceptionTime) and duration-prior post-processing.
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Extension ablations (scale: {})", scale.name);
+    let t = nilm_eval::experiments::extensions::run_backbone(&scale);
+    nilm_eval::emit(&t, &args, "ext_backbone");
+    let t = nilm_eval::experiments::extensions::run_postprocess(&scale);
+    nilm_eval::emit(&t, &args, "ext_postprocess");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 10: strongly supervised baselines trained on CamAL soft
+//! labels (RQ5).
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 10 soft-label augmentation (scale: {})", scale.name);
+    let table = nilm_eval::experiments::fig10::run(&scale);
+    nilm_eval::emit(&table, &args, "fig10_soft_labels");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 5 (and the Fig. 1 headline panel): F1 vs label budget.
+//! Usage: `cargo run -p nilm-eval --release --bin fig5_label_sweep -- [--smoke|--quick|--full] [--only case]`
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let only = nilm_eval::parse_only(&args);
+    println!("Fig. 5 label sweep (scale: {})", scale.name);
+    let table = nilm_eval::experiments::fig5::run(&scale, only.as_deref());
+    nilm_eval::emit(&table, &args, "fig5_label_sweep");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6(a): training window-length ablation.
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 6(a) window-length ablation (scale: {})", scale.name);
+    let table = nilm_eval::experiments::fig6::run_window_length(&scale);
+    nilm_eval::emit(&table, &args, "fig6a_window_length");
+}

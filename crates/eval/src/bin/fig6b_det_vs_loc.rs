@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6(b): detection accuracy vs localization F1 scatter.
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 6(b) detection vs localization (scale: {})", scale.name);
+    let table = nilm_eval::experiments::fig6::run_detection_vs_localization(&scale);
+    nilm_eval::emit(&table, &args, "fig6b_det_vs_loc");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6(c): performance vs ensemble size.
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 6(c) ensemble-size ablation (scale: {})", scale.name);
+    let table = nilm_eval::experiments::fig6::run_ensemble_size(&scale);
+    nilm_eval::emit(&table, &args, "fig6c_n_resnets");
+}

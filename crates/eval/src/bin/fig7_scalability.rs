@@ -1,0 +1,24 @@
+//! Regenerates Fig. 7: (a) training time, (b) per-epoch scaling with
+//! households, (c) inference throughput. Select parts with `--part a|b|c`
+//! (default: all).
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let part = args.iter().position(|a| a == "--part").and_then(|i| args.get(i + 1).cloned());
+    println!("Fig. 7 scalability (scale: {})", scale.name);
+    if part.as_deref().is_none_or(|p| p == "a") {
+        let t = nilm_eval::experiments::fig7::run_training_time(&scale);
+        nilm_eval::emit(&t, &args, "fig7a_train_time");
+    }
+    if part.as_deref().is_none_or(|p| p == "b") {
+        let t = nilm_eval::experiments::fig7::run_epoch_scaling(&scale);
+        nilm_eval::emit(&t, &args, "fig7b_epoch_scaling");
+    }
+    if part.as_deref().is_none_or(|p| p == "c") {
+        let t = nilm_eval::experiments::fig7::run_throughput(&scale);
+        nilm_eval::emit(&t, &args, "fig7c_throughput");
+    }
+}

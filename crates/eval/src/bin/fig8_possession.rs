@@ -1,0 +1,12 @@
+//! Regenerates Fig. 8: one label per household (possession only) vs per
+//! subsequence vs per timestep.
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("Fig. 8 possession-only study (scale: {})", scale.name);
+    let table = nilm_eval::experiments::fig8::run(&scale);
+    nilm_eval::emit(&table, &args, "fig8_possession");
+}

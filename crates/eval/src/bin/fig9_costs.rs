@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9: monetary/carbon costs per household and storage for
+//! one million households.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let costs = nilm_eval::experiments::fig9::run_costs();
+    nilm_eval::emit(&costs, &args, "fig9a_costs");
+    let storage = nilm_eval::experiments::fig9::run_storage();
+    nilm_eval::emit(&storage, &args, "fig9b_storage");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II: theoretical complexity and trainable parameters.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let table = nilm_eval::experiments::table2::run(0);
+    nilm_eval::emit(&table, &args, "table2_params");
+}

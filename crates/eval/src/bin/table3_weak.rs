@@ -1,0 +1,18 @@
+//! Regenerates Table III: CamAL vs CRNN-Weak with the full weak budget.
+//! Usage: `--smoke|--quick|--full` and `--runs N` (paper averages 5 runs).
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let runs = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if scale.name == "full" { 5 } else { 1 });
+    println!("Table III weak comparison (scale: {}, runs: {runs})", scale.name);
+    let table = nilm_eval::experiments::table3::run(&scale, runs);
+    nilm_eval::emit(&table, &args, "table3_weak");
+}

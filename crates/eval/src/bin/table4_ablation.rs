@@ -1,0 +1,17 @@
+//! Regenerates Table IV: attention-module and kernel-diversity ablations.
+
+use nilm_eval::runner::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let runs = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if scale.name == "full" { 10 } else { 1 });
+    println!("Table IV ablation (scale: {}, runs: {runs})", scale.name);
+    let table = nilm_eval::experiments::table4::run(&scale, runs);
+    nilm_eval::emit(&table, &args, "table4_ablation");
+}

@@ -1,0 +1,146 @@
+//! The cost model of Fig. 9 (§V-H.2): monetary, carbon and storage costs of
+//! collecting strong (submetered) labels versus weak (survey) labels. All
+//! constants come from the paper's text.
+
+/// Per-household costs of the three labeling strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelingCosts {
+    /// Up-front sensor installation cost, dollars per household.
+    pub sensor_install_usd: f64,
+    /// Yearly sensor maintenance, dollars per household per year.
+    pub sensor_maintenance_usd_per_year: f64,
+    /// One questionnaire, dollars per household.
+    pub survey_usd: f64,
+    /// Technician truck-roll CO2 per instrumented household, grams.
+    pub truck_roll_gco2: f64,
+    /// One website visit (answering the survey), grams CO2.
+    pub website_visit_gco2: f64,
+}
+
+impl Default for LabelingCosts {
+    /// Constants quoted in §V-H.2: $1000 install + $1500/yr maintenance vs
+    /// $10 survey; 2134 gCO2 truck roll (97 g/km × 22 km, return) vs
+    /// 4.62 gCO2 website visit.
+    fn default() -> Self {
+        LabelingCosts {
+            sensor_install_usd: 1000.0,
+            sensor_maintenance_usd_per_year: 1500.0,
+            survey_usd: 10.0,
+            truck_roll_gco2: 2134.0,
+            website_visit_gco2: 4.62,
+        }
+    }
+}
+
+/// The storage model: strong labels record one 8-byte BIGINT per appliance
+/// per timestamp; weak labels store one 10-byte VARCHAR possession answer
+/// per appliance. The aggregate signal is stored in both regimes.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageModel {
+    /// Bytes per recorded timestamp (BIGINT).
+    pub bytes_per_sample: u64,
+    /// Bytes per possession answer (VARCHAR(10)).
+    pub bytes_per_possession: u64,
+}
+
+impl Default for StorageModel {
+    fn default() -> Self {
+        StorageModel { bytes_per_sample: 8, bytes_per_possession: 10 }
+    }
+}
+
+/// Dollars per household for `years` of strong labeling.
+pub fn strong_cost_usd(c: &LabelingCosts, years: f64) -> f64 {
+    c.sensor_install_usd + c.sensor_maintenance_usd_per_year * years
+}
+
+/// Dollars per household for weak (possession) labeling.
+pub fn weak_cost_usd(c: &LabelingCosts) -> f64 {
+    c.survey_usd
+}
+
+/// Dollars per household for per-subsequence weak labels gathered by
+/// recurring surveys (`surveys_per_year`, e.g. weekly = 52).
+pub fn subsequence_cost_usd(c: &LabelingCosts, surveys_per_year: f64, years: f64) -> f64 {
+    c.survey_usd * surveys_per_year * years
+}
+
+/// Grams of CO2 per household for strong labeling (one truck roll).
+pub fn strong_gco2(c: &LabelingCosts) -> f64 {
+    c.truck_roll_gco2
+}
+
+/// Grams of CO2 per household for weak labeling (one website visit).
+pub fn weak_gco2(c: &LabelingCosts) -> f64 {
+    c.website_visit_gco2
+}
+
+/// Terabytes per year to store strong labels for `households` homes with
+/// `appliances` submeters sampling every `sample_interval_s` seconds,
+/// including the aggregate channel.
+pub fn strong_storage_tb_per_year(
+    s: &StorageModel,
+    households: u64,
+    appliances: u64,
+    sample_interval_s: u64,
+) -> f64 {
+    let samples_per_year = 365 * 24 * 3600 / sample_interval_s.max(1);
+    // Aggregate + one channel per appliance.
+    let bytes = households * (appliances + 1) * samples_per_year * s.bytes_per_sample;
+    bytes as f64 / 1e12
+}
+
+/// Terabytes per year with weak labels: aggregate channel plus one
+/// possession VARCHAR per appliance.
+pub fn weak_storage_tb_per_year(
+    s: &StorageModel,
+    households: u64,
+    appliances: u64,
+    sample_interval_s: u64,
+) -> f64 {
+    let samples_per_year = 365 * 24 * 3600 / sample_interval_s.max(1);
+    let bytes =
+        households * (samples_per_year * s.bytes_per_sample + appliances * s.bytes_per_possession);
+    bytes as f64 / 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_monetary_gap_is_two_orders_of_magnitude() {
+        let c = LabelingCosts::default();
+        let strong = strong_cost_usd(&c, 1.0); // $2500 for one year
+        let weak = weak_cost_usd(&c); // $10
+        assert_eq!(strong, 2500.0);
+        assert!(strong / weak >= 100.0, "gap {}", strong / weak);
+    }
+
+    #[test]
+    fn paper_quoted_carbon_gap() {
+        let c = LabelingCosts::default();
+        assert!((strong_gco2(&c) / weak_gco2(&c) - 461.9) < 462.0); // ~462x
+        assert!(strong_gco2(&c) / weak_gco2(&c) > 100.0);
+    }
+
+    #[test]
+    fn storage_matches_paper_figure9b() {
+        // Paper: 1M households, 5 appliances, 1-minute sampling ->
+        // ~15 TB/year more for strong labels, about 6x the weak cost.
+        let s = StorageModel::default();
+        let strong = strong_storage_tb_per_year(&s, 1_000_000, 5, 60);
+        let weak = weak_storage_tb_per_year(&s, 1_000_000, 5, 60);
+        assert!(strong > 20.0 && strong < 30.0, "strong {strong} TB");
+        let ratio = strong / weak;
+        assert!((5.0..7.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn subsequence_surveys_sit_between() {
+        let c = LabelingCosts::default();
+        let weekly = subsequence_cost_usd(&c, 52.0, 1.0);
+        assert!(weekly > weak_cost_usd(&c));
+        assert!(weekly < strong_cost_usd(&c, 1.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 9: cost comparison — dollars and gCO2 per household (a) and yearly
+//! storage for one million households (b). Pure arithmetic on the paper's
+//! published cost model (see [`crate::cost`]).
+
+use crate::cost::{
+    strong_cost_usd, strong_gco2, strong_storage_tb_per_year, subsequence_cost_usd, weak_cost_usd,
+    weak_gco2, weak_storage_tb_per_year, LabelingCosts, StorageModel,
+};
+use crate::output::{f3, Table};
+
+/// Fig. 9(a): per-household monetary and carbon cost of each label regime.
+pub fn run_costs() -> Table {
+    let c = LabelingCosts::default();
+    let mut table = Table::new(
+        "Fig. 9(a) — estimated costs per household",
+        &["label_regime", "dollars", "gCO2"],
+    );
+    table.push_row(vec![
+        "per timestep (NILM, 1 year)".to_string(),
+        f3(strong_cost_usd(&c, 1.0)),
+        f3(strong_gco2(&c)),
+    ]);
+    table.push_row(vec![
+        "per subsequence (weekly surveys, 1 year)".to_string(),
+        f3(subsequence_cost_usd(&c, 52.0, 1.0)),
+        f3(weak_gco2(&c) * 52.0),
+    ]);
+    table.push_row(vec![
+        "per household (possession, CamAL)".to_string(),
+        f3(weak_cost_usd(&c)),
+        f3(weak_gco2(&c)),
+    ]);
+    table
+}
+
+/// Fig. 9(b): storage for 1M households, 5 appliances, 1-minute sampling.
+pub fn run_storage() -> Table {
+    let s = StorageModel::default();
+    let mut table = Table::new(
+        "Fig. 9(b) — storage cost, 1M households, 5 appliances, 1-min sampling",
+        &["label_regime", "TB_per_year"],
+    );
+    let strong = strong_storage_tb_per_year(&s, 1_000_000, 5, 60);
+    let weak = weak_storage_tb_per_year(&s, 1_000_000, 5, 60);
+    table.push_row(vec!["per timestep (submeters)".to_string(), f3(strong)]);
+    table.push_row(vec!["per household (possession)".to_string(), f3(weak)]);
+    table.push_row(vec!["ratio".to_string(), f3(strong / weak)]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_table_orders_regimes() {
+        let t = run_costs();
+        let dollars: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        // Strong > subsequence surveys > possession.
+        assert!(dollars[0] > dollars[1]);
+        assert!(dollars[1] > dollars[2]);
+        // The paper claims > 2 orders of magnitude strong vs possession.
+        assert!(dollars[0] / dollars[2] >= 100.0);
+    }
+
+    #[test]
+    fn storage_ratio_about_six() {
+        let t = run_storage();
+        let ratio: f64 = t.rows[2][1].parse().unwrap();
+        assert!((5.0..7.0).contains(&ratio), "ratio {ratio}");
+    }
+}

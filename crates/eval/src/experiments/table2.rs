@@ -1,0 +1,32 @@
+//! Table II: theoretical complexity and trainable-parameter counts,
+//! measured on the paper-scale model constructors.
+
+use crate::complexity::table2_rows;
+use crate::output::Table;
+
+/// Builds the Table II report.
+pub fn run(seed: u64) -> Table {
+    let mut table = Table::new(
+        "Table II — theoretical complexity and trainable parameters (paper scale)",
+        &["model", "theoretical_complexity", "trainable_params"],
+    );
+    for row in table2_rows(seed) {
+        table.push_row(vec![row.model, row.complexity.to_string(), row.params.to_string()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_renders_six_models() {
+        let t = run(0);
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let n: usize = row[2].parse().unwrap();
+            assert!(n > 10_000, "{} too small: {n}", row[0]);
+        }
+    }
+}

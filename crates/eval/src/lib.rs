@@ -1,0 +1,53 @@
+//! # nilm-eval
+//!
+//! The experiment harness: regenerates every table and figure of the CamAL
+//! paper's evaluation section on the synthetic dataset templates. Each
+//! experiment lives in [`experiments`] and is exposed through a binary
+//! (`cargo run -p nilm-eval --release --bin <experiment> -- [--smoke|--quick|--full]`).
+//!
+//! | Experiment | Binary |
+//! |---|---|
+//! | Fig. 1 / Fig. 5 label sweep | `fig5_label_sweep` |
+//! | Table II complexity | `table2_params` |
+//! | Table III weak comparison | `table3_weak` |
+//! | Fig. 6(a) window length | `fig6a_window_length` |
+//! | Fig. 6(b) detection vs localization | `fig6b_det_vs_loc` |
+//! | Fig. 6(c) ensemble size | `fig6c_n_resnets` |
+//! | Table IV ablation | `table4_ablation` |
+//! | Fig. 7 scalability | `fig7_scalability` |
+//! | Fig. 8 possession only | `fig8_possession` |
+//! | Fig. 9 costs | `fig9_costs` |
+//! | Fig. 10 soft labels | `fig10_soft_labels` |
+
+pub mod complexity;
+pub mod cost;
+pub mod experiments;
+pub mod output;
+pub mod runner;
+
+use output::Table;
+use std::path::PathBuf;
+
+/// Parses `--only <case>` from CLI args.
+pub fn parse_only(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Results directory (override with `--out <dir>`).
+pub fn results_dir(args: &[String]) -> PathBuf {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints a table and saves it as CSV under the results directory.
+pub fn emit(table: &Table, args: &[String], name: &str) {
+    table.print();
+    let dir = results_dir(args);
+    match table.save_csv(&dir, name) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save CSV: {e}"),
+    }
+}

@@ -1,0 +1,206 @@
+//! Binary classification metrics on status sequences.
+
+/// Confusion-matrix counts for a binary problem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Accumulates one (prediction, truth) pair.
+    pub fn push(&mut self, pred: bool, truth: bool) {
+        match (pred, truth) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges counts from another confusion matrix.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of accumulated pairs.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision of the positive class (1.0 when no positive predictions —
+    /// the vacuous case; F1 below still collapses to 0 when tp == 0 and
+    /// there are positives to find).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            if self.fn_ == 0 { 1.0 } else { 0.0 }
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class (1.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Balanced accuracy: `(TPR + TNR) / 2`, robust to class imbalance
+    /// (paper §V-D uses it for appliance detection).
+    pub fn balanced_accuracy(&self) -> f64 {
+        let tpr = if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let tnr = if self.tn + self.fp == 0 {
+            1.0
+        } else {
+            self.tn as f64 / (self.tn + self.fp) as f64
+        };
+        0.5 * (tpr + tnr)
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Builds a confusion matrix from parallel binary slices.
+pub fn confusion(pred: &[u8], truth: &[u8]) -> Confusion {
+    assert_eq!(pred.len(), truth.len(), "confusion length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &t) in pred.iter().zip(truth) {
+        c.push(p != 0, t != 0);
+    }
+    c
+}
+
+/// F1 score of the positive class over parallel binary slices.
+pub fn f1_score(pred: &[u8], truth: &[u8]) -> f64 {
+    confusion(pred, truth).f1()
+}
+
+/// Balanced accuracy over parallel binary slices.
+pub fn balanced_accuracy(pred: &[u8], truth: &[u8]) -> f64 {
+    confusion(pred, truth).balanced_accuracy()
+}
+
+/// A bundle of the classification metrics the paper reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassificationReport {
+    /// F1 of the positive class.
+    pub f1: f64,
+    /// Precision of the positive class.
+    pub precision: f64,
+    /// Recall of the positive class.
+    pub recall: f64,
+    /// Balanced accuracy.
+    pub balanced_accuracy: f64,
+}
+
+impl ClassificationReport {
+    /// Computes all metrics from a confusion matrix.
+    pub fn from_confusion(c: &Confusion) -> Self {
+        ClassificationReport {
+            f1: c.f1(),
+            precision: c.precision(),
+            recall: c.recall(),
+            balanced_accuracy: c.balanced_accuracy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let c = confusion(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.balanced_accuracy(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let c = confusion(&[1, 1, 0, 0], &[0, 0, 1, 1]);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.balanced_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // tp=2, fp=1, fn=1, tn=1 -> P=2/3, R=2/3, F1=2/3.
+        let c = confusion(&[1, 1, 1, 0, 0], &[1, 1, 0, 1, 0]);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_handles_imbalance() {
+        // Majority-negative data; constant-0 predictor gets BalAcc 0.5.
+        let truth = [1, 0, 0, 0, 0, 0, 0, 0];
+        let pred = [0; 8];
+        assert!((balanced_accuracy(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_vacuous() {
+        let c = confusion(&[], &[]);
+        assert_eq!(c.f1(), 1.0); // no positives anywhere: vacuously perfect
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn no_positive_predictions_with_positives_present_is_zero_f1() {
+        let c = confusion(&[0, 0, 0], &[1, 1, 0]);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = confusion(&[1], &[1]);
+        let b = confusion(&[0], &[1]);
+        a.merge(&b);
+        assert_eq!(a, Confusion { tp: 1, fp: 0, tn: 0, fn_: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = confusion(&[1], &[1, 0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Energy-estimation metrics: MAE, RMSE and the Matching Ratio.
+
+/// Mean absolute error between predicted and true power (Watts).
+pub fn mae(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs() as f64).sum();
+    sum / pred.len() as f64
+}
+
+/// Root mean squared error between predicted and true power (Watts).
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pred.iter().zip(truth).map(|(&p, &t)| {
+        let d = (p - t) as f64;
+        d * d
+    }).sum();
+    (sum / pred.len() as f64).sqrt()
+}
+
+/// Matching Ratio (paper §V-D, citing Mayhorn et al.):
+/// `MR = Σ_t min(ŷ_t, y_t) / Σ_t max(ŷ_t, y_t)`.
+///
+/// Returns 1.0 when both signals are identically zero (perfect trivial
+/// match) and lies in `[0, 1]` for non-negative inputs.
+pub fn matching_ratio(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "matching ratio length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&p, &t) in pred.iter().zip(truth) {
+        let p = p.max(0.0) as f64;
+        let t = t.max(0.0) as f64;
+        num += p.min(t);
+        den += p.max(t);
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// The energy metrics bundle reported in Table III.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyReport {
+    /// Mean absolute error (W).
+    pub mae: f64,
+    /// Root mean squared error (W).
+    pub rmse: f64,
+    /// Matching ratio in [0, 1].
+    pub matching_ratio: f64,
+}
+
+impl EnergyReport {
+    /// Computes all three energy metrics.
+    pub fn compute(pred: &[f32], truth: &[f32]) -> Self {
+        EnergyReport {
+            mae: mae(pred, truth),
+            rmse: rmse(pred, truth),
+            matching_ratio: matching_ratio(pred, truth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 4.0, 7.0];
+        assert!((mae(&pred, &truth) - 2.0).abs() < 1e-12);
+        // RMSE = sqrt((0 + 4 + 16) / 3)
+        assert!((rmse(&pred, &truth) - (20.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_signals_are_perfect() {
+        let x = [0.0, 5.0, 10.0];
+        assert_eq!(mae(&x, &x), 0.0);
+        assert_eq!(rmse(&x, &x), 0.0);
+        assert_eq!(matching_ratio(&x, &x), 1.0);
+    }
+
+    #[test]
+    fn matching_ratio_half_overlap() {
+        // pred 100 everywhere, truth 200 everywhere: min/max = 0.5.
+        let pred = [100.0; 4];
+        let truth = [200.0; 4];
+        assert!((matching_ratio(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_ratio_disjoint_is_zero() {
+        let pred = [100.0, 0.0];
+        let truth = [0.0, 100.0];
+        assert_eq!(matching_ratio(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn matching_ratio_all_zero_is_one() {
+        assert_eq!(matching_ratio(&[0.0; 3], &[0.0; 3]), 1.0);
+    }
+
+    #[test]
+    fn matching_ratio_is_symmetric() {
+        let a = [10.0, 30.0, 0.0, 5.0];
+        let b = [20.0, 10.0, 2.0, 5.0];
+        assert!((matching_ratio(&a, &b) - matching_ratio(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(matching_ratio(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn report_bundles_all_metrics() {
+        let r = EnergyReport::compute(&[100.0], &[50.0]);
+        assert_eq!(r.mae, 50.0);
+        assert_eq!(r.rmse, 50.0);
+        assert!((r.matching_ratio - 0.5).abs() < 1e-12);
+    }
+}

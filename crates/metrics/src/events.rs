@@ -1,0 +1,167 @@
+//! Event-level metrics: instead of scoring every timestep independently,
+//! score whole *activations* (maximal ON-runs), as commonly reported in the
+//! NILM literature. A predicted event matches a true event when their
+//! intervals overlap by at least `min_overlap` (Jaccard).
+
+/// A maximal ON-run `[start, end)` in a binary status sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// First ON sample.
+    pub start: usize,
+    /// One past the last ON sample.
+    pub end: usize,
+}
+
+impl Event {
+    /// Number of samples covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the event covers no samples (never produced by extraction).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Jaccard overlap (intersection over union) with another event.
+    pub fn jaccard(&self, other: &Event) -> f64 {
+        let inter_start = self.start.max(other.start);
+        let inter_end = self.end.min(other.end);
+        let inter = inter_end.saturating_sub(inter_start);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Extracts maximal ON-runs from a binary status sequence.
+pub fn extract_events(status: &[u8]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut start = None;
+    for (i, &s) in status.iter().enumerate() {
+        match (s != 0, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s0)) => {
+                events.push(Event { start: s0, end: i });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s0) = start {
+        events.push(Event { start: s0, end: status.len() });
+    }
+    events
+}
+
+/// Event-level precision/recall/F1: greedy one-to-one matching of predicted
+/// events to true events by decreasing Jaccard, counting a match when
+/// overlap >= `min_overlap`.
+pub fn event_f1(pred: &[u8], truth: &[u8], min_overlap: f64) -> (f64, f64, f64) {
+    assert_eq!(pred.len(), truth.len(), "event_f1 length mismatch");
+    let pred_events = extract_events(pred);
+    let true_events = extract_events(truth);
+    if pred_events.is_empty() && true_events.is_empty() {
+        return (1.0, 1.0, 1.0);
+    }
+    // All candidate pairs above the threshold, best overlaps first.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for (pi, p) in pred_events.iter().enumerate() {
+        for (ti, t) in true_events.iter().enumerate() {
+            let j = p.jaccard(t);
+            if j >= min_overlap {
+                pairs.push((pi, ti, j));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_pred = vec![false; pred_events.len()];
+    let mut used_true = vec![false; true_events.len()];
+    let mut matches = 0usize;
+    for (pi, ti, _) in pairs {
+        if !used_pred[pi] && !used_true[ti] {
+            used_pred[pi] = true;
+            used_true[ti] = true;
+            matches += 1;
+        }
+    }
+    let precision = if pred_events.is_empty() { 1.0 } else { matches as f64 / pred_events.len() as f64 };
+    let recall = if true_events.is_empty() { 1.0 } else { matches as f64 / true_events.len() as f64 };
+    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_runs_including_trailing() {
+        let events = extract_events(&[0, 1, 1, 0, 1]);
+        assert_eq!(events, vec![Event { start: 1, end: 3 }, Event { start: 4, end: 5 }]);
+    }
+
+    #[test]
+    fn empty_status_has_no_events() {
+        assert!(extract_events(&[0, 0, 0]).is_empty());
+        assert!(extract_events(&[]).is_empty());
+    }
+
+    #[test]
+    fn jaccard_identity_is_one() {
+        let e = Event { start: 3, end: 9 };
+        assert_eq!(e.jaccard(&e), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_is_zero() {
+        let a = Event { start: 0, end: 2 };
+        let b = Event { start: 5, end: 8 };
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn perfect_event_match() {
+        let s = [0, 1, 1, 0, 0, 1, 0];
+        let (p, r, f1) = event_f1(&s, &s, 0.5);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn shifted_event_fails_strict_overlap() {
+        let truth = [1, 1, 1, 0, 0, 0];
+        let pred = [0, 0, 0, 1, 1, 1];
+        let (_, _, f1) = event_f1(&pred, &truth, 0.3);
+        assert_eq!(f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_with_loose_threshold() {
+        let truth = [1, 1, 1, 1, 0, 0];
+        let pred = [0, 0, 1, 1, 1, 1];
+        // Overlap 2, union 6 -> Jaccard 1/3.
+        let (_, _, strict) = event_f1(&pred, &truth, 0.5);
+        assert_eq!(strict, 0.0);
+        let (_, _, loose) = event_f1(&pred, &truth, 0.3);
+        assert_eq!(loose, 1.0);
+    }
+
+    #[test]
+    fn greedy_matching_is_one_to_one() {
+        // Two predicted events overlap the same true event; only one match.
+        let truth = [1, 1, 1, 1, 1, 1, 0, 0];
+        let pred = [1, 1, 0, 1, 1, 1, 0, 0];
+        let (p, r, _) = event_f1(&pred, &truth, 0.1);
+        assert_eq!(r, 1.0);
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn both_empty_is_perfect() {
+        let (p, r, f1) = event_f1(&[0, 0], &[0, 0], 0.5);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+    }
+}

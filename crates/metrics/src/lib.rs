@@ -1,0 +1,17 @@
+//! # nilm-metrics
+//!
+//! Evaluation metrics used by the CamAL paper (§V-D):
+//!
+//! - **Localization / detection quality**: F1 score (precision, recall) on
+//!   binary status sequences, and Balanced Accuracy for the detection task.
+//! - **Energy estimation quality**: MAE, RMSE, and the Matching Ratio (MR),
+//!   the overlap-based indicator the paper cites as the best disaggregation
+//!   measure: `MR = Σ min(ŷ, y) / Σ max(ŷ, y)`.
+
+pub mod classification;
+pub mod energy;
+pub mod events;
+
+pub use classification::{balanced_accuracy, confusion, f1_score, ClassificationReport, Confusion};
+pub use energy::{mae, matching_ratio, rmse, EnergyReport};
+pub use events::{event_f1, extract_events, Event};

@@ -1,0 +1,118 @@
+//! Registry of the comparison baselines (paper §V-C), so experiment code can
+//! construct any of them uniformly.
+
+use crate::bigru::{BiGruConfig, BiGruModel};
+use crate::crnn::{Crnn, CrnnConfig};
+use crate::tpnilm::{TpNilm, TpNilmConfig};
+use crate::transnilm::{TransNilm, TransNilmConfig};
+use crate::unet::{UnetConfig, UnetNilm};
+use nilm_tensor::layer::Layer;
+use rand::Rng;
+
+/// The six baselines CamAL is compared against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// CRNN trained with strong labels.
+    CrnnStrong,
+    /// CRNN trained with weak labels only (MIL).
+    CrnnWeak,
+    /// BiGRU (conv + bidirectional GRU).
+    BiGru,
+    /// UNet-NILM encoder–decoder.
+    UnetNilm,
+    /// TPNILM temporal pooling network.
+    TpNilm,
+    /// TransNILM transformer.
+    TransNilm,
+}
+
+impl BaselineKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::CrnnStrong => "CRNN",
+            BaselineKind::CrnnWeak => "CRNN Weak",
+            BaselineKind::BiGru => "BiGRU",
+            BaselineKind::UnetNilm => "Unet-NILM",
+            BaselineKind::TpNilm => "TPNILM",
+            BaselineKind::TransNilm => "TransNILM",
+        }
+    }
+
+    /// True when this baseline trains from weak (one-per-window) labels.
+    pub fn is_weakly_supervised(self) -> bool {
+        matches!(self, BaselineKind::CrnnWeak)
+    }
+
+    /// All baselines, in the order the paper lists them.
+    pub fn all() -> &'static [BaselineKind] {
+        &[
+            BaselineKind::CrnnStrong,
+            BaselineKind::CrnnWeak,
+            BaselineKind::BiGru,
+            BaselineKind::UnetNilm,
+            BaselineKind::TpNilm,
+            BaselineKind::TransNilm,
+        ]
+    }
+
+    /// Builds the model at a width divisor (1 = paper scale; larger divisors
+    /// shrink channel counts for laptop-scale experiments).
+    pub fn build(self, rng: &mut impl Rng, width_div: usize) -> Box<dyn Layer> {
+        match self {
+            BaselineKind::CrnnStrong | BaselineKind::CrnnWeak => {
+                let cfg = if width_div <= 1 { CrnnConfig::paper() } else { CrnnConfig::scaled(width_div) };
+                Box::new(Crnn::new(rng, cfg))
+            }
+            BaselineKind::BiGru => {
+                let cfg = if width_div <= 1 { BiGruConfig::paper() } else { BiGruConfig::scaled(width_div) };
+                Box::new(BiGruModel::new(rng, cfg))
+            }
+            BaselineKind::UnetNilm => {
+                let cfg = if width_div <= 1 { UnetConfig::paper() } else { UnetConfig::scaled(width_div) };
+                Box::new(UnetNilm::new(rng, cfg))
+            }
+            BaselineKind::TpNilm => {
+                let cfg = if width_div <= 1 { TpNilmConfig::paper() } else { TpNilmConfig::scaled(width_div) };
+                Box::new(TpNilm::new(rng, cfg))
+            }
+            BaselineKind::TransNilm => {
+                let cfg = if width_div <= 1 { TransNilmConfig::paper() } else { TransNilmConfig::scaled(width_div) };
+                Box::new(TransNilm::new(rng, cfg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::init::{randn_tensor, rng};
+    use nilm_tensor::layer::Mode;
+
+    #[test]
+    fn all_baselines_build_and_run_at_reduced_width() {
+        let mut r = rng(0);
+        let x = randn_tensor(&mut r, &[1, 1, 64], 1.0);
+        for &kind in BaselineKind::all() {
+            let mut model = kind.build(&mut r, 16);
+            let y = model.forward(&x, Mode::Eval);
+            assert_eq!(y.shape(), &[1, 1, 64], "{}", kind.name());
+            assert!(y.all_finite(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn weak_flag_only_for_crnn_weak() {
+        for &kind in BaselineKind::all() {
+            assert_eq!(kind.is_weakly_supervised(), kind == BaselineKind::CrnnWeak);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            BaselineKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), BaselineKind::all().len());
+    }
+}

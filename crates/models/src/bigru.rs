@@ -1,0 +1,93 @@
+//! The BiGRU baseline of Precioso & Gomez-Ullate (paper ref. [28]): a light
+//! convolutional embedding followed by a bidirectional GRU and a dense
+//! per-timestep head (~244K parameters at paper scale, Table II).
+
+use nilm_tensor::prelude::*;
+use rand::Rng;
+
+/// Width configuration for the BiGRU baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct BiGruConfig {
+    /// Channels of the embedding convolution.
+    pub conv_channels: usize,
+    /// Hidden units per GRU direction.
+    pub gru_hidden: usize,
+    /// Width of the intermediate dense layer.
+    pub dense: usize,
+}
+
+impl BiGruConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> Self {
+        BiGruConfig { conv_channels: 32, gru_hidden: 160, dense: 64 }
+    }
+
+    /// Width-reduced configuration for laptop-scale experiments.
+    pub fn scaled(div: usize) -> Self {
+        let d = div.max(1);
+        BiGruConfig {
+            conv_channels: (16 / d).max(4),
+            gru_hidden: (64 / d).max(8),
+            dense: (64 / d).max(8),
+        }
+    }
+}
+
+/// BiGRU sequence-to-sequence model producing `[b, 1, t]` logits.
+pub struct BiGruModel {
+    net: Sequential,
+}
+
+impl BiGruModel {
+    /// Builds the model for univariate input.
+    pub fn new(rng: &mut impl Rng, cfg: BiGruConfig) -> Self {
+        let net = Sequential::new()
+            .push(Conv1d::new(rng, 1, cfg.conv_channels, 4, Padding::Same))
+            .push(ReLU::default())
+            .push(BiGru::new(rng, cfg.conv_channels, cfg.gru_hidden))
+            .push(TimeDistributed::new(rng, 2 * cfg.gru_hidden, cfg.dense))
+            .push(ReLU::default())
+            .push(TimeDistributed::new(rng, cfg.dense, 1));
+        BiGruModel { net }
+    }
+}
+
+impl Layer for BiGruModel {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.net.forward(x, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.net.backward(grad)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::init::{randn_tensor, rng};
+
+    #[test]
+    fn shapes_roundtrip() {
+        let mut r = rng(0);
+        let mut m = BiGruModel::new(&mut r, BiGruConfig::scaled(4));
+        let x = randn_tensor(&mut r, &[2, 1, 20], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 1, 20]);
+        let gx = m.backward(&Tensor::full(&[2, 1, 20], 0.1));
+        assert_eq!(gx.shape(), &[2, 1, 20]);
+    }
+
+    #[test]
+    fn paper_scale_param_count() {
+        let mut r = rng(1);
+        let mut m = BiGruModel::new(&mut r, BiGruConfig::paper());
+        let n = m.num_params();
+        // Table II reports 244K; accept the right order of magnitude.
+        assert!((100_000..400_000).contains(&n), "param count {n}");
+    }
+}

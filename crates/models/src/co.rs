@@ -1,0 +1,168 @@
+//! Combinatorial Optimization (CO) disaggregation — Hart's classic
+//! unsupervised NILM method (paper ref. [1], discussed in §II-A as the
+//! earliest approach). At each timestep, CO picks the subset of a known
+//! appliance-power library whose summed power best explains the aggregate
+//! above an estimated base load. It needs **zero labels**, making it the
+//! natural floor for the label-efficiency comparison of Fig. 5.
+
+use nilm_data::appliance::ApplianceKind;
+
+/// An appliance power library entry: the steady running power assumed by CO.
+#[derive(Clone, Copy, Debug)]
+pub struct LibraryEntry {
+    /// Which appliance.
+    pub kind: ApplianceKind,
+    /// Assumed running power in Watts (Table I average power).
+    pub power_w: f32,
+}
+
+/// The CO disaggregator.
+#[derive(Clone, Debug)]
+pub struct CoDisaggregator {
+    library: Vec<LibraryEntry>,
+    /// Quantile of the window used as the base-load estimate (Hart uses the
+    /// observed minimum; a low quantile is robust to noise).
+    base_quantile: f64,
+}
+
+impl CoDisaggregator {
+    /// Creates a CO disaggregator over an appliance library (max 16 entries;
+    /// subset enumeration is exponential).
+    pub fn new(library: Vec<LibraryEntry>) -> Self {
+        assert!(!library.is_empty(), "empty appliance library");
+        assert!(library.len() <= 16, "library too large for subset enumeration");
+        CoDisaggregator { library, base_quantile: 0.1 }
+    }
+
+    /// A library with one entry per Table-I appliance of the template case.
+    pub fn single(kind: ApplianceKind, power_w: f32) -> Self {
+        Self::new(vec![LibraryEntry { kind, power_w }])
+    }
+
+    /// Low-quantile base-load estimate of a window.
+    fn base_load(&self, window_w: &[f32]) -> f32 {
+        if window_w.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f32> = window_w.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * self.base_quantile).round() as usize;
+        sorted[idx]
+    }
+
+    /// Disaggregates one window: for each timestep, finds the subset of the
+    /// library minimizing `|x(t) - base - Σ subset|` and reports whether
+    /// `target` is in that subset. Subsets only beat the empty set when they
+    /// reduce the residual by at least half the smallest library power
+    /// (otherwise noise would trigger spurious activations).
+    pub fn localize(&self, aggregate_w: &[f32], target: ApplianceKind) -> Vec<u8> {
+        let base = self.base_load(aggregate_w);
+        let n_subsets = 1usize << self.library.len();
+        let min_power = self
+            .library
+            .iter()
+            .map(|e| e.power_w)
+            .fold(f32::INFINITY, f32::min);
+        let margin = min_power * 0.5;
+        let target_bit: Option<usize> =
+            self.library.iter().position(|e| e.kind == target);
+        let Some(target_bit) = target_bit else {
+            return vec![0; aggregate_w.len()];
+        };
+
+        aggregate_w
+            .iter()
+            .map(|&x| {
+                if !x.is_finite() {
+                    return 0;
+                }
+                let residual = (x - base).max(0.0);
+                let mut best_err = residual; // empty subset
+                let mut best_subset = 0usize;
+                for subset in 1..n_subsets {
+                    let sum: f32 = self
+                        .library
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| subset & (1 << i) != 0)
+                        .map(|(_, e)| e.power_w)
+                        .sum();
+                    let err = (residual - sum).abs();
+                    if err + margin < best_err {
+                        best_err = err;
+                        best_subset = subset;
+                    }
+                }
+                ((best_subset >> target_bit) & 1) as u8
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kettle_lib() -> CoDisaggregator {
+        CoDisaggregator::single(ApplianceKind::Kettle, 2000.0)
+    }
+
+    #[test]
+    fn detects_clean_plateau() {
+        let co = kettle_lib();
+        let mut window = vec![150.0f32; 32];
+        for v in window[10..14].iter_mut() {
+            *v = 2150.0;
+        }
+        let status = co.localize(&window, ApplianceKind::Kettle);
+        assert_eq!(&status[10..14], &[1, 1, 1, 1]);
+        assert!(status[..10].iter().all(|&s| s == 0));
+        assert!(status[14..].iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn ignores_small_bumps() {
+        let co = kettle_lib();
+        let mut window = vec![150.0f32; 16];
+        window[5] = 400.0; // far from 2000 W
+        let status = co.localize(&window, ApplianceKind::Kettle);
+        assert!(status.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn multi_appliance_subsets() {
+        let co = CoDisaggregator::new(vec![
+            LibraryEntry { kind: ApplianceKind::Kettle, power_w: 2000.0 },
+            LibraryEntry { kind: ApplianceKind::Microwave, power_w: 1000.0 },
+        ]);
+        // Aggregate shows base + kettle + microwave = 150 + 3000.
+        let window = vec![150.0, 150.0, 3150.0, 3150.0, 1150.0, 150.0];
+        let kettle = co.localize(&window, ApplianceKind::Kettle);
+        let micro = co.localize(&window, ApplianceKind::Microwave);
+        assert_eq!(kettle, vec![0, 0, 1, 1, 0, 0]);
+        assert_eq!(micro, vec![0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn unknown_target_is_all_off() {
+        let co = kettle_lib();
+        let status = co.localize(&[2150.0; 4], ApplianceKind::Shower);
+        assert_eq!(status, vec![0; 4]);
+    }
+
+    #[test]
+    fn nan_samples_are_off() {
+        let co = kettle_lib();
+        let status = co.localize(&[f32::NAN, 2150.0], ApplianceKind::Kettle);
+        assert_eq!(status[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty appliance library")]
+    fn rejects_empty_library() {
+        let _ = CoDisaggregator::new(vec![]);
+    }
+}

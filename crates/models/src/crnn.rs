@@ -1,0 +1,205 @@
+//! The CRNN baseline of Tanoni et al. (paper ref. [5]): convolutional
+//! feature extractor + bidirectional GRU + per-timestep sigmoid head.
+//!
+//! Two training regimes exist (paper §V-C):
+//! - **CRNN (strong)**: per-timestep BCE against the appliance status.
+//! - **CRNN Weak**: Multiple-Instance Learning — the per-timestep logits are
+//!   pooled into one window-level logit (log-sum-exp, a smooth max) and
+//!   trained against the weak label.
+
+use nilm_tensor::prelude::*;
+use rand::Rng;
+
+/// Width configuration for the CRNN.
+#[derive(Clone, Copy, Debug)]
+pub struct CrnnConfig {
+    /// Channels of the three conv blocks.
+    pub conv_channels: [usize; 3],
+    /// Hidden units per GRU direction.
+    pub gru_hidden: usize,
+}
+
+impl CrnnConfig {
+    /// Paper-scale configuration (~1M parameters, Table II).
+    pub fn paper() -> Self {
+        CrnnConfig { conv_channels: [64, 128, 256], gru_hidden: 256 }
+    }
+
+    /// Width-reduced configuration for laptop-scale experiments.
+    pub fn scaled(div: usize) -> Self {
+        let d = div.max(1);
+        CrnnConfig {
+            conv_channels: [(64 / d).max(4), (64 / d).max(4), (128 / d).max(8)],
+            gru_hidden: (128 / d).max(8),
+        }
+    }
+}
+
+/// CRNN producing per-timestep logits `[b, 1, t]`.
+pub struct Crnn {
+    trunk: Sequential,
+    head: TimeDistributed,
+}
+
+impl Crnn {
+    /// Builds the CRNN for univariate input.
+    pub fn new(rng: &mut impl Rng, cfg: CrnnConfig) -> Self {
+        let [c1, c2, c3] = cfg.conv_channels;
+        let trunk = Sequential::new()
+            .push(Conv1d::new(rng, 1, c1, 5, Padding::Same))
+            .push(BatchNorm1d::new(c1))
+            .push(ReLU::default())
+            .push(Conv1d::new(rng, c1, c2, 5, Padding::Same))
+            .push(BatchNorm1d::new(c2))
+            .push(ReLU::default())
+            .push(Conv1d::new(rng, c2, c3, 5, Padding::Same))
+            .push(BatchNorm1d::new(c3))
+            .push(ReLU::default())
+            .push(BiGru::new(rng, c3, cfg.gru_hidden));
+        let head = TimeDistributed::new(rng, 2 * cfg.gru_hidden, 1);
+        Crnn { trunk, head }
+    }
+}
+
+impl Layer for Crnn {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let h = self.trunk.forward(x, mode);
+        self.head.forward(&h, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.head.backward(grad);
+        self.trunk.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.trunk.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+/// Log-sum-exp pooling `[b, 1, t] -> [b, 1]`: a smooth maximum over time.
+/// With sharpness `r`, `pool = (1/r) * log(mean_t exp(r * z_t))`; `r = 1`
+/// recovers the standard LSE-mean and larger `r` approaches hard max.
+pub struct LsePool {
+    r: f32,
+    /// Softmax-like weights cached for backward: `[b, t]`.
+    weights: Option<Tensor>,
+}
+
+impl LsePool {
+    /// Creates a pool with sharpness `r > 0`.
+    pub fn new(r: f32) -> Self {
+        assert!(r > 0.0);
+        LsePool { r, weights: None }
+    }
+}
+
+impl Layer for LsePool {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (b, c, t) = x.dims3();
+        assert_eq!(c, 1, "LsePool expects single-channel logits");
+        let mut out = Tensor::zeros(&[b, 1]);
+        let mut weights = Tensor::zeros(&[b, t]);
+        for bi in 0..b {
+            let row = x.row(bi, 0);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for &v in row {
+                sum += ((v - m) * self.r).exp();
+            }
+            // pool = m + (1/r) ln(sum / t)
+            *out.at2_mut(bi, 0) = m + (sum / t as f32).ln() / self.r;
+            // d pool / d z_i = exp(r (z_i - m)) / sum
+            let wr = &mut weights.data_mut()[bi * t..(bi + 1) * t];
+            for (w, &v) in wr.iter_mut().zip(row) {
+                *w = ((v - m) * self.r).exp() / sum;
+            }
+        }
+        self.weights = Some(weights);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let weights = self.weights.as_ref().expect("LsePool backward before forward");
+        let (b, t) = weights.dims2();
+        let mut dx = Tensor::zeros(&[b, 1, t]);
+        for bi in 0..b {
+            let g = grad.at2(bi, 0);
+            let wr = &weights.data()[bi * t..(bi + 1) * t];
+            let dxr = dx.row_mut(bi, 0);
+            for (d, &w) in dxr.iter_mut().zip(wr) {
+                *d = g * w;
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::gradcheck::assert_grads_close;
+    use nilm_tensor::init::{randn_tensor, rng, uniform_tensor};
+
+    fn tiny() -> CrnnConfig {
+        CrnnConfig { conv_channels: [4, 4, 8], gru_hidden: 4 }
+    }
+
+    #[test]
+    fn crnn_shapes() {
+        let mut r = rng(0);
+        let mut m = Crnn::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[2, 1, 16], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 1, 16]);
+        let gx = m.backward(&Tensor::full(&[2, 1, 16], 0.1));
+        assert_eq!(gx.shape(), &[2, 1, 16]);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn lse_pool_bounds_max() {
+        // LSE-mean is <= max and >= mean.
+        let mut pool = LsePool::new(1.0);
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 1, 4]);
+        let y = pool.forward(&x, Mode::Eval);
+        let v = y.at2(0, 0);
+        assert!(v <= 3.0 && v >= 1.5, "{v}");
+    }
+
+    #[test]
+    fn lse_pool_sharp_approaches_max() {
+        let mut pool = LsePool::new(20.0);
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 1, 4]);
+        let y = pool.forward(&x, Mode::Eval);
+        assert!((y.at2(0, 0) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lse_pool_gradients() {
+        let mut r = rng(1);
+        let mut pool = LsePool::new(2.0);
+        let x = randn_tensor(&mut r, &[2, 1, 6], 1.0);
+        let mask = uniform_tensor(&mut r, &[2, 1], -1.0, 1.0);
+        assert_grads_close(&mut pool, &x, &mask, 1e-2, 2e-2, Mode::Eval);
+    }
+
+    #[test]
+    fn lse_pool_weights_sum_to_one() {
+        let mut pool = LsePool::new(3.0);
+        let x = Tensor::from_vec(vec![-1.0, 4.0, 0.5], &[1, 1, 3]);
+        let _ = pool.forward(&x, Mode::Eval);
+        let g = pool.backward(&Tensor::full(&[1, 1], 1.0));
+        let s: f32 = g.data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn paper_config_is_around_a_million_params() {
+        let mut r = rng(2);
+        let mut m = Crnn::new(&mut r, CrnnConfig::paper());
+        let n = m.num_params();
+        assert!((500_000..1_600_000).contains(&n), "param count {n}");
+    }
+}

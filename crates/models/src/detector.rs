@@ -1,0 +1,132 @@
+//! The [`Detector`] abstraction: a binary time-series classifier whose
+//! architecture ends in global average pooling followed by a linear head —
+//! exactly the shape that makes Class Activation Maps available
+//! (Definition II.1). CamAL's ensemble is generic over this trait, which
+//! lets the backbone ablation swap the paper's ResNet for InceptionTime.
+
+use crate::inception::{InceptionConfig, InceptionTime};
+use crate::resnet::{ResNet, ResNetConfig};
+use nilm_tensor::layer::{Layer, Mode};
+use nilm_tensor::tensor::Tensor;
+use rand::Rng;
+
+/// A CAM-capable classifier: conv trunk → GAP → linear.
+pub trait Detector: Layer {
+    /// Runs the trunk and returns `(features, logits)`, caching the features
+    /// for [`Detector::cam`].
+    fn forward_features(&mut self, x: &Tensor, mode: Mode) -> (Tensor, Tensor);
+
+    /// Class Activation Map `[b, t]` for `class`, from the cached features.
+    fn cam(&self, class: usize) -> Tensor;
+
+    /// The classifier-head weight matrix `[num_classes, channels]`.
+    fn head_weights(&self) -> &Tensor;
+
+    /// Class probabilities `[b, num_classes]` via softmax.
+    fn predict_proba(&mut self, x: &Tensor) -> Tensor {
+        let (_, logits) = self.forward_features(x, Mode::Eval);
+        nilm_tensor::activation::softmax_rows(&logits)
+    }
+}
+
+/// The detector architecture used by the CamAL ensemble.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backbone {
+    /// The paper's choice (Fig. 4).
+    ResNet,
+    /// Multi-scale InceptionTime (paper §IV-A discusses it as the deeper
+    /// general-purpose alternative) — used by the backbone ablation.
+    InceptionTime,
+}
+
+/// Builds a detector of the chosen backbone. For ResNet, `kernel` is k_p;
+/// for InceptionTime it seeds the multi-scale kernel set
+/// `{k, 2k+1, 4k+1}`, preserving CamAL's receptive-field diversity.
+pub fn build_detector(
+    rng: &mut impl Rng,
+    backbone: Backbone,
+    kernel: usize,
+    width_div: usize,
+) -> Box<dyn Detector> {
+    match backbone {
+        Backbone::ResNet => {
+            let cfg = if width_div <= 1 {
+                ResNetConfig::paper(kernel)
+            } else {
+                ResNetConfig::scaled(kernel, width_div)
+            };
+            Box::new(ResNet::new(rng, cfg))
+        }
+        Backbone::InceptionTime => {
+            let mut cfg = if width_div <= 1 {
+                InceptionConfig::paper()
+            } else {
+                InceptionConfig::scaled(width_div)
+            };
+            cfg.kernels = [kernel, 2 * kernel + 1, 4 * kernel + 1];
+            Box::new(InceptionTime::new(rng, cfg))
+        }
+    }
+}
+
+/// Computes a CAM from cached features and head weights (shared by all
+/// GAP-linear detectors): `CAM_c(t) = Σ_k w_ck f_k(t)`.
+pub fn cam_from_features(features: &Tensor, head_weights: &Tensor, class: usize) -> Tensor {
+    let (b, c, t) = features.dims3();
+    assert!(class < head_weights.dims2().0, "class {class} out of range");
+    assert_eq!(head_weights.dims2().1, c, "head width mismatch");
+    let mut out = Tensor::zeros(&[b, t]);
+    for bi in 0..b {
+        for ci in 0..c {
+            let wv = head_weights.at2(class, ci);
+            if wv == 0.0 {
+                continue;
+            }
+            let row = features.row(bi, ci);
+            let or = &mut out.data_mut()[bi * t..(bi + 1) * t];
+            for (o, &f) in or.iter_mut().zip(row) {
+                *o += wv * f;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::init::{randn_tensor, rng};
+
+    #[test]
+    fn both_backbones_build_and_expose_cams() {
+        let mut r = rng(0);
+        let x = randn_tensor(&mut r, &[1, 1, 32], 1.0);
+        for backbone in [Backbone::ResNet, Backbone::InceptionTime] {
+            let mut det = build_detector(&mut r, backbone, 5, 16);
+            let (features, logits) = det.forward_features(&x, Mode::Eval);
+            assert_eq!(logits.shape(), &[1, 2], "{backbone:?}");
+            assert_eq!(features.dims3().2, 32, "{backbone:?}");
+            let cam = det.cam(1);
+            assert_eq!(cam.shape(), &[1, 32], "{backbone:?}");
+            let p = det.predict_proba(&x);
+            assert!((p.at2(0, 0) + p.at2(0, 1) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cam_from_features_is_weighted_sum() {
+        // features: 2 channels over 3 timesteps; w[1] = [2, -1].
+        let features = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 2, 3]);
+        let w = Tensor::from_vec(vec![0.0, 0.0, 2.0, -1.0], &[2, 2]);
+        let cam = cam_from_features(&features, &w, 1);
+        assert_eq!(cam.data(), &[2.0 - 4.0, 4.0 - 5.0, 6.0 - 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cam_rejects_bad_class() {
+        let features = Tensor::zeros(&[1, 2, 3]);
+        let w = Tensor::zeros(&[2, 2]);
+        let _ = cam_from_features(&features, &w, 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # nilm-models
+//!
+//! The NILM model zoo of the CamAL paper: the CamAL [`resnet::ResNet`]
+//! detector (with CAM support), and the six comparison baselines of §V-C —
+//! CRNN (strong and weak/MIL), BiGRU, UNet-NILM, TPNILM and TransNILM — all
+//! producing per-timestep activation logits on `[batch, 1, time]` input,
+//! plus the shared training loops (strong, weak-MIL, and soft-label).
+
+pub mod baselines;
+pub mod bigru;
+pub mod co;
+pub mod crnn;
+pub mod detector;
+pub mod inception;
+pub mod resnet;
+pub mod tpnilm;
+pub mod train;
+pub mod transnilm;
+pub mod unet;
+pub(crate) mod unet_util;
+
+pub use baselines::BaselineKind;
+pub use co::{CoDisaggregator, LibraryEntry};
+pub use detector::{build_detector, cam_from_features, Backbone, Detector};
+pub use inception::{InceptionConfig, InceptionTime};
+pub use resnet::{ResNet, ResNetConfig};
+pub use train::{
+    predict_proba_frames, proba_to_status, train_soft, train_strong, train_weak_mil, TrainConfig,
+    TrainStats,
+};

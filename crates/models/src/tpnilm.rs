@@ -1,0 +1,229 @@
+//! TPNILM (Massidda et al., paper ref. [26]): a convolutional encoder
+//! followed by a *temporal pooling* module — parallel average poolings at
+//! multiple scales, projected by 1x1 convolutions and upsampled back — whose
+//! outputs are concatenated with the encoder features and decoded into
+//! per-timestep logits.
+
+use crate::unet_util::{concat_channels, match_len, match_len_backward, split_channels};
+use nilm_tensor::prelude::*;
+use rand::Rng;
+
+/// Width configuration for TPNILM.
+#[derive(Clone, Copy, Debug)]
+pub struct TpNilmConfig {
+    /// Channels of the two encoder stages.
+    pub enc_channels: [usize; 2],
+    /// Channels of each temporal-pooling branch projection.
+    pub pool_channels: usize,
+    /// Temporal pooling scales (window sizes on the encoded sequence).
+    pub scales: [usize; 4],
+}
+
+impl TpNilmConfig {
+    /// Paper-scale configuration (Table II reports ~328K parameters).
+    pub fn paper() -> Self {
+        TpNilmConfig { enc_channels: [64, 128], pool_channels: 32, scales: [2, 4, 8, 16] }
+    }
+
+    /// Width-reduced configuration for laptop-scale experiments.
+    pub fn scaled(div: usize) -> Self {
+        let d = div.max(1);
+        TpNilmConfig {
+            enc_channels: [(64 / d).max(4), (128 / d).max(8)],
+            pool_channels: (32 / d).max(4),
+            scales: [2, 4, 8, 16],
+        }
+    }
+}
+
+/// One temporal-pooling branch: AvgPool(s) → 1x1 conv → ReLU → Upsample(s),
+/// length-matched back to the encoder sequence length.
+struct PoolBranch {
+    pool: AvgPool1d,
+    proj: Conv1d,
+    relu: ReLU,
+    up: Upsample1d,
+    /// Encoder-sequence length fed into this branch (match target).
+    src_len: usize,
+    /// Length after upsampling, before match_len.
+    up_len: usize,
+}
+
+impl PoolBranch {
+    fn new(rng: &mut impl Rng, scale: usize, in_c: usize, out_c: usize) -> Self {
+        PoolBranch {
+            pool: AvgPool1d::new(scale),
+            proj: Conv1d::new(rng, in_c, out_c, 1, Padding::Same),
+            relu: ReLU::default(),
+            up: Upsample1d::new(scale, UpsampleMode::Nearest),
+            src_len: 0,
+            up_len: 0,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.src_len = x.dims3().2;
+        let p = self.pool.forward(x, mode);
+        let p = self.proj.forward(&p, mode);
+        let p = self.relu.forward(&p, mode);
+        let up = self.up.forward(&p, mode);
+        self.up_len = up.dims3().2;
+        match_len(&up, self.src_len)
+    }
+
+    fn backward(&mut self, g: &Tensor) -> Tensor {
+        let g = match_len_backward(g, self.up_len);
+        let g = self.up.backward(&g);
+        let g = self.relu.backward(&g);
+        let g = self.proj.backward(&g);
+        self.pool.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.proj.visit_params(f);
+    }
+}
+
+/// TPNILM producing `[b, 1, t]` per-timestep logits.
+pub struct TpNilm {
+    enc: Sequential,
+    branches: Vec<PoolBranch>,
+    enc_out_c: usize,
+    pool_channels: usize,
+    decoder: Sequential,
+    up_final: Upsample1d,
+    head: TimeDistributed,
+    input_len: usize,
+    up_final_len: usize,
+}
+
+impl TpNilm {
+    /// Builds TPNILM for univariate input. Inputs shorter than 64 samples
+    /// are rejected (the deepest pooling scale needs them).
+    pub fn new(rng: &mut impl Rng, cfg: TpNilmConfig) -> Self {
+        let [c1, c2] = cfg.enc_channels;
+        let enc = Sequential::new()
+            .push(Conv1d::new(rng, 1, c1, 3, Padding::Same))
+            .push(BatchNorm1d::new(c1))
+            .push(ReLU::default())
+            .push(MaxPool1d::new(2))
+            .push(Conv1d::new(rng, c1, c2, 3, Padding::Same))
+            .push(BatchNorm1d::new(c2))
+            .push(ReLU::default())
+            .push(MaxPool1d::new(2));
+        let branches = cfg
+            .scales
+            .iter()
+            .map(|&s| PoolBranch::new(rng, s, c2, cfg.pool_channels))
+            .collect::<Vec<_>>();
+        let cat_c = c2 + cfg.scales.len() * cfg.pool_channels;
+        let decoder = Sequential::new()
+            .push(Conv1d::new(rng, cat_c, c2, 1, Padding::Same))
+            .push(ReLU::default());
+        TpNilm {
+            enc,
+            branches,
+            enc_out_c: c2,
+            pool_channels: cfg.pool_channels,
+            decoder,
+            up_final: Upsample1d::new(4, UpsampleMode::Linear),
+            head: TimeDistributed::new(rng, c2, 1),
+            input_len: 0,
+            up_final_len: 0,
+        }
+    }
+}
+
+impl Layer for TpNilm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.input_len = x.dims3().2;
+        let f = self.enc.forward(x, mode);
+        let mut cat = f.clone();
+        for br in &mut self.branches {
+            let b = br.forward(&f, mode);
+            cat = concat_channels(&cat, &b);
+        }
+        let d = self.decoder.forward(&cat, mode);
+        let up = self.up_final.forward(&d, mode);
+        self.up_final_len = up.dims3().2;
+        let up = match_len(&up, self.input_len);
+        self.head.forward(&up, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.head.backward(grad);
+        let g = match_len_backward(&g, self.up_final_len);
+        let g = self.up_final.backward(&g);
+        let g = self.decoder.backward(&g);
+        // Split the concatenation gradient: encoder features first, then one
+        // block of pool_channels per branch, in forward order.
+        let (mut g_f, mut rest) = split_channels(&g, self.enc_out_c);
+        for br in &mut self.branches {
+            let (g_br, tail) = split_channels(&rest, self.pool_channels);
+            g_f.add_assign(&br.backward(&g_br));
+            rest = tail;
+        }
+        assert_eq!(rest.dims3().1, 0, "unconsumed concat channels");
+        self.enc.backward(&g_f)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.enc.visit_params(f);
+        for br in &mut self.branches {
+            br.visit_params(f);
+        }
+        self.decoder.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::init::{randn_tensor, rng};
+
+    fn tiny() -> TpNilmConfig {
+        TpNilmConfig { enc_channels: [4, 8], pool_channels: 4, scales: [2, 4, 8, 16] }
+    }
+
+    #[test]
+    fn shapes_preserved() {
+        let mut r = rng(0);
+        let mut m = TpNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[2, 1, 128], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 1, 128]);
+    }
+
+    #[test]
+    fn odd_length_input_survives() {
+        let mut r = rng(3);
+        let mut m = TpNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[1, 1, 130], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 130]);
+        let gx = m.backward(&Tensor::full(&[1, 1, 130], 0.1));
+        assert_eq!(gx.shape(), &[1, 1, 130]);
+    }
+
+    #[test]
+    fn backward_runs() {
+        let mut r = rng(1);
+        let mut m = TpNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[1, 1, 128], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        let (_, g) = nilm_tensor::loss::bce_with_logits(&y, &Tensor::zeros(&[1, 1, 128]));
+        let gx = m.backward(&g);
+        assert_eq!(gx.shape(), &[1, 1, 128]);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn paper_scale_param_count() {
+        let mut r = rng(2);
+        let mut m = TpNilm::new(&mut r, TpNilmConfig::paper());
+        let n = m.num_params();
+        // Table II reports 328K; accept the right order of magnitude.
+        assert!((50_000..600_000).contains(&n), "param count {n}");
+    }
+}

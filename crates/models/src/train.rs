@@ -1,0 +1,272 @@
+//! Training loops shared by all baselines: strongly supervised (per-timestep
+//! BCE), weakly supervised MIL (window-level BCE through LSE pooling), and
+//! soft-label training (targets in `[0,1]`, RQ5).
+
+use crate::crnn::LsePool;
+use nilm_data::windows::WindowSet;
+use nilm_tensor::layer::{Layer, Mode};
+use nilm_tensor::loss::bce_with_logits;
+use nilm_tensor::optim::{clip_grad_norm, Adam};
+use nilm_tensor::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Hyper-parameters for the training loops.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-norm clip (recurrent nets need it); 0 disables.
+    pub clip: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 5, batch_size: 16, lr: 1e-3, clip: 5.0, seed: 7 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_secs: Vec<f64>,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+}
+
+impl TrainStats {
+    /// Final epoch loss (infinity when no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::INFINITY)
+    }
+
+    /// Mean seconds per epoch.
+    pub fn secs_per_epoch(&self) -> f64 {
+        if self.epoch_secs.is_empty() {
+            0.0
+        } else {
+            self.epoch_secs.iter().sum::<f64>() / self.epoch_secs.len() as f64
+        }
+    }
+}
+
+fn run_epochs(
+    cfg: &TrainConfig,
+    data: &WindowSet,
+    mut step: impl FnMut(&[usize]) -> f32,
+) -> TrainStats {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stats = TrainStats::default();
+    let start = Instant::now();
+    for _ in 0..cfg.epochs {
+        let epoch_start = Instant::now();
+        let order = data.shuffled_indices(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            loss_sum += step(chunk) as f64;
+            batches += 1;
+        }
+        stats.epoch_losses.push(if batches == 0 { 0.0 } else { (loss_sum / batches as f64) as f32 });
+        stats.epoch_secs.push(epoch_start.elapsed().as_secs_f64());
+    }
+    stats.total_secs = start.elapsed().as_secs_f64();
+    stats
+}
+
+/// Trains a sequence-to-sequence model with per-timestep BCE against the
+/// strong (per-timestep) labels. Each window contributes `window_len` labels.
+pub fn train_strong(model: &mut dyn Layer, data: &WindowSet, cfg: &TrainConfig) -> TrainStats {
+    let mut opt = Adam::new(cfg.lr);
+    run_epochs(cfg, data, |chunk| {
+        let x = data.batch_inputs(chunk);
+        let y = data.batch_strong_labels(chunk);
+        model.zero_grad();
+        let logits = model.forward(&x, Mode::Train);
+        let (loss, grad) = bce_with_logits(&logits, &y);
+        model.backward(&grad);
+        if cfg.clip > 0.0 {
+            clip_grad_norm(model, cfg.clip);
+        }
+        opt.step(model);
+        loss
+    })
+}
+
+/// Trains a sequence-to-sequence model on *soft* per-timestep targets in
+/// `[0, 1]` (CamAL-generated labels, RQ5 / Fig. 10).
+pub fn train_soft(
+    model: &mut dyn Layer,
+    data: &WindowSet,
+    soft_targets: &[Vec<f32>],
+    cfg: &TrainConfig,
+) -> TrainStats {
+    assert_eq!(soft_targets.len(), data.len(), "one soft target per window required");
+    let w = data.window_len();
+    let mut opt = Adam::new(cfg.lr);
+    run_epochs(cfg, data, |chunk| {
+        let x = data.batch_inputs(chunk);
+        let mut target = Tensor::zeros(&[chunk.len(), 1, w]);
+        for (bi, &i) in chunk.iter().enumerate() {
+            assert_eq!(soft_targets[i].len(), w, "soft target {i} length mismatch");
+            target.data_mut()[bi * w..(bi + 1) * w].copy_from_slice(&soft_targets[i]);
+        }
+        model.zero_grad();
+        let logits = model.forward(&x, Mode::Train);
+        let (loss, grad) = bce_with_logits(&logits, &target);
+        model.backward(&grad);
+        if cfg.clip > 0.0 {
+            clip_grad_norm(model, cfg.clip);
+        }
+        opt.step(model);
+        loss
+    })
+}
+
+/// Trains a sequence-to-sequence model in the Multiple-Instance-Learning
+/// regime: frame logits are pooled by log-sum-exp into one window logit and
+/// matched against the weak (one-per-window) label. This is CRNN Weak.
+pub fn train_weak_mil(model: &mut dyn Layer, data: &WindowSet, cfg: &TrainConfig) -> TrainStats {
+    let mut opt = Adam::new(cfg.lr);
+    let mut pool = LsePool::new(4.0);
+    run_epochs(cfg, data, |chunk| {
+        let x = data.batch_inputs(chunk);
+        let y = data.batch_weak_targets(chunk);
+        model.zero_grad();
+        let frame_logits = model.forward(&x, Mode::Train);
+        let window_logits = pool.forward(&frame_logits, Mode::Train);
+        let (loss, grad) = bce_with_logits(&window_logits, &y);
+        let g_frames = pool.backward(&grad);
+        model.backward(&g_frames);
+        if cfg.clip > 0.0 {
+            clip_grad_norm(model, cfg.clip);
+        }
+        opt.step(model);
+        loss
+    })
+}
+
+/// Runs the model in eval mode and returns per-timestep probabilities
+/// (sigmoid of logits) for every window, in order.
+pub fn predict_proba_frames(model: &mut dyn Layer, data: &WindowSet, batch: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::with_capacity(data.len());
+    let indices: Vec<usize> = (0..data.len()).collect();
+    for chunk in indices.chunks(batch.max(1)) {
+        let x = data.batch_inputs(chunk);
+        let logits = model.forward(&x, Mode::Eval);
+        let (b, _, t) = logits.dims3();
+        for bi in 0..b {
+            out.push(
+                logits.row(bi, 0).iter().map(|&v| nilm_tensor::activation::sigmoid(v)).collect(),
+            );
+        }
+        debug_assert_eq!(b, chunk.len());
+        let _ = t;
+    }
+    out
+}
+
+/// Thresholds frame probabilities at 0.5 into binary status.
+pub fn proba_to_status(proba: &[f32]) -> Vec<u8> {
+    proba.iter().map(|&p| (p >= 0.5) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigru::{BiGruConfig, BiGruModel};
+    use crate::crnn::{Crnn, CrnnConfig};
+    use nilm_data::preprocess::Window;
+    use nilm_tensor::init::rng;
+
+    /// A trivially learnable dataset: appliance ON exactly when the input is
+    /// high.
+    fn toy_data(n: usize, w: usize) -> WindowSet {
+        let mut r = rng(5);
+        let mut windows = Vec::new();
+        for i in 0..n {
+            let on = i % 2 == 0;
+            let mut input = vec![0.1f32; w];
+            let mut status = vec![0u8; w];
+            if on {
+                let start = w / 4 + (i % 3);
+                for t in start..start + w / 4 {
+                    input[t] = 2.0 + nilm_tensor::init::randn(&mut r) * 0.05;
+                    status[t] = 1;
+                }
+            }
+            windows.push(Window {
+                input: input.clone(),
+                aggregate_w: input.iter().map(|v| v * 1000.0).collect(),
+                status,
+                appliance_w: vec![0.0; w],
+                weak_label: on as u8,
+                house_id: i,
+            });
+        }
+        WindowSet::new(windows)
+    }
+
+    #[test]
+    fn strong_training_reduces_loss() {
+        let mut r = rng(0);
+        let mut model = BiGruModel::new(&mut r, BiGruConfig::scaled(8));
+        let data = toy_data(16, 32);
+        let cfg = TrainConfig { epochs: 4, batch_size: 8, ..Default::default() };
+        let stats = train_strong(&mut model, &data, &cfg);
+        assert_eq!(stats.epoch_losses.len(), 4);
+        assert!(
+            stats.final_loss() < stats.epoch_losses[0],
+            "loss did not decrease: {:?}",
+            stats.epoch_losses
+        );
+    }
+
+    #[test]
+    fn weak_mil_training_reduces_loss() {
+        let mut r = rng(1);
+        let mut model = Crnn::new(&mut r, CrnnConfig::scaled(8));
+        let data = toy_data(16, 32);
+        let cfg = TrainConfig { epochs: 4, batch_size: 8, ..Default::default() };
+        let stats = train_weak_mil(&mut model, &data, &cfg);
+        assert!(stats.final_loss() < stats.epoch_losses[0]);
+    }
+
+    #[test]
+    fn soft_training_accepts_probabilities() {
+        let mut r = rng(2);
+        let mut model = BiGruModel::new(&mut r, BiGruConfig::scaled(8));
+        let data = toy_data(8, 16);
+        let soft: Vec<Vec<f32>> =
+            data.windows.iter().map(|w| w.status.iter().map(|&s| 0.2 + 0.6 * s as f32).collect()).collect();
+        let cfg = TrainConfig { epochs: 2, batch_size: 4, ..Default::default() };
+        let stats = train_soft(&mut model, &data, &soft, &cfg);
+        assert!(stats.final_loss().is_finite());
+    }
+
+    #[test]
+    fn predictions_have_window_length() {
+        let mut r = rng(3);
+        let mut model = BiGruModel::new(&mut r, BiGruConfig::scaled(8));
+        let data = toy_data(6, 16);
+        let probs = predict_proba_frames(&mut model, &data, 4);
+        assert_eq!(probs.len(), 6);
+        assert!(probs.iter().all(|p| p.len() == 16));
+        assert!(probs.iter().flatten().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn status_thresholding() {
+        assert_eq!(proba_to_status(&[0.1, 0.5, 0.9]), vec![0, 1, 1]);
+    }
+}

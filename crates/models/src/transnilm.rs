@@ -1,0 +1,155 @@
+//! TransNILM (Cheng et al., paper ref. [31]): a transformer-based extension
+//! of the temporal-pooling architecture. A convolutional embedding
+//! downsamples the sequence, sinusoidal positions are added, transformer
+//! encoder blocks mix information globally, and a temporal-pooling decoder
+//! restores per-timestep logits.
+
+use crate::unet_util::{match_len, match_len_backward};
+use nilm_tensor::prelude::*;
+use rand::Rng;
+
+/// Width configuration for TransNILM.
+#[derive(Clone, Copy, Debug)]
+pub struct TransNilmConfig {
+    /// Model (embedding) width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Number of transformer encoder blocks.
+    pub layers: usize,
+    /// Temporal downsampling factor before attention (keeps O(t²) in check).
+    pub downsample: usize,
+}
+
+impl TransNilmConfig {
+    /// Paper-scale configuration (Table II reports TransNILM as by far the
+    /// largest baseline; ours preserves that ordering).
+    pub fn paper() -> Self {
+        TransNilmConfig { d_model: 256, heads: 8, d_ff: 1024, layers: 3, downsample: 4 }
+    }
+
+    /// Width-reduced configuration for laptop-scale experiments.
+    pub fn scaled(div: usize) -> Self {
+        let d = div.max(1);
+        TransNilmConfig {
+            d_model: (256 / d).max(8),
+            heads: if 256 / d >= 32 { 4 } else { 2 },
+            d_ff: (1024 / d).max(16),
+            layers: 2,
+            downsample: 4,
+        }
+    }
+}
+
+/// TransNILM producing `[b, 1, t]` per-timestep logits.
+pub struct TransNilm {
+    embed: Sequential,
+    pe: PositionalEncoding,
+    blocks: Vec<TransformerEncoderLayer>,
+    up: Upsample1d,
+    head: TimeDistributed,
+    input_len: usize,
+    up_len: usize,
+}
+
+impl TransNilm {
+    /// Builds TransNILM for univariate input.
+    pub fn new(rng: &mut impl Rng, cfg: TransNilmConfig) -> Self {
+        assert!(cfg.d_model % cfg.heads == 0, "d_model must divide heads");
+        let embed = Sequential::new()
+            .push(Conv1d::new(rng, 1, cfg.d_model, 3, Padding::Same))
+            .push(ReLU::default())
+            .push(MaxPool1d::new(cfg.downsample));
+        let blocks = (0..cfg.layers)
+            .map(|_| TransformerEncoderLayer::new(rng, cfg.d_model, cfg.heads, cfg.d_ff))
+            .collect();
+        TransNilm {
+            embed,
+            pe: PositionalEncoding,
+            blocks,
+            up: Upsample1d::new(cfg.downsample, UpsampleMode::Linear),
+            head: TimeDistributed::new(rng, cfg.d_model, 1),
+            input_len: 0,
+            up_len: 0,
+        }
+    }
+}
+
+impl Layer for TransNilm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.input_len = x.dims3().2;
+        let mut h = self.embed.forward(x, mode);
+        h = self.pe.forward(&h, mode);
+        for block in &mut self.blocks {
+            h = block.forward(&h, mode);
+        }
+        let up = self.up.forward(&h, mode);
+        self.up_len = up.dims3().2;
+        let up = match_len(&up, self.input_len);
+        self.head.forward(&up, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.head.backward(grad);
+        let g = match_len_backward(&g, self.up_len);
+        let mut g = self.up.backward(&g);
+        for block in self.blocks.iter_mut().rev() {
+            g = block.backward(&g);
+        }
+        let g = self.pe.backward(&g);
+        self.embed.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.embed.visit_params(f);
+        for block in &mut self.blocks {
+            block.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::init::{randn_tensor, rng};
+
+    fn tiny() -> TransNilmConfig {
+        TransNilmConfig { d_model: 8, heads: 2, d_ff: 16, layers: 1, downsample: 4 }
+    }
+
+    #[test]
+    fn shapes_preserved() {
+        let mut r = rng(0);
+        let mut m = TransNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[2, 1, 32], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 1, 32]);
+    }
+
+    #[test]
+    fn non_multiple_length_survives() {
+        let mut r = rng(1);
+        let mut m = TransNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[1, 1, 34], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 34]);
+        let gx = m.backward(&Tensor::full(&[1, 1, 34], 0.1));
+        assert_eq!(gx.shape(), &[1, 1, 34]);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn is_the_largest_paper_baseline() {
+        // Table II ordering: TransNILM ≫ the others.
+        let mut r = rng(2);
+        let mut trans = TransNilm::new(&mut r, TransNilmConfig::paper());
+        let mut unet = crate::unet::UnetNilm::new(&mut r, crate::unet::UnetConfig::paper());
+        let mut crnn = crate::crnn::Crnn::new(&mut r, crate::crnn::CrnnConfig::paper());
+        let nt = trans.num_params();
+        assert!(nt > unet.num_params());
+        assert!(nt > crnn.num_params());
+    }
+}

@@ -1,0 +1,209 @@
+//! UNet-NILM (paper refs. [25]/[27]): a 1-D encoder–decoder with skip
+//! connections adapted for appliance state detection. Skips are concatenated
+//! along the channel axis; odd-length levels are handled by right-padding
+//! the upsampled signal with its last value.
+
+use crate::unet_util::{concat_channels, match_len, match_len_backward, split_channels};
+use nilm_tensor::prelude::*;
+use rand::Rng;
+
+/// Width configuration for UNet-NILM.
+#[derive(Clone, Copy, Debug)]
+pub struct UnetConfig {
+    /// Channels of the three encoder levels.
+    pub channels: [usize; 3],
+    /// Convolution kernel size.
+    pub kernel: usize,
+}
+
+impl UnetConfig {
+    /// Paper-scale configuration (Table II reports ~3.2M parameters).
+    pub fn paper() -> Self {
+        UnetConfig { channels: [64, 128, 256], kernel: 5 }
+    }
+
+    /// Width-reduced configuration for laptop-scale experiments.
+    pub fn scaled(div: usize) -> Self {
+        let d = div.max(1);
+        UnetConfig {
+            channels: [(64 / d).max(4), (128 / d).max(8), (256 / d).max(8)],
+            kernel: 5,
+        }
+    }
+}
+
+/// UNet-NILM producing `[b, 1, t]` per-timestep logits.
+pub struct UnetNilm {
+    enc: Vec<Sequential>,
+    pools: Vec<MaxPool1d>,
+    bottleneck: Sequential,
+    ups: Vec<Upsample1d>,
+    dec: Vec<Sequential>,
+    head: TimeDistributed,
+    channels: [usize; 3],
+    // Forward caches for backward.
+    skip_lens: Vec<usize>,
+    up_src_lens: Vec<usize>,
+}
+
+impl UnetNilm {
+    /// Builds the UNet for univariate input.
+    pub fn new(rng: &mut impl Rng, cfg: UnetConfig) -> Self {
+        let [c1, c2, c3] = cfg.channels;
+        let k = cfg.kernel;
+        let block = |rng: &mut dyn FnMut(usize, usize) -> Sequential, i: usize, o: usize| rng(i, o);
+        let mut mk = |i: usize, o: usize| {
+            Sequential::new()
+                .push(Conv1d::new(rng, i, o, k, Padding::Same))
+                .push(BatchNorm1d::new(o))
+                .push(ReLU::default())
+        };
+        let enc = vec![block(&mut mk, 1, c1), block(&mut mk, c1, c2), block(&mut mk, c2, c3)];
+        let bottleneck = block(&mut mk, c3, c3);
+        // Decoder blocks consume [up ; skip] concatenations.
+        let dec = vec![
+            block(&mut mk, c2 + c1, c1), // level 0 (outermost)
+            block(&mut mk, c3 + c2, c2), // level 1
+            block(&mut mk, c3 + c3, c3), // level 2 (innermost)
+        ];
+        let head = TimeDistributed::new(rng, c1, 1);
+        UnetNilm {
+            enc,
+            pools: (0..3).map(|_| MaxPool1d::new(2)).collect(),
+            bottleneck,
+            ups: (0..3).map(|_| Upsample1d::new(2, UpsampleMode::Linear)).collect(),
+            dec,
+            head,
+            channels: cfg.channels,
+            skip_lens: Vec::new(),
+            up_src_lens: Vec::new(),
+        }
+    }
+}
+
+impl Layer for UnetNilm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.skip_lens.clear();
+        self.up_src_lens.clear();
+        // Encoder: keep skips before pooling.
+        let x0 = self.enc[0].forward(x, mode);
+        let p0 = self.pools[0].forward(&x0, mode);
+        let x1 = self.enc[1].forward(&p0, mode);
+        let p1 = self.pools[1].forward(&x1, mode);
+        let x2 = self.enc[2].forward(&p1, mode);
+        let p2 = self.pools[2].forward(&x2, mode);
+        let bott = self.bottleneck.forward(&p2, mode);
+        self.skip_lens = vec![x0.dims3().2, x1.dims3().2, x2.dims3().2];
+
+        // Decoder, innermost first.
+        let u2 = self.ups[2].forward(&bott, mode);
+        self.up_src_lens.push(u2.dims3().2);
+        let d2 = self.dec[2].forward(&concat_channels(&match_len(&u2, self.skip_lens[2]), &x2), mode);
+        let u1 = self.ups[1].forward(&d2, mode);
+        self.up_src_lens.push(u1.dims3().2);
+        let d1 = self.dec[1].forward(&concat_channels(&match_len(&u1, self.skip_lens[1]), &x1), mode);
+        let u0 = self.ups[0].forward(&d1, mode);
+        self.up_src_lens.push(u0.dims3().2);
+        let d0 = self.dec[0].forward(&concat_channels(&match_len(&u0, self.skip_lens[0]), &x0), mode);
+        self.head.forward(&d0, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let [_c1, c2, c3] = self.channels;
+        let g = self.head.backward(grad);
+
+        // Level 0.
+        let g = self.dec[0].backward(&g);
+        let (g_u0m, g_skip0) = split_channels(&g, c2);
+        let g_u0 = match_len_backward(&g_u0m, self.up_src_lens[2]);
+        let g_d1 = self.ups[0].backward(&g_u0);
+
+        // Level 1.
+        let g = self.dec[1].backward(&g_d1);
+        let (g_u1m, g_skip1) = split_channels(&g, c3);
+        let g_u1 = match_len_backward(&g_u1m, self.up_src_lens[1]);
+        let g_d2 = self.ups[1].backward(&g_u1);
+
+        // Level 2.
+        let g = self.dec[2].backward(&g_d2);
+        let (g_u2m, g_skip2) = split_channels(&g, c3);
+        let g_u2 = match_len_backward(&g_u2m, self.up_src_lens[0]);
+        let g_bott = self.ups[2].backward(&g_u2);
+
+        // Back through the encoder, merging skip gradients.
+        let g_p2 = self.bottleneck.backward(&g_bott);
+        let mut g_x2 = self.pools[2].backward(&g_p2);
+        g_x2.add_assign(&g_skip2);
+        let g_p1 = self.enc[2].backward(&g_x2);
+        let mut g_x1 = self.pools[1].backward(&g_p1);
+        g_x1.add_assign(&g_skip1);
+        let g_p0 = self.enc[1].backward(&g_x1);
+        let mut g_x0 = self.pools[0].backward(&g_p0);
+        g_x0.add_assign(&g_skip0);
+        self.enc[0].backward(&g_x0)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for e in &mut self.enc {
+            e.visit_params(f);
+        }
+        self.bottleneck.visit_params(f);
+        for d in &mut self.dec {
+            d.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_tensor::init::{randn_tensor, rng};
+
+    fn tiny() -> UnetConfig {
+        UnetConfig { channels: [4, 8, 8], kernel: 3 }
+    }
+
+    #[test]
+    fn shapes_preserved_even_length() {
+        let mut r = rng(0);
+        let mut m = UnetNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[2, 1, 32], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 1, 32]);
+    }
+
+    #[test]
+    fn shapes_preserved_odd_length() {
+        // 510 = 2 * 255; 255 is odd, exercising the match_len path.
+        let mut r = rng(1);
+        let mut m = UnetNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[1, 1, 30], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 30]);
+        let gx = m.backward(&Tensor::full(&[1, 1, 30], 0.1));
+        assert_eq!(gx.shape(), &[1, 1, 30]);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn gradients_populate_all_levels() {
+        let mut r = rng(2);
+        let mut m = UnetNilm::new(&mut r, tiny());
+        let x = randn_tensor(&mut r, &[1, 1, 16], 1.0);
+        let y = m.forward(&x, Mode::Train);
+        let (_, g) = nilm_tensor::loss::bce_with_logits(&y, &Tensor::zeros(&[1, 1, 16]));
+        let _ = m.backward(&g);
+        let mut zero_params = 0;
+        let mut total_params = 0;
+        m.visit_params(&mut |p| {
+            total_params += 1;
+            if p.grad.norm() == 0.0 {
+                zero_params += 1;
+            }
+        });
+        // BatchNorm betas may legitimately have tiny grads, but most params
+        // must receive gradient.
+        assert!(zero_params * 2 < total_params, "{zero_params}/{total_params} params got no grad");
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared plumbing for encoder–decoder models: channel concatenation /
+//! splitting and length matching (crop or pad-by-repeat) with exact
+//! gradient counterparts.
+
+use nilm_tensor::tensor::Tensor;
+
+/// Concatenates two `[b, c, t]` tensors along channels.
+pub(crate) fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, ca, ta) = a.dims3();
+    let (bb, cb, tb) = b.dims3();
+    assert_eq!((ba, ta), (bb, tb), "concat shape mismatch");
+    let mut out = Tensor::zeros(&[ba, ca + cb, ta]);
+    for bi in 0..ba {
+        for ci in 0..ca {
+            out.row_mut(bi, ci).copy_from_slice(a.row(bi, ci));
+        }
+        for ci in 0..cb {
+            out.row_mut(bi, ca + ci).copy_from_slice(b.row(bi, ci));
+        }
+    }
+    out
+}
+
+/// Splits a channel-concatenated gradient back into `[.., ca, ..]` and the
+/// remainder.
+pub(crate) fn split_channels(g: &Tensor, ca: usize) -> (Tensor, Tensor) {
+    let (b, c, t) = g.dims3();
+    assert!(ca <= c, "split beyond channel count");
+    let cb = c - ca;
+    let mut ga = Tensor::zeros(&[b, ca, t]);
+    let mut gb = Tensor::zeros(&[b, cb, t]);
+    for bi in 0..b {
+        for ci in 0..ca {
+            ga.row_mut(bi, ci).copy_from_slice(g.row(bi, ci));
+        }
+        for ci in 0..cb {
+            gb.row_mut(bi, ci).copy_from_slice(g.row(bi, ca + ci));
+        }
+    }
+    (ga, gb)
+}
+
+/// Crops or right-pads (repeating the final sample) to reach `target` length.
+pub(crate) fn match_len(x: &Tensor, target: usize) -> Tensor {
+    let (b, c, t) = x.dims3();
+    if t == target {
+        return x.clone();
+    }
+    assert!(t > 0);
+    let mut out = Tensor::zeros(&[b, c, target]);
+    for bi in 0..b {
+        for ci in 0..c {
+            let src = x.row(bi, ci);
+            let dst = out.row_mut(bi, ci);
+            for (ti, d) in dst.iter_mut().enumerate() {
+                *d = src[ti.min(t - 1)];
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`match_len`]: maps a gradient of length `target` back to
+/// length `t_src` (cropped positions get zero; padded positions accumulate
+/// into the final sample).
+pub(crate) fn match_len_backward(g: &Tensor, t_src: usize) -> Tensor {
+    let (b, c, t) = g.dims3();
+    if t == t_src {
+        return g.clone();
+    }
+    assert!(t_src > 0);
+    let mut out = Tensor::zeros(&[b, c, t_src]);
+    for bi in 0..b {
+        for ci in 0..c {
+            let src = g.row(bi, ci);
+            let dst = out.row_mut(bi, ci);
+            for (ti, &v) in src.iter().enumerate() {
+                dst[ti.min(t_src - 1)] += v;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[1, 2, 3]);
+        let b = Tensor::from_vec((6..9).map(|i| i as f32).collect(), &[1, 1, 3]);
+        let cat = concat_channels(&a, &b);
+        assert_eq!(cat.shape(), &[1, 3, 3]);
+        let (ra, rb) = split_channels(&cat, 2);
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+    }
+
+    #[test]
+    fn match_len_pads_and_crops() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]);
+        let padded = match_len(&x, 4);
+        assert_eq!(padded.data(), &[1.0, 2.0, 2.0, 2.0]);
+        let cropped = match_len(&padded, 2);
+        assert_eq!(cropped.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn match_len_backward_conserves_gradient_mass() {
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let back = match_len_backward(&g, 2);
+        assert_eq!(back.data(), &[1.0, 9.0]);
+        assert_eq!(back.sum(), g.sum());
+    }
+
+    #[test]
+    fn match_len_identity_when_equal() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]);
+        assert_eq!(match_len(&x, 3), x);
+        assert_eq!(match_len_backward(&x, 3), x);
+    }
+}

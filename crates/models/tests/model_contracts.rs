@@ -1,0 +1,131 @@
+//! Contract tests every model must satisfy: shape preservation across
+//! lengths (including odd ones), eval-mode determinism, finite gradients,
+//! and learnability on a separable toy problem.
+
+use nilm_models::baselines::BaselineKind;
+use nilm_models::detector::{build_detector, Backbone};
+use nilm_tensor::init::{randn_tensor, rng};
+use nilm_tensor::layer::Mode;
+use nilm_tensor::loss::bce_with_logits;
+use nilm_tensor::tensor::Tensor;
+
+const WIDTH_DIV: usize = 16;
+
+#[test]
+fn all_baselines_preserve_shape_for_odd_and_even_lengths() {
+    let mut r = rng(0);
+    for &kind in BaselineKind::all() {
+        for len in [64usize, 96, 128, 130] {
+            let mut model = kind.build(&mut r, WIDTH_DIV);
+            let x = randn_tensor(&mut r, &[2, 1, len], 1.0);
+            let y = model.forward(&x, Mode::Eval);
+            assert_eq!(y.shape(), &[2, 1, len], "{} at len {len}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn all_baselines_are_deterministic_in_eval_mode() {
+    let mut r = rng(1);
+    for &kind in BaselineKind::all() {
+        let mut model = kind.build(&mut r, WIDTH_DIV);
+        let x = randn_tensor(&mut r, &[1, 1, 64], 1.0);
+        let y1 = model.forward(&x, Mode::Eval);
+        let y2 = model.forward(&x, Mode::Eval);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            assert_eq!(a, b, "{} is nondeterministic in eval", kind.name());
+        }
+    }
+}
+
+#[test]
+fn all_baselines_produce_finite_gradients() {
+    let mut r = rng(2);
+    for &kind in BaselineKind::all() {
+        let mut model = kind.build(&mut r, WIDTH_DIV);
+        let x = randn_tensor(&mut r, &[2, 1, 64], 1.0);
+        let y = model.forward(&x, Mode::Train);
+        let (_, g) = bce_with_logits(&y, &Tensor::zeros(&[2, 1, 64]));
+        let gx = model.backward(&g);
+        assert!(gx.all_finite(), "{} input grad not finite", kind.name());
+        model.visit_params(&mut |p| {
+            assert!(p.grad.all_finite(), "{} param grad not finite", kind.name());
+        });
+    }
+}
+
+#[test]
+fn all_baselines_have_nonzero_params_and_respond_to_input() {
+    let mut r = rng(3);
+    for &kind in BaselineKind::all() {
+        let mut model = kind.build(&mut r, WIDTH_DIV);
+        assert!(model.num_params() > 100, "{}", kind.name());
+        let x1 = Tensor::zeros(&[1, 1, 64]);
+        let x2 = Tensor::full(&[1, 1, 64], 2.0);
+        let y1 = model.forward(&x1, Mode::Eval);
+        let y2 = model.forward(&x2, Mode::Eval);
+        let diff: f32 = y1.data().iter().zip(y2.data()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "{} ignores its input", kind.name());
+    }
+}
+
+#[test]
+fn both_detectors_have_cam_peaking_near_discriminative_region() {
+    // Train briefly on a trivially separable problem; the class-1 CAM of a
+    // positive window should put more mass on the plateau region than off it.
+    use nilm_tensor::loss::cross_entropy;
+    use nilm_tensor::optim::Adam;
+
+    for backbone in [Backbone::ResNet, Backbone::InceptionTime] {
+        let mut r = rng(4);
+        let mut det = build_detector(&mut r, backbone, 5, WIDTH_DIV);
+        let w = 64;
+        // Build batch: even = positive with plateau at [16, 32), odd = flat.
+        let make_batch = |r: &mut rand::rngs::StdRng| {
+            let mut data = Vec::new();
+            for i in 0..8 {
+                let mut row = vec![0.1f32; w];
+                if i % 2 == 0 {
+                    for v in row[16..32].iter_mut() {
+                        *v = 2.0;
+                    }
+                }
+                for v in row.iter_mut() {
+                    *v += nilm_tensor::init::randn(r).abs() * 0.01;
+                }
+                data.extend(row);
+            }
+            Tensor::from_vec(data, &[8, 1, w])
+        };
+        let labels: Vec<usize> = (0..8).map(|i| usize::from(i % 2 == 0)).collect();
+        let mut opt = Adam::new(2e-3);
+        for _ in 0..30 {
+            let x = make_batch(&mut r);
+            det.zero_grad();
+            let (_, logits) = det.forward_features(&x, Mode::Train);
+            let (_, g) = cross_entropy(&logits, &labels);
+            det.backward(&g);
+            opt.step(det.as_mut());
+        }
+        // CAM of a fresh positive window.
+        let mut pos = vec![0.1f32; w];
+        for v in pos[16..32].iter_mut() {
+            *v = 2.0;
+        }
+        let x = Tensor::from_vec(pos, &[1, 1, w]);
+        let _ = det.forward_features(&x, Mode::Eval);
+        let cam = det.cam(1);
+        let on_mass: f32 = cam.data()[16..32].iter().map(|v| v.max(0.0)).sum();
+        let off_mass: f32 = cam.data()[..16]
+            .iter()
+            .chain(&cam.data()[32..])
+            .map(|v| v.max(0.0))
+            .sum();
+        let on_density = on_mass / 16.0;
+        let off_density = off_mass / 48.0;
+        assert!(
+            on_density > off_density,
+            "{backbone:?}: CAM density on plateau {on_density} <= off {off_density}"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! 1-D convolution over `[batch, channels, time]` tensors.
+//!
+//! The implementation decomposes the convolution into K shifted
+//! scaled-row operations (one per kernel tap), so the stride-1 hot path is a
+//! sequence of slice `axpy`/dot operations that LLVM vectorizes. This is the
+//! workhorse of every model in the workspace.
+
+use crate::init;
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Padding policy for [`Conv1d`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Padding {
+    /// Output length equals `ceil(T / stride)`; zero-pads both sides
+    /// (asymmetric by one on the right for even effective kernels).
+    Same,
+    /// No padding; output shrinks by the receptive field.
+    Valid,
+    /// Explicit symmetric padding of `n` zeros on each side.
+    Explicit(usize),
+}
+
+/// A 1-D convolution layer with optional dilation and stride.
+pub struct Conv1d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    dilation: usize,
+    padding: Padding,
+    weight: Param,
+    bias: Option<Param>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a stride-1, dilation-1 convolution with He initialization.
+    pub fn new(rng: &mut impl Rng, in_c: usize, out_c: usize, k: usize, padding: Padding) -> Self {
+        Self::with_options(rng, in_c, out_c, k, padding, 1, 1, true)
+    }
+
+    /// Full constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_options(
+        rng: &mut impl Rng,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        padding: Padding,
+        stride: usize,
+        dilation: usize,
+        bias: bool,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0 && dilation > 0);
+        let weight = Param::new(init::he_normal(rng, &[out_c, in_c, k], in_c * k));
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[out_c])));
+        Conv1d { in_c, out_c, k, stride, dilation, padding, weight, bias, cached_input: None }
+    }
+
+    /// Effective kernel extent `(k - 1) * dilation + 1`.
+    fn effective_k(&self) -> usize {
+        (self.k - 1) * self.dilation + 1
+    }
+
+    /// `(pad_left, pad_right)` for an input of length `t`.
+    fn pads(&self, t: usize) -> (usize, usize) {
+        match self.padding {
+            Padding::Valid => (0, 0),
+            Padding::Explicit(p) => (p, p),
+            Padding::Same => {
+                // Match the common "same" definition: out = ceil(t / stride).
+                let out = t.div_ceil(self.stride);
+                let needed = ((out - 1) * self.stride + self.effective_k()).saturating_sub(t);
+                let left = needed / 2;
+                (left, needed - left)
+            }
+        }
+    }
+
+    /// Output length for an input of length `t`.
+    pub fn out_len(&self, t: usize) -> usize {
+        let (pl, pr) = self.pads(t);
+        let span = t + pl + pr;
+        assert!(span >= self.effective_k(), "input ({t}) shorter than kernel ({})", self.effective_k());
+        (span - self.effective_k()) / self.stride + 1
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+}
+
+/// For kernel tap `kk`, the range of output positions whose input index
+/// `t_out * stride + kk*dilation - pad_left` lies inside `[0, t_in)`.
+#[inline]
+fn valid_out_range(offset: isize, stride: usize, t_in: usize, t_out: usize) -> (usize, usize) {
+    // t_out*stride + offset in [0, t_in)  =>  t_out in [ceil(-offset/s), ceil((t_in-offset)/s))
+    let s = stride as isize;
+    let lo = if offset >= 0 { 0 } else { (-offset + s - 1) / s };
+    let hi = ((t_in as isize - offset) + s - 1) / s;
+    let lo = lo.clamp(0, t_out as isize) as usize;
+    let hi = hi.clamp(0, t_out as isize) as usize;
+    (lo, hi.max(lo))
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (b, c_in, t_in) = x.dims3();
+        assert_eq!(c_in, self.in_c, "Conv1d expected {} input channels, got {}", self.in_c, c_in);
+        let (pl, _) = self.pads(t_in);
+        let t_out = self.out_len(t_in);
+        let mut out = Tensor::zeros(&[b, self.out_c, t_out]);
+
+        for bi in 0..b {
+            for co in 0..self.out_c {
+                // Bias first so the accumulation below adds on top.
+                if let Some(bias) = &self.bias {
+                    let v = bias.value.data()[co];
+                    out.row_mut(bi, co).iter_mut().for_each(|o| *o = v);
+                }
+                for ci in 0..self.in_c {
+                    let xr = x.row(bi, ci);
+                    let wbase = (co * self.in_c + ci) * self.k;
+                    let w = &self.weight.value.data()[wbase..wbase + self.k];
+                    let or = out.row_mut(bi, co);
+                    for (kk, &wv) in w.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let offset = (kk * self.dilation) as isize - pl as isize;
+                        let (lo, hi) = valid_out_range(offset, self.stride, t_in, t_out);
+                        if self.stride == 1 {
+                            let xs = &xr[(lo as isize + offset) as usize..(hi as isize + offset) as usize];
+                            for (o, &xv) in or[lo..hi].iter_mut().zip(xs) {
+                                *o += wv * xv;
+                            }
+                        } else {
+                            for to in lo..hi {
+                                let ti = (to * self.stride) as isize + offset;
+                                or[to] += wv * xr[ti as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("Conv1d backward before forward");
+        let (b, _, t_in) = x.dims3();
+        let (gb, gc, t_out) = grad.dims3();
+        assert_eq!(gb, b);
+        assert_eq!(gc, self.out_c);
+        let (pl, _) = self.pads(t_in);
+        let mut dx = Tensor::zeros(&[b, self.in_c, t_in]);
+
+        for bi in 0..b {
+            for co in 0..self.out_c {
+                let gr = grad.row(bi, co);
+                if let Some(bias) = &mut self.bias {
+                    bias.grad.data_mut()[co] += gr.iter().sum::<f32>();
+                }
+                for ci in 0..self.in_c {
+                    let xr = x.row(bi, ci);
+                    let wbase = (co * self.in_c + ci) * self.k;
+                    for kk in 0..self.k {
+                        let offset = (kk * self.dilation) as isize - pl as isize;
+                        let (lo, hi) = valid_out_range(offset, self.stride, t_in, t_out);
+                        if lo >= hi {
+                            continue;
+                        }
+                        let wv = self.weight.value.data()[wbase + kk];
+                        if self.stride == 1 {
+                            let ilo = (lo as isize + offset) as usize;
+                            let ihi = (hi as isize + offset) as usize;
+                            // dW: correlation of grad with input.
+                            let mut dw = 0.0f32;
+                            for (&g, &xv) in gr[lo..hi].iter().zip(&xr[ilo..ihi]) {
+                                dw += g * xv;
+                            }
+                            self.weight.grad.data_mut()[wbase + kk] += dw;
+                            // dX: scatter grad back, shifted.
+                            if wv != 0.0 {
+                                let dxr = dx.row_mut(bi, ci);
+                                for (d, &g) in dxr[ilo..ihi].iter_mut().zip(&gr[lo..hi]) {
+                                    *d += wv * g;
+                                }
+                            }
+                        } else {
+                            let mut dw = 0.0f32;
+                            let dxr = dx.row_mut(bi, ci);
+                            for to in lo..hi {
+                                let ti = ((to * self.stride) as isize + offset) as usize;
+                                dw += gr[to] * xr[ti];
+                                dxr[ti] += wv * gr[to];
+                            }
+                            self.weight.grad.data_mut()[wbase + kk] += dw;
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    /// A conv whose weights we set by hand for exact-output tests.
+    fn manual_conv(in_c: usize, out_c: usize, k: usize, padding: Padding, w: &[f32], b: Option<&[f32]>) -> Conv1d {
+        let mut r = rng(0);
+        let mut conv = Conv1d::new(&mut r, in_c, out_c, k, padding);
+        conv.weight.value = Tensor::from_vec(w.to_vec(), &[out_c, in_c, k]);
+        match (b, &mut conv.bias) {
+            (Some(bv), Some(p)) => p.value = Tensor::from_vec(bv.to_vec(), &[out_c]),
+            (None, bias) => *bias = None,
+            _ => {}
+        }
+        conv
+    }
+
+    #[test]
+    fn identity_kernel_passes_signal_through() {
+        // k=1, weight=1 is the identity.
+        let mut conv = manual_conv(1, 1, 1, Padding::Same, &[1.0], None);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn valid_padding_shrinks_output() {
+        let mut conv = manual_conv(1, 1, 3, Padding::Valid, &[1.0, 1.0, 1.0], None);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 1, 5]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[6.0, 9.0, 12.0]); // moving window sums
+    }
+
+    #[test]
+    fn same_padding_preserves_length_odd_kernel() {
+        let mut conv = manual_conv(1, 1, 3, Padding::Same, &[0.0, 1.0, 0.0], None);
+        let x = Tensor::from_vec(vec![5.0, 6.0, 7.0], &[1, 1, 3]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[5.0, 6.0, 7.0]); // center tap = identity
+    }
+
+    #[test]
+    fn same_padding_even_kernel_and_long_kernels() {
+        let mut r = rng(1);
+        for k in [2, 4, 5, 7, 9, 15, 25] {
+            let conv = Conv1d::new(&mut r, 1, 1, k, Padding::Same);
+            assert_eq!(conv.out_len(510), 510, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let mut r = rng(2);
+        let conv = Conv1d::with_options(&mut r, 1, 4, 3, Padding::Same, 2, 1, true);
+        assert_eq!(conv.out_len(10), 5);
+        assert_eq!(conv.out_len(9), 5);
+    }
+
+    #[test]
+    fn dilation_expands_receptive_field() {
+        // k=2, dilation=2 spans 3 inputs: y[t] = x[t] + x[t+2] (valid).
+        let mut conv = manual_conv(1, 1, 2, Padding::Valid, &[1.0, 1.0], None);
+        conv.dilation = 2;
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut conv = manual_conv(1, 1, 1, Padding::Same, &[1.0], Some(&[10.0]));
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_contributions() {
+        // 2 in-channels, k=1: y = 2*x0 + 3*x1.
+        let mut conv = manual_conv(2, 1, 1, Padding::Same, &[2.0, 3.0], None);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 10.0, 10.0], &[1, 2, 2]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn backward_bias_grad_is_sum_of_upstream() {
+        let mut conv = manual_conv(1, 1, 1, Padding::Same, &[1.0], Some(&[0.0]));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]);
+        let _ = conv.forward(&x, Mode::Train);
+        let _ = conv.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]));
+        let mut bias_grad = 0.0;
+        conv.visit_params(&mut |p| {
+            if p.value.shape() == [1] {
+                bias_grad = p.grad.data()[0];
+            }
+        });
+        assert_eq!(bias_grad, 6.0);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut r = rng(3);
+        let mut conv = Conv1d::new(&mut r, 16, 32, 5, Padding::Same);
+        assert_eq!(conv.num_params(), 32 * 16 * 5 + 32);
+    }
+}

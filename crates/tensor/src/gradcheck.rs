@@ -1,0 +1,273 @@
+//! Numerical gradient checking: the correctness oracle for every manual
+//! backward pass in this crate.
+//!
+//! The scheme: define `loss(x) = sum(layer.forward(x) * mask)` for a fixed
+//! random `mask`. The analytic gradient of that loss with respect to the
+//! layer input is `layer.backward(mask)`, and with respect to each parameter
+//! it lands in `Param::grad`. Both are compared against central differences.
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: largest relative error observed.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheck {
+    /// Max relative error on the input gradient.
+    pub input_err: f32,
+    /// Max relative error across all parameter gradients.
+    pub param_err: f32,
+}
+
+fn rel_err(analytic: f32, numeric: f32) -> f32 {
+    let denom = analytic.abs().max(numeric.abs()).max(1e-3);
+    (analytic - numeric).abs() / denom
+}
+
+fn masked_loss(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, mode: Mode) -> f32 {
+    let y = layer.forward(x, mode);
+    assert_eq!(y.shape(), mask.shape(), "mask must match layer output shape");
+    y.mul(mask).sum()
+}
+
+/// Checks the input and parameter gradients of `layer` at input `x`.
+///
+/// `mask` must match the layer's output shape. Uses central differences with
+/// step `eps`. The layer must be deterministic under `mode` (run dropout in
+/// `Mode::Eval` or with p=0).
+pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, eps: f32, mode: Mode) -> GradCheck {
+    // Analytic pass.
+    layer.zero_grad();
+    let _ = layer.forward(x, mode);
+    let dx = layer.backward(mask);
+
+    // Collect analytic parameter gradients.
+    let mut param_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p| param_grads.push(p.grad.data().to_vec()));
+
+    // Numeric input gradient.
+    let mut input_err = 0.0f32;
+    let mut xp = x.clone();
+    for i in 0..x.len() {
+        let orig = xp.data()[i];
+        xp.data_mut()[i] = orig + eps;
+        let lp = masked_loss(layer, &xp, mask, mode);
+        xp.data_mut()[i] = orig - eps;
+        let lm = masked_loss(layer, &xp, mask, mode);
+        xp.data_mut()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        input_err = input_err.max(rel_err(dx.data()[i], numeric));
+    }
+
+    // Numeric parameter gradients.
+    let mut param_err = 0.0f32;
+    let n_params = param_grads.len();
+    for pi in 0..n_params {
+        let plen = param_grads[pi].len();
+        for i in 0..plen {
+            // Perturb parameter pi[i] via the visitor.
+            fn perturb(layer: &mut dyn Layer, pi: usize, i: usize, delta: f32) {
+                let mut idx = 0;
+                layer.visit_params(&mut |p| {
+                    if idx == pi {
+                        p.value.data_mut()[i] += delta;
+                    }
+                    idx += 1;
+                });
+            }
+            perturb(layer, pi, i, eps);
+            let lp = masked_loss(layer, x, mask, mode);
+            perturb(layer, pi, i, -2.0 * eps);
+            let lm = masked_loss(layer, x, mask, mode);
+            perturb(layer, pi, i, eps);
+            let numeric = (lp - lm) / (2.0 * eps);
+            param_err = param_err.max(rel_err(param_grads[pi][i], numeric));
+        }
+    }
+
+    GradCheck { input_err, param_err }
+}
+
+/// Asserts both gradient errors are below `tol`.
+pub fn assert_grads_close(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, eps: f32, tol: f32, mode: Mode) {
+    let res = check_layer(layer, x, mask, eps, mode);
+    assert!(
+        res.input_err < tol,
+        "input gradient mismatch: max rel err {} >= {tol}",
+        res.input_err
+    );
+    assert!(
+        res.param_err < tol,
+        "parameter gradient mismatch: max rel err {} >= {tol}",
+        res.param_err
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Gelu, ReLU, Sigmoid, Tanh};
+    use crate::attention::{MultiHeadSelfAttention, TransformerEncoderLayer};
+    use crate::conv::{Conv1d, Padding};
+    use crate::init::{randn_tensor, rng, uniform_tensor};
+    use crate::layer::{Residual, Sequential};
+    use crate::linear::{Linear, TimeDistributed};
+    use crate::norm::{BatchNorm1d, LayerNorm};
+    use crate::pool::{AvgPool1d, GlobalAvgPool1d, MaxPool1d, Upsample1d, UpsampleMode};
+    use crate::rnn::{BiGru, Gru};
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn mask_like(shape: &[usize], seed: u64) -> Tensor {
+        let mut r = rng(seed);
+        uniform_tensor(&mut r, shape, -1.0, 1.0)
+    }
+
+    #[test]
+    fn conv1d_same_gradients() {
+        let mut r = rng(100);
+        let mut conv = Conv1d::new(&mut r, 2, 3, 3, Padding::Same);
+        let x = randn_tensor(&mut r, &[2, 2, 7], 1.0);
+        let mask = mask_like(&[2, 3, 7], 1);
+        assert_grads_close(&mut conv, &x, &mask, EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn conv1d_valid_stride2_dilated_gradients() {
+        let mut r = rng(101);
+        let mut conv = Conv1d::with_options(&mut r, 2, 2, 3, Padding::Valid, 2, 2, true);
+        let x = randn_tensor(&mut r, &[1, 2, 12], 1.0);
+        let t_out = conv.out_len(12);
+        let mask = mask_like(&[1, 2, t_out], 2);
+        assert_grads_close(&mut conv, &x, &mask, EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn conv1d_even_kernel_gradients() {
+        let mut r = rng(102);
+        let mut conv = Conv1d::new(&mut r, 1, 2, 4, Padding::Same);
+        let x = randn_tensor(&mut r, &[1, 1, 9], 1.0);
+        let mask = mask_like(&[1, 2, 9], 3);
+        assert_grads_close(&mut conv, &x, &mask, EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn linear_gradients() {
+        let mut r = rng(103);
+        let mut l = Linear::new(&mut r, 4, 3);
+        let x = randn_tensor(&mut r, &[5, 4], 1.0);
+        let mask = mask_like(&[5, 3], 4);
+        assert_grads_close(&mut l, &x, &mask, EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn time_distributed_gradients() {
+        let mut r = rng(104);
+        let mut l = TimeDistributed::new(&mut r, 3, 2);
+        let x = randn_tensor(&mut r, &[2, 3, 4], 1.0);
+        let mask = mask_like(&[2, 2, 4], 5);
+        assert_grads_close(&mut l, &x, &mask, EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn activations_gradients() {
+        let mut r = rng(105);
+        let x = randn_tensor(&mut r, &[2, 2, 5], 1.0);
+        let mask = mask_like(&[2, 2, 5], 6);
+        // ReLU is non-differentiable at 0; random inputs avoid exact zeros.
+        assert_grads_close(&mut ReLU::default(), &x, &mask, EPS, TOL, Mode::Eval);
+        assert_grads_close(&mut Sigmoid::default(), &x, &mask, EPS, TOL, Mode::Eval);
+        assert_grads_close(&mut Tanh::default(), &x, &mask, EPS, TOL, Mode::Eval);
+        assert_grads_close(&mut Gelu::default(), &x, &mask, EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn batchnorm_train_gradients() {
+        let mut r = rng(106);
+        let mut bn = BatchNorm1d::new(3);
+        let x = randn_tensor(&mut r, &[2, 3, 4], 1.0);
+        let mask = mask_like(&[2, 3, 4], 7);
+        // Train mode: stats recomputed from the same batch each call, so the
+        // loss is a deterministic function of the input.
+        assert_grads_close(&mut bn, &x, &mask, EPS, 5e-2, Mode::Train);
+    }
+
+    #[test]
+    fn layernorm_gradients() {
+        let mut r = rng(107);
+        let mut ln = LayerNorm::new(4);
+        let x = randn_tensor(&mut r, &[2, 4, 3], 1.0);
+        let mask = mask_like(&[2, 4, 3], 8);
+        assert_grads_close(&mut ln, &x, &mask, EPS, 5e-2, Mode::Eval);
+    }
+
+    #[test]
+    fn pooling_gradients() {
+        let mut r = rng(108);
+        let x = randn_tensor(&mut r, &[1, 2, 8], 1.0);
+        let mut mp = MaxPool1d::new(2);
+        assert_grads_close(&mut mp, &x, &mask_like(&[1, 2, 4], 9), EPS, TOL, Mode::Eval);
+        let mut ap = AvgPool1d::new(2);
+        assert_grads_close(&mut ap, &x, &mask_like(&[1, 2, 4], 10), EPS, TOL, Mode::Eval);
+        let mut gap = GlobalAvgPool1d::default();
+        assert_grads_close(&mut gap, &x, &mask_like(&[1, 2], 11), EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn upsample_gradients() {
+        let mut r = rng(109);
+        let x = randn_tensor(&mut r, &[1, 2, 4], 1.0);
+        let mut un = Upsample1d::new(2, UpsampleMode::Nearest);
+        assert_grads_close(&mut un, &x, &mask_like(&[1, 2, 8], 12), EPS, TOL, Mode::Eval);
+        let mut ul = Upsample1d::new(2, UpsampleMode::Linear);
+        assert_grads_close(&mut ul, &x, &mask_like(&[1, 2, 8], 13), EPS, TOL, Mode::Eval);
+    }
+
+    #[test]
+    fn gru_gradients() {
+        let mut r = rng(110);
+        let mut gru = Gru::new(&mut r, 2, 3);
+        let x = randn_tensor(&mut r, &[2, 2, 4], 1.0);
+        let mask = mask_like(&[2, 3, 4], 14);
+        assert_grads_close(&mut gru, &x, &mask, EPS, 5e-2, Mode::Eval);
+    }
+
+    #[test]
+    fn bigru_gradients() {
+        let mut r = rng(111);
+        let mut g = BiGru::new(&mut r, 2, 2);
+        let x = randn_tensor(&mut r, &[1, 2, 4], 1.0);
+        let mask = mask_like(&[1, 4, 4], 15);
+        assert_grads_close(&mut g, &x, &mask, EPS, 5e-2, Mode::Eval);
+    }
+
+    #[test]
+    fn attention_gradients() {
+        let mut r = rng(112);
+        let mut attn = MultiHeadSelfAttention::new(&mut r, 4, 2);
+        let x = randn_tensor(&mut r, &[1, 4, 3], 0.5);
+        let mask = mask_like(&[1, 4, 3], 16);
+        assert_grads_close(&mut attn, &x, &mask, EPS, 5e-2, Mode::Eval);
+    }
+
+    #[test]
+    fn transformer_encoder_gradients() {
+        let mut r = rng(113);
+        let mut enc = TransformerEncoderLayer::new(&mut r, 4, 2, 8);
+        let x = randn_tensor(&mut r, &[1, 4, 3], 0.5);
+        let mask = mask_like(&[1, 4, 3], 17);
+        assert_grads_close(&mut enc, &x, &mask, EPS, 8e-2, Mode::Eval);
+    }
+
+    #[test]
+    fn residual_and_sequential_gradients() {
+        let mut r = rng(114);
+        let main = Sequential::new()
+            .push(Conv1d::new(&mut r, 2, 2, 3, Padding::Same))
+            .push(Tanh::default());
+        let mut res = Residual::new(main);
+        let x = randn_tensor(&mut r, &[1, 2, 6], 1.0);
+        let mask = mask_like(&[1, 2, 6], 18);
+        assert_grads_close(&mut res, &x, &mask, EPS, TOL, Mode::Eval);
+    }
+}

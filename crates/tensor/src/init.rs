@@ -1,0 +1,131 @@
+//! Weight initialization and the random-number helpers shared by the
+//! workspace (Gaussian via Box–Muller, Poisson via Knuth) so that no
+//! distribution crate is needed.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates a deterministic RNG from a seed. All experiments seed explicitly
+/// so that tables and figures are reproducible run to run.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples one standard-normal value using the Box–Muller transform.
+pub fn randn(rng: &mut impl Rng) -> f32 {
+    // Guard against log(0).
+    let u1: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Samples a Poisson-distributed count with mean `lambda` (Knuth's method;
+/// adequate for the small rates used by the usage simulator).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Degenerate guard for very large lambda; the simulator never needs it.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Tensor of i.i.d. N(0, std^2) values.
+pub fn randn_tensor(rng: &mut impl Rng, shape: &[usize], std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| randn(rng) * std).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Tensor of i.i.d. U(lo, hi) values.
+pub fn uniform_tensor(rng: &mut impl Rng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// He (Kaiming) normal initialization for layers followed by ReLU.
+/// `fan_in` is the number of input connections per output unit.
+pub fn he_normal(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn_tensor(rng, shape, std)
+}
+
+/// Xavier (Glorot) uniform initialization for tanh/sigmoid/linear layers.
+pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform_tensor(rng, shape, -limit, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut r = rng(7);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| randn(&mut r)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_is_plausible() {
+        let mut r = rng(11);
+        let lambda = 3.0;
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, lambda) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut r = rng(1);
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut r = rng(3);
+        let t = he_normal(&mut r, &[64, 64], 64 * 9);
+        // std should be sqrt(2/576) ~ 0.059; sample std within 20%.
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let expected = 2.0 / (64.0 * 9.0);
+        assert!((var - expected).abs() / expected < 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut r = rng(5);
+        let t = xavier_uniform(&mut r, &[10, 10], 10, 10);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+}

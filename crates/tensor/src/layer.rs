@@ -1,0 +1,241 @@
+//! The [`Layer`] trait, trainable [`Param`]s and the [`Sequential`]
+//! container.
+//!
+//! Every layer implements an explicit backward pass instead of relying on a
+//! tape: the forward pass caches exactly what its backward needs, which keeps
+//! allocations predictable and the hot loops easy to inspect. Correctness of
+//! each backward pass is enforced by numerical-gradient tests (see
+//! [`crate::gradcheck`]).
+
+use crate::tensor::Tensor;
+
+/// Whether a forward pass is part of training (dropout active, batch-norm
+/// batch statistics) or evaluation (deterministic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: stochastic layers are active, normalization uses batch stats.
+    Train,
+    /// Evaluation: deterministic forward with running statistics.
+    Eval,
+}
+
+/// A trainable parameter: the value plus its accumulated gradient.
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to `value`, accumulated by
+    /// `backward` calls and cleared by [`Layer::zero_grad`].
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable module.
+///
+/// Contract: `backward` must be called with the gradient of the loss with
+/// respect to the *output* of the immediately preceding `forward` call, and
+/// returns the gradient with respect to that call's *input*. Parameter
+/// gradients are accumulated (`+=`), so callers must `zero_grad` between
+/// optimization steps.
+pub trait Layer: Send {
+    /// Runs the layer on `x`, caching whatever the backward pass needs.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad` (d loss / d output) back to the input, accumulating
+    /// parameter gradients along the way.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill(0.0));
+    }
+
+    /// Total number of trainable scalars.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// Runs layers in order; the workhorse container for feed-forward stacks.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers held.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when no layers are held.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+/// The identity layer; useful as a placeholder branch in residual blocks.
+#[derive(Default)]
+pub struct Identity;
+
+impl Layer for Identity {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        x.clone()
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        grad.clone()
+    }
+}
+
+/// `main + shortcut` residual composition: `y = main(x) + shortcut(x)`.
+///
+/// The shortcut is the identity when `shortcut` is `None`; otherwise it is a
+/// projection (1x1 conv + norm in ResNet when channel counts change).
+pub struct Residual {
+    main: Box<dyn Layer>,
+    shortcut: Option<Box<dyn Layer>>,
+}
+
+impl Residual {
+    /// A residual block with an identity shortcut.
+    pub fn new(main: impl Layer + 'static) -> Self {
+        Residual { main: Box::new(main), shortcut: None }
+    }
+
+    /// A residual block with a projection shortcut.
+    pub fn with_shortcut(main: impl Layer + 'static, shortcut: impl Layer + 'static) -> Self {
+        Residual { main: Box::new(main), shortcut: Some(Box::new(shortcut)) }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let main = self.main.forward(x, mode);
+        let side = match &mut self.shortcut {
+            Some(s) => s.forward(x, mode),
+            None => x.clone(),
+        };
+        main.add(&side)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut gx = self.main.backward(grad);
+        let side = match &mut self.shortcut {
+            Some(s) => s.backward(grad),
+            None => grad.clone(),
+        };
+        gx.add_assign(&side);
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+
+    #[test]
+    fn identity_roundtrips() {
+        let mut id = Identity;
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(id.forward(&x, Mode::Eval), x);
+        assert_eq!(id.backward(&x), x);
+    }
+
+    #[test]
+    fn sequential_composes_in_order() {
+        let mut seq = Sequential::new().push(ReLU::default()).push(Identity);
+        let x = Tensor::from_slice(&[-1.0, 2.0]);
+        let y = seq.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = seq.backward(&Tensor::from_slice(&[1.0, 1.0]));
+        assert_eq!(g.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn residual_identity_doubles_signal() {
+        let mut res = Residual::new(Identity);
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = res.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[2.0, 4.0]);
+        let g = res.backward(&Tensor::from_slice(&[1.0, 1.0]));
+        assert_eq!(g.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn param_counts_accumulate() {
+        let mut seq = Sequential::new().push(Identity).push(Identity);
+        assert_eq!(seq.num_params(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Loss functions. Each returns `(scalar_loss, grad_wrt_input)` so training
+//! loops can seed backpropagation directly.
+
+use crate::activation::{sigmoid, softmax_rows};
+use crate::tensor::Tensor;
+
+/// Binary cross-entropy on logits (numerically stable, mean reduction).
+///
+/// `logits` and `targets` must have identical shapes; targets in `[0, 1]`
+/// (soft labels welcome — RQ5 trains on CamAL's soft outputs).
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(logits.shape());
+    for i in 0..logits.len() {
+        let x = logits.data()[i];
+        let y = targets.data()[i];
+        // log(1 + e^-|x|) + max(x, 0) - x*y  is the stable BCE-with-logits.
+        let l = x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln();
+        loss += l as f64;
+        grad.data_mut()[i] = (sigmoid(x) - y) / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Binary cross-entropy on probabilities (mean reduction), clamped away from
+/// 0/1 for stability. Prefer [`bce_with_logits`] when logits are available.
+pub fn bce(probs: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(probs.shape(), targets.shape(), "bce shape mismatch");
+    let n = probs.len().max(1) as f32;
+    let eps = 1e-7f32;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(probs.shape());
+    for i in 0..probs.len() {
+        let p = probs.data()[i].clamp(eps, 1.0 - eps);
+        let y = targets.data()[i];
+        loss += -(y * p.ln() + (1.0 - y) * (1.0 - p).ln()) as f64;
+        grad.data_mut()[i] = ((p - y) / (p * (1.0 - p))) / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Softmax cross-entropy for `[batch, classes]` logits against integer class
+/// labels (mean reduction). This is the classification loss of the ResNet
+/// detectors (2 classes: appliance absent/present).
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (b, c) = logits.dims2();
+    assert_eq!(b, labels.len(), "label count mismatch");
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let inv_b = 1.0 / b.max(1) as f32;
+    for (bi, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let p = probs.at2(bi, label).max(1e-12);
+        loss += -(p.ln()) as f64;
+        *grad.at2_mut(bi, label) -= 1.0;
+    }
+    grad.scale_inplace(inv_b);
+    ((loss * inv_b as f64) as f32, grad)
+}
+
+/// Mean squared error (mean reduction).
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(pred.shape());
+    for i in 0..pred.len() {
+        let d = pred.data()[i] - target.data()[i];
+        loss += (d * d) as f64;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_with_logits_matches_definition() {
+        let logits = Tensor::from_slice(&[0.0]);
+        let targets = Tensor::from_slice(&[1.0]);
+        let (l, g) = bce_with_logits(&logits, &targets);
+        assert!((l - (2.0f32).ln()).abs() < 1e-6); // -log(sigmoid(0)) = ln 2
+        assert!((g.data()[0] - (-0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_with_logits_is_stable_at_extremes() {
+        let logits = Tensor::from_slice(&[100.0, -100.0]);
+        let targets = Tensor::from_slice(&[1.0, 0.0]);
+        let (l, g) = bce_with_logits(&logits, &targets);
+        assert!(l < 1e-6);
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn bce_on_probs_agrees_with_logit_version() {
+        let logits = Tensor::from_slice(&[0.3, -1.2, 2.0]);
+        let targets = Tensor::from_slice(&[1.0, 0.0, 1.0]);
+        let probs = logits.map(sigmoid);
+        let (l1, _) = bce_with_logits(&logits, &targets);
+        let (l2, _) = bce(&probs, &targets);
+        assert!((l1 - l2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]);
+        let (l, g) = cross_entropy(&logits, &[0, 1]);
+        assert!(l < 1e-4);
+        assert!(g.norm() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (l, _) = cross_entropy(&logits, &[2]);
+        assert!((l - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let (_, g) = cross_entropy(&logits, &[0]);
+        let s: f32 = g.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn soft_targets_are_accepted() {
+        let logits = Tensor::from_slice(&[0.5, -0.5]);
+        let targets = Tensor::from_slice(&[0.7, 0.2]);
+        let (l, g) = bce_with_logits(&logits, &targets);
+        assert!(l.is_finite() && g.all_finite());
+    }
+}

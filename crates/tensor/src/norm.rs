@@ -1,0 +1,305 @@
+//! Normalization layers: per-channel batch normalization for conv stacks and
+//! per-position layer normalization for transformer blocks.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// Batch normalization over `[batch, channels, time]`: statistics are
+/// computed per channel across the batch and time axes.
+pub struct BatchNorm1d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Caches for backward.
+    xhat: Option<Tensor>,
+    inv_std: Vec<f32>,
+    last_mode: Mode,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm1d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            xhat: None,
+            inv_std: vec![0.0; channels],
+            last_mode: Mode::Train,
+        }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (b, c, t) = x.dims3();
+        assert_eq!(c, self.channels, "BatchNorm1d expected {} channels, got {c}", self.channels);
+        let n = (b * t) as f32;
+        let mut out = Tensor::zeros(&[b, c, t]);
+        let mut xhat = Tensor::zeros(&[b, c, t]);
+        self.last_mode = mode;
+
+        for ci in 0..c {
+            let (mean, var) = match mode {
+                Mode::Train => {
+                    let mut sum = 0.0f32;
+                    let mut sumsq = 0.0f32;
+                    for bi in 0..b {
+                        for &v in x.row(bi, ci) {
+                            sum += v;
+                            sumsq += v * v;
+                        }
+                    }
+                    let mean = sum / n;
+                    let var = (sumsq / n - mean * mean).max(0.0);
+                    self.running_mean[ci] =
+                        (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                    self.running_var[ci] =
+                        (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                    (mean, var)
+                }
+                Mode::Eval => (self.running_mean[ci], self.running_var[ci]),
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[ci] = inv_std;
+            let g = self.gamma.value.data()[ci];
+            let be = self.beta.value.data()[ci];
+            for bi in 0..b {
+                let xr = x.row(bi, ci);
+                let xh = xhat.row_mut(bi, ci);
+                for (h, &v) in xh.iter_mut().zip(xr) {
+                    *h = (v - mean) * inv_std;
+                }
+                let or = out.row_mut(bi, ci);
+                let xh = xhat.row(bi, ci);
+                for (o, &h) in or.iter_mut().zip(xh) {
+                    *o = g * h + be;
+                }
+            }
+        }
+        self.xhat = Some(xhat);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let xhat = self.xhat.as_ref().expect("BatchNorm1d backward before forward");
+        let (b, c, t) = grad.dims3();
+        let n = (b * t) as f32;
+        let mut dx = Tensor::zeros(&[b, c, t]);
+
+        for ci in 0..c {
+            let g = self.gamma.value.data()[ci];
+            let inv_std = self.inv_std[ci];
+            // Accumulate per-channel reductions.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for bi in 0..b {
+                let gr = grad.row(bi, ci);
+                let xh = xhat.row(bi, ci);
+                for (&gy, &h) in gr.iter().zip(xh) {
+                    sum_dy += gy;
+                    sum_dy_xhat += gy * h;
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+
+            match self.last_mode {
+                Mode::Train => {
+                    // Full backward through the batch statistics.
+                    let k1 = g * inv_std / n;
+                    for bi in 0..b {
+                        let gr = grad.row(bi, ci);
+                        let xh = xhat.row(bi, ci);
+                        let dxr = dx.row_mut(bi, ci);
+                        for ((d, &gy), &h) in dxr.iter_mut().zip(gr).zip(xh) {
+                            *d = k1 * (n * gy - sum_dy - h * sum_dy_xhat);
+                        }
+                    }
+                }
+                Mode::Eval => {
+                    // Running stats are constants.
+                    let k = g * inv_std;
+                    for bi in 0..b {
+                        let gr = grad.row(bi, ci);
+                        let dxr = dx.row_mut(bi, ci);
+                        for (d, &gy) in dxr.iter_mut().zip(gr) {
+                            *d = k * gy;
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// Layer normalization over the channel dimension of `[batch, channels, time]`
+/// (one mean/variance per `(batch, time)` position) — the transformer flavor.
+pub struct LayerNorm {
+    dim: usize,
+    eps: f32,
+    gamma: Param,
+    beta: Param,
+    xhat: Option<Tensor>,
+    inv_std: Vec<f32>, // one per (batch, time) position
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over `dim` channels.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            dim,
+            eps: 1e-5,
+            gamma: Param::new(Tensor::full(&[dim], 1.0)),
+            beta: Param::new(Tensor::zeros(&[dim])),
+            xhat: None,
+            inv_std: Vec::new(),
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (b, c, t) = x.dims3();
+        assert_eq!(c, self.dim, "LayerNorm expected {} channels, got {c}", self.dim);
+        let mut out = Tensor::zeros(&[b, c, t]);
+        let mut xhat = Tensor::zeros(&[b, c, t]);
+        self.inv_std = vec![0.0; b * t];
+
+        for bi in 0..b {
+            for ti in 0..t {
+                let mut sum = 0.0f32;
+                let mut sumsq = 0.0f32;
+                for ci in 0..c {
+                    let v = x.at3(bi, ci, ti);
+                    sum += v;
+                    sumsq += v * v;
+                }
+                let mean = sum / c as f32;
+                let var = (sumsq / c as f32 - mean * mean).max(0.0);
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                self.inv_std[bi * t + ti] = inv_std;
+                for ci in 0..c {
+                    let h = (x.at3(bi, ci, ti) - mean) * inv_std;
+                    *xhat.at3_mut(bi, ci, ti) = h;
+                    *out.at3_mut(bi, ci, ti) =
+                        self.gamma.value.data()[ci] * h + self.beta.value.data()[ci];
+                }
+            }
+        }
+        self.xhat = Some(xhat);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let xhat = self.xhat.as_ref().expect("LayerNorm backward before forward");
+        let (b, c, t) = grad.dims3();
+        let mut dx = Tensor::zeros(&[b, c, t]);
+        let cf = c as f32;
+
+        for bi in 0..b {
+            for ti in 0..t {
+                let inv_std = self.inv_std[bi * t + ti];
+                let mut sum_dyg = 0.0f32;
+                let mut sum_dyg_xhat = 0.0f32;
+                for ci in 0..c {
+                    let gy = grad.at3(bi, ci, ti);
+                    let h = xhat.at3(bi, ci, ti);
+                    let g = self.gamma.value.data()[ci];
+                    self.beta.grad.data_mut()[ci] += gy;
+                    self.gamma.grad.data_mut()[ci] += gy * h;
+                    sum_dyg += gy * g;
+                    sum_dyg_xhat += gy * g * h;
+                }
+                for ci in 0..c {
+                    let gy = grad.at3(bi, ci, ti);
+                    let h = xhat.at3(bi, ci, ti);
+                    let g = self.gamma.value.data()[ci];
+                    *dx.at3_mut(bi, ci, ti) =
+                        inv_std / cf * (cf * gy * g - sum_dyg - h * sum_dyg_xhat);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batchnorm_train_normalizes_per_channel() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 4]);
+        let y = bn.forward(&x, Mode::Train);
+        // Each channel should have ~zero mean and ~unit variance.
+        for ci in 0..2 {
+            let row = y.row(0, ci);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        // Prime the running stats with several train batches.
+        let x = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0], &[1, 1, 4]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        let y = bn.forward(&x, Mode::Eval);
+        // After convergence: mean~2, var~0 => output ~ 0 everywhere.
+        assert!(y.data().iter().all(|v| v.abs() < 0.1), "{:?}", y);
+    }
+
+    #[test]
+    fn batchnorm_constant_input_is_finite() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::full(&[2, 1, 3], 5.0);
+        let y = bn.forward(&x, Mode::Train);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn layernorm_normalizes_each_position() {
+        let mut ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 3, 2]);
+        let y = ln.forward(&x, Mode::Train);
+        for ti in 0..2 {
+            let vals: Vec<f32> = (0..3).map(|c| y.at3(0, c, ti)).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn norm_layers_expose_params() {
+        let mut bn = BatchNorm1d::new(8);
+        assert_eq!(bn.num_params(), 16);
+        let mut ln = LayerNorm::new(8);
+        assert_eq!(ln.num_params(), 16);
+    }
+}

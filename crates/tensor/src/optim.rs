@@ -1,0 +1,218 @@
+//! Optimizers. State is kept inside the optimizer, keyed by the stable
+//! visit order of [`crate::layer::Layer::visit_params`], so layers stay free
+//! of optimizer concerns.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum and decoupled weight decay.
+    pub fn with_options(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Applies one update using the gradients accumulated in `model`.
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i] + wd * p.value.data()[i];
+                let vi = momentum * v.data()[i] + g;
+                v.data_mut()[i] = vi;
+                p.value.data_mut()[i] -= lr * vi;
+            }
+            idx += 1;
+        });
+    }
+
+    /// Updates the learning rate (for simple schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam with decoupled weight decay (AdamW-style when `weight_decay > 0`).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard defaults (β1=0.9, β2=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with decoupled weight decay.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        let mut a = Self::new(lr);
+        a.weight_decay = weight_decay;
+        a
+    }
+
+    /// Applies one update using the gradients accumulated in `model`.
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        model.visit_params(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i];
+                let mi = b1 * m.data()[i] + (1.0 - b1) * g;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                let w = p.value.data()[i];
+                p.value.data_mut()[i] = w - lr * (mhat / (vhat.sqrt() + eps) + wd * w);
+            }
+            idx += 1;
+        });
+    }
+
+    /// Updates the learning rate (for simple schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Clips the global gradient norm of `model` to `max_norm`; returns the
+/// pre-clip norm. Useful for the recurrent baselines.
+pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f32) -> f32 {
+    let mut sq = 0.0f32;
+    model.visit_params(&mut |p| {
+        sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+    });
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| p.grad.scale_inplace(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+    use crate::layer::{Mode, Param};
+    use crate::linear::Linear;
+    use crate::loss::mse;
+    use crate::tensor::Tensor;
+
+    /// Train y = 2x - 1 with a single linear unit; both optimizers should
+    /// drive the loss to ~0.
+    fn fit_line(use_adam: bool) -> f32 {
+        let mut r = rng(9);
+        let mut model = Linear::new(&mut r, 1, 1);
+        let xs = Tensor::from_vec(vec![-1.0, 0.0, 1.0, 2.0], &[4, 1]);
+        let ys = Tensor::from_vec(vec![-3.0, -1.0, 1.0, 3.0], &[4, 1]);
+        let mut sgd = Sgd::with_options(0.1, 0.9, 0.0);
+        let mut adam = Adam::new(0.1);
+        let mut last = f32::MAX;
+        for _ in 0..200 {
+            model.zero_grad();
+            let pred = model.forward(&xs, Mode::Train);
+            let (l, g) = mse(&pred, &ys);
+            model.backward(&g);
+            if use_adam {
+                adam.step(&mut model);
+            } else {
+                sgd.step(&mut model);
+            }
+            last = l;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_fits_a_line() {
+        assert!(fit_line(false) < 1e-3);
+    }
+
+    #[test]
+    fn adam_fits_a_line() {
+        assert!(fit_line(true) < 1e-3);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        struct OneParam(Param);
+        impl Layer for OneParam {
+            fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+                x.clone()
+            }
+            fn backward(&mut self, g: &Tensor) -> Tensor {
+                g.clone()
+            }
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                f(&mut self.0);
+            }
+        }
+        let mut p = OneParam(Param::new(Tensor::zeros(&[4])));
+        p.0.grad = Tensor::from_slice(&[3.0, 4.0, 0.0, 0.0]); // norm 5
+        let pre = clip_grad_norm(&mut p, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((p.0.grad.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut r = rng(10);
+        let mut model = Linear::new(&mut r, 2, 2);
+        let before: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p| n += p.value.norm());
+            n
+        };
+        // Zero gradients: only decay acts.
+        let mut adam = Adam::with_weight_decay(0.01, 0.5);
+        model.zero_grad();
+        for _ in 0..10 {
+            adam.step(&mut model);
+        }
+        let after: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p| n += p.value.norm());
+            n
+        };
+        assert!(after < before);
+    }
+}

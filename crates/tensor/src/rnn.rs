@@ -1,0 +1,392 @@
+//! Gated recurrent units with full backpropagation through time, plus the
+//! bidirectional wrapper used by the CRNN and BiGRU baselines.
+//!
+//! Inputs follow the workspace convention `[batch, channels, time]`; the
+//! recurrence runs along the time axis and the hidden state is exposed as
+//! output channels.
+
+use crate::init;
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Per-timestep caches needed by BPTT.
+struct StepCache {
+    x: Tensor,      // [b, in]
+    h_prev: Tensor, // [b, h]
+    r: Tensor,      // [b, h]
+    z: Tensor,      // [b, h]
+    n: Tensor,      // [b, h]
+    hn_pre: Tensor, // [b, h]  (W_hn h_prev + b_hn), gated by r inside n
+}
+
+/// A unidirectional GRU producing the full hidden sequence `[b, hidden, t]`.
+///
+/// Gate equations follow the PyTorch convention:
+/// `r = σ(W_ir x + b_ir + W_hr h + b_hr)`,
+/// `z = σ(W_iz x + b_iz + W_hz h + b_hz)`,
+/// `n = tanh(W_in x + b_in + r ∘ (W_hn h + b_hn))`,
+/// `h' = (1 - z) ∘ n + z ∘ h`.
+pub struct Gru {
+    in_f: usize,
+    hidden: usize,
+    /// Stacked input weights `[3*hidden, in]` in gate order (r, z, n).
+    w_i: Param,
+    /// Stacked hidden weights `[3*hidden, hidden]` in gate order (r, z, n).
+    w_h: Param,
+    b_i: Param,
+    b_h: Param,
+    /// Process the sequence right-to-left (used by the bidirectional wrapper).
+    reverse: bool,
+    steps: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a forward-direction GRU.
+    pub fn new(rng: &mut impl Rng, in_f: usize, hidden: usize) -> Self {
+        Self::with_direction(rng, in_f, hidden, false)
+    }
+
+    /// Creates a GRU that optionally scans the sequence in reverse.
+    pub fn with_direction(rng: &mut impl Rng, in_f: usize, hidden: usize, reverse: bool) -> Self {
+        let w_i = Param::new(init::xavier_uniform(rng, &[3 * hidden, in_f], in_f, hidden));
+        let w_h = Param::new(init::xavier_uniform(rng, &[3 * hidden, hidden], hidden, hidden));
+        Gru {
+            in_f,
+            hidden,
+            w_i,
+            w_h,
+            b_i: Param::new(Tensor::zeros(&[3 * hidden])),
+            b_h: Param::new(Tensor::zeros(&[3 * hidden])),
+            reverse,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Extracts timestep `t` as a `[b, in]` matrix.
+    fn slice_t(x: &Tensor, t: usize) -> Tensor {
+        let (b, c, tt) = x.dims3();
+        let mut out = Tensor::zeros(&[b, c]);
+        for bi in 0..b {
+            for ci in 0..c {
+                *out.at2_mut(bi, ci) = x.data()[(bi * c + ci) * tt + t];
+            }
+        }
+        out
+    }
+
+    /// `x [b, in] * w[rows, in]^T + bias-slice` restricted to one gate block.
+    fn gate_pre(x: &Tensor, w: &Tensor, b: &Tensor, gate: usize, hidden: usize) -> Tensor {
+        let (batch, in_f) = x.dims2();
+        let mut out = Tensor::zeros(&[batch, hidden]);
+        let wdata = w.data();
+        for bi in 0..batch {
+            let xr = &x.data()[bi * in_f..(bi + 1) * in_f];
+            for hi in 0..hidden {
+                let row = gate * hidden + hi;
+                let wr = &wdata[row * in_f..(row + 1) * in_f];
+                let mut acc = b.data()[row];
+                for (xv, wv) in xr.iter().zip(wr) {
+                    acc += xv * wv;
+                }
+                *out.at2_mut(bi, hi) = acc;
+            }
+        }
+        out
+    }
+
+    /// Accumulates `dW[gate block] += dpre^T x` and `db[gate block] += sum dpre`,
+    /// returning `dx += dpre W[gate block]`.
+    fn gate_back(
+        dpre: &Tensor,
+        x: &Tensor,
+        w: &mut Param,
+        b: &mut Param,
+        gate: usize,
+        hidden: usize,
+        dx: &mut Tensor,
+    ) {
+        let (batch, in_f) = x.dims2();
+        for bi in 0..batch {
+            let xr = &x.data()[bi * in_f..(bi + 1) * in_f];
+            for hi in 0..hidden {
+                let g = dpre.at2(bi, hi);
+                if g == 0.0 {
+                    continue;
+                }
+                let row = gate * hidden + hi;
+                b.grad.data_mut()[row] += g;
+                let wg = &mut w.grad.data_mut()[row * in_f..(row + 1) * in_f];
+                for (wgv, &xv) in wg.iter_mut().zip(xr) {
+                    *wgv += g * xv;
+                }
+                let wr = &w.value.data()[row * in_f..(row + 1) * in_f];
+                let dxr = &mut dx.data_mut()[bi * in_f..(bi + 1) * in_f];
+                for (dxv, &wv) in dxr.iter_mut().zip(wr) {
+                    *dxv += g * wv;
+                }
+            }
+        }
+    }
+}
+
+const GATE_R: usize = 0;
+const GATE_Z: usize = 1;
+const GATE_N: usize = 2;
+
+impl Layer for Gru {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (b, c, t) = x.dims3();
+        assert_eq!(c, self.in_f, "Gru expected {} input channels, got {c}", self.in_f);
+        let h = self.hidden;
+        let mut out = Tensor::zeros(&[b, h, t]);
+        let mut h_prev = Tensor::zeros(&[b, h]);
+        self.steps.clear();
+        self.steps.reserve(t);
+
+        let order: Vec<usize> =
+            if self.reverse { (0..t).rev().collect() } else { (0..t).collect() };
+        for &ti in &order {
+            let xt = Self::slice_t(x, ti);
+            let r_pre = Self::gate_pre(&xt, &self.w_i.value, &self.b_i.value, GATE_R, h)
+                .add(&Self::gate_pre(&h_prev, &self.w_h.value, &self.b_h.value, GATE_R, h));
+            let z_pre = Self::gate_pre(&xt, &self.w_i.value, &self.b_i.value, GATE_Z, h)
+                .add(&Self::gate_pre(&h_prev, &self.w_h.value, &self.b_h.value, GATE_Z, h));
+            let r = r_pre.map(crate::activation::sigmoid);
+            let z = z_pre.map(crate::activation::sigmoid);
+            let hn_pre = Self::gate_pre(&h_prev, &self.w_h.value, &self.b_h.value, GATE_N, h);
+            let n_pre = Self::gate_pre(&xt, &self.w_i.value, &self.b_i.value, GATE_N, h)
+                .add(&r.mul(&hn_pre));
+            let n = n_pre.map(f32::tanh);
+            // h' = (1 - z) n + z h_prev
+            let mut h_new = Tensor::zeros(&[b, h]);
+            for i in 0..b * h {
+                h_new.data_mut()[i] =
+                    (1.0 - z.data()[i]) * n.data()[i] + z.data()[i] * h_prev.data()[i];
+            }
+            for bi in 0..b {
+                for hi in 0..h {
+                    *out.at3_mut(bi, hi, ti) = h_new.at2(bi, hi);
+                }
+            }
+            self.steps.push(StepCache { x: xt, h_prev: h_prev.clone(), r, z, n, hn_pre });
+            h_prev = h_new;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (b, h, t) = grad.dims3();
+        assert_eq!(h, self.hidden);
+        let mut dx = Tensor::zeros(&[b, self.in_f, t]);
+        let mut dh_next = Tensor::zeros(&[b, h]);
+
+        let order: Vec<usize> =
+            if self.reverse { (0..t).rev().collect() } else { (0..t).collect() };
+        // Walk the cached steps backwards (they were pushed in scan order).
+        for (step_idx, &ti) in order.iter().enumerate().rev() {
+            let cache = &self.steps[step_idx];
+            // dh = upstream grad at this timestep + carry from the next step.
+            let mut dh = dh_next.clone();
+            for bi in 0..b {
+                for hi in 0..h {
+                    *dh.at2_mut(bi, hi) += grad.at3(bi, hi, ti);
+                }
+            }
+            let mut dz = Tensor::zeros(&[b, h]);
+            let mut dn = Tensor::zeros(&[b, h]);
+            let mut dh_prev = Tensor::zeros(&[b, h]);
+            for i in 0..b * h {
+                let dhv = dh.data()[i];
+                dz.data_mut()[i] = dhv * (cache.h_prev.data()[i] - cache.n.data()[i]);
+                dn.data_mut()[i] = dhv * (1.0 - cache.z.data()[i]);
+                dh_prev.data_mut()[i] = dhv * cache.z.data()[i];
+            }
+            // Through tanh.
+            let mut dn_pre = Tensor::zeros(&[b, h]);
+            for i in 0..b * h {
+                let nv = cache.n.data()[i];
+                dn_pre.data_mut()[i] = dn.data()[i] * (1.0 - nv * nv);
+            }
+            // n_pre = W_in x + b_in + r*hn_pre
+            let mut dr = Tensor::zeros(&[b, h]);
+            let mut dhn_pre = Tensor::zeros(&[b, h]);
+            for i in 0..b * h {
+                dr.data_mut()[i] = dn_pre.data()[i] * cache.hn_pre.data()[i];
+                dhn_pre.data_mut()[i] = dn_pre.data()[i] * cache.r.data()[i];
+            }
+            // Through the sigmoids.
+            let mut dr_pre = Tensor::zeros(&[b, h]);
+            let mut dz_pre = Tensor::zeros(&[b, h]);
+            for i in 0..b * h {
+                let rv = cache.r.data()[i];
+                let zv = cache.z.data()[i];
+                dr_pre.data_mut()[i] = dr.data()[i] * rv * (1.0 - rv);
+                dz_pre.data_mut()[i] = dz.data()[i] * zv * (1.0 - zv);
+            }
+            // Input-side contributions.
+            let mut dxt = Tensor::zeros(&[b, self.in_f]);
+            Gru::gate_back(&dr_pre, &cache.x, &mut self.w_i, &mut self.b_i, GATE_R, h, &mut dxt);
+            Gru::gate_back(&dz_pre, &cache.x, &mut self.w_i, &mut self.b_i, GATE_Z, h, &mut dxt);
+            Gru::gate_back(&dn_pre, &cache.x, &mut self.w_i, &mut self.b_i, GATE_N, h, &mut dxt);
+            // Hidden-side contributions.
+            Gru::gate_back(&dr_pre, &cache.h_prev, &mut self.w_h, &mut self.b_h, GATE_R, h, &mut dh_prev);
+            Gru::gate_back(&dz_pre, &cache.h_prev, &mut self.w_h, &mut self.b_h, GATE_Z, h, &mut dh_prev);
+            Gru::gate_back(&dhn_pre, &cache.h_prev, &mut self.w_h, &mut self.b_h, GATE_N, h, &mut dh_prev);
+
+            for bi in 0..b {
+                for ci in 0..self.in_f {
+                    *dx.at3_mut(bi, ci, ti) += dxt.at2(bi, ci);
+                }
+            }
+            dh_next = dh_prev;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w_i);
+        f(&mut self.w_h);
+        f(&mut self.b_i);
+        f(&mut self.b_h);
+    }
+}
+
+/// Bidirectional GRU: concatenates a forward and a reverse GRU along the
+/// channel axis, producing `[b, 2*hidden, t]`.
+pub struct BiGru {
+    fwd: Gru,
+    bwd: Gru,
+}
+
+impl BiGru {
+    /// Creates a bidirectional GRU; each direction has `hidden` units.
+    pub fn new(rng: &mut impl Rng, in_f: usize, hidden: usize) -> Self {
+        BiGru {
+            fwd: Gru::with_direction(rng, in_f, hidden, false),
+            bwd: Gru::with_direction(rng, in_f, hidden, true),
+        }
+    }
+
+    /// Per-direction hidden size (output channels are twice this).
+    pub fn hidden(&self) -> usize {
+        self.fwd.hidden()
+    }
+}
+
+impl Layer for BiGru {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let yf = self.fwd.forward(x, mode);
+        let yb = self.bwd.forward(x, mode);
+        let (b, h, t) = yf.dims3();
+        let mut out = Tensor::zeros(&[b, 2 * h, t]);
+        for bi in 0..b {
+            for hi in 0..h {
+                out.row_mut(bi, hi).copy_from_slice(yf.row(bi, hi));
+                out.row_mut(bi, h + hi).copy_from_slice(yb.row(bi, hi));
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (b, h2, t) = grad.dims3();
+        let h = h2 / 2;
+        let mut gf = Tensor::zeros(&[b, h, t]);
+        let mut gb = Tensor::zeros(&[b, h, t]);
+        for bi in 0..b {
+            for hi in 0..h {
+                gf.row_mut(bi, hi).copy_from_slice(grad.row(bi, hi));
+                gb.row_mut(bi, hi).copy_from_slice(grad.row(bi, h + hi));
+            }
+        }
+        let mut dx = self.fwd.backward(&gf);
+        dx.add_assign(&self.bwd.backward(&gb));
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fwd.visit_params(f);
+        self.bwd.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn_tensor, rng};
+
+    #[test]
+    fn gru_output_shape() {
+        let mut r = rng(0);
+        let mut gru = Gru::new(&mut r, 3, 5);
+        let x = randn_tensor(&mut r, &[2, 3, 7], 1.0);
+        let y = gru.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 5, 7]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn gru_zero_input_zero_weights_gives_zero() {
+        let mut r = rng(1);
+        let mut gru = Gru::new(&mut r, 2, 3);
+        gru.w_i.value.fill(0.0);
+        gru.w_h.value.fill(0.0);
+        let x = Tensor::zeros(&[1, 2, 4]);
+        let y = gru.forward(&x, Mode::Eval);
+        // With zero weights and biases, n = tanh(0) = 0 and h stays 0.
+        assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gru_hidden_is_bounded() {
+        // GRU hidden state is a convex combination of tanh outputs: |h| <= 1.
+        let mut r = rng(2);
+        let mut gru = Gru::new(&mut r, 2, 4);
+        let x = randn_tensor(&mut r, &[2, 2, 20], 10.0);
+        let y = gru.forward(&x, Mode::Eval);
+        assert!(y.data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn reverse_gru_sees_sequence_backwards() {
+        // With a reverse GRU, the output at the LAST timestep only depends on
+        // the last input; flipping the rest of the input must not change it.
+        let mut r = rng(3);
+        let mut gru = Gru::with_direction(&mut r, 1, 3, true);
+        let x1 = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 4]);
+        let x2 = Tensor::from_vec(vec![5.0, -1.0, 0.0, 9.0], &[1, 1, 4]);
+        let y1 = gru.forward(&x1, Mode::Eval);
+        let last1: Vec<f32> = (0..3).map(|h| y1.at3(0, h, 3)).collect();
+        let y2 = gru.forward(&x2, Mode::Eval);
+        let last2: Vec<f32> = (0..3).map(|h| y2.at3(0, h, 3)).collect();
+        for (a, b) in last1.iter().zip(&last2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bigru_doubles_channels() {
+        let mut r = rng(4);
+        let mut g = BiGru::new(&mut r, 3, 6);
+        let x = randn_tensor(&mut r, &[2, 3, 5], 1.0);
+        let y = g.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 12, 5]);
+        let gx = g.backward(&Tensor::full(&[2, 12, 5], 0.1));
+        assert_eq!(gx.shape(), &[2, 3, 5]);
+        assert!(gx.all_finite());
+    }
+
+    #[test]
+    fn gru_param_count() {
+        let mut r = rng(5);
+        let mut gru = Gru::new(&mut r, 4, 8);
+        // w_i: 3*8*4, w_h: 3*8*8, b_i + b_h: 2*3*8
+        assert_eq!(gru.num_params(), 96 + 192 + 48);
+    }
+}

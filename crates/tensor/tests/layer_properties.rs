@@ -1,0 +1,139 @@
+//! Property-based tests for the NN substrate: algebraic identities that must
+//! hold for any input, complementing the pointwise numerical gradient checks.
+
+use nilm_tensor::activation::{softmax_rows, Sigmoid};
+use nilm_tensor::conv::{Conv1d, Padding};
+use nilm_tensor::init::rng;
+use nilm_tensor::layer::{Layer, Mode};
+use nilm_tensor::loss::{bce_with_logits, cross_entropy};
+use nilm_tensor::pool::{AvgPool1d, GlobalAvgPool1d};
+use nilm_tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Convolution is linear: conv(a*x + b*y) == a*conv(x) + b*conv(y)
+    /// (bias-free).
+    #[test]
+    fn conv_is_linear(xs in signal(24), ys in signal(24), a in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let mut r = rng(1);
+        let mut conv = Conv1d::with_options(&mut r, 1, 2, 3, Padding::Same, 1, 1, false);
+        let x = Tensor::from_vec(xs.clone(), &[1, 1, 24]);
+        let y = Tensor::from_vec(ys.clone(), &[1, 1, 24]);
+        let combo = Tensor::from_vec(
+            xs.iter().zip(&ys).map(|(u, v)| a * u + b * v).collect(),
+            &[1, 1, 24],
+        );
+        let out_combo = conv.forward(&combo, Mode::Eval);
+        let out_x = conv.forward(&x, Mode::Eval);
+        let out_y = conv.forward(&y, Mode::Eval);
+        for i in 0..out_combo.len() {
+            let expect = a * out_x.data()[i] + b * out_y.data()[i];
+            prop_assert!((out_combo.data()[i] - expect).abs() < 1e-3,
+                "linearity violated at {i}: {} vs {}", out_combo.data()[i], expect);
+        }
+    }
+
+    /// Stride-1 valid convolution is shift-equivariant: shifting the input
+    /// by k shifts the output by k.
+    #[test]
+    fn conv_valid_is_shift_equivariant(xs in signal(20), shift in 1usize..4) {
+        let mut r = rng(2);
+        let mut conv = Conv1d::with_options(&mut r, 1, 1, 3, Padding::Valid, 1, 1, false);
+        let x = Tensor::from_vec(xs.clone(), &[1, 1, 20]);
+        let mut shifted = vec![0.0f32; 20 + shift];
+        shifted[shift..].copy_from_slice(&xs);
+        let xs_shift = Tensor::from_vec(shifted, &[1, 1, 20 + shift]);
+        let out = conv.forward(&x, Mode::Eval);
+        let out_shift = conv.forward(&xs_shift, Mode::Eval);
+        // out_shift[shift + i] == out[i]
+        for i in 0..out.len() {
+            prop_assert!((out_shift.data()[shift + i] - out.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax is invariant to constant shifts of the logits.
+    #[test]
+    fn softmax_shift_invariant(xs in signal(6), c in -50.0f32..50.0) {
+        let x = Tensor::from_vec(xs.clone(), &[1, 6]);
+        let x_shift = Tensor::from_vec(xs.iter().map(|v| v + c).collect(), &[1, 6]);
+        let p = softmax_rows(&x);
+        let q = softmax_rows(&x_shift);
+        for (a, b) in p.data().iter().zip(q.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// GAP equals AvgPool with window = full length.
+    #[test]
+    fn gap_equals_full_avgpool(xs in signal(16)) {
+        let x = Tensor::from_vec(xs, &[1, 1, 16]);
+        let mut gap = GlobalAvgPool1d::default();
+        let mut ap = AvgPool1d::new(16);
+        let g = gap.forward(&x, Mode::Eval);
+        let a = ap.forward(&x, Mode::Eval);
+        prop_assert!((g.data()[0] - a.data()[0]).abs() < 1e-5);
+    }
+
+    /// Sigmoid output is in (0,1) and monotone.
+    #[test]
+    fn sigmoid_is_bounded_and_monotone(xs in signal(8)) {
+        let mut sig = Sigmoid::default();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let y = sig.forward(&Tensor::from_vec(sorted, &[8]), Mode::Eval);
+        prop_assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(y.data().windows(2).all(|w| w[0] <= w[1] + 1e-7));
+    }
+
+    /// Cross-entropy is minimized by the true class: pushing the true logit
+    /// up never increases the loss.
+    #[test]
+    fn cross_entropy_decreases_with_true_logit(xs in signal(4), delta in 0.1f32..5.0) {
+        let x = Tensor::from_vec(xs.clone(), &[1, 4]);
+        let (l1, _) = cross_entropy(&x, &[2]);
+        let mut boosted = xs.clone();
+        boosted[2] += delta;
+        let (l2, _) = cross_entropy(&Tensor::from_vec(boosted, &[1, 4]), &[2]);
+        prop_assert!(l2 <= l1 + 1e-6);
+    }
+
+    /// BCE-with-logits gradient always points from prediction toward target.
+    #[test]
+    fn bce_gradient_sign(logit in -10.0f32..10.0, target in 0.0f32..1.0) {
+        let x = Tensor::from_slice(&[logit]);
+        let t = Tensor::from_slice(&[target]);
+        let (_, g) = bce_with_logits(&x, &t);
+        let p = nilm_tensor::activation::sigmoid(logit);
+        prop_assert!((g.data()[0] - (p - target)).abs() < 1e-5);
+    }
+
+    /// Conv output length formulas are consistent with actual output shapes.
+    #[test]
+    fn conv_out_len_matches_forward(
+        len in 8usize..40,
+        k in 1usize..6,
+        stride in 1usize..3,
+        dilation in 1usize..3,
+    ) {
+        prop_assume!((k - 1) * dilation + 1 <= len);
+        let mut r = rng(3);
+        let mut conv = Conv1d::with_options(&mut r, 1, 1, k, Padding::Valid, stride, dilation, true);
+        let x = Tensor::zeros(&[1, 1, len]);
+        let y = conv.forward(&x, Mode::Eval);
+        prop_assert_eq!(y.dims3().2, conv.out_len(len));
+    }
+
+    /// Same-padding convs preserve length for every stride-1 configuration.
+    #[test]
+    fn same_padding_preserves_length(len in 4usize..64, k in 1usize..26) {
+        let mut r = rng(4);
+        let conv = Conv1d::new(&mut r, 1, 1, k, Padding::Same);
+        prop_assert_eq!(conv.out_len(len), len);
+    }
+}

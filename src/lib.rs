@@ -1,0 +1,1 @@
+//! Umbrella crate re-exporting the CamAL reproduction workspace.

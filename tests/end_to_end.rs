@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: simulator → preprocessing → CamAL →
+//! metrics, exercised end to end at smoke scale.
+
+use camal::{CamalConfig, CamalModel};
+use nilm_data::prelude::*;
+use nilm_models::TrainConfig;
+
+fn fast_cfg() -> CamalConfig {
+    CamalConfig {
+        n_ensemble: 2,
+        kernels: vec![5, 9],
+        trials: 1,
+        width_div: 16,
+        train: TrainConfig { epochs: 6, batch_size: 16, lr: 2e-3, clip: 0.0, seed: 1 },
+        ..CamalConfig::default()
+    }
+}
+
+fn small_dataset(seed: u64) -> Dataset {
+    let scale = ScaleOverride {
+        submetered_houses: Some(6),
+        days_per_house: Some(3),
+        ..Default::default()
+    };
+    generate_dataset(&refit(), scale, seed)
+}
+
+#[test]
+fn camal_beats_trivial_baselines_on_simulated_refit() {
+    let ds = small_dataset(99);
+    let case = prepare_case(&ds, ApplianceKind::Kettle, 128, &SplitConfig::default());
+    let mut model = CamalModel::train(&fast_cfg(), &case.train, &case.val, 4);
+    let report = model.evaluate(&case.test, 2000.0, 16);
+
+    // Trivial baselines computed on the same test windows.
+    let mut all_on = nilm_metrics::Confusion::default();
+    let mut all_off = nilm_metrics::Confusion::default();
+    for w in &case.test.windows {
+        for &t in &w.status {
+            all_on.push(true, t != 0);
+            all_off.push(false, t != 0);
+        }
+    }
+    assert!(
+        report.localization.f1 > all_on.f1(),
+        "CamAL F1 {:.3} must beat always-ON {:.3}",
+        report.localization.f1,
+        all_on.f1()
+    );
+    assert!(report.detection.balanced_accuracy > 0.6);
+}
+
+#[test]
+fn pipeline_is_deterministic_given_seeds() {
+    let ds = small_dataset(5);
+    let case = prepare_case(&ds, ApplianceKind::Kettle, 128, &SplitConfig::default());
+    let cfg = fast_cfg();
+    let mut m1 = CamalModel::train(&cfg, &case.train, &case.val, 1);
+    let mut m2 = CamalModel::train(&cfg, &case.train, &case.val, 1);
+    let r1 = m1.evaluate(&case.test, 2000.0, 16);
+    let r2 = m2.evaluate(&case.test, 2000.0, 16);
+    assert_eq!(r1.localization.f1, r2.localization.f1);
+    assert_eq!(r1.energy.mae, r2.energy.mae);
+}
+
+#[test]
+fn power_estimates_never_exceed_aggregate() {
+    let ds = small_dataset(17);
+    let case = prepare_case(&ds, ApplianceKind::Dishwasher, 128, &SplitConfig::default());
+    let mut model = CamalModel::train(&fast_cfg(), &case.train, &case.val, 4);
+    let loc = model.localize_set(&case.test, 16);
+    for (i, w) in case.test.windows.iter().enumerate() {
+        let est = camal::estimate_power(&loc.status[i], 800.0, &w.aggregate_w);
+        for (p, x) in est.iter().zip(&w.aggregate_w) {
+            assert!(*p <= x.max(0.0) + 1e-3, "estimate {p} exceeds aggregate {x}");
+        }
+    }
+}
+
+#[test]
+fn weak_labels_are_consistent_with_strong_labels() {
+    let ds = small_dataset(31);
+    for kind in [ApplianceKind::Kettle, ApplianceKind::Dishwasher] {
+        let case = prepare_case(&ds, kind, 128, &SplitConfig::default());
+        for split in [&case.train, &case.val, &case.test] {
+            for w in &split.windows {
+                let any_on = w.status.iter().any(|&s| s == 1);
+                assert_eq!(any_on, w.weak_label == 1, "weak label inconsistent");
+            }
+        }
+    }
+}
+
+#[test]
+fn soft_label_round_trip_trains_a_baseline() {
+    use nilm_eval::runner::evaluate_frame_model;
+    use nilm_models::baselines::BaselineKind;
+    use nilm_models::train_soft;
+
+    let ds = small_dataset(43);
+    let case = prepare_case(&ds, ApplianceKind::Kettle, 128, &SplitConfig::default());
+    let mut camal_model = CamalModel::train(&fast_cfg(), &case.train, &case.val, 4);
+    let soft = camal_model.soft_labels(&case.train, 16);
+    assert_eq!(soft.len(), case.train.len());
+
+    let mut rng = nilm_tensor::init::rng(3);
+    let mut baseline = BaselineKind::TpNilm.build(&mut rng, 16);
+    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let stats = train_soft(baseline.as_mut(), &case.train, &soft, &cfg);
+    assert!(stats.final_loss().is_finite());
+    let report = evaluate_frame_model(baseline.as_mut(), &case.test, 2000.0);
+    assert!(report.localization.f1.is_finite());
+}
+
+#[test]
+fn possession_only_training_works_end_to_end() {
+    let scale = ScaleOverride {
+        submetered_houses: Some(4),
+        possession_only_houses: Some(12),
+        days_per_house: Some(3),
+    };
+    let ds = generate_dataset(&ideal(), scale, 8);
+    let case = prepare_possession_case(&ds, ApplianceKind::Shower, 64, &SplitConfig::default());
+    assert!(case.train.positives() > 0, "need positive survey houses");
+    assert!(case.train.positives() < case.train.len(), "need negative survey houses");
+    let mut model = CamalModel::train(&fast_cfg(), &case.train, &case.val, 4);
+    let report = model.evaluate(&case.test, 8000.0, 16);
+    assert!(report.localization.f1.is_finite());
+    assert!(report.detection.balanced_accuracy >= 0.4);
+}

@@ -1,0 +1,164 @@
+//! Cross-crate property-based tests (proptest) pinning the invariants that
+//! DESIGN.md §7 calls out.
+
+use camal::localize::{attention_status, normalize_cam, standardize};
+use nilm_data::preprocess::{forward_fill, resample, slice_windows, status_from_power};
+use nilm_data::series::TimeSeries;
+use nilm_data::windows::WindowSet;
+use nilm_metrics::{balanced_accuracy, f1_score, matching_ratio};
+use proptest::prelude::*;
+
+fn finite_power() -> impl Strategy<Value = f32> {
+    (0.0f32..12_000.0).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn normalized_cam_stays_in_unit_interval(mut cam in proptest::collection::vec(-100.0f32..100.0, 1..256)) {
+        normalize_cam(&mut cam);
+        prop_assert!(cam.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn attention_scores_are_probabilities(
+        cam in proptest::collection::vec(0.0f32..1.0, 16..64),
+        xs in proptest::collection::vec(finite_power(), 16..64),
+        margin in 0.0f32..2.0,
+    ) {
+        let n = cam.len().min(xs.len());
+        let (status, scores) = attention_status(&cam[..n], &xs[..n], margin);
+        prop_assert_eq!(status.len(), n);
+        prop_assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Status is exactly scores > 0.5.
+        for (st, sc) in status.iter().zip(&scores) {
+            prop_assert_eq!(*st == 1, *sc > 0.5);
+        }
+    }
+
+    #[test]
+    fn standardize_output_is_centered(xs in proptest::collection::vec(finite_power(), 2..128)) {
+        let z = standardize(&xs);
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        prop_assert!(mean.abs() < 1e-2, "mean {}", mean);
+    }
+
+    #[test]
+    fn matching_ratio_is_bounded_and_symmetric(
+        a in proptest::collection::vec(finite_power(), 1..64),
+        b in proptest::collection::vec(finite_power(), 1..64),
+    ) {
+        let n = a.len().min(b.len());
+        let mr = matching_ratio(&a[..n], &b[..n]);
+        prop_assert!((0.0..=1.0).contains(&mr));
+        let mr2 = matching_ratio(&b[..n], &a[..n]);
+        prop_assert!((mr - mr2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_metrics_are_bounded(
+        pred in proptest::collection::vec(0u8..2, 1..256),
+        truth in proptest::collection::vec(0u8..2, 1..256),
+    ) {
+        let n = pred.len().min(truth.len());
+        let f1 = f1_score(&pred[..n], &truth[..n]);
+        let ba = balanced_accuracy(&pred[..n], &truth[..n]);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&ba));
+    }
+
+    #[test]
+    fn perfect_prediction_maximizes_metrics(truth in proptest::collection::vec(0u8..2, 1..128)) {
+        prop_assert_eq!(f1_score(&truth, &truth), 1.0);
+        prop_assert_eq!(balanced_accuracy(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn resampling_preserves_mean_of_clean_series(
+        values in proptest::collection::vec(finite_power(), 40..200),
+        ratio in 2u32..5,
+    ) {
+        let n = values.len() - values.len() % ratio as usize;
+        let series = TimeSeries::new(values[..n].to_vec(), 60);
+        let resampled = resample(&series, 60 * ratio);
+        if !resampled.is_empty() {
+            let orig = series.values[..resampled.len() * ratio as usize]
+                .iter().map(|&v| v as f64).sum::<f64>() / (resampled.len() * ratio as usize) as f64;
+            let new = resampled.values.iter().map(|&v| v as f64).sum::<f64>() / resampled.len() as f64;
+            prop_assert!((orig - new).abs() < 1.0, "orig {} new {}", orig, new);
+        }
+    }
+
+    #[test]
+    fn forward_fill_never_fills_beyond_max_gap(
+        mut values in proptest::collection::vec(finite_power(), 16..128),
+        gap_start in 1usize..8,
+        gap_len in 1usize..12,
+        max_gap in 1u32..6,
+    ) {
+        let start = gap_start.min(values.len() - 1);
+        let end = (start + gap_len).min(values.len());
+        for v in &mut values[start..end] {
+            *v = f32::NAN;
+        }
+        let series = TimeSeries::new(values, 60);
+        let filled = forward_fill(&series, 60 * max_gap);
+        let run = end - start;
+        if run > max_gap as usize {
+            // Long gaps must remain missing.
+            prop_assert!(filled.values[start..end].iter().all(|v| v.is_nan()));
+        } else {
+            // Short gaps are filled (there is a valid value before start).
+            prop_assert!(filled.values[start..end].iter().all(|v| !v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn status_threshold_is_monotone(
+        values in proptest::collection::vec(finite_power(), 1..64),
+        threshold in 1.0f32..5000.0,
+    ) {
+        let series = TimeSeries::new(values, 60);
+        let low = status_from_power(&series, threshold);
+        let high = status_from_power(&series, threshold * 2.0);
+        // Raising the threshold can only turn ON samples OFF.
+        for (l, h) in low.iter().zip(&high) {
+            prop_assert!(h <= l);
+        }
+    }
+
+    #[test]
+    fn windows_partition_the_series(
+        values in proptest::collection::vec(finite_power(), 32..256),
+        w in 4usize..32,
+    ) {
+        let agg = TimeSeries::new(values.clone(), 60);
+        let windows = slice_windows(&agg, None, 300.0, w, 0, false);
+        prop_assert_eq!(windows.len(), values.len() / w);
+        // Windows tile the prefix without overlap.
+        for (i, win) in windows.iter().enumerate() {
+            for (j, &x) in win.aggregate_w.iter().enumerate() {
+                prop_assert_eq!(x, values[i * w + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn undersampling_balances_exactly(
+        labels in proptest::collection::vec(0u8..2, 4..64),
+    ) {
+        use nilm_data::preprocess::Window;
+        let windows: Vec<Window> = labels.iter().enumerate().map(|(i, &l)| Window {
+            input: vec![0.0; 8],
+            aggregate_w: vec![0.0; 8],
+            status: vec![l; 8],
+            appliance_w: vec![0.0; 8],
+            weak_label: l,
+            house_id: i,
+        }).collect();
+        let set = WindowSet::new(windows);
+        let mut rng = nilm_tensor::init::rng(0);
+        let balanced = set.balance_undersample(&mut rng);
+        let pos = balanced.positives();
+        prop_assert_eq!(pos * 2, balanced.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration tests pinning the physical invariants of the smart-meter
+//! simulator against the additive aggregation model of the paper (Eq. 1/2).
+
+use nilm_data::prelude::*;
+use std::collections::BTreeSet;
+
+fn owned(kinds: &[ApplianceKind]) -> BTreeSet<ApplianceKind> {
+    kinds.iter().copied().collect()
+}
+
+#[test]
+fn aggregate_is_superposition_of_appliances_plus_noise() {
+    let cfg = SimConfig { days: 3, missing_rate: 0.0, ..Default::default() };
+    let house = generate_house(
+        0,
+        &owned(&[ApplianceKind::Dishwasher, ApplianceKind::Kettle]),
+        &cfg,
+        99,
+    );
+    // Sum of submeters never exceeds the aggregate beyond the noise margin.
+    let n = house.aggregate.len();
+    for t in 0..n {
+        let total: f32 = house.submeters.values().map(|s| s.values[t]).sum();
+        let agg = house.aggregate.values[t];
+        assert!(
+            agg + 6.0 * cfg.noise_w >= total,
+            "t={t}: aggregate {agg} < appliance sum {total}"
+        );
+    }
+}
+
+#[test]
+fn resample_then_threshold_matches_energy_scale() {
+    // Resampling must preserve energy (mean power), so a dishwasher's
+    // energy at 1-minute and 10-minute resolution agree.
+    let cfg = SimConfig { days: 4, missing_rate: 0.0, ..Default::default() };
+    let house = generate_house(1, &owned(&[ApplianceKind::Dishwasher]), &cfg, 7);
+    let sub = &house.submeters[&ApplianceKind::Dishwasher];
+    let resampled = resample(sub, 600);
+    let e1 = sub.energy_wh();
+    let e2 = resampled.energy_wh();
+    let rel = (e1 - e2).abs() / e1.max(1.0);
+    assert!(rel < 0.02, "energy drift {rel} ({e1} vs {e2})");
+}
+
+#[test]
+fn higher_usage_appliances_activate_more_often() {
+    let cfg = SimConfig { days: 14, missing_rate: 0.0, ..Default::default() };
+    let house = generate_house(
+        2,
+        &owned(&[ApplianceKind::Kettle, ApplianceKind::Dishwasher]),
+        &cfg,
+        13,
+    );
+    let on_fraction = |k: ApplianceKind, thr: f32| {
+        let s = &house.submeters[&k];
+        s.values.iter().filter(|&&v| v >= thr).count()
+    };
+    // Kettle runs ~4x/day but only minutes; dishwasher ~0.7x/day for ~2h.
+    // Dishwasher should therefore have more total ON minutes.
+    assert!(on_fraction(ApplianceKind::Dishwasher, 50.0) > on_fraction(ApplianceKind::Kettle, 500.0));
+}
+
+#[test]
+fn survey_datasets_have_balanced_forced_ownership() {
+    let scale = ScaleOverride {
+        possession_only_houses: Some(40),
+        days_per_house: Some(2),
+        ..Default::default()
+    };
+    let ds = generate_dataset(&edf_weak(), scale, 3);
+    let owners = ds
+        .survey_houses
+        .iter()
+        .filter(|h| h.owns(ApplianceKind::ElectricVehicle))
+        .count();
+    // Half the houses force the case appliance; priors add more.
+    assert!(owners >= 20, "only {owners}/40 EV owners");
+    assert!(owners < 40, "every house owns an EV: degenerate survey");
+}
+
+#[test]
+fn edf_ev_template_produces_long_activations() {
+    let scale = ScaleOverride {
+        submetered_houses: Some(4),
+        days_per_house: Some(6),
+        ..Default::default()
+    };
+    let ds = generate_dataset(&edf_ev(), scale, 5);
+    // At 30-minute resolution an EV charge spans multiple samples.
+    let mut longest_run = 0usize;
+    for house in &ds.houses {
+        if let Some(sub) = house.submeters.get(&ApplianceKind::ElectricVehicle) {
+            let resampled = resample(sub, ds.template.step_s);
+            let status = status_from_power(&resampled, 1000.0);
+            let mut run = 0usize;
+            for s in status {
+                if s == 1 {
+                    run += 1;
+                    longest_run = longest_run.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+        }
+    }
+    assert!(longest_run >= 2, "EV charging should span >= 2 half-hour samples");
+}
+
+#[test]
+fn missing_injection_is_bounded_and_fillable() {
+    let cfg = SimConfig { days: 4, missing_rate: 0.01, mean_gap: 2.0, ..Default::default() };
+    let house = generate_house(3, &owned(&[ApplianceKind::Kettle]), &cfg, 21);
+    let missing_before = house.aggregate.missing_count();
+    assert!(missing_before > 0, "expected some gaps at 1% rate");
+    // A generous forward-fill bound removes all interior gaps.
+    let filled = forward_fill(&house.aggregate, 60 * 60 * 24);
+    assert!(filled.missing_count() <= missing_before);
+    // Windows sliced after fill never contain NaN.
+    let windows = slice_windows(&filled, None, 300.0, 64, 0, false);
+    for w in &windows {
+        assert!(w.input.iter().all(|v| v.is_finite()));
+    }
+}
