@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate for the CamAL reproduction workspace.
+#
+# Mirrors the tier-1 verify (`cargo build --release && cargo test -q`) and
+# adds formatting, full-target compilation (benches included), and warning-
+# free documentation. Run from the repository root:
+#
+#   ./ci.sh          # everything
+#   ./ci.sh quick    # skip the release build (debug build + tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo check --workspace --all-targets (benches, bins, examples, tests)"
+cargo check --workspace --all-targets
+
+if [ "$MODE" != "quick" ]; then
+    step "cargo build --release"
+    cargo build --release
+fi
+
+step "cargo test -q (unit, integration, property, doc tests)"
+cargo test -q
+
+step "cargo test -q --workspace (vendored dependency stand-ins included)"
+cargo test -q --workspace
+
+step "cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+step "OK — all checks passed"

@@ -1,8 +1,8 @@
 //! Fig. 1 headline: CamAL trained with weak labels on the dishwasher case.
 
+use camal::CamalModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use nilm_bench::{bench_camal_cfg, bench_case};
-use camal::CamalModel;
 
 fn bench(c: &mut Criterion) {
     let case = bench_case();

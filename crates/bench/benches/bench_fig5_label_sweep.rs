@@ -2,9 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nilm_bench::{bench_case, bench_scale};
-use nilm_eval::runner::{run_camal, run_baseline, Case};
 use nilm_data::appliance::ApplianceKind;
 use nilm_data::templates::DatasetId;
+use nilm_eval::runner::{run_baseline, run_camal, Case};
 use nilm_models::baselines::BaselineKind;
 
 fn bench(c: &mut Criterion) {
@@ -16,10 +16,16 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_secs(1));
     g.bench_function("camal", |b| {
-        b.iter(|| std::hint::black_box(run_camal(&case, &data, &scale, None).report.localization.f1))
+        b.iter(|| {
+            std::hint::black_box(run_camal(&case, &data, &scale, None).report.localization.f1)
+        })
     });
     g.bench_function("crnn_weak", |b| {
-        b.iter(|| std::hint::black_box(run_baseline(BaselineKind::CrnnWeak, &case, &data, &scale).report.localization.f1))
+        b.iter(|| {
+            std::hint::black_box(
+                run_baseline(BaselineKind::CrnnWeak, &case, &data, &scale).report.localization.f1,
+            )
+        })
     });
     g.finish();
 }

@@ -1,12 +1,13 @@
 //! Fig. 6(a): training at an alternative window length.
 
+use camal::CamalModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use nilm_bench::bench_camal_cfg;
-use camal::CamalModel;
 use nilm_data::prelude::*;
 
 fn bench(c: &mut Criterion) {
-    let scale = ScaleOverride { submetered_houses: Some(5), days_per_house: Some(2), ..Default::default() };
+    let scale =
+        ScaleOverride { submetered_houses: Some(5), days_per_house: Some(2), ..Default::default() };
     let ds = generate_dataset(&refit(), scale, 3);
     let mut g = c.benchmark_group("fig6a_train_at_window");
     g.sample_size(10);

@@ -1,8 +1,8 @@
 //! Fig. 6(c): inference cost as the ensemble grows.
 
+use camal::CamalModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use nilm_bench::{bench_camal_cfg, bench_case};
-use camal::CamalModel;
 
 fn bench(c: &mut Criterion) {
     let case = bench_case();

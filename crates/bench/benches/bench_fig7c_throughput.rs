@@ -1,9 +1,9 @@
 //! Fig. 7(c): inference throughput vs input length — this bench IS the
 //! figure: criterion reports elements/second per input length.
 
+use camal::CamalModel;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nilm_bench::{bench_camal_cfg, bench_case};
-use camal::CamalModel;
 use nilm_data::preprocess::Window;
 use nilm_data::windows::WindowSet;
 use rand::{RngExt, SeedableRng};

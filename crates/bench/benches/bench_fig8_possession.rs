@@ -1,8 +1,8 @@
 //! Fig. 8: the possession-only pipeline (survey windows -> CamAL).
 
+use camal::CamalModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use nilm_bench::bench_camal_cfg;
-use camal::CamalModel;
 use nilm_data::prelude::*;
 
 fn bench(c: &mut Criterion) {

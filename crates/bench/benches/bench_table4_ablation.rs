@@ -1,7 +1,7 @@
 //! Table IV: the attention-sigmoid module vs raw CAM thresholding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use camal::localize::{attention_status, raw_cam_status};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{RngExt, SeedableRng};
 
 fn bench(c: &mut Criterion) {
@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("attention_sigmoid", |b| {
         b.iter(|| std::hint::black_box(attention_status(&cam, &xs, 0.5).0.len()))
     });
-    g.bench_function("raw_cam", |b| {
-        b.iter(|| std::hint::black_box(raw_cam_status(&cam).0.len()))
-    });
+    g.bench_function("raw_cam", |b| b.iter(|| std::hint::black_box(raw_cam_status(&cam).0.len())));
     g.finish();
 }
 

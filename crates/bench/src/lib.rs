@@ -4,6 +4,18 @@
 //! Each benchmark exercises the same code path as the corresponding
 //! `nilm-eval` experiment binary at smoke scale, so `cargo bench` doubles as
 //! a performance regression suite for the reproduction.
+//!
+//! ## Example
+//!
+//! The shared fixtures keep every bench at seconds scale:
+//!
+//! ```
+//! let scale = nilm_bench::bench_scale();
+//! assert_eq!((scale.epochs, scale.trials, scale.n_ensemble), (1, 1, 1));
+//!
+//! let cfg = nilm_bench::bench_camal_cfg();
+//! assert_eq!(cfg.train.epochs, 1);
+//! ```
 
 use camal::{CamalConfig, CamalModel};
 use nilm_data::prelude::*;
@@ -30,11 +42,8 @@ pub fn bench_camal_cfg() -> CamalConfig {
 
 /// A small REFIT kettle case shared by several benches.
 pub fn bench_case() -> CaseData {
-    let scale = ScaleOverride {
-        submetered_houses: Some(5),
-        days_per_house: Some(2),
-        ..Default::default()
-    };
+    let scale =
+        ScaleOverride { submetered_houses: Some(5), days_per_house: Some(2), ..Default::default() };
     let ds = generate_dataset(&refit(), scale, 3);
     prepare_case(&ds, ApplianceKind::Kettle, 128, &SplitConfig::default())
 }

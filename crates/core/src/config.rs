@@ -71,7 +71,7 @@ impl CamalConfig {
     }
 
     /// The Table IV "w/o different kernel" ablation: every member uses
-    /// k_p = 7 (the original ResNet baseline of ref. [14]).
+    /// k_p = 7 (the original ResNet baseline of ref. \[14\]).
     pub fn fixed_kernel(mut self) -> Self {
         self.kernels = vec![7];
         self

@@ -117,9 +117,7 @@ pub fn train_ensemble(
     let jobs: Vec<(usize, u64)> = cfg
         .kernels
         .iter()
-        .flat_map(|&k| {
-            (0..cfg.trials.max(1)).map(move |t| (k, (k as u64) << 32 | t as u64))
-        })
+        .flat_map(|&k| (0..cfg.trials.max(1)).map(move |t| (k, (k as u64) << 32 | t as u64)))
         .collect();
 
     let threads = threads.max(1);
@@ -133,8 +131,13 @@ pub fn train_ensemble(
                     let train_ref = &train_sub;
                     let val_ref = val_set;
                     scope.spawn(move || {
-                        let (net, loss, secs) =
-                            train_candidate(kernel, cfg_ref, train_ref, val_ref, cfg_ref.seed ^ salt);
+                        let (net, loss, secs) = train_candidate(
+                            kernel,
+                            cfg_ref,
+                            train_ref,
+                            val_ref,
+                            cfg_ref.seed ^ salt,
+                        );
                         (kernel, net, loss, secs)
                     })
                 })

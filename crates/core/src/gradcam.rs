@@ -1,4 +1,4 @@
-//! Grad-CAM (Selvaraju et al., paper ref. [12]) adapted to 1-D series, as an
+//! Grad-CAM (Selvaraju et al., paper ref. \[12\]) adapted to 1-D series, as an
 //! alternative explainer for the localization step.
 //!
 //! Grad-CAM weights each feature map by the average gradient of the class

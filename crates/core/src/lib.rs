@@ -32,15 +32,15 @@ pub mod config;
 pub mod gradcam;
 pub mod postprocess;
 
-#[cfg(test)]
-pub(crate) mod test_support;
 pub mod ensemble;
 pub mod localize;
 pub mod model;
 pub mod power;
+#[cfg(test)]
+pub(crate) mod test_support;
 
 pub use config::{CamalConfig, DEFAULT_KERNELS};
-pub use gradcam::{cam_gradcam_divergence, grad_cam};
 pub use ensemble::{train_ensemble, EnsembleMember, EnsembleStats};
+pub use gradcam::{cam_gradcam_divergence, grad_cam};
 pub use model::{report_from_status, CamalModel, CaseReport, Localization};
 pub use power::estimate_power;

@@ -172,10 +172,7 @@ impl CamalModel {
     /// windows yield all-zero labels.
     pub fn soft_labels(&mut self, set: &WindowSet, batch: usize) -> Vec<Vec<f32>> {
         let loc = self.localize_set(set, batch);
-        loc.status
-            .iter()
-            .map(|status| status.iter().map(|&s| s as f32).collect())
-            .collect()
+        loc.status.iter().map(|status| status.iter().map(|&s| s as f32).collect()).collect()
     }
 
     /// Evaluates localization + energy + detection on a ground-truth window

@@ -7,7 +7,7 @@
 //! are long multi-phase cycles with two heating plateaus, EV charging is a
 //! multi-hour constant block, and so on.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// The appliances simulated in this workspace (superset of Table I).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -126,9 +126,7 @@ impl ApplianceKind {
                 let mins = rng.random_range(1..=8);
                 let power: f32 = rng.random_range(900.0..1500.0);
                 // Duty cycling at lower heat settings: some minutes ~40%.
-                (0..mins)
-                    .map(|_| if rng.random_bool(0.25) { power * 0.4 } else { power })
-                    .collect()
+                (0..mins).map(|_| if rng.random_bool(0.25) { power * 0.4 } else { power }).collect()
             }
             ApplianceKind::Dishwasher => {
                 let heat: f32 = rng.random_range(1800.0..2200.0);

@@ -29,7 +29,13 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { days: 14, noise_w: 25.0, missing_rate: 0.0005, mean_gap: 3.0, base_load_w: 150.0 }
+        SimConfig {
+            days: 14,
+            noise_w: 25.0,
+            missing_rate: 0.0005,
+            mean_gap: 3.0,
+            base_load_w: 150.0,
+        }
     }
 }
 
@@ -226,8 +232,7 @@ mod tests {
     #[test]
     fn aggregate_dominates_submeters() {
         // Where not missing, aggregate ≥ submeter - noise margin (Eq. 1).
-        let house =
-            generate_house(1, &owned_set(&[ApplianceKind::Dishwasher]), &small_cfg(), 43);
+        let house = generate_house(1, &owned_set(&[ApplianceKind::Dishwasher]), &small_cfg(), 43);
         let sub = &house.submeters[&ApplianceKind::Dishwasher];
         let mut violations = 0;
         for (a, s) in house.aggregate.values.iter().zip(&sub.values) {

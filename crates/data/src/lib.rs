@@ -45,8 +45,8 @@ pub mod prelude {
     };
     pub use crate::series::TimeSeries;
     pub use crate::templates::{
-        edf_ev, edf_weak, generate_dataset, ideal, refit, template, ukdale, ApplianceCase,
-        Dataset, DatasetId, DatasetTemplate, ScaleOverride,
+        edf_ev, edf_weak, generate_dataset, ideal, refit, template, ukdale, ApplianceCase, Dataset,
+        DatasetId, DatasetTemplate, ScaleOverride,
     };
     pub use crate::windows::{bootstrap, WindowSet};
 }

@@ -100,7 +100,12 @@ pub fn split_houses(n: usize, cfg: &SplitConfig) -> (Vec<usize>, Vec<usize>, Vec
 
 /// Builds the per-case train/val/test window sets from a generated dataset,
 /// using submeter-derived weak labels (the Fig. 5 / Table III regime).
-pub fn prepare_case(ds: &Dataset, kind: ApplianceKind, window: usize, split: &SplitConfig) -> CaseData {
+pub fn prepare_case(
+    ds: &Dataset,
+    kind: ApplianceKind,
+    window: usize,
+    split: &SplitConfig,
+) -> CaseData {
     let case = ds
         .template
         .case(kind)
@@ -222,8 +227,7 @@ mod tests {
     #[test]
     fn possession_case_train_has_no_strong_labels() {
         let ds = tiny_dataset();
-        let cd =
-            prepare_possession_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
+        let cd = prepare_possession_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
         assert!(!cd.train.is_empty());
         for w in &cd.train.windows {
             assert!(w.status.is_empty(), "possession windows must not carry strong labels");
@@ -237,10 +241,14 @@ mod tests {
     #[test]
     fn possession_weak_labels_match_ownership() {
         let ds = tiny_dataset();
-        let cd =
-            prepare_possession_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
+        let cd = prepare_possession_case(&ds, ApplianceKind::Kettle, 64, &SplitConfig::default());
         for w in &cd.train.windows {
-            let owns = ds.survey_houses.iter().find(|h| h.id == w.house_id).unwrap().owns(ApplianceKind::Kettle);
+            let owns = ds
+                .survey_houses
+                .iter()
+                .find(|h| h.id == w.house_id)
+                .unwrap()
+                .owns(ApplianceKind::Kettle);
             assert_eq!(w.weak_label == 1, owns);
         }
     }

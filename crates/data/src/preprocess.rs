@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn forward_fill_respects_max_gap() {
-        let s = TimeSeries::new(vec![1.0, f32::NAN, f32::NAN, 4.0, f32::NAN, f32::NAN, f32::NAN, 8.0], 60);
+        let s = TimeSeries::new(
+            vec![1.0, f32::NAN, f32::NAN, 4.0, f32::NAN, f32::NAN, f32::NAN, 8.0],
+            60,
+        );
         let f = forward_fill(&s, 120); // max 2 samples
         assert_eq!(&f.values[0..4], &[1.0, 1.0, 1.0, 4.0]);
         assert!(f.values[4].is_nan() && f.values[5].is_nan() && f.values[6].is_nan());

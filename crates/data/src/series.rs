@@ -56,7 +56,11 @@ impl TimeSeries {
                 n += 1;
             }
         }
-        if n == 0 { 0.0 } else { (sum / n as f64) as f32 }
+        if n == 0 {
+            0.0
+        } else {
+            (sum / n as f64) as f32
+        }
     }
 
     /// Adds another series elementwise (propagating NaN), padding with the

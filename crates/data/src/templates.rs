@@ -285,7 +285,13 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for id in [DatasetId::UkDale, DatasetId::Refit, DatasetId::Ideal, DatasetId::EdfEv, DatasetId::EdfWeak] {
+        for id in [
+            DatasetId::UkDale,
+            DatasetId::Refit,
+            DatasetId::Ideal,
+            DatasetId::EdfEv,
+            DatasetId::EdfWeak,
+        ] {
             assert_eq!(DatasetId::from_name(id.name()), Some(id));
         }
     }

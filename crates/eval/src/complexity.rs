@@ -59,7 +59,11 @@ pub fn table2_rows(seed: u64) -> Vec<ComplexityRow> {
         } else {
             kind.name().to_string()
         };
-        rows.push(ComplexityRow { model: name, complexity: complexity_expr(kind), params: model.num_params() });
+        rows.push(ComplexityRow {
+            model: name,
+            complexity: complexity_expr(kind),
+            params: model.num_params(),
+        });
     }
     rows
 }

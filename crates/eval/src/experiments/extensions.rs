@@ -109,7 +109,11 @@ fn mean_event_f1(status: &[Vec<u8>], set: &nilm_data::windows::WindowSet) -> f64
         total += f1;
         n += 1;
     }
-    if n == 0 { 0.0 } else { total / n as f64 }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
 }
 
 #[cfg(test)]

@@ -92,7 +92,10 @@ pub fn run(scale: &Scale) -> Table {
             .map(|(i, _)| i)
             .collect();
         let strong_only = WindowSet {
-            windows: strong_only_idx.iter().map(|&i| strong_data.train.windows[i].clone()).collect(),
+            windows: strong_only_idx
+                .iter()
+                .map(|&i| strong_data.train.windows[i].clone())
+                .collect(),
         };
 
         for &kind in kinds {

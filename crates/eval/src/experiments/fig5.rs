@@ -4,7 +4,9 @@
 //! methods spend `window_len` labels per window.
 
 use crate::output::{f3, Table};
-use crate::runner::{all_cases, build_case_data, run_baseline, run_camal, smoke_cases, Case, Scale};
+use crate::runner::{
+    all_cases, build_case_data, run_baseline, run_camal, smoke_cases, Case, Scale,
+};
 use nilm_data::pipeline::CaseData;
 use nilm_models::baselines::BaselineKind;
 use nilm_models::co::CoDisaggregator;
@@ -50,12 +52,8 @@ pub fn run(scale: &Scale, only: Option<&str>) -> Table {
         // Zero-label reference: Hart's Combinatorial Optimization, evaluated
         // once per case (it does not train).
         let co = CoDisaggregator::single(case.appliance, crate::runner::case_avg_power(case));
-        let status: Vec<Vec<u8>> = data
-            .test
-            .windows
-            .iter()
-            .map(|w| co.localize(&w.aggregate_w, case.appliance))
-            .collect();
+        let status: Vec<Vec<u8>> =
+            data.test.windows.iter().map(|w| co.localize(&w.aggregate_w, case.appliance)).collect();
         let detected: Vec<bool> = status.iter().map(|s| s.iter().any(|&b| b == 1)).collect();
         let co_report = camal::report_from_status(
             &data.test,
@@ -124,11 +122,8 @@ mod tests {
         // same window budget.
         for w in table.rows.windows(7) {
             let camal_labels: usize = w[0][3].parse().unwrap();
-            let strong_labels: usize = w
-                .iter()
-                .find(|r| r[1] == "Unet-NILM")
-                .map(|r| r[3].parse().unwrap())
-                .unwrap_or(0);
+            let strong_labels: usize =
+                w.iter().find(|r| r[1] == "Unet-NILM").map(|r| r[3].parse().unwrap()).unwrap_or(0);
             if w[0][1] == "CamAL" && strong_labels > 0 && w[0][2] == w[6][2] {
                 assert!(strong_labels >= camal_labels * 16);
             }

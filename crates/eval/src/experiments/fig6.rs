@@ -2,7 +2,9 @@
 //! localization correlation, (c) ensemble-size ablation.
 
 use crate::output::{f3, Table};
-use crate::runner::{all_cases, build_case_data, case_avg_power, run_camal, smoke_cases, Case, Scale};
+use crate::runner::{
+    all_cases, build_case_data, case_avg_power, run_camal, smoke_cases, Case, Scale,
+};
 use camal::CamalModel;
 use nilm_data::appliance::ApplianceKind;
 use nilm_data::pipeline::{prepare_case, CaseData, SplitConfig};

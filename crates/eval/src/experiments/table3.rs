@@ -38,8 +38,15 @@ pub fn run(scale: &Scale, runs: usize) -> Table {
     let mut table = Table::new(
         "Table III — weakly supervised comparison (CamAL vs CRNN Weak)",
         &[
-            "case", "camal_f1", "camal_mae", "camal_rmse", "camal_mr", "crnn_f1", "crnn_mae",
-            "crnn_rmse", "crnn_mr",
+            "case",
+            "camal_f1",
+            "camal_mae",
+            "camal_rmse",
+            "camal_mr",
+            "crnn_f1",
+            "crnn_mae",
+            "crnn_rmse",
+            "crnn_mr",
         ],
     );
     let mut avg_camal = Averager::default();

@@ -62,8 +62,7 @@ pub fn run(scale: &Scale, runs: usize) -> Table {
             full.push(&with_attention.evaluate(&data.test, avg_power, 16));
             let mut cfg_no_attn = cfg.clone().without_attention();
             cfg_no_attn.n_ensemble = with_attention.ensemble_size();
-            let mut without =
-                CamalModel::from_members(cfg_no_attn, with_attention.into_members());
+            let mut without = CamalModel::from_members(cfg_no_attn, with_attention.into_members());
             no_attention.push(&without.evaluate(&data.test, avg_power, 16));
 
             // w/o kernel diversity: retrain with k_p = 7 everywhere, same

@@ -18,6 +18,20 @@
 //! | Fig. 8 possession only | `fig8_possession` |
 //! | Fig. 9 costs | `fig9_costs` |
 //! | Fig. 10 soft labels | `fig10_soft_labels` |
+//!
+//! ## Example
+//!
+//! Every experiment is parameterised by a [`runner::Scale`] preset, which
+//! also derives the matching CamAL configuration:
+//!
+//! ```
+//! use nilm_eval::runner::Scale;
+//!
+//! let scale = Scale::smoke();
+//! let cfg = scale.camal_config();
+//! assert_eq!(cfg.n_ensemble, scale.n_ensemble);
+//! assert_eq!(cfg.kernels, scale.kernels);
+//! ```
 
 pub mod complexity;
 pub mod cost;

@@ -217,7 +217,12 @@ pub struct MethodRun {
 }
 
 /// Trains CamAL on a case and evaluates it on the test windows.
-pub fn run_camal(case: &Case, data: &CaseData, scale: &Scale, cfg_override: Option<CamalConfig>) -> MethodRun {
+pub fn run_camal(
+    case: &Case,
+    data: &CaseData,
+    scale: &Scale,
+    cfg_override: Option<CamalConfig>,
+) -> MethodRun {
     let cfg = cfg_override.unwrap_or_else(|| scale.camal_config());
     let avg_power = case_avg_power(case);
     let mut model = CamalModel::train(&cfg, &data.train, &data.val, scale.threads);
@@ -234,10 +239,7 @@ pub fn run_camal(case: &Case, data: &CaseData, scale: &Scale, cfg_override: Opti
 
 /// Average running power P_a for a case (Table I).
 pub fn case_avg_power(case: &Case) -> f32 {
-    template(case.dataset)
-        .case(case.appliance)
-        .map(|c| c.avg_power_w)
-        .unwrap_or(1000.0)
+    template(case.dataset).case(case.appliance).map(|c| c.avg_power_w).unwrap_or(1000.0)
 }
 
 /// Trains one baseline on a case and evaluates it on the test windows.

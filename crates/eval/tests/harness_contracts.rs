@@ -1,11 +1,11 @@
 //! Contract tests for the experiment harness: CSVs parse back, scales are
 //! consistent, and the cost model matches the paper's quoted ratios.
 
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::templates::{template, DatasetId};
 use nilm_eval::cost::*;
 use nilm_eval::output::Table;
 use nilm_eval::runner::{all_cases, case_avg_power, Case, Scale};
-use nilm_data::appliance::ApplianceKind;
-use nilm_data::templates::{template, DatasetId};
 
 #[test]
 fn every_case_has_a_table1_average_power() {
@@ -18,17 +18,13 @@ fn every_case_has_a_table1_average_power() {
 
 #[test]
 fn case_labels_are_unique() {
-    let labels: std::collections::BTreeSet<String> =
-        all_cases().iter().map(Case::label).collect();
+    let labels: std::collections::BTreeSet<String> = all_cases().iter().map(Case::label).collect();
     assert_eq!(labels.len(), all_cases().len());
 }
 
 #[test]
 fn scale_presets_define_distinct_regimes() {
-    for (a, b) in [
-        (Scale::smoke(), Scale::quick()),
-        (Scale::quick(), Scale::full()),
-    ] {
+    for (a, b) in [(Scale::smoke(), Scale::quick()), (Scale::quick(), Scale::full())] {
         assert!(a.window <= b.window);
         assert!(a.epochs <= b.epochs);
         assert!(a.kernels.len() <= b.kernels.len());

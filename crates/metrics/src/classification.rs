@@ -43,7 +43,11 @@ impl Confusion {
     pub fn precision(&self) -> f64 {
         let denom = self.tp + self.fp;
         if denom == 0 {
-            if self.fn_ == 0 { 1.0 } else { 0.0 }
+            if self.fn_ == 0 {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             self.tp as f64 / denom as f64
         }
@@ -78,11 +82,8 @@ impl Confusion {
         } else {
             self.tp as f64 / (self.tp + self.fn_) as f64
         };
-        let tnr = if self.tn + self.fp == 0 {
-            1.0
-        } else {
-            self.tn as f64 / (self.tn + self.fp) as f64
-        };
+        let tnr =
+            if self.tn + self.fp == 0 { 1.0 } else { self.tn as f64 / (self.tn + self.fp) as f64 };
         0.5 * (tpr + tnr)
     }
 

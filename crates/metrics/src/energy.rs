@@ -16,10 +16,14 @@ pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let sum: f64 = pred.iter().zip(truth).map(|(&p, &t)| {
-        let d = (p - t) as f64;
-        d * d
-    }).sum();
+    let sum: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let d = (p - t) as f64;
+            d * d
+        })
+        .sum();
     (sum / pred.len() as f64).sqrt()
 }
 

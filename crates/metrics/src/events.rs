@@ -88,9 +88,15 @@ pub fn event_f1(pred: &[u8], truth: &[u8], min_overlap: f64) -> (f64, f64, f64) 
             matches += 1;
         }
     }
-    let precision = if pred_events.is_empty() { 1.0 } else { matches as f64 / pred_events.len() as f64 };
-    let recall = if true_events.is_empty() { 1.0 } else { matches as f64 / true_events.len() as f64 };
-    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    let precision =
+        if pred_events.is_empty() { 1.0 } else { matches as f64 / pred_events.len() as f64 };
+    let recall =
+        if true_events.is_empty() { 1.0 } else { matches as f64 / true_events.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
     (precision, recall, f1)
 }
 

@@ -7,6 +7,20 @@
 //! - **Energy estimation quality**: MAE, RMSE, and the Matching Ratio (MR),
 //!   the overlap-based indicator the paper cites as the best disaggregation
 //!   measure: `MR = Σ min(ŷ, y) / Σ max(ŷ, y)`.
+//!
+//! ## Example
+//!
+//! ```
+//! use nilm_metrics::{f1_score, matching_ratio};
+//!
+//! let truth = [0u8, 1, 1, 1, 0, 0];
+//! let pred = [0u8, 1, 1, 0, 0, 0];
+//! assert!((f1_score(&pred, &truth) - 0.8).abs() < 1e-9);
+//!
+//! // A perfect power trace reconstruction has MR = 1.
+//! let watts = [0.0f32, 2000.0, 1950.0, 0.0];
+//! assert_eq!(matching_ratio(&watts, &watts), 1.0);
+//! ```
 
 pub mod classification;
 pub mod energy;

@@ -61,23 +61,43 @@ impl BaselineKind {
     pub fn build(self, rng: &mut impl Rng, width_div: usize) -> Box<dyn Layer> {
         match self {
             BaselineKind::CrnnStrong | BaselineKind::CrnnWeak => {
-                let cfg = if width_div <= 1 { CrnnConfig::paper() } else { CrnnConfig::scaled(width_div) };
+                let cfg = if width_div <= 1 {
+                    CrnnConfig::paper()
+                } else {
+                    CrnnConfig::scaled(width_div)
+                };
                 Box::new(Crnn::new(rng, cfg))
             }
             BaselineKind::BiGru => {
-                let cfg = if width_div <= 1 { BiGruConfig::paper() } else { BiGruConfig::scaled(width_div) };
+                let cfg = if width_div <= 1 {
+                    BiGruConfig::paper()
+                } else {
+                    BiGruConfig::scaled(width_div)
+                };
                 Box::new(BiGruModel::new(rng, cfg))
             }
             BaselineKind::UnetNilm => {
-                let cfg = if width_div <= 1 { UnetConfig::paper() } else { UnetConfig::scaled(width_div) };
+                let cfg = if width_div <= 1 {
+                    UnetConfig::paper()
+                } else {
+                    UnetConfig::scaled(width_div)
+                };
                 Box::new(UnetNilm::new(rng, cfg))
             }
             BaselineKind::TpNilm => {
-                let cfg = if width_div <= 1 { TpNilmConfig::paper() } else { TpNilmConfig::scaled(width_div) };
+                let cfg = if width_div <= 1 {
+                    TpNilmConfig::paper()
+                } else {
+                    TpNilmConfig::scaled(width_div)
+                };
                 Box::new(TpNilm::new(rng, cfg))
             }
             BaselineKind::TransNilm => {
-                let cfg = if width_div <= 1 { TransNilmConfig::paper() } else { TransNilmConfig::scaled(width_div) };
+                let cfg = if width_div <= 1 {
+                    TransNilmConfig::paper()
+                } else {
+                    TransNilmConfig::scaled(width_div)
+                };
                 Box::new(TransNilm::new(rng, cfg))
             }
         }

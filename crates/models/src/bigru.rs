@@ -1,4 +1,4 @@
-//! The BiGRU baseline of Precioso & Gomez-Ullate (paper ref. [28]): a light
+//! The BiGRU baseline of Precioso & Gomez-Ullate (paper ref. \[28\]): a light
 //! convolutional embedding followed by a bidirectional GRU and a dense
 //! per-timestep head (~244K parameters at paper scale, Table II).
 

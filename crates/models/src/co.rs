@@ -1,5 +1,5 @@
 //! Combinatorial Optimization (CO) disaggregation — Hart's classic
-//! unsupervised NILM method (paper ref. [1], discussed in §II-A as the
+//! unsupervised NILM method (paper ref. \[1\], discussed in §II-A as the
 //! earliest approach). At each timestep, CO picks the subset of a known
 //! appliance-power library whose summed power best explains the aggregate
 //! above an estimated base load. It needs **zero labels**, making it the
@@ -61,14 +61,9 @@ impl CoDisaggregator {
     pub fn localize(&self, aggregate_w: &[f32], target: ApplianceKind) -> Vec<u8> {
         let base = self.base_load(aggregate_w);
         let n_subsets = 1usize << self.library.len();
-        let min_power = self
-            .library
-            .iter()
-            .map(|e| e.power_w)
-            .fold(f32::INFINITY, f32::min);
+        let min_power = self.library.iter().map(|e| e.power_w).fold(f32::INFINITY, f32::min);
         let margin = min_power * 0.5;
-        let target_bit: Option<usize> =
-            self.library.iter().position(|e| e.kind == target);
+        let target_bit: Option<usize> = self.library.iter().position(|e| e.kind == target);
         let Some(target_bit) = target_bit else {
             return vec![0; aggregate_w.len()];
         };

@@ -1,4 +1,4 @@
-//! The CRNN baseline of Tanoni et al. (paper ref. [5]): convolutional
+//! The CRNN baseline of Tanoni et al. (paper ref. \[5\]): convolutional
 //! feature extractor + bidirectional GRU + per-timestep sigmoid head.
 //!
 //! Two training regimes exist (paper §V-C):

@@ -1,4 +1,4 @@
-//! InceptionTime (Fawaz et al., paper ref. [37]): multi-scale inception
+//! InceptionTime (Fawaz et al., paper ref. \[37\]): multi-scale inception
 //! blocks for time-series classification. The paper's §IV-A discusses it as
 //! a deeper, general-purpose alternative to the ResNet backbone; we provide
 //! it for the backbone ablation. Ends in GAP + linear so CAM still applies.
@@ -116,10 +116,11 @@ impl InceptionBlock {
         let branches = cfg
             .kernels
             .iter()
-            .map(|&k| Conv1d::with_options(rng, branch_in, cfg.filters, k, Padding::Same, 1, 1, false))
+            .map(|&k| {
+                Conv1d::with_options(rng, branch_in, cfg.filters, k, Padding::Same, 1, 1, false)
+            })
             .collect();
-        let pool_proj =
-            Conv1d::with_options(rng, in_c, cfg.filters, 1, Padding::Same, 1, 1, false);
+        let pool_proj = Conv1d::with_options(rng, in_c, cfg.filters, 1, Padding::Same, 1, 1, false);
         InceptionBlock {
             bottleneck,
             branches,

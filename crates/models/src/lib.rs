@@ -5,6 +5,25 @@
 //! CRNN (strong and weak/MIL), BiGRU, UNet-NILM, TPNILM and TransNILM — all
 //! producing per-timestep activation logits on `[batch, 1, time]` input,
 //! plus the shared training loops (strong, weak-MIL, and soft-label).
+//!
+//! ## Example
+//!
+//! Build an (untrained) CAM-capable detector and pull a Class Activation Map
+//! out of it — the core mechanism CamAL's localization relies on:
+//!
+//! ```
+//! use nilm_models::{build_detector, Backbone};
+//! use nilm_tensor::layer::Mode;
+//! use nilm_tensor::tensor::Tensor;
+//!
+//! let mut rng = nilm_tensor::init::rng(0);
+//! let mut detector = build_detector(&mut rng, Backbone::ResNet, 5, 16);
+//! let x = Tensor::zeros(&[2, 1, 64]); // [batch, channels, time]
+//! let (_features, logits) = detector.forward_features(&x, Mode::Eval);
+//! assert_eq!(logits.shape(), &[2, 2]);
+//! // CAM for the "appliance on" class, one score per timestep.
+//! assert_eq!(detector.cam(1).shape(), &[2, 64]);
+//! ```
 
 pub mod baselines;
 pub mod bigru;

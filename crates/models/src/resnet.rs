@@ -89,7 +89,6 @@ impl ResNet {
     pub fn config(&self) -> &ResNetConfig {
         &self.cfg
     }
-
 }
 
 impl Detector for ResNet {
@@ -107,10 +106,8 @@ impl Detector for ResNet {
     }
 
     fn cam(&self, class: usize) -> Tensor {
-        let features = self
-            .last_features
-            .as_ref()
-            .expect("cam() requires a prior forward_features call");
+        let features =
+            self.last_features.as_ref().expect("cam() requires a prior forward_features call");
         cam_from_features(features, self.head.weight(), class)
     }
 

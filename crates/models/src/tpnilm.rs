@@ -1,4 +1,4 @@
-//! TPNILM (Massidda et al., paper ref. [26]): a convolutional encoder
+//! TPNILM (Massidda et al., paper ref. \[26\]): a convolutional encoder
 //! followed by a *temporal pooling* module — parallel average poolings at
 //! multiple scales, projected by 1x1 convolutions and upsampled back — whose
 //! outputs are concatenated with the encoder features and decoded into

@@ -77,7 +77,11 @@ fn run_epochs(
             loss_sum += step(chunk) as f64;
             batches += 1;
         }
-        stats.epoch_losses.push(if batches == 0 { 0.0 } else { (loss_sum / batches as f64) as f32 });
+        stats.epoch_losses.push(if batches == 0 {
+            0.0
+        } else {
+            (loss_sum / batches as f64) as f32
+        });
         stats.epoch_secs.push(epoch_start.elapsed().as_secs_f64());
     }
     stats.total_secs = start.elapsed().as_secs_f64();
@@ -158,7 +162,11 @@ pub fn train_weak_mil(model: &mut dyn Layer, data: &WindowSet, cfg: &TrainConfig
 
 /// Runs the model in eval mode and returns per-timestep probabilities
 /// (sigmoid of logits) for every window, in order.
-pub fn predict_proba_frames(model: &mut dyn Layer, data: &WindowSet, batch: usize) -> Vec<Vec<f32>> {
+pub fn predict_proba_frames(
+    model: &mut dyn Layer,
+    data: &WindowSet,
+    batch: usize,
+) -> Vec<Vec<f32>> {
     let mut out = Vec::with_capacity(data.len());
     let indices: Vec<usize> = (0..data.len()).collect();
     for chunk in indices.chunks(batch.max(1)) {
@@ -247,8 +255,11 @@ mod tests {
         let mut r = rng(2);
         let mut model = BiGruModel::new(&mut r, BiGruConfig::scaled(8));
         let data = toy_data(8, 16);
-        let soft: Vec<Vec<f32>> =
-            data.windows.iter().map(|w| w.status.iter().map(|&s| 0.2 + 0.6 * s as f32).collect()).collect();
+        let soft: Vec<Vec<f32>> = data
+            .windows
+            .iter()
+            .map(|w| w.status.iter().map(|&s| 0.2 + 0.6 * s as f32).collect())
+            .collect();
         let cfg = TrainConfig { epochs: 2, batch_size: 4, ..Default::default() };
         let stats = train_soft(&mut model, &data, &soft, &cfg);
         assert!(stats.final_loss().is_finite());

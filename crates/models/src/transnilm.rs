@@ -1,4 +1,4 @@
-//! TransNILM (Cheng et al., paper ref. [31]): a transformer-based extension
+//! TransNILM (Cheng et al., paper ref. \[31\]): a transformer-based extension
 //! of the temporal-pooling architecture. A convolutional embedding
 //! downsamples the sequence, sinusoidal positions are added, transformer
 //! encoder blocks mix information globally, and a temporal-pooling decoder

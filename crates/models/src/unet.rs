@@ -1,4 +1,4 @@
-//! UNet-NILM (paper refs. [25]/[27]): a 1-D encoder–decoder with skip
+//! UNet-NILM (paper refs. \[25\]/\[27\]): a 1-D encoder–decoder with skip
 //! connections adapted for appliance state detection. Skips are concatenated
 //! along the channel axis; odd-length levels are handled by right-padding
 //! the upsampled signal with its last value.
@@ -25,10 +25,7 @@ impl UnetConfig {
     /// Width-reduced configuration for laptop-scale experiments.
     pub fn scaled(div: usize) -> Self {
         let d = div.max(1);
-        UnetConfig {
-            channels: [(64 / d).max(4), (128 / d).max(8), (256 / d).max(8)],
-            kernel: 5,
-        }
+        UnetConfig { channels: [(64 / d).max(4), (128 / d).max(8), (256 / d).max(8)], kernel: 5 }
     }
 }
 
@@ -98,13 +95,16 @@ impl Layer for UnetNilm {
         // Decoder, innermost first.
         let u2 = self.ups[2].forward(&bott, mode);
         self.up_src_lens.push(u2.dims3().2);
-        let d2 = self.dec[2].forward(&concat_channels(&match_len(&u2, self.skip_lens[2]), &x2), mode);
+        let d2 =
+            self.dec[2].forward(&concat_channels(&match_len(&u2, self.skip_lens[2]), &x2), mode);
         let u1 = self.ups[1].forward(&d2, mode);
         self.up_src_lens.push(u1.dims3().2);
-        let d1 = self.dec[1].forward(&concat_channels(&match_len(&u1, self.skip_lens[1]), &x1), mode);
+        let d1 =
+            self.dec[1].forward(&concat_channels(&match_len(&u1, self.skip_lens[1]), &x1), mode);
         let u0 = self.ups[0].forward(&d1, mode);
         self.up_src_lens.push(u0.dims3().2);
-        let d0 = self.dec[0].forward(&concat_channels(&match_len(&u0, self.skip_lens[0]), &x0), mode);
+        let d0 =
+            self.dec[0].forward(&concat_channels(&match_len(&u0, self.skip_lens[0]), &x0), mode);
         self.head.forward(&d0, mode)
     }
 

@@ -116,11 +116,8 @@ fn both_detectors_have_cam_peaking_near_discriminative_region() {
         let _ = det.forward_features(&x, Mode::Eval);
         let cam = det.cam(1);
         let on_mass: f32 = cam.data()[16..32].iter().map(|v| v.max(0.0)).sum();
-        let off_mass: f32 = cam.data()[..16]
-            .iter()
-            .chain(&cam.data()[32..])
-            .map(|v| v.max(0.0))
-            .sum();
+        let off_mass: f32 =
+            cam.data()[..16].iter().chain(&cam.data()[32..]).map(|v| v.max(0.0)).sum();
         let on_density = on_mass / 16.0;
         let off_density = off_mass / 48.0;
         assert!(

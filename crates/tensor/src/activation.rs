@@ -17,12 +17,8 @@ impl Layer for ReLU {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.len(), self.mask.len(), "ReLU backward before forward");
-        let data = grad
-            .data()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad.data().iter().zip(&self.mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad.shape())
     }
 }
@@ -54,12 +50,7 @@ impl Layer for Sigmoid {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.len(), self.out.len(), "Sigmoid backward before forward");
-        let data = grad
-            .data()
-            .iter()
-            .zip(&self.out)
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
+        let data = grad.data().iter().zip(&self.out).map(|(&g, &y)| g * y * (1.0 - y)).collect();
         Tensor::from_vec(data, grad.shape())
     }
 }
@@ -79,12 +70,7 @@ impl Layer for Tanh {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.len(), self.out.len(), "Tanh backward before forward");
-        let data = grad
-            .data()
-            .iter()
-            .zip(&self.out)
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
+        let data = grad.data().iter().zip(&self.out).map(|(&g, &y)| g * (1.0 - y * y)).collect();
         Tensor::from_vec(data, grad.shape())
     }
 }
@@ -118,12 +104,8 @@ impl Layer for Gelu {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.len(), self.input.len(), "Gelu backward before forward");
-        let data = grad
-            .data()
-            .iter()
-            .zip(&self.input)
-            .map(|(&g, &x)| g * gelu_grad_scalar(x))
-            .collect();
+        let data =
+            grad.data().iter().zip(&self.input).map(|(&g, &x)| g * gelu_grad_scalar(x)).collect();
         Tensor::from_vec(data, grad.shape())
     }
 }

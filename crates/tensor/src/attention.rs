@@ -47,12 +47,12 @@ impl Layer for PositionalEncoding {
 
 /// Per-batch caches for attention backward.
 struct AttnCache {
-    xt: Tensor,           // [t, d] input, time-major
-    q: Tensor,            // [t, d]
-    k: Tensor,            // [t, d]
-    v: Tensor,            // [t, d]
-    attn: Vec<Tensor>,    // per head: [t, t] softmax rows
-    concat: Tensor,       // [t, d] head outputs before the output projection
+    xt: Tensor,        // [t, d] input, time-major
+    q: Tensor,         // [t, d]
+    k: Tensor,         // [t, d]
+    v: Tensor,         // [t, d]
+    attn: Vec<Tensor>, // per head: [t, t] softmax rows
+    concat: Tensor,    // [t, d] head outputs before the output projection
 }
 
 /// Multi-head self-attention over `[batch, d_model, time]`.
@@ -69,10 +69,12 @@ pub struct MultiHeadSelfAttention {
 impl MultiHeadSelfAttention {
     /// Creates an attention layer; `d_model` must be divisible by `heads`.
     pub fn new(rng: &mut impl Rng, d_model: usize, heads: usize) -> Self {
-        assert!(heads > 0 && d_model % heads == 0, "d_model {d_model} not divisible by heads {heads}");
+        assert!(
+            heads > 0 && d_model % heads == 0,
+            "d_model {d_model} not divisible by heads {heads}"
+        );
         let mk = |rng: &mut dyn FnMut() -> Tensor| Param::new(rng());
-        let mut sample =
-            || crate::init::xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let mut sample = || crate::init::xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
         MultiHeadSelfAttention {
             d_model,
             heads,
@@ -172,8 +174,7 @@ impl Layer for MultiHeadSelfAttention {
         for bi in 0..b {
             let cache = &self.caches[bi];
             let dy = Self::to_time_major(grad, bi); // [t, d]
-            // y = concat W_o^T
-            self.w_o.grad.add_assign(&dy.transpose2().matmul(&cache.concat));
+            self.w_o.grad.add_assign(&dy.transpose2().matmul(&cache.concat)); // y = concat W_o^T
             let dconcat = dy.matmul(&self.w_o.value); // [t, d]
 
             let mut dq = Tensor::zeros(&[t, d]);
@@ -309,8 +310,7 @@ mod tests {
         *x2.at3_mut(0, 0, 0) += 5.0;
         let y1 = attn.forward(&x1, Mode::Eval);
         let y2 = attn.forward(&x2, Mode::Eval);
-        let delta_elsewhere: f32 =
-            (0..4).map(|c| (y1.at3(0, c, 4) - y2.at3(0, c, 4)).abs()).sum();
+        let delta_elsewhere: f32 = (0..4).map(|c| (y1.at3(0, c, 4) - y2.at3(0, c, 4)).abs()).sum();
         assert!(delta_elsewhere > 1e-6, "attention did not propagate along time");
     }
 

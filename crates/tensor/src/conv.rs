@@ -83,7 +83,11 @@ impl Conv1d {
     pub fn out_len(&self, t: usize) -> usize {
         let (pl, pr) = self.pads(t);
         let span = t + pl + pr;
-        assert!(span >= self.effective_k(), "input ({t}) shorter than kernel ({})", self.effective_k());
+        assert!(
+            span >= self.effective_k(),
+            "input ({t}) shorter than kernel ({})",
+            self.effective_k()
+        );
         (span - self.effective_k()) / self.stride + 1
     }
 
@@ -143,7 +147,8 @@ impl Layer for Conv1d {
                         let offset = (kk * self.dilation) as isize - pl as isize;
                         let (lo, hi) = valid_out_range(offset, self.stride, t_in, t_out);
                         if self.stride == 1 {
-                            let xs = &xr[(lo as isize + offset) as usize..(hi as isize + offset) as usize];
+                            let xs = &xr
+                                [(lo as isize + offset) as usize..(hi as isize + offset) as usize];
                             for (o, &xv) in or[lo..hi].iter_mut().zip(xs) {
                                 *o += wv * xv;
                             }
@@ -233,7 +238,14 @@ mod tests {
     use crate::init::rng;
 
     /// A conv whose weights we set by hand for exact-output tests.
-    fn manual_conv(in_c: usize, out_c: usize, k: usize, padding: Padding, w: &[f32], b: Option<&[f32]>) -> Conv1d {
+    fn manual_conv(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        padding: Padding,
+        w: &[f32],
+        b: Option<&[f32]>,
+    ) -> Conv1d {
         let mut r = rng(0);
         let mut conv = Conv1d::new(&mut r, in_c, out_c, k, padding);
         conv.weight.value = Tensor::from_vec(w.to_vec(), &[out_c, in_c, k]);

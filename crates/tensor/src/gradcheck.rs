@@ -34,7 +34,13 @@ fn masked_loss(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, mode: Mode) -> 
 /// `mask` must match the layer's output shape. Uses central differences with
 /// step `eps`. The layer must be deterministic under `mode` (run dropout in
 /// `Mode::Eval` or with p=0).
-pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, eps: f32, mode: Mode) -> GradCheck {
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    mask: &Tensor,
+    eps: f32,
+    mode: Mode,
+) -> GradCheck {
     // Analytic pass.
     layer.zero_grad();
     let _ = layer.forward(x, mode);
@@ -88,13 +94,16 @@ pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, eps: f32, m
 }
 
 /// Asserts both gradient errors are below `tol`.
-pub fn assert_grads_close(layer: &mut dyn Layer, x: &Tensor, mask: &Tensor, eps: f32, tol: f32, mode: Mode) {
+pub fn assert_grads_close(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    mask: &Tensor,
+    eps: f32,
+    tol: f32,
+    mode: Mode,
+) {
     let res = check_layer(layer, x, mask, eps, mode);
-    assert!(
-        res.input_err < tol,
-        "input gradient mismatch: max rel err {} >= {tol}",
-        res.input_err
-    );
+    assert!(res.input_err < tol, "input gradient mismatch: max rel err {} >= {tol}", res.input_err);
     assert!(
         res.param_err < tol,
         "parameter gradient mismatch: max rel err {} >= {tol}",

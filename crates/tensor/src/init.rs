@@ -4,7 +4,7 @@
 
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Creates a deterministic RNG from a seed. All experiments seed explicitly
 /// so that tables and figures are reproducible run to run.
@@ -64,7 +64,12 @@ pub fn he_normal(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Tensor {
 }
 
 /// Xavier (Glorot) uniform initialization for tanh/sigmoid/linear layers.
-pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform(
+    rng: &mut impl Rng,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
     uniform_tensor(rng, shape, -limit, limit)
 }

@@ -44,7 +44,9 @@ pub mod tensor;
 /// Convenient glob import for model construction.
 pub mod prelude {
     pub use crate::activation::{Gelu, ReLU, Sigmoid, Tanh};
-    pub use crate::attention::{MultiHeadSelfAttention, PositionalEncoding, TransformerEncoderLayer};
+    pub use crate::attention::{
+        MultiHeadSelfAttention, PositionalEncoding, TransformerEncoderLayer,
+    };
     pub use crate::conv::{Conv1d, Padding};
     pub use crate::dropout::Dropout;
     pub use crate::layer::{Identity, Layer, Mode, Param, Residual, Sequential};

@@ -235,9 +235,33 @@ impl Layer for Gru {
             Gru::gate_back(&dz_pre, &cache.x, &mut self.w_i, &mut self.b_i, GATE_Z, h, &mut dxt);
             Gru::gate_back(&dn_pre, &cache.x, &mut self.w_i, &mut self.b_i, GATE_N, h, &mut dxt);
             // Hidden-side contributions.
-            Gru::gate_back(&dr_pre, &cache.h_prev, &mut self.w_h, &mut self.b_h, GATE_R, h, &mut dh_prev);
-            Gru::gate_back(&dz_pre, &cache.h_prev, &mut self.w_h, &mut self.b_h, GATE_Z, h, &mut dh_prev);
-            Gru::gate_back(&dhn_pre, &cache.h_prev, &mut self.w_h, &mut self.b_h, GATE_N, h, &mut dh_prev);
+            Gru::gate_back(
+                &dr_pre,
+                &cache.h_prev,
+                &mut self.w_h,
+                &mut self.b_h,
+                GATE_R,
+                h,
+                &mut dh_prev,
+            );
+            Gru::gate_back(
+                &dz_pre,
+                &cache.h_prev,
+                &mut self.w_h,
+                &mut self.b_h,
+                GATE_Z,
+                h,
+                &mut dh_prev,
+            );
+            Gru::gate_back(
+                &dhn_pre,
+                &cache.h_prev,
+                &mut self.w_h,
+                &mut self.b_h,
+                GATE_N,
+                h,
+                &mut dh_prev,
+            );
 
             for bi in 0..b {
                 for ci in 0..self.in_f {

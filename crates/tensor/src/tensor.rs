@@ -231,7 +231,11 @@ impl Tensor {
 
     /// Mean of all elements (0.0 for an empty tensor).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() { 0.0 } else { self.sum() / self.data.len() as f32 }
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
     }
 
     /// Maximum element (negative infinity for an empty tensor).
@@ -297,7 +301,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 16 {
             write!(f, ", data={:?})", self.data)
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, ... {:.4}])", self.data[0], self.data[1], self.data[self.len() - 1])
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, ... {:.4}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1]
+            )
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Class-Activation-Map explorer (a terminal cousin of the paper's
-//! DeviceScope demo [41]): trains a CamAL ensemble on a UKDALE-shaped
+//! DeviceScope demo \[41\]): trains a CamAL ensemble on a UKDALE-shaped
 //! dataset and walks through test windows showing, per member, how each
 //! kernel size "sees" the signal, plus the ensemble consensus.
 //!
@@ -11,11 +11,8 @@ use nilm_data::prelude::*;
 const STRIP: usize = 72;
 
 fn main() {
-    let scale = ScaleOverride {
-        submetered_houses: Some(5),
-        days_per_house: Some(6),
-        ..Default::default()
-    };
+    let scale =
+        ScaleOverride { submetered_houses: Some(5), days_per_house: Some(6), ..Default::default() };
     let dataset = generate_dataset(&ukdale(), scale, 21);
     let case = prepare_case(&dataset, ApplianceKind::Dishwasher, 192, &SplitConfig::default());
     println!(
@@ -38,7 +35,10 @@ fn main() {
             continue;
         }
         shown += 1;
-        println!("─── window {i} (house {}, P(detect) = {:.2}) ───", window.house_id, loc.detection_proba[i]);
+        println!(
+            "─── window {i} (house {}, P(detect) = {:.2}) ───",
+            window.house_id, loc.detection_proba[i]
+        );
         println!("power   {}", strip(&window.input));
         println!("cam     {}", strip(&loc.cam[i]));
         let pred: Vec<f32> = loc.status[i].iter().map(|&v| v as f32).collect();
@@ -46,11 +46,7 @@ fn main() {
         let truth: Vec<f32> = window.status.iter().map(|&v| v as f32).collect();
         println!("true ON {}", strip(&truth));
         // Per-timestep agreement summary.
-        let agree = loc.status[i]
-            .iter()
-            .zip(&window.status)
-            .filter(|(p, t)| p == t)
-            .count();
+        let agree = loc.status[i].iter().zip(&window.status).filter(|(p, t)| p == t).count();
         println!("agreement: {agree}/{} timesteps\n", window.status.len());
     }
     if shown == 0 {

@@ -47,7 +47,10 @@ fn main() {
     let avg_power = ideal().case(ApplianceKind::Dishwasher).unwrap().avg_power_w;
     let report = model.evaluate(&case.test, avg_power, 16);
     println!("\n== Localization on submetered ground truth ==");
-    println!("F1 = {:.3}  Pr = {:.3}  Rc = {:.3}", report.localization.f1, report.localization.precision, report.localization.recall);
+    println!(
+        "F1 = {:.3}  Pr = {:.3}  Rc = {:.3}",
+        report.localization.f1, report.localization.precision, report.localization.recall
+    );
     println!("detection balanced accuracy = {:.3}", report.detection.balanced_accuracy);
     println!("MAE = {:.1} W, MR = {:.3}", report.energy.mae, report.energy.matching_ratio);
     println!(

@@ -8,11 +8,8 @@ use nilm_data::prelude::*;
 
 fn main() {
     // 1. Simulate a small REFIT-shaped dataset (8 houses, 4 days each).
-    let scale = ScaleOverride {
-        submetered_houses: Some(8),
-        days_per_house: Some(4),
-        ..Default::default()
-    };
+    let scale =
+        ScaleOverride { submetered_houses: Some(8), days_per_house: Some(4), ..Default::default() };
     let dataset = generate_dataset(&refit(), scale, 42);
     println!(
         "simulated {} houses of {} days at {}s resolution",

@@ -9,9 +9,9 @@
 
 use camal::{CamalConfig, CamalModel};
 use nilm_data::prelude::*;
+use nilm_eval::runner::evaluate_frame_model;
 use nilm_models::baselines::BaselineKind;
 use nilm_models::{train_soft, train_strong, TrainConfig};
-use nilm_eval::runner::evaluate_frame_model;
 
 fn main() {
     // EDF-EV-shaped dataset: EV chargers at 30-minute sampling.
@@ -30,8 +30,8 @@ fn main() {
     cfg.train.epochs = 8;
     let mut camal = CamalModel::train(&cfg, &case.train, &case.val, 4);
     let soft = camal.soft_labels(&case.train, 16);
-    let coverage =
-        soft.iter().flatten().filter(|&&v| v > 0.0).count() as f64 / (soft.len() * soft[0].len()) as f64;
+    let coverage = soft.iter().flatten().filter(|&&v| v > 0.0).count() as f64
+        / (soft.len() * soft[0].len()) as f64;
     println!("generated soft labels for {} windows ({:.1}% ON)", soft.len(), coverage * 100.0);
 
     // 2. Keep strong labels for only TWO houses; everything else is soft.

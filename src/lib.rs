@@ -1,1 +1,23 @@
 //! Umbrella crate re-exporting the CamAL reproduction workspace.
+//!
+//! Reproduces *"Few Labels are All you Need: A Weakly Supervised Framework
+//! for Appliance Localization in Smart-Meter Series"* (Petralia et al.,
+//! ICDE 2025). See `README.md` for the pipeline overview and
+//! `ARCHITECTURE.md` for the crate-by-crate map to the paper.
+//!
+//! Each member crate is re-exported under its workspace name so downstream
+//! users can depend on `camal-repro` alone:
+//!
+//! ```
+//! use camal_repro::camal::CamalConfig;
+//!
+//! let config = CamalConfig::default();
+//! assert!(config.n_ensemble >= 1);
+//! ```
+
+pub use camal;
+pub use nilm_data;
+pub use nilm_eval;
+pub use nilm_metrics;
+pub use nilm_models;
+pub use nilm_tensor;

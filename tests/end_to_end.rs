@@ -17,11 +17,8 @@ fn fast_cfg() -> CamalConfig {
 }
 
 fn small_dataset(seed: u64) -> Dataset {
-    let scale = ScaleOverride {
-        submetered_houses: Some(6),
-        days_per_house: Some(3),
-        ..Default::default()
-    };
+    let scale =
+        ScaleOverride { submetered_houses: Some(6), days_per_house: Some(3), ..Default::default() };
     generate_dataset(&refit(), scale, seed)
 }
 

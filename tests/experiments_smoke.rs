@@ -35,11 +35,7 @@ fn fig5_single_case_sweep() {
     // CamAL rows use 1 label/window; a strong baseline at the same window
     // count uses window-length× more.
     let camal_row = t.rows.iter().find(|r| r[1] == "CamAL").unwrap();
-    let strong_row = t
-        .rows
-        .iter()
-        .find(|r| r[1] == "TPNILM" && r[2] == camal_row[2])
-        .unwrap();
+    let strong_row = t.rows.iter().find(|r| r[1] == "TPNILM" && r[2] == camal_row[2]).unwrap();
     let camal_labels: usize = camal_row[3].parse().unwrap();
     let strong_labels: usize = strong_row[3].parse().unwrap();
     assert_eq!(strong_labels, camal_labels * tiny().window);

@@ -86,8 +86,7 @@ fn empty_training_set_fails_loudly() {
 #[test]
 fn single_class_training_detects_nothing_or_everything_but_stays_finite() {
     // All-positive training data (no negatives at all).
-    let windows: Vec<Window> =
-        (0..8).map(|_| window_with(vec![1.0; 64], 1)).collect();
+    let windows: Vec<Window> = (0..8).map(|_| window_with(vec![1.0; 64], 1)).collect();
     let set = WindowSet::new(windows);
     let mut cfg = fast_cfg();
     cfg.balance = false; // balancing would empty the set
@@ -130,9 +129,7 @@ fn detection_threshold_extremes() {
 #[test]
 fn constant_window_input_is_handled() {
     // Standardization of a constant window must not divide by zero.
-    let windows: Vec<Window> = (0..8)
-        .map(|i| window_with(vec![0.5; 64], (i % 2) as u8))
-        .collect();
+    let windows: Vec<Window> = (0..8).map(|i| window_with(vec![0.5; 64], (i % 2) as u8)).collect();
     let set = WindowSet::new(windows);
     let mut model = CamalModel::train(&fast_cfg(), &set, &set, 2);
     let loc = model.localize_set(&set, 4);

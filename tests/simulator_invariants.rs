@@ -11,21 +11,14 @@ fn owned(kinds: &[ApplianceKind]) -> BTreeSet<ApplianceKind> {
 #[test]
 fn aggregate_is_superposition_of_appliances_plus_noise() {
     let cfg = SimConfig { days: 3, missing_rate: 0.0, ..Default::default() };
-    let house = generate_house(
-        0,
-        &owned(&[ApplianceKind::Dishwasher, ApplianceKind::Kettle]),
-        &cfg,
-        99,
-    );
+    let house =
+        generate_house(0, &owned(&[ApplianceKind::Dishwasher, ApplianceKind::Kettle]), &cfg, 99);
     // Sum of submeters never exceeds the aggregate beyond the noise margin.
     let n = house.aggregate.len();
     for t in 0..n {
         let total: f32 = house.submeters.values().map(|s| s.values[t]).sum();
         let agg = house.aggregate.values[t];
-        assert!(
-            agg + 6.0 * cfg.noise_w >= total,
-            "t={t}: aggregate {agg} < appliance sum {total}"
-        );
+        assert!(agg + 6.0 * cfg.noise_w >= total, "t={t}: aggregate {agg} < appliance sum {total}");
     }
 }
 
@@ -46,19 +39,17 @@ fn resample_then_threshold_matches_energy_scale() {
 #[test]
 fn higher_usage_appliances_activate_more_often() {
     let cfg = SimConfig { days: 14, missing_rate: 0.0, ..Default::default() };
-    let house = generate_house(
-        2,
-        &owned(&[ApplianceKind::Kettle, ApplianceKind::Dishwasher]),
-        &cfg,
-        13,
-    );
+    let house =
+        generate_house(2, &owned(&[ApplianceKind::Kettle, ApplianceKind::Dishwasher]), &cfg, 13);
     let on_fraction = |k: ApplianceKind, thr: f32| {
         let s = &house.submeters[&k];
         s.values.iter().filter(|&&v| v >= thr).count()
     };
     // Kettle runs ~4x/day but only minutes; dishwasher ~0.7x/day for ~2h.
     // Dishwasher should therefore have more total ON minutes.
-    assert!(on_fraction(ApplianceKind::Dishwasher, 50.0) > on_fraction(ApplianceKind::Kettle, 500.0));
+    assert!(
+        on_fraction(ApplianceKind::Dishwasher, 50.0) > on_fraction(ApplianceKind::Kettle, 500.0)
+    );
 }
 
 #[test]
@@ -69,11 +60,7 @@ fn survey_datasets_have_balanced_forced_ownership() {
         ..Default::default()
     };
     let ds = generate_dataset(&edf_weak(), scale, 3);
-    let owners = ds
-        .survey_houses
-        .iter()
-        .filter(|h| h.owns(ApplianceKind::ElectricVehicle))
-        .count();
+    let owners = ds.survey_houses.iter().filter(|h| h.owns(ApplianceKind::ElectricVehicle)).count();
     // Half the houses force the case appliance; priors add more.
     assert!(owners >= 20, "only {owners}/40 EV owners");
     assert!(owners < 40, "every house owns an EV: degenerate survey");
@@ -81,11 +68,8 @@ fn survey_datasets_have_balanced_forced_ownership() {
 
 #[test]
 fn edf_ev_template_produces_long_activations() {
-    let scale = ScaleOverride {
-        submetered_houses: Some(4),
-        days_per_house: Some(6),
-        ..Default::default()
-    };
+    let scale =
+        ScaleOverride { submetered_houses: Some(4), days_per_house: Some(6), ..Default::default() };
     let ds = generate_dataset(&edf_ev(), scale, 5);
     // At 30-minute resolution an EV charge spans multiple samples.
     let mut longest_run = 0usize;

@@ -1,0 +1,364 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! reimplements the slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`/`boxed`, range and
+//! [`Just`] strategies, [`collection::vec()`], [`prop_oneof!`], and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case panics
+//! with the case index so it can be replayed (generation is fully
+//! deterministic — case `i` always draws from a seed derived from `i`).
+
+pub use rand;
+
+use rand::rngs::StdRng;
+use std::rc::Rc;
+
+/// How a generated case signals failure back to the harness.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a [`prop_assume!`] precondition; skip it.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Result type produced by the body of a [`proptest!`] case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is honoured by this stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Post-processes every drawn value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| inner.sample(rng)))
+    }
+}
+
+/// A type-erased [`Strategy`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+/// Weighted union of type-erased strategies; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    arms: Vec<(f64, BoxedStrategy<T>)>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<(f64, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().all(|(w, _)| *w > 0.0), "weights must be positive");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        let total: f64 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.random::<f64>() * total;
+        for (w, s) in &self.arms {
+            pick -= *w;
+            if pick <= 0.0 {
+                return s.sample(rng);
+            }
+        }
+        self.arms.last().unwrap().1.sample(rng)
+    }
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Accepted size specs for [`vec()`]: an exact length or a length range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines `#[test]` functions that check a property over random inputs.
+///
+/// Supported grammar (a subset of upstream proptest):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]  // optional
+///     fn my_property(x in 0.0f32..1.0, mut v in proptest::collection::vec(0u8..2, 4..64)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0u32..config.cases {
+                    use $crate::rand::SeedableRng as _;
+                    let mut __rng = $crate::rand::rngs::StdRng::seed_from_u64(
+                        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(__case) + 1),
+                    );
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome = (move || -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property `{}` failed on case {}: {}", stringify!($name), __case, msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted union of strategies.
+///
+/// Every arm must already share a value type; in practice arms are written
+/// with `.boxed()` as in upstream proptest examples.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((($weight) as f64, $crate::Strategy::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1.0f64, $crate::Strategy::boxed($strategy))),+])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn ranges_respect_bounds(x in 1.0f32..2.0, n in 3u8..7) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..2, 4..9)) {
+            prop_assert!((4..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+
+        fn oneof_only_yields_arms(x in prop_oneof![3 => Just(1u8).boxed(), 1 => Just(9u8).boxed()]) {
+            prop_assert!(x == 1 || x == 9);
+        }
+
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        fn prop_map_applies(x in (0.0f32..1.0).prop_map(|v| v + 10.0)) {
+            prop_assert!((10.0..11.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no network access, so this vendored crate lets
+//! code be written against rayon-shaped APIs (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`, `par_chunks`, [`join`]) while executing **sequentially**.
+//! The "parallel" iterators are ordinary [`std::iter::Iterator`]s, so the
+//! usual combinators (`map`, `filter`, `sum`, `collect`, ...) all work at
+//! call sites unchanged.
+//!
+//! When a registry is reachable, swapping the workspace manifest entry to the
+//! real rayon turns these call sites into actual data-parallel code with no
+//! source changes for the common combinator subset.
+
+/// Runs both closures and returns their results (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads the real rayon would use on this machine.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod prelude {
+    /// `collection.into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `collection.par_iter()` — sequential stand-in.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `collection.par_iter_mut()` — sequential stand-in.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `slice.par_chunks(n)` / `slice.par_chunks_mut(n)` — sequential stand-in.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: u32 = v.into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let v: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+}

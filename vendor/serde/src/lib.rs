@@ -1,0 +1,28 @@
+//! Offline placeholder for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The build environment has no network access, so this vendored crate only
+//! reserves the dependency slot in the workspace manifest and offers marker
+//! traits. No derive macros and no data model are provided; code that needs
+//! real serialization should gate it behind a feature until the `path =
+//! "vendor/serde"` entry in the workspace manifest can be swapped for the
+//! registry crate.
+
+/// Marker for types intended to be serializable once real serde is wired in.
+pub trait Serialize {}
+
+/// Marker for types intended to be deserializable once real serde is wired in.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
