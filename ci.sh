@@ -31,6 +31,17 @@ cargo test -q
 step "cargo test -q --workspace (vendored dependency stand-ins included)"
 cargo test -q --workspace
 
+if [ "$MODE" != "quick" ]; then
+    # The GEMM/naive conv equivalence property tests sweep enough shapes to
+    # be slow in debug; run them (and the rest of nilm_tensor) optimized,
+    # with a multi-thread worker pool so the parallel fan-outs are exercised.
+    step "cargo test -p nilm_tensor --release (RAYON_NUM_THREADS=4)"
+    RAYON_NUM_THREADS=4 cargo test -q -p nilm_tensor --release
+
+    step "perf harness smoke run (validates BENCH_conv_gemm.json)"
+    cargo run --release -p nilm_eval --bin bench_conv_gemm -- --smoke --out target/ci-bench
+fi
+
 step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

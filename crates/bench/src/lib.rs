@@ -22,15 +22,10 @@ use nilm_data::prelude::*;
 use nilm_eval::runner::Scale;
 use nilm_models::TrainConfig;
 
-/// The tiniest usable experiment scale (single kernel, one epoch).
+/// The tiniest usable experiment scale (single kernel, one epoch) —
+/// [`Scale::bench`], shared with `nilm_eval`'s `bench_conv_gemm` harness.
 pub fn bench_scale() -> Scale {
-    let mut s = Scale::smoke();
-    s.epochs = 1;
-    s.trials = 1;
-    s.kernels = vec![5];
-    s.n_ensemble = 1;
-    s.threads = 2;
-    s
+    Scale::bench()
 }
 
 /// A CamAL configuration matching [`bench_scale`].

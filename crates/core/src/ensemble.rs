@@ -11,6 +11,7 @@ use nilm_models::detector::{build_detector, Detector};
 use nilm_tensor::layer::Mode;
 use nilm_tensor::loss::cross_entropy;
 use nilm_tensor::optim::Adam;
+use nilm_tensor::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -53,11 +54,15 @@ fn train_candidate(
     let mut net = build_detector(&mut rng, cfg.backbone, kernel, cfg.width_div);
     let mut opt = Adam::new(cfg.train.lr);
     let mut order_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    // Scratch buffers hoisted out of the epoch × batch loop: every chunk
+    // refills the same tensor instead of allocating a fresh one.
+    let mut x = Tensor::zeros(&[0]);
+    let mut labels = Vec::new();
     for _ in 0..cfg.train.epochs {
         let order = train.shuffled_indices(&mut order_rng);
         for chunk in order.chunks(cfg.train.batch_size.max(1)) {
-            let x = train.batch_inputs(chunk);
-            let labels = train.batch_weak_labels(chunk);
+            train.batch_inputs_into(chunk, &mut x);
+            train.batch_weak_labels_into(chunk, &mut labels);
             net.zero_grad();
             let logits = net.forward(&x, Mode::Train);
             let (_, grad) = cross_entropy(&logits, &labels);
@@ -77,9 +82,11 @@ pub fn eval_loss(net: &mut dyn Detector, data: &WindowSet, batch: usize) -> f32 
     let indices: Vec<usize> = (0..data.len()).collect();
     let mut total = 0.0f64;
     let mut n = 0usize;
+    let mut x = Tensor::zeros(&[0]);
+    let mut labels = Vec::new();
     for chunk in indices.chunks(batch.max(1)) {
-        let x = data.batch_inputs(chunk);
-        let labels = data.batch_weak_labels(chunk);
+        data.batch_inputs_into(chunk, &mut x);
+        data.batch_weak_labels_into(chunk, &mut labels);
         let logits = net.forward(&x, Mode::Eval);
         let (loss, _) = cross_entropy(&logits, &labels);
         total += loss as f64 * chunk.len() as f64;

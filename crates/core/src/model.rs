@@ -156,8 +156,9 @@ impl CamalModel {
     pub fn localize_set(&mut self, set: &WindowSet, batch: usize) -> Localization {
         let mut all = Localization::default();
         let indices: Vec<usize> = (0..set.len()).collect();
+        let mut x = Tensor::zeros(&[0]);
         for chunk in indices.chunks(batch.max(1)) {
-            let x = set.batch_inputs(chunk);
+            set.batch_inputs_into(chunk, &mut x);
             let part = self.localize_batch(&x);
             all.detection_proba.extend(part.detection_proba);
             all.detected.extend(part.detected);

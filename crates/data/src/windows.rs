@@ -88,17 +88,33 @@ impl WindowSet {
 
     /// Builds the `[batch, 1, w]` input tensor for the given window indices.
     pub fn batch_inputs(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.batch_inputs_into(indices, &mut out);
+        out
+    }
+
+    /// Like [`Self::batch_inputs`], but fills a caller-owned scratch tensor
+    /// so per-batch loops (every epoch of every training run) reuse one
+    /// allocation instead of building a fresh buffer per chunk.
+    pub fn batch_inputs_into(&self, indices: &[usize], out: &mut Tensor) {
         let w = self.window_len();
-        let mut data = Vec::with_capacity(indices.len() * w);
-        for &i in indices {
-            data.extend_from_slice(&self.windows[i].input);
+        out.resize(&[indices.len(), 1, w]);
+        for (dst, &i) in out.data_mut().chunks_mut(w.max(1)).zip(indices) {
+            dst.copy_from_slice(&self.windows[i].input);
         }
-        Tensor::from_vec(data, &[indices.len(), 1, w])
     }
 
     /// Weak labels (one per window) for the given indices.
     pub fn batch_weak_labels(&self, indices: &[usize]) -> Vec<usize> {
-        indices.iter().map(|&i| self.windows[i].weak_label as usize).collect()
+        let mut out = Vec::new();
+        self.batch_weak_labels_into(indices, &mut out);
+        out
+    }
+
+    /// Like [`Self::batch_weak_labels`], but reuses a caller-owned buffer.
+    pub fn batch_weak_labels_into(&self, indices: &[usize], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(indices.iter().map(|&i| self.windows[i].weak_label as usize));
     }
 
     /// Strong labels as a `[batch, 1, w]` tensor of 0.0/1.0 targets.

@@ -36,6 +36,7 @@
 pub mod complexity;
 pub mod cost;
 pub mod experiments;
+pub mod json;
 pub mod output;
 pub mod runner;
 

@@ -59,6 +59,21 @@ impl Scale {
         }
     }
 
+    /// Single-candidate, single-epoch preset (window 128, batch 16): the
+    /// fixture shared by the Criterion benches (`nilm_bench::bench_scale`)
+    /// and the `bench_conv_gemm` perf harness.
+    pub fn bench() -> Self {
+        Scale {
+            name: "bench",
+            epochs: 1,
+            trials: 1,
+            kernels: vec![5],
+            n_ensemble: 1,
+            threads: 2,
+            ..Scale::smoke()
+        }
+    }
+
     /// Minutes-scale preset: the default for the experiment binaries.
     pub fn quick() -> Self {
         Scale {

@@ -92,8 +92,9 @@ fn run_epochs(
 /// strong (per-timestep) labels. Each window contributes `window_len` labels.
 pub fn train_strong(model: &mut dyn Layer, data: &WindowSet, cfg: &TrainConfig) -> TrainStats {
     let mut opt = Adam::new(cfg.lr);
+    let mut x = Tensor::zeros(&[0]);
     run_epochs(cfg, data, |chunk| {
-        let x = data.batch_inputs(chunk);
+        data.batch_inputs_into(chunk, &mut x);
         let y = data.batch_strong_labels(chunk);
         model.zero_grad();
         let logits = model.forward(&x, Mode::Train);
@@ -118,9 +119,11 @@ pub fn train_soft(
     assert_eq!(soft_targets.len(), data.len(), "one soft target per window required");
     let w = data.window_len();
     let mut opt = Adam::new(cfg.lr);
+    let mut x = Tensor::zeros(&[0]);
+    let mut target = Tensor::zeros(&[0]);
     run_epochs(cfg, data, |chunk| {
-        let x = data.batch_inputs(chunk);
-        let mut target = Tensor::zeros(&[chunk.len(), 1, w]);
+        data.batch_inputs_into(chunk, &mut x);
+        target.resize(&[chunk.len(), 1, w]);
         for (bi, &i) in chunk.iter().enumerate() {
             assert_eq!(soft_targets[i].len(), w, "soft target {i} length mismatch");
             target.data_mut()[bi * w..(bi + 1) * w].copy_from_slice(&soft_targets[i]);
@@ -143,8 +146,9 @@ pub fn train_soft(
 pub fn train_weak_mil(model: &mut dyn Layer, data: &WindowSet, cfg: &TrainConfig) -> TrainStats {
     let mut opt = Adam::new(cfg.lr);
     let mut pool = LsePool::new(4.0);
+    let mut x = Tensor::zeros(&[0]);
     run_epochs(cfg, data, |chunk| {
-        let x = data.batch_inputs(chunk);
+        data.batch_inputs_into(chunk, &mut x);
         let y = data.batch_weak_targets(chunk);
         model.zero_grad();
         let frame_logits = model.forward(&x, Mode::Train);
@@ -169,8 +173,9 @@ pub fn predict_proba_frames(
 ) -> Vec<Vec<f32>> {
     let mut out = Vec::with_capacity(data.len());
     let indices: Vec<usize> = (0..data.len()).collect();
+    let mut x = Tensor::zeros(&[0]);
     for chunk in indices.chunks(batch.max(1)) {
-        let x = data.batch_inputs(chunk);
+        data.batch_inputs_into(chunk, &mut x);
         let logits = model.forward(&x, Mode::Eval);
         let (b, _, t) = logits.dims3();
         for bi in 0..b {

@@ -11,7 +11,8 @@ pub struct ReLU {
 
 impl Layer for ReLU {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        self.mask.clear();
+        self.mask.extend(x.data().iter().map(|&v| v > 0.0));
         x.map(|v| v.max(0.0))
     }
 

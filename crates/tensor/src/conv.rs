@@ -1,14 +1,30 @@
 //! 1-D convolution over `[batch, channels, time]` tensors.
 //!
-//! The implementation decomposes the convolution into K shifted
-//! scaled-row operations (one per kernel tap), so the stride-1 hot path is a
-//! sequence of slice `axpy`/dot operations that LLVM vectorizes. This is the
-//! workhorse of every model in the workspace.
+//! Two interchangeable compute backends produce bit-identical results:
+//!
+//! - **GEMM** (the default for non-tiny shapes): the input is lowered with
+//!   [`crate::im2col`] and the forward pass, the weight gradient and the
+//!   input gradient each become one [`crate::gemm`] call per batch item,
+//!   with batch items fanned out over worker threads when the per-item work
+//!   is large enough.
+//! - **Naive**: the original decomposition into K shifted scaled-row
+//!   (axpy/dot) operations. It is kept as the fallback for tiny shapes,
+//!   where im2col overhead dominates, and as the correctness oracle the
+//!   property tests compare the GEMM path against
+//!   (`tests/conv_gemm_equivalence.rs`).
+//!
+//! Both paths accumulate every output element over `(c_in, tap)` — and the
+//! weight gradient over `(batch, t)` — in the same left-to-right order, so
+//! the equivalence is exact, not approximate.
 
+use crate::gemm::{fmadd, gemm, gemm_seq, Layout};
+use crate::im2col::{grad2col, im2col, weight_for_input_grad, ConvGeometry};
 use crate::init;
 use crate::layer::{Layer, Mode, Param};
 use crate::tensor::Tensor;
 use rand::Rng;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Padding policy for [`Conv1d`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +38,78 @@ pub enum Padding {
     Explicit(usize),
 }
 
+/// Which convolution implementation [`Conv1d`] dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvBackend {
+    /// Pick per call: GEMM unless the shape is tiny.
+    Auto,
+    /// Always the shifted-axpy reference path.
+    Naive,
+    /// Always the im2col + GEMM path.
+    Gemm,
+}
+
+/// Process-wide backend default, overridable per layer with
+/// [`Conv1d::set_backend`]. Initialized from `NILM_CONV_BACKEND`
+/// (`auto|naive|gemm`) on first use.
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn encode(b: ConvBackend) -> u8 {
+    match b {
+        ConvBackend::Auto => 0,
+        ConvBackend::Naive => 1,
+        ConvBackend::Gemm => 2,
+    }
+}
+
+fn decode(v: u8) -> ConvBackend {
+    match v {
+        1 => ConvBackend::Naive,
+        2 => ConvBackend::Gemm,
+        _ => ConvBackend::Auto,
+    }
+}
+
+/// Sets the process-wide default convolution backend.
+pub fn set_conv_backend(backend: ConvBackend) {
+    GLOBAL_BACKEND.store(encode(backend), Ordering::Relaxed);
+}
+
+/// The process-wide default convolution backend (`NILM_CONV_BACKEND` env
+/// override, else [`ConvBackend::Auto`]).
+pub fn conv_backend() -> ConvBackend {
+    let v = GLOBAL_BACKEND.load(Ordering::Relaxed);
+    if v != u8::MAX {
+        return decode(v);
+    }
+    let from_env = match std::env::var("NILM_CONV_BACKEND").ok().as_deref() {
+        Some("naive") => ConvBackend::Naive,
+        Some("gemm") => ConvBackend::Gemm,
+        _ => ConvBackend::Auto,
+    };
+    GLOBAL_BACKEND.store(encode(from_env), Ordering::Relaxed);
+    from_env
+}
+
+/// Minimum work per batch item before `Auto` considers the GEMM path.
+const GEMM_MIN_MACS: usize = 4096;
+
+/// Minimum im2col inner dimension (`C_in * K`) for the GEMM path: below
+/// this the packed kernel cannot amortize the lowering copy against so few
+/// multiply-accumulates per output element.
+const GEMM_MIN_COL_ROWS: usize = 32;
+
+/// Minimum output channels for the GEMM path: with very few GEMM rows the
+/// per-column packing/scatter overhead dominates. Together with
+/// [`GEMM_MIN_COL_ROWS`] this matches measurement: smoke-width detectors
+/// (channels 4/8) run faster on the shifted-axpy path, `CamalConfig::small`
+/// widths (16+) and paper widths run ~3x faster on GEMM.
+const GEMM_MIN_OUT_C: usize = 16;
+
+/// Total multiply-accumulate count above which the batch splits into one
+/// GEMM group per worker thread instead of a single wide GEMM.
+const PAR_CONV_MACS: usize = 1 << 20;
+
 /// A 1-D convolution layer with optional dilation and stride.
 pub struct Conv1d {
     in_c: usize,
@@ -30,9 +118,16 @@ pub struct Conv1d {
     stride: usize,
     dilation: usize,
     padding: Padding,
+    backend: Option<ConvBackend>,
     weight: Param,
     bias: Option<Param>,
     cached_input: Option<Tensor>,
+    // Reused GEMM-path scratch (column matrix, wide product, gradient
+    // column matrix): grown once, then stable across calls.
+    buf_col: Vec<f32>,
+    buf_wide: Vec<f32>,
+    buf_gcol: Vec<f32>,
+    buf_dw: Vec<f32>,
 }
 
 impl Conv1d {
@@ -56,7 +151,27 @@ impl Conv1d {
         assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0 && dilation > 0);
         let weight = Param::new(init::he_normal(rng, &[out_c, in_c, k], in_c * k));
         let bias = bias.then(|| Param::new(Tensor::zeros(&[out_c])));
-        Conv1d { in_c, out_c, k, stride, dilation, padding, weight, bias, cached_input: None }
+        Conv1d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            dilation,
+            padding,
+            backend: None,
+            weight,
+            bias,
+            cached_input: None,
+            buf_col: Vec::new(),
+            buf_wide: Vec::new(),
+            buf_gcol: Vec::new(),
+            buf_dw: Vec::new(),
+        }
+    }
+
+    /// Overrides the backend for this layer (`None` = process default).
+    pub fn set_backend(&mut self, backend: Option<ConvBackend>) {
+        self.backend = backend;
     }
 
     /// Effective kernel extent `(k - 1) * dilation + 1`.
@@ -105,122 +220,355 @@ impl Conv1d {
     pub fn kernel(&self) -> usize {
         self.k
     }
-}
 
-/// For kernel tap `kk`, the range of output positions whose input index
-/// `t_out * stride + kk*dilation - pad_left` lies inside `[0, t_in)`.
-#[inline]
-fn valid_out_range(offset: isize, stride: usize, t_in: usize, t_out: usize) -> (usize, usize) {
-    // t_out*stride + offset in [0, t_in)  =>  t_out in [ceil(-offset/s), ceil((t_in-offset)/s))
-    let s = stride as isize;
-    let lo = if offset >= 0 { 0 } else { (-offset + s - 1) / s };
-    let hi = ((t_in as isize - offset) + s - 1) / s;
-    let lo = lo.clamp(0, t_out as isize) as usize;
-    let hi = hi.clamp(0, t_out as isize) as usize;
-    (lo, hi.max(lo))
-}
+    /// Index geometry for an input of length `t_in`.
+    fn geometry(&self, t_in: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_c: self.in_c,
+            out_c: self.out_c,
+            k: self.k,
+            stride: self.stride,
+            dilation: self.dilation,
+            pad_left: self.pads(t_in).0,
+            t_in,
+            t_out: self.out_len(t_in),
+        }
+    }
 
-impl Layer for Conv1d {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let (b, c_in, t_in) = x.dims3();
-        assert_eq!(c_in, self.in_c, "Conv1d expected {} input channels, got {}", self.in_c, c_in);
-        let (pl, _) = self.pads(t_in);
-        let t_out = self.out_len(t_in);
-        let mut out = Tensor::zeros(&[b, self.out_c, t_out]);
+    /// Resolves `Auto` for a given geometry. The GEMM path needs both
+    /// enough total work to amortize the im2col copy and a deep enough
+    /// inner dimension for the packed kernel to beat the shifted-axpy loop
+    /// (a 1-input-channel, small-kernel conv has `col_rows` ≈ k and is
+    /// memory-bound either way).
+    fn use_gemm(&self, geo: &ConvGeometry) -> bool {
+        match self.backend.unwrap_or_else(conv_backend) {
+            ConvBackend::Naive => false,
+            ConvBackend::Gemm => true,
+            ConvBackend::Auto => {
+                geo.col_rows() >= GEMM_MIN_COL_ROWS
+                    && geo.out_c >= GEMM_MIN_OUT_C
+                    && geo.out_c * geo.col_rows() * geo.t_out >= GEMM_MIN_MACS
+            }
+        }
+    }
 
+    /// Adds the bias (when present) on top of fully accumulated outputs.
+    fn add_bias(&self, out: &mut Tensor) {
+        if let Some(bias) = &self.bias {
+            let (b, _, _) = out.dims3();
+            for bi in 0..b {
+                for (co, &v) in bias.value.data().iter().enumerate() {
+                    out.row_mut(bi, co).iter_mut().for_each(|o| *o += v);
+                }
+            }
+        }
+    }
+
+    // ---- naive (shifted-axpy) backend -----------------------------------
+
+    fn forward_naive(&self, x: &Tensor, geo: &ConvGeometry, out: &mut Tensor) {
+        let (b, _, _) = x.dims3();
         for bi in 0..b {
             for co in 0..self.out_c {
-                // Bias first so the accumulation below adds on top.
-                if let Some(bias) = &self.bias {
-                    let v = bias.value.data()[co];
-                    out.row_mut(bi, co).iter_mut().for_each(|o| *o = v);
-                }
                 for ci in 0..self.in_c {
                     let xr = x.row(bi, ci);
                     let wbase = (co * self.in_c + ci) * self.k;
                     let w = &self.weight.value.data()[wbase..wbase + self.k];
                     let or = out.row_mut(bi, co);
                     for (kk, &wv) in w.iter().enumerate() {
-                        if wv == 0.0 {
+                        let (lo, hi, offset) = geo.valid_out_range(kk);
+                        if lo >= hi {
+                            // Tap never overlaps the input (deep padding);
+                            // lo + offset may be negative here, so the
+                            // shifted slice below must not be formed.
                             continue;
                         }
-                        let offset = (kk * self.dilation) as isize - pl as isize;
-                        let (lo, hi) = valid_out_range(offset, self.stride, t_in, t_out);
                         if self.stride == 1 {
                             let xs = &xr
                                 [(lo as isize + offset) as usize..(hi as isize + offset) as usize];
                             for (o, &xv) in or[lo..hi].iter_mut().zip(xs) {
-                                *o += wv * xv;
+                                *o = fmadd(wv, xv, *o);
                             }
                         } else {
                             for to in lo..hi {
                                 let ti = (to * self.stride) as isize + offset;
-                                or[to] += wv * xr[ti as usize];
+                                or[to] = fmadd(wv, xr[ti as usize], or[to]);
                             }
                         }
                     }
                 }
             }
         }
-        self.cached_input = Some(x.clone());
-        out
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("Conv1d backward before forward");
-        let (b, _, t_in) = x.dims3();
-        let (gb, gc, t_out) = grad.dims3();
-        assert_eq!(gb, b);
-        assert_eq!(gc, self.out_c);
-        let (pl, _) = self.pads(t_in);
-        let mut dx = Tensor::zeros(&[b, self.in_c, t_in]);
-
+    fn backward_naive(&mut self, x: &Tensor, grad: &Tensor, geo: &ConvGeometry, dx: &mut Tensor) {
+        let (b, _, _) = x.dims3();
+        // The weight gradient accumulates into a scratch as one continuous
+        // per-element chain over (batch, t) and lands on the stored gradient
+        // in a single add — the same summation tree as the batched GEMM
+        // backend, so the two stay bit-identical.
+        let mut dw_scratch = vec![0.0f32; self.weight.grad.len()];
         for bi in 0..b {
             for co in 0..self.out_c {
                 let gr = grad.row(bi, co);
-                if let Some(bias) = &mut self.bias {
-                    bias.grad.data_mut()[co] += gr.iter().sum::<f32>();
-                }
                 for ci in 0..self.in_c {
                     let xr = x.row(bi, ci);
                     let wbase = (co * self.in_c + ci) * self.k;
                     for kk in 0..self.k {
-                        let offset = (kk * self.dilation) as isize - pl as isize;
-                        let (lo, hi) = valid_out_range(offset, self.stride, t_in, t_out);
+                        let (lo, hi, offset) = geo.valid_out_range(kk);
                         if lo >= hi {
                             continue;
                         }
                         let wv = self.weight.value.data()[wbase + kk];
+                        let mut dw = dw_scratch[wbase + kk];
                         if self.stride == 1 {
                             let ilo = (lo as isize + offset) as usize;
                             let ihi = (hi as isize + offset) as usize;
                             // dW: correlation of grad with input.
-                            let mut dw = 0.0f32;
                             for (&g, &xv) in gr[lo..hi].iter().zip(&xr[ilo..ihi]) {
-                                dw += g * xv;
+                                dw = fmadd(g, xv, dw);
                             }
-                            self.weight.grad.data_mut()[wbase + kk] += dw;
                             // dX: scatter grad back, shifted.
-                            if wv != 0.0 {
-                                let dxr = dx.row_mut(bi, ci);
-                                for (d, &g) in dxr[ilo..ihi].iter_mut().zip(&gr[lo..hi]) {
-                                    *d += wv * g;
-                                }
+                            let dxr = dx.row_mut(bi, ci);
+                            for (d, &g) in dxr[ilo..ihi].iter_mut().zip(&gr[lo..hi]) {
+                                *d = fmadd(wv, g, *d);
                             }
                         } else {
-                            let mut dw = 0.0f32;
                             let dxr = dx.row_mut(bi, ci);
                             for to in lo..hi {
                                 let ti = ((to * self.stride) as isize + offset) as usize;
-                                dw += gr[to] * xr[ti];
-                                dxr[ti] += wv * gr[to];
+                                dw = fmadd(gr[to], xr[ti], dw);
+                                dxr[ti] = fmadd(wv, gr[to], dxr[ti]);
                             }
-                            self.weight.grad.data_mut()[wbase + kk] += dw;
                         }
+                        dw_scratch[wbase + kk] = dw;
                     }
                 }
             }
         }
+        for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(&dw_scratch) {
+            *g += d;
+        }
+    }
+
+    // ---- im2col + GEMM backend ------------------------------------------
+    //
+    // The batch is processed in contiguous groups of items; each group
+    // unfolds its items side by side into one wide column matrix (`n =
+    // group * T`), runs a single GEMM, and scatters the `[C_out, group * T]`
+    // product back into the batch-major output. One group per worker thread
+    // (a single group when sequential): wide GEMMs amortize packing far
+    // better than per-item ones, and groups are embarrassingly parallel.
+    // Column partitioning never touches the per-element accumulation chain,
+    // so grouping cannot perturb bit-exactness.
+
+    /// Contiguous batch ranges, one per worker when the work justifies it.
+    fn batch_groups(b: usize, macs_per_item: usize) -> usize {
+        let threads = rayon::current_num_threads();
+        if threads > 1 && b > 1 && b * macs_per_item >= PAR_CONV_MACS {
+            b.div_ceil(threads)
+        } else {
+            b
+        }
+    }
+
+    /// One group's worth of forward work: unfold `gb` items starting at
+    /// `b0` into `col`, multiply, scatter into the batch-major output block.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_gemm_group(
+        w: &[f32],
+        x: &Tensor,
+        geo: &ConvGeometry,
+        b0: usize,
+        oblk: &mut [f32],
+        col: &mut Vec<f32>,
+        prod: &mut Vec<f32>,
+    ) {
+        let (m, t, kdim) = (geo.out_c, geo.t_out, geo.col_rows());
+        let gb = oblk.len() / (m * t);
+        let n = gb * t;
+        col.resize(kdim * n, 0.0);
+        prod.resize(m * n, 0.0);
+        for local in 0..gb {
+            im2col(geo, x.batch_slice(b0 + local), col, n, local * t);
+        }
+        gemm_seq(m, n, kdim, w, Layout::Normal, col, Layout::Normal, prod, false);
+        // Scatter [C_out, gb * T] back to batch-major [gb, C_out, T].
+        for local in 0..gb {
+            for co in 0..m {
+                let src = &prod[co * n + local * t..co * n + local * t + t];
+                oblk[(local * m + co) * t..(local * m + co) * t + t].copy_from_slice(src);
+            }
+        }
+    }
+
+    fn forward_gemm(&mut self, x: &Tensor, geo: &ConvGeometry, out: &mut Tensor) {
+        let (b, _, _) = x.dims3();
+        let w = self.weight.value.data();
+        let (m, t, kdim) = (geo.out_c, geo.t_out, geo.col_rows());
+        let group = Self::batch_groups(b, m * t * kdim);
+        if group >= b {
+            // Single group: run in place with the layer's reusable scratch.
+            Self::forward_gemm_group(
+                w,
+                x,
+                geo,
+                0,
+                out.data_mut(),
+                &mut self.buf_col,
+                &mut self.buf_wide,
+            );
+        } else {
+            out.data_mut().par_chunks_mut(group * m * t).enumerate().for_each(|(gi, oblk)| {
+                let (mut col, mut prod) = (Vec::new(), Vec::new());
+                Self::forward_gemm_group(w, x, geo, gi * group, oblk, &mut col, &mut prod);
+            });
+        }
+    }
+
+    /// One group's worth of input-gradient work: the transposed
+    /// convolution `dx = Ŵ · grad2col(grad)` as a wide GEMM plus scatter.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_gemm_dx_group(
+        what: &[f32],
+        grad: &Tensor,
+        geo: &ConvGeometry,
+        b0: usize,
+        dblk: &mut [f32],
+        gcol: &mut Vec<f32>,
+        prod: &mut Vec<f32>,
+    ) {
+        let (in_c, t_in, gk) = (geo.in_c, geo.t_in, geo.gcol_rows());
+        let gb = dblk.len() / (in_c * t_in);
+        let n = gb * t_in;
+        gcol.resize(gk * n, 0.0);
+        prod.resize(in_c * n, 0.0);
+        for local in 0..gb {
+            grad2col(geo, grad.batch_slice(b0 + local), gcol, n, local * t_in);
+        }
+        gemm_seq(in_c, n, gk, what, Layout::Normal, gcol, Layout::Normal, prod, false);
+        for local in 0..gb {
+            for ci in 0..in_c {
+                let src = &prod[ci * n + local * t_in..ci * n + local * t_in + t_in];
+                dblk[(local * in_c + ci) * t_in..(local * in_c + ci) * t_in + t_in]
+                    .copy_from_slice(src);
+            }
+        }
+    }
+
+    fn backward_gemm(&mut self, x: &Tensor, grad: &Tensor, geo: &ConvGeometry, dx: &mut Tensor) {
+        let (b, _, _) = x.dims3();
+        let kdim = geo.col_rows();
+        let (out_c, t_out, in_c, t_in) = (geo.out_c, geo.t_out, geo.in_c, geo.t_in);
+        let n_out = b * t_out;
+
+        // dW = grad_big · col_bigᵀ over the whole batch at once: the inner
+        // dimension (batch, t) accumulates in exactly the naive path's
+        // continuous chain, and lands on the stored gradient in one add.
+        let col_big = &mut self.buf_col;
+        col_big.resize(kdim * n_out, 0.0);
+        let grad_big = &mut self.buf_wide;
+        grad_big.resize(out_c * n_out, 0.0);
+        for bi in 0..b {
+            im2col(geo, x.batch_slice(bi), col_big, n_out, bi * t_out);
+            for co in 0..out_c {
+                let dst = co * n_out + bi * t_out;
+                grad_big[dst..dst + t_out].copy_from_slice(grad.row(bi, co));
+            }
+        }
+        let dw = &mut self.buf_dw;
+        dw.clear();
+        dw.resize(out_c * kdim, 0.0);
+        gemm(out_c, kdim, n_out, grad_big, Layout::Normal, col_big, Layout::Transposed, dw, false);
+        for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(self.buf_dw.iter()) {
+            *g += d;
+        }
+
+        // dX = Ŵ · grad2col(grad): the transposed convolution, again one
+        // wide GEMM per batch group. The permuted weight reuses the dW
+        // scratch (the dW product has already been folded into the stored
+        // gradient above).
+        let gk = geo.gcol_rows();
+        self.buf_dw.clear();
+        self.buf_dw.resize(in_c * gk, 0.0);
+        weight_for_input_grad(geo, self.weight.value.data(), &mut self.buf_dw);
+        let group = Self::batch_groups(b, in_c * t_in * gk);
+        if group >= b {
+            Self::backward_gemm_dx_group(
+                &self.buf_dw,
+                grad,
+                geo,
+                0,
+                dx.data_mut(),
+                &mut self.buf_gcol,
+                &mut self.buf_wide,
+            );
+        } else {
+            // Parallel groups need per-worker buffers; the allocations are
+            // amortized by the fan-out.
+            let wref = &self.buf_dw;
+            dx.data_mut().par_chunks_mut(group * in_c * t_in).enumerate().for_each(|(gi, dblk)| {
+                let (mut gcol, mut prod) = (Vec::new(), Vec::new());
+                Self::backward_gemm_dx_group(
+                    wref,
+                    grad,
+                    geo,
+                    gi * group,
+                    dblk,
+                    &mut gcol,
+                    &mut prod,
+                );
+            });
+        }
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (b, c_in, t_in) = x.dims3();
+        assert_eq!(c_in, self.in_c, "Conv1d expected {} input channels, got {}", self.in_c, c_in);
+        let geo = self.geometry(t_in);
+        let mut out = Tensor::zeros(&[b, self.out_c, geo.t_out]);
+        if self.use_gemm(&geo) {
+            self.forward_gemm(x, &geo, &mut out);
+        } else {
+            self.forward_naive(x, &geo, &mut out);
+        }
+        self.add_bias(&mut out);
+        // Cache the input for backward, reusing the previous cache's
+        // allocation.
+        let mut cache = self.cached_input.take().unwrap_or_else(|| Tensor::zeros(&[0]));
+        cache.resize(x.shape());
+        cache.data_mut().copy_from_slice(x.data());
+        self.cached_input = Some(cache);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("Conv1d backward before forward");
+        let (b, _, t_in) = x.dims3();
+        let (gb, gc, t_out) = grad.dims3();
+        assert_eq!(gb, b);
+        assert_eq!(gc, self.out_c);
+        let geo = self.geometry(t_in);
+        assert_eq!(geo.t_out, t_out, "grad length mismatch");
+        let mut dx = Tensor::zeros(&[b, self.in_c, t_in]);
+
+        // Bias gradient: identical on both backends.
+        if let Some(bias) = &mut self.bias {
+            for bi in 0..b {
+                for co in 0..self.out_c {
+                    bias.grad.data_mut()[co] += grad.row(bi, co).iter().sum::<f32>();
+                }
+            }
+        }
+
+        if self.use_gemm(&geo) {
+            self.backward_gemm(&x, grad, &geo, &mut dx);
+        } else {
+            self.backward_naive(&x, grad, &geo, &mut dx);
+        }
+        self.cached_input = Some(x);
         dx
     }
 
@@ -349,5 +697,42 @@ mod tests {
         let mut r = rng(3);
         let mut conv = Conv1d::new(&mut r, 16, 32, 5, Padding::Same);
         assert_eq!(conv.num_params(), 32 * 16 * 5 + 32);
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_a_nontrivial_shape() {
+        let mut r = rng(7);
+        let mut conv = Conv1d::with_options(&mut r, 3, 5, 7, Padding::Same, 1, 1, true);
+        let x = init::randn_tensor(&mut r, &[2, 3, 40], 1.0);
+        let g = init::randn_tensor(&mut r, &[2, 5, 40], 1.0);
+
+        conv.set_backend(Some(ConvBackend::Naive));
+        let y_n = conv.forward(&x, Mode::Train);
+        conv.zero_grad();
+        let dx_n = conv.backward(&g);
+        let mut grads_n = Vec::new();
+        conv.visit_params(&mut |p| grads_n.push(p.grad.clone()));
+
+        conv.set_backend(Some(ConvBackend::Gemm));
+        let y_g = conv.forward(&x, Mode::Train);
+        conv.zero_grad();
+        let dx_g = conv.backward(&g);
+        let mut grads_g = Vec::new();
+        conv.visit_params(&mut |p| grads_g.push(p.grad.clone()));
+
+        assert_eq!(y_n.data(), y_g.data());
+        assert_eq!(dx_n.data(), dx_g.data());
+        for (a, b) in grads_n.iter().zip(&grads_g) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn auto_picks_naive_for_tiny_and_gemm_for_large() {
+        let mut r = rng(8);
+        let tiny = Conv1d::new(&mut r, 1, 1, 3, Padding::Same);
+        assert!(!tiny.use_gemm(&tiny.geometry(8)));
+        let big = Conv1d::new(&mut r, 32, 64, 5, Padding::Same);
+        assert!(big.use_gemm(&big.geometry(128)));
     }
 }

@@ -1,0 +1,270 @@
+//! im2col / col2im lowering for 1-D convolution.
+//!
+//! A convolution `[C_in, T_in] -> [C_out, T_out]` with kernel size `K`
+//! becomes one GEMM per batch item once the input is unfolded into a column
+//! matrix `col[(c_in * K + k), t_out] = x[c_in, t_out * stride + k * dilation
+//! - pad_left]` (zero outside the input). The weight tensor `[C_out, C_in,
+//! K]` is already the row-major matrix `[C_out, C_in * K]`, so
+//!
+//! - forward: `out = W · col`,
+//! - weight gradient: `dW += grad · colᵀ` (per batch item),
+//! - input gradient: `dx = Ŵ · gcol`, where `Ŵ[(c_in), (c_out * K + k)] =
+//!   W[c_out, c_in, k]` and `gcol` unfolds the *output* gradient over input
+//!   positions (the transposed-convolution form of the same lowering, built
+//!   by [`grad2col`]).
+//!
+//! The row orderings are chosen so every GEMM accumulates its inner
+//! dimension in exactly the order the shifted-axpy reference path does,
+//! which keeps the two convolution backends bit-identical (see
+//! `tests/conv_gemm_equivalence.rs`).
+
+/// Geometry of one lowered convolution: every index computation lives here
+/// so the GEMM path and the reference path cannot drift apart.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel taps.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Dilation.
+    pub dilation: usize,
+    /// Zeros implicitly prepended to the input.
+    pub pad_left: usize,
+    /// Input length.
+    pub t_in: usize,
+    /// Output length.
+    pub t_out: usize,
+}
+
+impl ConvGeometry {
+    /// Rows of the forward column matrix (`C_in * K`).
+    pub fn col_rows(&self) -> usize {
+        self.in_c * self.k
+    }
+
+    /// Rows of the gradient column matrix (`C_out * K`).
+    pub fn gcol_rows(&self) -> usize {
+        self.out_c * self.k
+    }
+
+    /// For kernel tap `k`, the half-open range of output positions whose
+    /// input index `t_out * stride + k * dilation - pad_left` lies inside
+    /// `[0, t_in)`.
+    #[inline]
+    pub fn valid_out_range(&self, tap: usize) -> (usize, usize, isize) {
+        let offset = (tap * self.dilation) as isize - self.pad_left as isize;
+        let s = self.stride as isize;
+        let lo = if offset >= 0 { 0 } else { (-offset + s - 1) / s };
+        let hi = ((self.t_in as isize - offset) + s - 1) / s;
+        let lo = lo.clamp(0, self.t_out as isize) as usize;
+        let hi = hi.clamp(0, self.t_out as isize) as usize;
+        (lo, hi.max(lo), offset)
+    }
+}
+
+/// Unfolds one batch item `x` (`[C_in, T_in]` row-major) into the column
+/// block starting at column `col0` of a column matrix with row stride `ld`:
+/// `col[(ci * K + k) * ld + col0 + t_out]`. Batched convolutions lay the
+/// items of a batch side by side (`ld = batch * t_out`) so the whole batch
+/// becomes a single wide GEMM. Positions outside the input are zeroed.
+pub fn im2col(geo: &ConvGeometry, x: &[f32], col: &mut [f32], ld: usize, col0: usize) {
+    debug_assert_eq!(x.len(), geo.in_c * geo.t_in);
+    debug_assert!(col.len() >= geo.col_rows() * ld);
+    debug_assert!(col0 + geo.t_out <= ld);
+    let t_out = geo.t_out;
+    for ci in 0..geo.in_c {
+        let xr = &x[ci * geo.t_in..(ci + 1) * geo.t_in];
+        for tap in 0..geo.k {
+            let (lo, hi, offset) = geo.valid_out_range(tap);
+            let start = (ci * geo.k + tap) * ld + col0;
+            let row = &mut col[start..start + t_out];
+            if lo >= hi {
+                // Tap never overlaps the input (deep padding): the whole
+                // row is padding zeros, and `lo + offset` may be negative.
+                row.iter_mut().for_each(|v| *v = 0.0);
+                continue;
+            }
+            row[..lo].iter_mut().for_each(|v| *v = 0.0);
+            row[hi..].iter_mut().for_each(|v| *v = 0.0);
+            if geo.stride == 1 {
+                let ilo = (lo as isize + offset) as usize;
+                let ihi = (hi as isize + offset) as usize;
+                row[lo..hi].copy_from_slice(&xr[ilo..ihi]);
+            } else {
+                for (to, v) in row[lo..hi].iter_mut().enumerate() {
+                    let ti = ((lo + to) * geo.stride) as isize + offset;
+                    *v = xr[ti as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Unfolds one batch item's *output gradient* (`[C_out, T_out]` row-major)
+/// over input positions, into the column block at `col0` of a matrix with
+/// row stride `ld`: `gcol[(co * K + k) * ld + col0 + t_in] = grad[co,
+/// t_out]` where `t_in = t_out * stride + k * dilation - pad_left`, and zero
+/// where no output position maps there. This is the column matrix of the
+/// transposed convolution that computes `dx`.
+pub fn grad2col(geo: &ConvGeometry, grad: &[f32], gcol: &mut [f32], ld: usize, col0: usize) {
+    debug_assert_eq!(grad.len(), geo.out_c * geo.t_out);
+    debug_assert!(gcol.len() >= geo.gcol_rows() * ld);
+    debug_assert!(col0 + geo.t_in <= ld);
+    let t_in = geo.t_in;
+    for co in 0..geo.out_c {
+        let gr = &grad[co * geo.t_out..(co + 1) * geo.t_out];
+        for tap in 0..geo.k {
+            let (lo, hi, offset) = geo.valid_out_range(tap);
+            let start = (co * geo.k + tap) * ld + col0;
+            let row = &mut gcol[start..start + t_in];
+            if lo >= hi {
+                row.iter_mut().for_each(|v| *v = 0.0);
+                continue;
+            }
+            if geo.stride == 1 {
+                // t_in = t_out + offset: a contiguous shifted copy.
+                let ilo = (lo as isize + offset) as usize;
+                let ihi = (hi as isize + offset) as usize;
+                row[..ilo].iter_mut().for_each(|v| *v = 0.0);
+                row[ihi..].iter_mut().for_each(|v| *v = 0.0);
+                row[ilo..ihi].copy_from_slice(&gr[lo..hi]);
+            } else {
+                row.iter_mut().for_each(|v| *v = 0.0);
+                for to in lo..hi {
+                    let ti = (to * geo.stride) as isize + offset;
+                    row[ti as usize] = gr[to];
+                }
+            }
+        }
+    }
+}
+
+/// Builds `Ŵ[ci, co * K + k] = w[co, ci, k]` — the weight matrix of the
+/// transposed convolution, with the inner dimension ordered `(co, k)` to
+/// match the reference path's accumulation order.
+pub fn weight_for_input_grad(geo: &ConvGeometry, w: &[f32], what: &mut [f32]) {
+    debug_assert_eq!(w.len(), geo.out_c * geo.in_c * geo.k);
+    debug_assert_eq!(what.len(), geo.in_c * geo.out_c * geo.k);
+    let (in_c, out_c, k) = (geo.in_c, geo.out_c, geo.k);
+    for ci in 0..in_c {
+        for co in 0..out_c {
+            let src = &w[(co * in_c + ci) * k..(co * in_c + ci + 1) * k];
+            let dst = &mut what[(ci * out_c + co) * k..(ci * out_c + co + 1) * k];
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(
+        stride: usize,
+        dilation: usize,
+        pad_left: usize,
+        t_in: usize,
+        t_out: usize,
+    ) -> ConvGeometry {
+        ConvGeometry { in_c: 2, out_c: 3, k: 3, stride, dilation, pad_left, t_in, t_out }
+    }
+
+    #[test]
+    fn im2col_valid_stride1_is_shifted_copies() {
+        // k=3, no padding: col rows are x shifted by 0, 1, 2.
+        let g = ConvGeometry {
+            in_c: 1,
+            out_c: 1,
+            k: 3,
+            stride: 1,
+            dilation: 1,
+            pad_left: 0,
+            t_in: 5,
+            t_out: 3,
+        };
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut col = vec![0.0; 9];
+        im2col(&g, &x, &mut col, g.t_out, 0);
+        assert_eq!(col, vec![1.0, 2.0, 3.0, 2.0, 3.0, 4.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_outside_input() {
+        let g = ConvGeometry {
+            in_c: 1,
+            out_c: 1,
+            k: 3,
+            stride: 1,
+            dilation: 1,
+            pad_left: 1,
+            t_in: 3,
+            t_out: 3,
+        };
+        let x = [7.0, 8.0, 9.0];
+        let mut col = vec![-1.0; 9];
+        im2col(&g, &x, &mut col, g.t_out, 0);
+        assert_eq!(col, vec![0.0, 7.0, 8.0, 7.0, 8.0, 9.0, 8.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn im2col_stride_and_dilation() {
+        // stride 2, dilation 2, k=2, t_in=6 -> effective kernel 3, t_out=2.
+        let g = ConvGeometry {
+            in_c: 1,
+            out_c: 1,
+            k: 2,
+            stride: 2,
+            dilation: 2,
+            pad_left: 0,
+            t_in: 6,
+            t_out: 2,
+        };
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut col = vec![0.0; 4];
+        im2col(&g, &x, &mut col, g.t_out, 0);
+        assert_eq!(col, vec![0.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn grad2col_scatters_like_forward_gathers() {
+        // Every (tap, t_out) pair lands at its forward input index.
+        let g = geo(1, 1, 1, 4, 4);
+        let grad: Vec<f32> = (0..g.out_c * g.t_out).map(|i| i as f32 + 1.0).collect();
+        let mut gcol = vec![0.0; g.gcol_rows() * g.t_in];
+        grad2col(&g, &grad, &mut gcol, g.t_in, 0);
+        for co in 0..g.out_c {
+            for tap in 0..g.k {
+                let (lo, hi, offset) = g.valid_out_range(tap);
+                let row = &gcol[(co * g.k + tap) * g.t_in..(co * g.k + tap + 1) * g.t_in];
+                let mut expect = vec![0.0f32; g.t_in];
+                for to in lo..hi {
+                    let ti = (to as isize + offset) as usize;
+                    expect[ti] = grad[co * g.t_out + to];
+                }
+                assert_eq!(row, &expect[..], "co={co} tap={tap}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_permutation_round_trips() {
+        let g = geo(1, 1, 0, 4, 2);
+        let w: Vec<f32> = (0..g.out_c * g.in_c * g.k).map(|i| i as f32).collect();
+        let mut what = vec![0.0; w.len()];
+        weight_for_input_grad(&g, &w, &mut what);
+        for co in 0..g.out_c {
+            for ci in 0..g.in_c {
+                for tap in 0..g.k {
+                    assert_eq!(
+                        what[(ci * g.out_c + co) * g.k + tap],
+                        w[(co * g.in_c + ci) * g.k + tap]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -115,16 +115,24 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
+        let mut layers = self.layers.iter_mut();
+        let mut cur = match layers.next() {
+            Some(first) => first.forward(x, mode),
+            None => x.clone(),
+        };
+        for layer in layers {
             cur = layer.forward(&cur, mode);
         }
         cur
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let mut cur = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let mut cur = match layers.next() {
+            Some(last) => last.backward(grad),
+            None => grad.clone(),
+        };
+        for layer in layers {
             cur = layer.backward(&cur);
         }
         cur
@@ -174,12 +182,12 @@ impl Residual {
 
 impl Layer for Residual {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let main = self.main.forward(x, mode);
-        let side = match &mut self.shortcut {
-            Some(s) => s.forward(x, mode),
-            None => x.clone(),
-        };
-        main.add(&side)
+        let mut main = self.main.forward(x, mode);
+        match &mut self.shortcut {
+            Some(s) => main.add_assign(&s.forward(x, mode)),
+            None => main.add_assign(x),
+        }
+        main
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

@@ -30,7 +30,9 @@ pub mod activation;
 pub mod attention;
 pub mod conv;
 pub mod dropout;
+pub mod gemm;
 pub mod gradcheck;
+pub mod im2col;
 pub mod init;
 pub mod layer;
 pub mod linear;
@@ -47,7 +49,7 @@ pub mod prelude {
     pub use crate::attention::{
         MultiHeadSelfAttention, PositionalEncoding, TransformerEncoderLayer,
     };
-    pub use crate::conv::{Conv1d, Padding};
+    pub use crate::conv::{conv_backend, set_conv_backend, Conv1d, ConvBackend, Padding};
     pub use crate::dropout::Dropout;
     pub use crate::layer::{Identity, Layer, Mode, Param, Residual, Sequential};
     pub use crate::linear::{Linear, TimeDistributed};

@@ -3,6 +3,7 @@
 //! timestep of a `[batch, channels, time]` tensor (per-timestep heads of the
 //! sequence-to-sequence baselines).
 
+use crate::gemm::{gemm, Layout};
 use crate::init;
 use crate::layer::{Layer, Mode, Param};
 use crate::tensor::Tensor;
@@ -51,8 +52,20 @@ impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         let (b, f) = x.dims2();
         assert_eq!(f, self.in_f, "Linear expected {} features, got {f}", self.in_f);
-        // y[b, o] = sum_i x[b, i] * w[o, i] + bias[o]
-        let mut out = x.matmul(&self.weight.value.transpose2());
+        // y[b, o] = sum_i x[b, i] * w[o, i] + bias[o] — one GEMM against the
+        // transposed weight layout, no materialized transpose.
+        let mut out = Tensor::zeros(&[b, self.out_f]);
+        gemm(
+            b,
+            self.out_f,
+            self.in_f,
+            x.data(),
+            Layout::Normal,
+            self.weight.value.data(),
+            Layout::Transposed,
+            out.data_mut(),
+            false,
+        );
         if let Some(bias) = &self.bias {
             for bi in 0..b {
                 for (o, &bv) in out.data_mut()[bi * self.out_f..(bi + 1) * self.out_f]
@@ -70,9 +83,18 @@ impl Layer for Linear {
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("Linear backward before forward");
         let (b, _) = grad.dims2();
-        // dW = grad^T x  ([out, b] x [b, in])
-        let dw = grad.transpose2().matmul(x);
-        self.weight.grad.add_assign(&dw);
+        // dW += grad^T x  ([out, b] x [b, in]), accumulated in place.
+        gemm(
+            self.out_f,
+            self.in_f,
+            b,
+            grad.data(),
+            Layout::Transposed,
+            x.data(),
+            Layout::Normal,
+            self.weight.grad.data_mut(),
+            true,
+        );
         if let Some(bias) = &mut self.bias {
             for bi in 0..b {
                 for (g, &gy) in bias

@@ -4,6 +4,31 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::tensor::Tensor;
 
+/// Lane-wise `(Σx, Σx²)` over rows of a `[batch, channels, time]` tensor
+/// for one channel: eight partial accumulators per statistic so the
+/// reduction vectorizes (a single scalar accumulator is a serial
+/// dependency chain the compiler cannot widen).
+fn channel_sums(x: &Tensor, b: usize, ci: usize) -> (f32, f32) {
+    const LANES: usize = 8;
+    let mut s = [0.0f32; LANES];
+    let mut q = [0.0f32; LANES];
+    for bi in 0..b {
+        let row = x.row(bi, ci);
+        let mut chunks = row.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            for l in 0..LANES {
+                s[l] += chunk[l];
+                q[l] += chunk[l] * chunk[l];
+            }
+        }
+        for &v in chunks.remainder() {
+            s[0] += v;
+            q[0] += v * v;
+        }
+    }
+    (s.iter().sum(), q.iter().sum())
+}
+
 /// Batch normalization over `[batch, channels, time]`: statistics are
 /// computed per channel across the batch and time axes.
 pub struct BatchNorm1d {
@@ -44,20 +69,16 @@ impl Layer for BatchNorm1d {
         assert_eq!(c, self.channels, "BatchNorm1d expected {} channels, got {c}", self.channels);
         let n = (b * t) as f32;
         let mut out = Tensor::zeros(&[b, c, t]);
-        let mut xhat = Tensor::zeros(&[b, c, t]);
+        // Reuse the previous call's cache allocation; contents are fully
+        // overwritten below.
+        let mut xhat = self.xhat.take().unwrap_or_else(|| Tensor::zeros(&[0]));
+        xhat.resize(&[b, c, t]);
         self.last_mode = mode;
 
         for ci in 0..c {
             let (mean, var) = match mode {
                 Mode::Train => {
-                    let mut sum = 0.0f32;
-                    let mut sumsq = 0.0f32;
-                    for bi in 0..b {
-                        for &v in x.row(bi, ci) {
-                            sum += v;
-                            sumsq += v * v;
-                        }
-                    }
+                    let (sum, sumsq) = channel_sums(x, b, ci);
                     let mean = sum / n;
                     let var = (sumsq / n - mean * mean).max(0.0);
                     self.running_mean[ci] =
@@ -79,8 +100,7 @@ impl Layer for BatchNorm1d {
                     *h = (v - mean) * inv_std;
                 }
                 let or = out.row_mut(bi, ci);
-                let xh = xhat.row(bi, ci);
-                for (o, &h) in or.iter_mut().zip(xh) {
+                for (o, &h) in or.iter_mut().zip(xhat.row(bi, ci)) {
                     *o = g * h + be;
                 }
             }
@@ -98,17 +118,28 @@ impl Layer for BatchNorm1d {
         for ci in 0..c {
             let g = self.gamma.value.data()[ci];
             let inv_std = self.inv_std[ci];
-            // Accumulate per-channel reductions.
-            let mut sum_dy = 0.0f32;
-            let mut sum_dy_xhat = 0.0f32;
+            // Accumulate per-channel reductions, lane-wise so they vectorize.
+            const LANES: usize = 8;
+            let mut s_dy = [0.0f32; LANES];
+            let mut s_dyh = [0.0f32; LANES];
             for bi in 0..b {
                 let gr = grad.row(bi, ci);
                 let xh = xhat.row(bi, ci);
-                for (&gy, &h) in gr.iter().zip(xh) {
-                    sum_dy += gy;
-                    sum_dy_xhat += gy * h;
+                let mut gc = gr.chunks_exact(LANES);
+                let mut hc = xh.chunks_exact(LANES);
+                for (gch, hch) in (&mut gc).zip(&mut hc) {
+                    for l in 0..LANES {
+                        s_dy[l] += gch[l];
+                        s_dyh[l] += gch[l] * hch[l];
+                    }
+                }
+                for (&gy, &h) in gc.remainder().iter().zip(hc.remainder()) {
+                    s_dy[0] += gy;
+                    s_dyh[0] += gy * h;
                 }
             }
+            let sum_dy: f32 = s_dy.iter().sum();
+            let sum_dy_xhat: f32 = s_dyh.iter().sum();
             self.beta.grad.data_mut()[ci] += sum_dy;
             self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
 

@@ -165,6 +165,21 @@ impl Tensor {
         self.shape = shape.to_vec();
     }
 
+    /// Resizes the tensor to `shape`, reusing the existing allocation when
+    /// capacity allows. Contents are unspecified afterwards — this is the
+    /// primitive behind reusable batch scratch buffers.
+    pub fn resize(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        if self.data.capacity() < n {
+            // Growing: a fresh allocation avoids realloc copying the stale
+            // contents we are about to overwrite anyway.
+            self.data = Vec::with_capacity(n);
+        }
+        self.data.resize(n, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
     /// Sets every element to `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.iter_mut().for_each(|x| *x = value);
@@ -248,27 +263,24 @@ impl Tensor {
         self.data.iter().copied().fold(f32::INFINITY, f32::min)
     }
 
-    /// Matrix multiplication of rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    /// Matrix multiplication of rank-2 tensors: `[m,k] x [k,n] -> [m,n]`,
+    /// dispatched to the blocked, packed kernel in [`crate::gemm`].
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (m, k) = self.dims2();
         let (k2, n) = other.dims2();
         assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", k, k2);
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the inner loop streaming over `other` rows,
-        // which LLVM auto-vectorizes.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(
+            m,
+            n,
+            k,
+            &self.data,
+            crate::gemm::Layout::Normal,
+            &other.data,
+            crate::gemm::Layout::Normal,
+            &mut out,
+            false,
+        );
         Tensor { data: out, shape: vec![m, n] }
     }
 

@@ -1,0 +1,249 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the subset of the criterion API the `nilm_bench` crate declares:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`] macros
+//! (both the positional and the `name = ...; config = ...; targets = ...`
+//! forms).
+//!
+//! Measurement is deliberately simple: each benchmark runs one warm-up call
+//! followed by `sample_size` timed iterations, and the mean wall-clock time
+//! per iteration is printed to stdout. There is no statistical analysis, no
+//! outlier rejection, and no `target/criterion` report directory — swap in
+//! the real crate via the workspace manifest for publication-quality numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (a very small subset of criterion's).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Stored for API compatibility; this harness always runs exactly
+    /// `sample_size` iterations regardless of how long they take.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Stored for API compatibility; warm-up is always a single call.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {}", name);
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// No-op; kept so generated `main` functions can mirror criterion's.
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Records the amount of work per iteration (printed, not analysed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("  throughput: {} elements/iter", n),
+            Throughput::Bytes(n) => println!("  throughput: {} bytes/iter", n),
+        }
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { samples, elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{:<60} (no measurement)", label);
+    } else {
+        let per_iter = b.elapsed / b.iters as u32;
+        println!("{:<60} time: [{:?}/iter over {} iters]", label, per_iter, b.iters);
+    }
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name, parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work performed per iteration, used for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Re-export so benches can use `criterion::black_box` if they prefer.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` executes bench targets with `--test`;
+            // benches only need to run under `cargo bench`, so exit quickly
+            // in that mode after the targets above have been type-checked.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("counts", |b| b.iter(|| calls += 1));
+        // one warm-up call plus three timed iterations
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        let data = vec![1u64, 2, 3];
+        let mut total = 0u64;
+        g.throughput(Throughput::Elements(3));
+        g.bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+            b.iter(|| total += d.iter().sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(total, 18); // (1 warm-up + 2 samples) * 6
+    }
+}

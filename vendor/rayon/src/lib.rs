@@ -1,31 +1,95 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
 //! The build environment has no network access, so this vendored crate lets
-//! code be written against rayon-shaped APIs (`par_iter`, `par_iter_mut`,
-//! `into_par_iter`, `par_chunks`, [`join`]) while executing **sequentially**.
-//! The "parallel" iterators are ordinary [`std::iter::Iterator`]s, so the
-//! usual combinators (`map`, `filter`, `sum`, `collect`, ...) all work at
-//! call sites unchanged.
+//! code be written against rayon-shaped APIs while staying swappable for the
+//! real crate. Unlike the original placeholder, the work-distributing entry
+//! points are **actually parallel**: [`join`] and the
+//! [`prelude::ParallelSlice::par_chunks`] /
+//! [`prelude::ParallelSliceMut::par_chunks_mut`] combinators fan work out
+//! over [`std::thread::scope`] workers, honoring [`current_num_threads`]
+//! (which reads `RAYON_NUM_THREADS`, falling back to the machine's available
+//! parallelism). Scoped threads keep the implementation dependency-free and
+//! borrow-friendly at the cost of a spawn per fan-out, so callers gate
+//! parallel dispatch on a work threshold (as `nilm_tensor::gemm` does).
 //!
-//! When a registry is reachable, swapping the workspace manifest entry to the
-//! real rayon turns these call sites into actual data-parallel code with no
-//! source changes for the common combinator subset.
+//! The `par_iter` / `par_iter_mut` / `into_par_iter` traits remain
+//! sequential adapters: they exist so call sites compile unchanged against
+//! real rayon, which would parallelize them transparently.
 
-/// Runs both closures and returns their results (sequentially here).
+use std::sync::OnceLock;
+
+/// Runs both closures, `a` on a scoped worker thread and `b` on the calling
+/// thread, and returns their results. Falls back to sequential execution
+/// when only one worker thread is configured.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
+    A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB,
+    RA: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon::join closure panicked"), rb)
+    })
 }
 
-/// Number of worker threads the real rayon would use on this machine.
+/// Number of worker threads fan-outs use: `RAYON_NUM_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Distributes `items` over scoped worker threads in contiguous runs,
+/// calling `f(global_index, item)` for each. Runs sequentially when the
+/// thread budget or item count is 1.
+fn scoped_for_each<T: Send, F>(items: Vec<T>, f: F)
+where
+    F: Fn(usize, T) + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let n = items.len();
+    let per = n.div_ceil(threads);
+    let mut groups: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut start = 0;
+    while !rest.is_empty() {
+        let take = per.min(rest.len());
+        let tail = rest.split_off(take);
+        groups.push((start, std::mem::replace(&mut rest, tail)));
+        start += take;
+    }
+    let fref = &f;
+    std::thread::scope(|scope| {
+        for (base, group) in groups {
+            scope.spawn(move || {
+                for (off, item) in group.into_iter().enumerate() {
+                    fref(base + off, item);
+                }
+            });
+        }
+    });
 }
 
 pub mod prelude {
+    use super::scoped_for_each;
+
     /// `collection.into_par_iter()` — sequential stand-in.
     pub trait IntoParallelIterator: IntoIterator + Sized {
         fn into_par_iter(self) -> Self::IntoIter {
@@ -64,22 +128,120 @@ pub mod prelude {
         }
     }
 
-    /// `slice.par_chunks(n)` / `slice.par_chunks_mut(n)` — sequential stand-in.
+    /// Parallel shared chunks of a slice (`slice.par_chunks(n)`).
     pub trait ParallelSlice<T> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
     }
     impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+            ParChunks { slice: self, size: chunk_size }
         }
     }
 
+    /// Parallel exclusive chunks of a slice (`slice.par_chunks_mut(n)`).
     pub trait ParallelSliceMut<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
     impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "par_chunks_mut: chunk size must be positive");
+            ParChunksMut { slice: self, size: chunk_size }
+        }
+    }
+
+    /// Parallel iterator over shared `&[T]` chunks.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Calls `f` on every chunk, distributing chunks over worker threads.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a [T]) + Sync,
+        {
+            scoped_for_each(self.slice.chunks(self.size).collect(), |_, c| f(c));
+        }
+
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> ParEnumerate<&'a [T]> {
+            ParEnumerate { items: self.slice.chunks(self.size).collect() }
+        }
+
+        /// Maps every chunk in parallel, preserving chunk order.
+        pub fn map<U, F>(self, f: F) -> ParMap<&'a [T], F>
+        where
+            F: Fn(&'a [T]) -> U + Sync,
+            U: Send,
+        {
+            ParMap { items: self.slice.chunks(self.size).collect(), f }
+        }
+    }
+
+    /// Parallel iterator over exclusive `&mut [T]` chunks.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Calls `f` on every chunk, distributing chunks over worker threads.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            scoped_for_each(self.slice.chunks_mut(self.size).collect(), |_, c| f(c));
+        }
+
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> ParEnumerate<&'a mut [T]> {
+            ParEnumerate { items: self.slice.chunks_mut(self.size).collect() }
+        }
+    }
+
+    /// Index-carrying adapter produced by `enumerate()`.
+    pub struct ParEnumerate<I> {
+        items: Vec<I>,
+    }
+
+    impl<I: Send> ParEnumerate<I> {
+        /// Calls `f((index, item))` for every item, in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, I)) + Sync,
+        {
+            scoped_for_each(self.items, |i, item| f((i, item)));
+        }
+    }
+
+    /// Order-preserving parallel map produced by `ParChunks::map`.
+    pub struct ParMap<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    impl<I, F, U> ParMap<I, F>
+    where
+        I: Send,
+        F: Fn(I) -> U + Sync,
+        U: Send,
+    {
+        /// Evaluates the map and collects results in input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let n = self.items.len();
+            let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+            out.resize_with(n, || None);
+            {
+                let slots: Vec<&mut Option<U>> = out.iter_mut().collect();
+                let fref = &self.f;
+                let pairs: Vec<(I, &mut Option<U>)> = self.items.into_iter().zip(slots).collect();
+                scoped_for_each(pairs, |_, (item, slot)| {
+                    *slot = Some(fref(item));
+                });
+            }
+            out.into_iter().map(|v| v.expect("ParMap slot unfilled")).collect()
         }
     }
 }
@@ -87,6 +249,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -104,9 +267,33 @@ mod tests {
     }
 
     #[test]
-    fn par_chunks_matches_chunks() {
+    fn par_chunks_map_collect_preserves_order() {
         let v: Vec<u32> = (0..10).collect();
         let sums: Vec<u32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
         assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn par_chunks_mut_for_each_touches_every_chunk() {
+        let mut v = vec![1u32; 10];
+        v.par_chunks_mut(4).for_each(|c| c.iter_mut().for_each(|x| *x += 1));
+        assert_eq!(v, vec![2u32; 10]);
+    }
+
+    #[test]
+    fn enumerate_sees_ordered_indices_and_disjoint_chunks() {
+        let mut v = vec![0usize; 12];
+        v.par_chunks_mut(5).enumerate().for_each(|(i, c)| {
+            c.iter_mut().for_each(|x| *x = i + 1);
+        });
+        let mut expect = vec![1; 5];
+        expect.extend(vec![2; 5]);
+        expect.extend(vec![3; 2]);
+        assert_eq!(v, expect);
+        let hits = AtomicUsize::new(0);
+        v.par_chunks(3).for_each(|c| {
+            hits.fetch_add(c.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 12);
     }
 }
