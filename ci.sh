@@ -40,6 +40,9 @@ if [ "$MODE" != "quick" ]; then
 
     step "perf harness smoke run (validates BENCH_conv_gemm.json)"
     cargo run --release -p nilm_eval --bin bench_conv_gemm -- --smoke --out target/ci-bench
+
+    step "camal_serve smoke run (train -> save -> load -> serve, JSON validated)"
+    cargo run --release -p nilm_eval --bin camal_serve -- demo --smoke --out target/ci-serve
 fi
 
 step "cargo doc --no-deps (warnings denied)"

@@ -10,10 +10,12 @@ use nilm_data::windows::WindowSet;
 use nilm_models::detector::{build_detector, Detector};
 use nilm_tensor::layer::Mode;
 use nilm_tensor::loss::cross_entropy;
-use nilm_tensor::optim::Adam;
+use nilm_tensor::optim::{clip_grad_norm, Adam};
 use nilm_tensor::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One trained candidate/member of the ensemble.
@@ -67,6 +69,9 @@ fn train_candidate(
             let logits = net.forward(&x, Mode::Train);
             let (_, grad) = cross_entropy(&logits, &labels);
             net.backward(&grad);
+            if cfg.train.clip > 0.0 {
+                clip_grad_norm(net.as_mut(), cfg.train.clip);
+            }
             opt.step(net.as_mut());
         }
     }
@@ -127,33 +132,42 @@ pub fn train_ensemble(
         .flat_map(|&k| (0..cfg.trials.max(1)).map(move |t| (k, (k as u64) << 32 | t as u64)))
         .collect();
 
-    let threads = threads.max(1);
-    let mut results: Vec<(usize, Box<dyn Detector>, f32, f64)> = Vec::with_capacity(jobs.len());
-    for batch in jobs.chunks(threads) {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .iter()
-                .map(|&(kernel, salt)| {
-                    let cfg_ref = &*cfg;
-                    let train_ref = &train_sub;
-                    let val_ref = val_set;
-                    scope.spawn(move || {
-                        let (net, loss, secs) = train_candidate(
-                            kernel,
-                            cfg_ref,
-                            train_ref,
-                            val_ref,
-                            cfg_ref.seed ^ salt,
-                        );
-                        (kernel, net, loss, secs)
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("candidate training panicked"));
-            }
-        });
-    }
+    // Shared work queue over one thread scope: each worker pops the next
+    // job index as soon as it finishes its previous candidate, so a slow
+    // candidate never idles the remaining cores (the old implementation
+    // barriered on `chunks(threads)`). Each job's RNG seed depends only on
+    // its (kernel, trial) salt and results land in per-job slots, so the
+    // outcome is identical for any thread count.
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let slots: Mutex<Vec<Option<(usize, Box<dyn Detector>, f32, f64)>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let next_job = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cfg_ref = &*cfg;
+            let train_ref = &train_sub;
+            let val_ref = val_set;
+            let jobs_ref = &jobs;
+            let slots_ref = &slots;
+            let next_ref = &next_job;
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                let Some(&(kernel, salt)) = jobs_ref.get(i) else {
+                    break;
+                };
+                let (net, loss, secs) =
+                    train_candidate(kernel, cfg_ref, train_ref, val_ref, cfg_ref.seed ^ salt);
+                slots_ref.lock().expect("result slots poisoned")[i] =
+                    Some((kernel, net, loss, secs));
+            });
+        }
+    });
+    let mut results: Vec<(usize, Box<dyn Detector>, f32, f64)> = slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker completed every popped job"))
+        .collect();
 
     let candidate_secs_total: f64 = results.iter().map(|r| r.3).sum();
     let candidates = results.len();
@@ -234,6 +248,49 @@ mod tests {
         let (mut members, _) = train_ensemble(&cfg, &train, &train, 1);
         let empty = WindowSet::default();
         assert_eq!(eval_loss(members[0].net.as_mut(), &empty, 4), f32::INFINITY);
+    }
+
+    #[test]
+    fn selection_is_invariant_to_thread_count() {
+        // The work-queue scheduler must be a pure performance knob: member
+        // selection (kernels, losses, weights) is bit-identical whether the
+        // candidates trained on 1 thread or 4.
+        let train = toy_set(24, 32, 11);
+        let val = toy_set(8, 32, 12);
+        let mut cfg = fast_cfg();
+        cfg.kernels = vec![5, 7, 9];
+        cfg.trials = 2;
+        cfg.n_ensemble = 3;
+        let (m1, s1) = train_ensemble(&cfg, &train, &val, 1);
+        let (m4, s4) = train_ensemble(&cfg, &train, &val, 4);
+        assert_eq!(s1.candidates, s4.candidates);
+        let summary = |ms: &[EnsembleMember]| -> Vec<(usize, u32)> {
+            ms.iter().map(|m| (m.kernel, m.val_loss.to_bits())).collect()
+        };
+        assert_eq!(summary(&m1), summary(&m4), "selection depends on thread count");
+        for (mut a, mut b) in m1.into_iter().zip(m4) {
+            assert_eq!(a.net.save_state(), b.net.save_state(), "member weights differ");
+        }
+    }
+
+    #[test]
+    fn gradient_clipping_changes_training_when_enabled() {
+        // `train_candidate` must honor `cfg.train.clip` (the historical bug
+        // silently ignored it): an aggressively small clip produces
+        // different weights than no clip under the same seed.
+        let train = toy_set(16, 32, 13);
+        let val = toy_set(8, 32, 14);
+        let mut clipped = fast_cfg();
+        clipped.train.clip = 1e-3;
+        let mut unclipped = clipped.clone();
+        unclipped.train.clip = 0.0;
+        let (mut mc, _) = train_ensemble(&clipped, &train, &val, 1);
+        let (mut mu, _) = train_ensemble(&unclipped, &train, &val, 1);
+        assert_ne!(
+            mc[0].net.save_state(),
+            mu[0].net.save_state(),
+            "clip had no effect on training"
+        );
     }
 
     #[test]

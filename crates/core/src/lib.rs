@@ -35,7 +35,9 @@ pub mod postprocess;
 pub mod ensemble;
 pub mod localize;
 pub mod model;
+pub mod persist;
 pub mod power;
+pub mod stream;
 #[cfg(test)]
 pub(crate) mod test_support;
 
@@ -44,3 +46,4 @@ pub use ensemble::{train_ensemble, EnsembleMember, EnsembleStats};
 pub use gradcam::{cam_gradcam_divergence, grad_cam};
 pub use model::{report_from_status, CamalModel, CaseReport, Localization};
 pub use power::estimate_power;
+pub use stream::{serve, HouseholdSeries, HouseholdTimeline, StreamConfig};

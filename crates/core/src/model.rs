@@ -23,6 +23,10 @@ pub struct Localization {
     /// Predicted per-timestep status ŝ(t) per window (all-zero when the
     /// appliance is not detected — paper step 2).
     pub status: Vec<Vec<u8>>,
+    /// Post-sigmoid localization scores in `[0, 1]` per window — the soft
+    /// labels of the RQ5 augmentation (`status` is `scores > 0.5`).
+    /// All-zero for undetected windows.
+    pub scores: Vec<Vec<f32>>,
     /// The averaged, normalized ensemble CAM per window.
     pub cam: Vec<Vec<f32>>,
 }
@@ -43,6 +47,10 @@ pub struct CaseReport {
 pub struct CamalModel {
     cfg: CamalConfig,
     members: Vec<EnsembleMember>,
+    /// Window length the ensemble was trained at (0 = unknown, e.g. models
+    /// assembled via [`CamalModel::from_members`]). Persisted in
+    /// checkpoints so a serving process can slice inputs correctly.
+    window: usize,
     /// Statistics of the Algorithm 1 run that produced this model.
     pub train_stats: EnsembleStats,
 }
@@ -53,18 +61,29 @@ impl CamalModel {
     pub fn train(cfg: &CamalConfig, train: &WindowSet, val: &WindowSet, threads: usize) -> Self {
         let (members, stats) = train_ensemble(cfg, train, val, threads);
         assert!(!members.is_empty(), "ensemble training produced no members");
-        CamalModel { cfg: cfg.clone(), members, train_stats: stats }
+        CamalModel { cfg: cfg.clone(), members, window: train.window_len(), train_stats: stats }
     }
 
     /// Builds a model from pre-trained members (used by ablation studies).
     pub fn from_members(cfg: CamalConfig, members: Vec<EnsembleMember>) -> Self {
         assert!(!members.is_empty());
-        CamalModel { cfg, members, train_stats: EnsembleStats::default() }
+        CamalModel { cfg, members, window: 0, train_stats: EnsembleStats::default() }
     }
 
     /// Configuration the model was trained with.
     pub fn config(&self) -> &CamalConfig {
         &self.cfg
+    }
+
+    /// Window length the model was trained at (0 when unknown).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records the training window length (used by checkpoint loading and
+    /// by callers assembling models from pre-trained members).
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window;
     }
 
     /// Number of ensemble members.
@@ -82,6 +101,39 @@ impl CamalModel {
     /// pool across sizes.
     pub fn into_members(self) -> Vec<EnsembleMember> {
         self.members
+    }
+
+    /// Mutable access to the members — used by checkpointing, which needs
+    /// to walk each backbone's layer state.
+    pub(crate) fn members_mut(&mut self) -> &mut [EnsembleMember] {
+        &mut self.members
+    }
+
+    /// Serializes the model into checkpoint bytes (see [`crate::persist`]).
+    pub fn to_bytes(&mut self) -> Vec<u8> {
+        crate::persist::to_bytes(self)
+    }
+
+    /// Reconstructs a model from checkpoint bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, nilm_tensor::serialize::SerializeError> {
+        crate::persist::from_bytes(bytes)
+    }
+
+    /// Writes a checkpoint file; reload it with [`CamalModel::load`] to get
+    /// bit-identical `detect_proba` / `localize_batch` behaviour in a fresh
+    /// process.
+    pub fn save(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), nilm_tensor::serialize::SerializeError> {
+        crate::persist::save(self, path)
+    }
+
+    /// Loads a checkpoint file written by [`CamalModel::save`].
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, nilm_tensor::serialize::SerializeError> {
+        crate::persist::load(path)
     }
 
     /// Total trainable parameters across the ensemble (Table II row CamAL).
@@ -136,17 +188,18 @@ impl CamalModel {
             let detected = probs[bi] > self.cfg.detection_threshold;
             let cam_row = &cam_ens.data()[bi * t..(bi + 1) * t];
             let input_row = x.row(bi, 0);
-            let status = if !detected {
-                vec![0u8; t]
+            let (status, scores) = if !detected {
+                (vec![0u8; t], vec![0.0f32; t])
             } else if self.cfg.use_attention {
                 // Step 5–6: attention-sigmoid module.
-                attention_status(cam_row, input_row, self.cfg.attention_margin).0
+                attention_status(cam_row, input_row, self.cfg.attention_margin)
             } else {
-                raw_cam_status(cam_row).0
+                raw_cam_status(cam_row)
             };
             out.detection_proba.push(probs[bi]);
             out.detected.push(detected);
             out.status.push(status);
+            out.scores.push(scores);
             out.cam.push(cam_row.to_vec());
         }
         out
@@ -163,17 +216,20 @@ impl CamalModel {
             all.detection_proba.extend(part.detection_proba);
             all.detected.extend(part.detected);
             all.status.extend(part.status);
+            all.scores.extend(part.scores);
             all.cam.extend(part.cam);
         }
         all
     }
 
-    /// Generates per-timestep soft labels (localization scores in `[0, 1]`)
-    /// for a window set — the RQ5 data-augmentation output. Undetected
-    /// windows yield all-zero labels.
+    /// Generates per-timestep soft labels (post-sigmoid localization scores
+    /// in `[0, 1]`) for a window set — the RQ5 data-augmentation output.
+    /// Undetected windows yield all-zero labels; detected windows carry the
+    /// graded attention-sigmoid scores (a historical bug returned the
+    /// binarized status cast to `f32`, collapsing the augmentation into
+    /// hard labels).
     pub fn soft_labels(&mut self, set: &WindowSet, batch: usize) -> Vec<Vec<f32>> {
-        let loc = self.localize_set(set, batch);
-        loc.status.iter().map(|status| status.iter().map(|&s| s as f32).collect()).collect()
+        self.localize_set(set, batch).scores
     }
 
     /// Evaluates localization + energy + detection on a ground-truth window
@@ -275,16 +331,38 @@ mod tests {
     }
 
     #[test]
-    fn soft_labels_match_status() {
+    fn soft_labels_are_scores_consistent_with_status() {
         let train = toy_set(16, 32, 7);
         let mut model = CamalModel::train(&fast_cfg(), &train, &train, 2);
         let soft = model.soft_labels(&train, 4);
         let loc = model.localize_set(&train, 4);
-        for (s, st) in soft.iter().zip(&loc.status) {
+        assert_eq!(soft.len(), loc.status.len());
+        for ((s, st), det) in soft.iter().zip(&loc.status).zip(&loc.detected) {
             for (&sv, &bv) in s.iter().zip(st) {
-                assert_eq!(sv, bv as f32);
+                assert!((0.0..=1.0).contains(&sv), "score {sv} out of [0,1]");
+                // Status is the 0.5-thresholded score; undetected windows
+                // are all-zero in both.
+                assert_eq!(sv > 0.5, bv == 1);
+                if !det {
+                    assert_eq!(sv, 0.0);
+                }
             }
         }
+    }
+
+    #[test]
+    fn soft_labels_are_not_binary_on_detected_windows() {
+        // Regression for the RQ5 bug: `soft_labels` used to return
+        // `status as f32`, so every value was exactly 0.0 or 1.0. Real
+        // post-sigmoid scores must be graded.
+        let train = toy_set(32, 32, 7);
+        let mut model = CamalModel::train(&fast_cfg(), &train, &train, 2);
+        let soft = model.soft_labels(&train, 8);
+        let loc = model.localize_set(&train, 8);
+        let detected: Vec<usize> = (0..train.len()).filter(|&i| loc.detected[i]).collect();
+        assert!(!detected.is_empty(), "toy model detected nothing");
+        let graded = detected.iter().any(|&i| soft[i].iter().any(|&s| s > 0.0 && s < 1.0));
+        assert!(graded, "detected windows carry only hard 0/1 soft labels");
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Checkpointing: save a trained [`CamalModel`] to a single binary file and
+//! reload it in a fresh process with bit-identical inference behaviour.
+//!
+//! A checkpoint is the full [`CamalConfig`] plus, per ensemble member, the
+//! member metadata (kernel, validation loss) and the backbone's tensor-state
+//! blob in the [`nilm_tensor::serialize`] format. Loading rebuilds each
+//! backbone through [`build_detector`] (the same constructor used by
+//! training) and then overwrites every parameter and batch-norm buffer from
+//! the blob, so the reconstructed ensemble reproduces `detect_proba` and
+//! `localize_batch` bit-for-bit.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! magic    [8]  b"CAMALCKP"
+//! version  u32  CHECKPOINT_VERSION
+//! config       backbone:u8, width_div:u32, n_ensemble:u32, trials:u32,
+//!              detection_threshold:f32, attention_margin:f32,
+//!              use_attention:u8, balance:u8,
+//!              kernels: count:u32 + u32 each,
+//!              train: epochs:u32, batch_size:u32, lr:f32, clip:f32, seed:u64,
+//!              seed:u64
+//! window   u32 training window length (0 = unknown)
+//! members  u32 count, then per member:
+//!              kernel:u32, val_loss:f32, blob: len:u64 + bytes
+//! ```
+
+use crate::config::CamalConfig;
+use crate::ensemble::EnsembleMember;
+use crate::model::CamalModel;
+use nilm_models::detector::build_detector;
+use nilm_models::{Backbone, TrainConfig};
+use nilm_tensor::serialize::{ByteReader, ByteWriter, SerializeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// File magic of a CamAL checkpoint.
+pub const MAGIC: [u8; 8] = *b"CAMALCKP";
+
+/// Current checkpoint version; bumped on any layout change.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+fn backbone_tag(b: Backbone) -> u8 {
+    match b {
+        Backbone::ResNet => 0,
+        Backbone::InceptionTime => 1,
+    }
+}
+
+fn backbone_from_tag(tag: u8) -> Result<Backbone, SerializeError> {
+    match tag {
+        0 => Ok(Backbone::ResNet),
+        1 => Ok(Backbone::InceptionTime),
+        other => Err(SerializeError::Format(format!("unknown backbone tag {other}"))),
+    }
+}
+
+fn write_config(w: &mut ByteWriter, cfg: &CamalConfig) {
+    w.put_u8(backbone_tag(cfg.backbone));
+    w.put_u32(cfg.width_div as u32);
+    w.put_u32(cfg.n_ensemble as u32);
+    w.put_u32(cfg.trials as u32);
+    w.put_f32(cfg.detection_threshold);
+    w.put_f32(cfg.attention_margin);
+    w.put_u8(cfg.use_attention as u8);
+    w.put_u8(cfg.balance as u8);
+    w.put_u32(cfg.kernels.len() as u32);
+    for &k in &cfg.kernels {
+        w.put_u32(k as u32);
+    }
+    w.put_u32(cfg.train.epochs as u32);
+    w.put_u32(cfg.train.batch_size as u32);
+    w.put_f32(cfg.train.lr);
+    w.put_f32(cfg.train.clip);
+    w.put_u64(cfg.train.seed);
+    w.put_u64(cfg.seed);
+}
+
+fn read_config(r: &mut ByteReader) -> Result<CamalConfig, SerializeError> {
+    let backbone = backbone_from_tag(r.get_u8("backbone tag")?)?;
+    let width_div = r.get_u32("width_div")? as usize;
+    let n_ensemble = r.get_u32("n_ensemble")? as usize;
+    let trials = r.get_u32("trials")? as usize;
+    let detection_threshold = r.get_f32("detection_threshold")?;
+    let attention_margin = r.get_f32("attention_margin")?;
+    let use_attention = r.get_u8("use_attention")? != 0;
+    let balance = r.get_u8("balance")? != 0;
+    let n_kernels = r.get_u32("kernel count")? as usize;
+    if n_kernels > r.remaining() / 4 {
+        // Guard before allocating: a corrupted count must become an error,
+        // not a huge `with_capacity` request that aborts the process.
+        return Err(SerializeError::Format(format!(
+            "kernel count {n_kernels} exceeds remaining payload"
+        )));
+    }
+    let mut kernels = Vec::with_capacity(n_kernels);
+    for _ in 0..n_kernels {
+        kernels.push(r.get_u32("kernel")? as usize);
+    }
+    let train = TrainConfig {
+        epochs: r.get_u32("epochs")? as usize,
+        batch_size: r.get_u32("batch_size")? as usize,
+        lr: r.get_f32("lr")?,
+        clip: r.get_f32("clip")?,
+        seed: r.get_u64("train seed")?,
+    };
+    let seed = r.get_u64("seed")?;
+    Ok(CamalConfig {
+        n_ensemble,
+        kernels,
+        trials,
+        detection_threshold,
+        attention_margin,
+        use_attention,
+        width_div,
+        backbone,
+        train,
+        balance,
+        seed,
+    })
+}
+
+/// Serializes a model into checkpoint bytes (see the module docs for the
+/// layout). `&mut` because walking layer state requires mutable access.
+pub fn to_bytes(model: &mut CamalModel) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u32(CHECKPOINT_VERSION);
+    write_config(&mut w, model.config());
+    w.put_u32(model.window() as u32);
+    let members = model.members_mut();
+    w.put_u32(members.len() as u32);
+    for member in members {
+        w.put_u32(member.kernel as u32);
+        w.put_f32(member.val_loss);
+        let blob = member.net.save_state();
+        w.put_u64(blob.len() as u64);
+        w.put_bytes(&blob);
+    }
+    w.finish()
+}
+
+/// Reconstructs a model from checkpoint bytes. Rejects bad magic, unknown
+/// versions, truncated or trailing data, and any member blob whose tensor
+/// shapes do not match the architecture implied by the stored config.
+pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_bytes(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(SerializeError::Format(format!(
+            "bad magic {magic:02x?}, expected {MAGIC:02x?} — not a CamAL checkpoint"
+        )));
+    }
+    let version = r.get_u32("version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(SerializeError::Format(format!(
+            "unsupported checkpoint version {version}, expected {CHECKPOINT_VERSION}"
+        )));
+    }
+    let cfg = read_config(&mut r)?;
+    let window = r.get_u32("window length")? as usize;
+    let n_members = r.get_u32("member count")? as usize;
+    if n_members == 0 {
+        return Err(SerializeError::Format("checkpoint holds no ensemble members".into()));
+    }
+    // Each member record is at least kernel + val_loss + blob length.
+    if n_members > r.remaining() / 16 {
+        return Err(SerializeError::Format(format!(
+            "member count {n_members} exceeds remaining payload"
+        )));
+    }
+    let mut members = Vec::with_capacity(n_members);
+    for i in 0..n_members {
+        let kernel = r.get_u32("member kernel")? as usize;
+        let val_loss = r.get_f32("member val_loss")?;
+        let blob_len = r.get_u64("member state length")? as usize;
+        let blob = r.get_bytes(blob_len, "member state")?;
+        // The RNG only seeds the soon-overwritten init, but keep it
+        // deterministic anyway so partial failures are reproducible.
+        let mut rng = StdRng::seed_from_u64(0x10AD ^ i as u64);
+        let mut net = build_detector(&mut rng, cfg.backbone, kernel, cfg.width_div);
+        net.load_state(blob).map_err(|e| match e {
+            SerializeError::Format(msg) => {
+                SerializeError::Format(format!("member {i} (kernel {kernel}): {msg}"))
+            }
+            io => io,
+        })?;
+        members.push(EnsembleMember { net, kernel, val_loss });
+    }
+    r.expect_end()?;
+    let mut model = CamalModel::from_members(cfg, members);
+    model.set_window(window);
+    Ok(model)
+}
+
+/// Writes a checkpoint file at `path`.
+pub fn save(model: &mut CamalModel, path: impl AsRef<Path>) -> Result<(), SerializeError> {
+    std::fs::write(path, to_bytes(model))?;
+    Ok(())
+}
+
+/// Loads a checkpoint file written by [`save`].
+pub fn load(path: impl AsRef<Path>) -> Result<CamalModel, SerializeError> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::toy_set;
+
+    fn untrained_model(backbone: Backbone, kernels: &[usize]) -> CamalModel {
+        let cfg = CamalConfig {
+            n_ensemble: kernels.len(),
+            kernels: kernels.to_vec(),
+            trials: 1,
+            width_div: 16,
+            backbone,
+            ..Default::default()
+        };
+        let members = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut rng = StdRng::seed_from_u64(42 + i as u64);
+                EnsembleMember {
+                    net: build_detector(&mut rng, backbone, k, cfg.width_div),
+                    kernel: k,
+                    val_loss: 0.1 * (i + 1) as f32,
+                }
+            })
+            .collect();
+        CamalModel::from_members(cfg, members)
+    }
+
+    #[test]
+    fn roundtrip_preserves_config_and_members() {
+        let mut model = untrained_model(Backbone::ResNet, &[5, 9]);
+        model.set_window(96);
+        let bytes = to_bytes(&mut model);
+        let mut back = from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.ensemble_size(), 2);
+        assert_eq!(back.kernels(), vec![5, 9]);
+        assert_eq!(back.config().width_div, 16);
+        assert_eq!(back.window(), 96, "training window length must survive the roundtrip");
+        assert_eq!(to_bytes(&mut back), bytes, "re-serialization must be stable");
+    }
+
+    #[test]
+    fn roundtrip_localization_is_bit_identical() {
+        let set = toy_set(6, 32, 21);
+        let idx: Vec<usize> = (0..set.len()).collect();
+        let x = set.batch_inputs(&idx);
+        let mut model = untrained_model(Backbone::ResNet, &[5, 7]);
+        let bytes = to_bytes(&mut model);
+        let mut back = from_bytes(&bytes).unwrap();
+        let a = model.localize_batch(&x);
+        let b = back.localize_batch(&x);
+        assert_eq!(a.status, b.status);
+        let bits = |v: &[Vec<f32>]| -> Vec<Vec<u32>> {
+            v.iter().map(|r| r.iter().map(|s| s.to_bits()).collect()).collect()
+        };
+        assert_eq!(bits(&a.scores), bits(&b.scores));
+        assert_eq!(bits(&a.cam), bits(&b.cam));
+        let pa: Vec<u32> = model.detect_proba(&x).iter().map(|p| p.to_bits()).collect();
+        let pb: Vec<u32> = back.detect_proba(&x).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn wrong_magic_version_and_truncation_are_rejected() {
+        let mut model = untrained_model(Backbone::ResNet, &[5]);
+        let bytes = to_bytes(&mut model);
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0x55;
+        assert!(from_bytes(&bad_magic).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert!(from_bytes(&bad_version).is_err());
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn member_architecture_mismatch_is_rejected() {
+        // Corrupt the stored kernel of member 0: the rebuilt backbone then
+        // has different conv shapes than the blob and the load must fail
+        // instead of silently mis-assigning weights.
+        let mut model = untrained_model(Backbone::ResNet, &[5]);
+        let mut bytes = to_bytes(&mut model);
+        let kernel_pos = bytes.len()
+            - model.members_mut()[0].net.save_state().len()
+            - 8  // blob length
+            - 4  // val_loss
+            - 4; // kernel
+        bytes[kernel_pos..kernel_pos + 4].copy_from_slice(&25u32.to_le_bytes());
+        let err = match from_bytes(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched member architecture was accepted"),
+        };
+        assert!(format!("{err}").contains("member 0"), "{err}");
+    }
+}

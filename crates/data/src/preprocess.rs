@@ -110,6 +110,18 @@ impl Window {
     }
 }
 
+/// Start indices of the non-overlapping length-`w` windows of `aggregate`
+/// that contain no missing values — the single source of the window
+/// validity rule, shared by training ([`slice_windows`]) and the streaming
+/// service (`camal::stream`). The tail shorter than `w` is excluded.
+pub fn valid_window_starts(aggregate: &TimeSeries, w: usize) -> Vec<usize> {
+    assert!(w > 0);
+    (0..aggregate.len() / w)
+        .map(|wi| wi * w)
+        .filter(|&start| !aggregate.values[start..start + w].iter().any(|v| v.is_nan()))
+        .collect()
+}
+
 /// Slices an aggregate/submeter pair into non-overlapping windows of length
 /// `w`, dropping any window where the aggregate still contains NaN.
 ///
@@ -124,18 +136,14 @@ pub fn slice_windows(
     house_id: usize,
     possession: bool,
 ) -> Vec<Window> {
-    assert!(w > 0);
     if let Some(s) = submeter {
         assert_eq!(s.step_s, aggregate.step_s, "submeter step mismatch");
     }
-    let n = aggregate.len() / w;
-    let mut out = Vec::with_capacity(n);
-    for wi in 0..n {
-        let range = wi * w..(wi + 1) * w;
+    let starts = valid_window_starts(aggregate, w);
+    let mut out = Vec::with_capacity(starts.len());
+    for start in starts {
+        let range = start..start + w;
         let agg = &aggregate.values[range.clone()];
-        if agg.iter().any(|v| v.is_nan()) {
-            continue;
-        }
         let (status, appliance_w, weak) = match submeter {
             Some(s) => {
                 let sub = &s.values[range.clone()];
@@ -217,6 +225,15 @@ mod tests {
     fn status_thresholding() {
         let s = TimeSeries::new(vec![0.0, 299.9, 300.0, 500.0, f32::NAN], 60);
         assert_eq!(status_from_power(&s, 300.0), vec![0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn valid_window_starts_skip_nan_and_tail() {
+        let mut vals: Vec<f32> = (0..14).map(|i| i as f32).collect();
+        vals[5] = f32::NAN;
+        let agg = TimeSeries::new(vals, 60);
+        // Windows of 4: [0..4] ok, [4..8] has NaN, [8..12] ok, tail dropped.
+        assert_eq!(valid_window_starts(&agg, 4), vec![0, 8]);
     }
 
     #[test]

@@ -64,6 +64,10 @@ impl Layer for BiGruModel {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.net.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.net.visit_state(f);
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,11 @@ impl Layer for Crnn {
         self.trunk.visit_params(f);
         self.head.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.trunk.visit_state(f);
+        self.head.visit_state(f);
+    }
 }
 
 /// Log-sum-exp pooling `[b, 1, t] -> [b, 1]`: a smooth maximum over time.

@@ -197,6 +197,17 @@ impl Layer for InceptionBlock {
         self.pool_proj.visit_params(f);
         self.bn.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        if let Some(b) = &mut self.bottleneck {
+            b.visit_state(f);
+        }
+        for branch in &mut self.branches {
+            branch.visit_state(f);
+        }
+        self.pool_proj.visit_state(f);
+        self.bn.visit_state(f);
+    }
 }
 
 /// InceptionTime classifier ending in GAP + linear (CAM-capable).
@@ -276,6 +287,16 @@ impl Layer for InceptionTime {
             sc.visit_params(f);
         }
         self.head.visit_params(f);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for block in &mut self.blocks {
+            block.visit_state(f);
+        }
+        for (_, sc) in &mut self.shortcuts {
+            sc.visit_state(f);
+        }
+        self.head.visit_state(f);
     }
 }
 

@@ -139,6 +139,13 @@ impl Layer for ResNet {
         }
         self.head.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for unit in &mut self.units {
+            unit.visit_state(f);
+        }
+        self.head.visit_state(f);
+    }
 }
 
 #[cfg(test)]

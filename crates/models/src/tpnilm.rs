@@ -82,6 +82,10 @@ impl PoolBranch {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.proj.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.proj.visit_state(f);
+    }
 }
 
 /// TPNILM producing `[b, 1, t]` per-timestep logits.
@@ -174,6 +178,15 @@ impl Layer for TpNilm {
         }
         self.decoder.visit_params(f);
         self.head.visit_params(f);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.enc.visit_state(f);
+        for br in &mut self.branches {
+            br.visit_state(f);
+        }
+        self.decoder.visit_state(f);
+        self.head.visit_state(f);
     }
 }
 

@@ -109,6 +109,14 @@ impl Layer for TransNilm {
         }
         self.head.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.embed.visit_state(f);
+        for block in &mut self.blocks {
+            block.visit_state(f);
+        }
+        self.head.visit_state(f);
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,17 @@ impl Layer for UnetNilm {
         }
         self.head.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for e in &mut self.enc {
+            e.visit_state(f);
+        }
+        self.bottleneck.visit_state(f);
+        for d in &mut self.dec {
+            d.visit_state(f);
+        }
+        self.head.visit_state(f);
+    }
 }
 
 #[cfg(test)]

@@ -268,6 +268,14 @@ impl Layer for TransformerEncoderLayer {
         self.ff2.visit_params(f);
         self.norm2.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.attn.visit_state(f);
+        self.norm1.visit_state(f);
+        self.ff1.visit_state(f);
+        self.ff2.visit_state(f);
+        self.norm2.visit_state(f);
+    }
 }
 
 #[cfg(test)]

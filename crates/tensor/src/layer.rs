@@ -66,6 +66,50 @@ pub trait Layer: Send {
         let _ = f;
     }
 
+    /// Visits every *state* tensor in a stable order: trainable parameter
+    /// values plus persistent non-trainable buffers (batch-norm running
+    /// statistics). This is the traversal behind [`Layer::save_state`] /
+    /// [`Layer::load_state`], so together the visited tensors must fully
+    /// determine the layer's `Mode::Eval` forward pass.
+    ///
+    /// The default visits parameter values only. Layers that carry extra
+    /// buffers (e.g. `BatchNorm1d`) and containers that hold child layers
+    /// (e.g. `Sequential`) must override it — a container that merely
+    /// inherits the default would reach children through `visit_params` and
+    /// silently skip their buffers.
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.visit_params(&mut |p| f(&mut p.value));
+    }
+
+    /// Serializes the full evaluation state ([`Layer::visit_state`] order)
+    /// into the versioned binary format of [`crate::serialize`].
+    fn save_state(&mut self) -> Vec<u8> {
+        let mut writer = crate::serialize::StateWriter::new();
+        self.visit_state(&mut |t| writer.push_tensor(t));
+        writer.finish()
+    }
+
+    /// Restores state previously produced by [`Layer::save_state`]. The
+    /// layer must have the exact same architecture: every tensor is
+    /// shape-checked against the visit order and any mismatch (as well as a
+    /// bad magic/version header or a truncated/oversized payload) is
+    /// rejected without partially applying the file.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::serialize::SerializeError> {
+        let mut reader = crate::serialize::StateReader::new(bytes)?;
+        // Two-phase: validate every record against the expected shapes
+        // first, then commit, so a corrupt tail cannot leave the layer
+        // half-loaded.
+        let mut shapes: Vec<Vec<usize>> = Vec::new();
+        self.visit_state(&mut |t| shapes.push(t.shape().to_vec()));
+        let tensors = reader.read_all(&shapes)?;
+        let mut next = tensors.into_iter();
+        self.visit_state(&mut |t| {
+            let src = next.next().expect("visit_state order changed between passes");
+            t.data_mut().copy_from_slice(&src);
+        });
+        Ok(())
+    }
+
     /// Clears accumulated gradients.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.grad.fill(0.0));
@@ -143,6 +187,12 @@ impl Layer for Sequential {
             layer.visit_params(f);
         }
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
+        }
+    }
 }
 
 /// The identity layer; useful as a placeholder branch in residual blocks.
@@ -204,6 +254,13 @@ impl Layer for Residual {
         self.main.visit_params(f);
         if let Some(s) = &mut self.shortcut {
             s.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.main.visit_state(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_state(f);
         }
     }
 }

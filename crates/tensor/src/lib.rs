@@ -41,6 +41,7 @@ pub mod norm;
 pub mod optim;
 pub mod pool;
 pub mod rnn;
+pub mod serialize;
 pub mod tensor;
 
 /// Convenient glob import for model construction.

@@ -182,6 +182,10 @@ impl Layer for TimeDistributed {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.inner.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.inner.visit_state(f);
+    }
 }
 
 #[cfg(test)]

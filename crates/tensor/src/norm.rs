@@ -37,8 +37,10 @@ pub struct BatchNorm1d {
     momentum: f32,
     gamma: Param,
     beta: Param,
-    running_mean: Vec<f32>,
-    running_var: Vec<f32>,
+    // Persistent buffers (part of the eval state, serialized by
+    // `visit_state` alongside the trainable parameters).
+    running_mean: Tensor,
+    running_var: Tensor,
     // Caches for backward.
     xhat: Option<Tensor>,
     inv_std: Vec<f32>,
@@ -54,8 +56,8 @@ impl BatchNorm1d {
             momentum: 0.1,
             gamma: Param::new(Tensor::full(&[channels], 1.0)),
             beta: Param::new(Tensor::zeros(&[channels])),
-            running_mean: vec![0.0; channels],
-            running_var: vec![1.0; channels],
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::full(&[channels], 1.0),
             xhat: None,
             inv_std: vec![0.0; channels],
             last_mode: Mode::Train,
@@ -81,13 +83,13 @@ impl Layer for BatchNorm1d {
                     let (sum, sumsq) = channel_sums(x, b, ci);
                     let mean = sum / n;
                     let var = (sumsq / n - mean * mean).max(0.0);
-                    self.running_mean[ci] =
-                        (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
-                    self.running_var[ci] =
-                        (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                    let rm = &mut self.running_mean.data_mut()[ci];
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                    let rv = &mut self.running_var.data_mut()[ci];
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
                     (mean, var)
                 }
-                Mode::Eval => (self.running_mean[ci], self.running_var[ci]),
+                Mode::Eval => (self.running_mean.data()[ci], self.running_var.data()[ci]),
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
             self.inv_std[ci] = inv_std;
@@ -175,6 +177,13 @@ impl Layer for BatchNorm1d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.gamma.value);
+        f(&mut self.beta.value);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
     }
 }
 

@@ -338,6 +338,11 @@ impl Layer for BiGru {
         self.fwd.visit_params(f);
         self.bwd.visit_params(f);
     }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.fwd.visit_state(f);
+        self.bwd.visit_state(f);
+    }
 }
 
 #[cfg(test)]

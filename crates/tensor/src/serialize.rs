@@ -1,0 +1,452 @@
+//! Versioned binary serialization of layer state.
+//!
+//! The on-disk format (everything little-endian) is deliberately dumb so it
+//! can be parsed from any language without a schema:
+//!
+//! ```text
+//! magic    [8]  b"NILMTNSR"
+//! version  u32  FORMAT_VERSION
+//! count    u32  number of tensor records
+//! record*  rank:u32, dims:[u32; rank], data:[f32; prod(dims)]
+//! ```
+//!
+//! Records appear in [`crate::layer::Layer::visit_state`] order, which is
+//! stable for a fixed architecture; loading shape-checks every record
+//! against the live layer, so a checkpoint can never be applied to a
+//! mismatched network. Byte-level building blocks ([`ByteWriter`] /
+//! [`ByteReader`]) are public so higher-level checkpoint formats (the CamAL
+//! ensemble checkpoint in the `camal` crate) can embed tensor-state blobs
+//! inside their own headers.
+
+use crate::tensor::Tensor;
+use std::fmt;
+use std::path::Path;
+
+/// File magic of a serialized state blob.
+pub const MAGIC: [u8; 8] = *b"NILMTNSR";
+
+/// Current format version; bumped on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors raised while writing or parsing serialized state.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structural error: bad magic, unsupported version, truncated data,
+    /// trailing bytes or a shape mismatch. The string names the offence.
+    Format(String),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Little-endian byte sink used by every writer in the format.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a whole `f32` slice little-endian, reserving once — the bulk
+    /// path for tensor data (a multi-megabyte checkpoint must not regrow
+    /// and recopy its buffer per element).
+    pub fn put_f32s(&mut self, values: &[f32]) {
+        self.buf.reserve(4 * values.len());
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Overwrites the 4 bytes at `offset` with a little-endian `u32`
+    /// (back-patching a count written before its value was known).
+    pub fn patch_u32(&mut self, offset: usize, v: u32) {
+        self.buf[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian cursor over a byte slice; every read is bounds-checked and
+/// reports the offending byte offset on failure.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SerializeError> {
+        // checked_add: `n` can come from a corrupt on-disk length field
+        // near usize::MAX — wrapping would defeat the bounds check and
+        // panic on the slice instead of returning an error.
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(SerializeError::Format(format!(
+                "truncated: needed {n} bytes for {what} at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        };
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8, SerializeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, SerializeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, SerializeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn get_f32(&mut self, what: &str) -> Result<f32, SerializeError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], SerializeError> {
+        self.take(n, what)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the buffer was consumed exactly.
+    pub fn expect_end(&self) -> Result<(), SerializeError> {
+        if self.remaining() != 0 {
+            return Err(SerializeError::Format(format!(
+                "{} trailing bytes after offset {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental writer for a tensor-state blob (used by
+/// [`crate::layer::Layer::save_state`]).
+pub struct StateWriter {
+    w: ByteWriter,
+    count: u32,
+}
+
+impl Default for StateWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateWriter {
+    /// Starts a blob: magic, version and a count slot patched on `finish`.
+    pub fn new() -> Self {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u32(0); // record count, patched in finish()
+        StateWriter { w, count: 0 }
+    }
+
+    /// Appends one tensor record.
+    pub fn push_tensor(&mut self, t: &Tensor) {
+        self.w.reserve(4 * (1 + t.rank() + t.len()));
+        self.w.put_u32(t.rank() as u32);
+        for &d in t.shape() {
+            self.w.put_u32(d as u32);
+        }
+        self.w.put_f32s(t.data());
+        self.count += 1;
+    }
+
+    /// Finalizes the blob and returns its bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let count = self.count;
+        self.w.patch_u32(MAGIC.len() + 4, count);
+        self.w.finish()
+    }
+}
+
+/// Parser for a tensor-state blob. Construction validates the header;
+/// [`StateReader::read_all`] validates every record against the expected
+/// shapes before returning any data.
+pub struct StateReader<'a> {
+    r: ByteReader<'a>,
+    count: u32,
+}
+
+impl<'a> StateReader<'a> {
+    /// Parses and validates the magic/version header.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, SerializeError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_bytes(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(SerializeError::Format(format!(
+                "bad magic {magic:02x?}, expected {MAGIC:02x?}"
+            )));
+        }
+        let version = r.get_u32("version")?;
+        if version != FORMAT_VERSION {
+            return Err(SerializeError::Format(format!(
+                "unsupported state format version {version}, expected {FORMAT_VERSION}"
+            )));
+        }
+        let count = r.get_u32("record count")?;
+        Ok(StateReader { r, count })
+    }
+
+    /// Reads every record, shape-checking each against `expected` (the
+    /// shapes of the live layer in visit order). Errors on count mismatch,
+    /// shape mismatch, truncation or trailing bytes.
+    pub fn read_all(&mut self, expected: &[Vec<usize>]) -> Result<Vec<Vec<f32>>, SerializeError> {
+        if self.count as usize != expected.len() {
+            return Err(SerializeError::Format(format!(
+                "state holds {} tensors, layer expects {}",
+                self.count,
+                expected.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(expected.len());
+        for (i, want) in expected.iter().enumerate() {
+            let rank = self.r.get_u32("tensor rank")? as usize;
+            if rank != want.len() {
+                return Err(SerializeError::Format(format!(
+                    "tensor {i}: rank {rank} != expected {}",
+                    want.len()
+                )));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(self.r.get_u32("tensor dim")? as usize);
+            }
+            if dims != *want {
+                return Err(SerializeError::Format(format!(
+                    "tensor {i}: shape {dims:?} != expected {want:?}"
+                )));
+            }
+            let n: usize = dims.iter().product();
+            let raw = self.r.get_bytes(4 * n, "tensor data")?;
+            let mut data = Vec::with_capacity(n);
+            for chunk in raw.chunks_exact(4) {
+                data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+            out.push(data);
+        }
+        self.r.expect_end()?;
+        Ok(out)
+    }
+}
+
+/// Saves a layer's state blob to `path` (see [`crate::layer::Layer::save_state`]).
+pub fn save_state_file(
+    layer: &mut dyn crate::layer::Layer,
+    path: impl AsRef<Path>,
+) -> Result<(), SerializeError> {
+    std::fs::write(path, layer.save_state())?;
+    Ok(())
+}
+
+/// Loads a layer's state from a file written by [`save_state_file`].
+pub fn load_state_file(
+    layer: &mut dyn crate::layer::Layer,
+    path: impl AsRef<Path>,
+) -> Result<(), SerializeError> {
+    let bytes = std::fs::read(path)?;
+    layer.load_state(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv1d, Padding};
+    use crate::init::{randn_tensor, rng};
+    use crate::layer::{Layer, Mode, Sequential};
+    use crate::linear::Linear;
+    use crate::norm::BatchNorm1d;
+
+    fn toy_net(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        Sequential::new()
+            .push(Conv1d::new(&mut r, 1, 3, 3, Padding::Same))
+            .push(BatchNorm1d::new(3))
+            .push(crate::activation::ReLU::default())
+            .push(crate::pool::GlobalAvgPool1d::default())
+            .push(Linear::new(&mut r, 3, 2))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let mut r = rng(7);
+        let x = randn_tensor(&mut r, &[4, 1, 16], 1.0);
+        let mut a = toy_net(1);
+        // Mutate batch-norm running stats so buffers are exercised too.
+        for _ in 0..3 {
+            let _ = a.forward(&x, Mode::Train);
+        }
+        let bytes = a.save_state();
+        let mut b = toy_net(2); // different init, same architecture
+        b.load_state(&bytes).expect("load must succeed");
+        let ya = a.forward(&x, Mode::Eval);
+        let yb = b.forward(&x, Mode::Eval);
+        let bits = |t: &crate::tensor::Tensor| -> Vec<u32> {
+            t.data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&ya), bits(&yb));
+    }
+
+    #[test]
+    fn state_includes_batchnorm_buffers() {
+        // gamma + beta + running mean + running var for BN, plus conv w/b
+        // and linear w/b.
+        let mut net = toy_net(3);
+        let mut n = 0;
+        net.visit_state(&mut |_| n += 1);
+        assert_eq!(n, 2 + 4 + 2);
+        let mut params = 0;
+        net.visit_params(&mut |_| params += 1);
+        assert!(n > params, "state must be a strict superset of params");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut net = toy_net(4);
+        let mut bytes = net.save_state();
+        bytes[0] ^= 0xFF;
+        let err = net.load_state(&bytes).unwrap_err();
+        assert!(format!("{err}").contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut net = toy_net(5);
+        let mut bytes = net.save_state();
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&99u32.to_le_bytes());
+        let err = net.load_state(&bytes).unwrap_err();
+        assert!(format!("{err}").contains("version"), "{err}");
+    }
+
+    #[test]
+    fn huge_corrupt_length_fields_error_instead_of_panicking() {
+        let mut r = ByteReader::new(&[1, 2, 3, 4]);
+        assert!(r.get_bytes(usize::MAX, "bomb").is_err());
+        let mut r = ByteReader::new(&[1, 2, 3, 4]);
+        let _ = r.get_u8("skip");
+        assert!(r.get_bytes(usize::MAX - 2, "wrapping bomb").is_err());
+    }
+
+    #[test]
+    fn truncated_and_trailing_are_rejected() {
+        let mut net = toy_net(6);
+        let bytes = net.save_state();
+        let err = net.load_state(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(format!("{err}").contains("truncated"), "{err}");
+        let mut extra = bytes.clone();
+        extra.extend_from_slice(&[0, 1, 2]);
+        let err = net.load_state(&extra).unwrap_err();
+        assert!(format!("{err}").contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_without_partial_apply() {
+        let mut r = rng(8);
+        let mut small = Sequential::new().push(Linear::new(&mut r, 2, 2));
+        let bytes = small.save_state();
+        let mut big = Sequential::new().push(Linear::new(&mut r, 3, 2));
+        let before = big.save_state();
+        assert!(big.load_state(&bytes).is_err());
+        assert_eq!(before, big.save_state(), "failed load must not mutate the layer");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("nilm_tensor_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.bin");
+        let mut a = toy_net(9);
+        save_state_file(&mut a, &path).unwrap();
+        let mut b = toy_net(10);
+        load_state_file(&mut b, &path).unwrap();
+        assert_eq!(a.save_state(), b.save_state());
+        let _ = std::fs::remove_file(&path);
+    }
+}
