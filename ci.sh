@@ -43,7 +43,21 @@ if [ "$MODE" != "quick" ]; then
 
     step "camal_serve smoke run (train -> save -> load -> serve, JSON validated)"
     cargo run --release -p nilm_eval --bin camal_serve -- demo --smoke --out target/ci-serve
+
+    step "camal_fleet smoke run (zoo train-all -> registry reload -> fleet serve, JSON validated)"
+    cargo run --release -p nilm_eval --bin camal_fleet -- demo --smoke --out target/ci-fleet
+
+    # The fleet sharding-invariance tests only exercise real fan-out with a
+    # multi-thread worker pool (the 1-core fallback runs shards serially).
+    step "cargo test -p camal --test fleet_serving --release (RAYON_NUM_THREADS=4)"
+    RAYON_NUM_THREADS=4 cargo test -q -p camal --test fleet_serving --release
 fi
+
+# `camal` and `nilm_data` opt into #![warn(missing_docs)]; with rustdoc
+# warnings denied this step is the docs gate: any undocumented public item
+# in those crates fails CI.
+step "docs gate: cargo doc -p camal -p nilm_data (missing_docs denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data
 
 step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

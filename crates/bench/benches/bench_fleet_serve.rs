@@ -1,0 +1,87 @@
+//! Fleet-serving throughput: `camal::fleet::serve_fleet` fanning a
+//! three-appliance model zoo over simulated households, reported as model
+//! inferences (windows × appliances) per second. Parameterized by worker
+//! shard count, so the bench doubles as a scaling check for the household
+//! sharding, and contrasted against serving the same zoo as three
+//! independent `camal::stream::serve` passes (the redundant-preprocessing
+//! baseline the shared pass replaces).
+
+use camal::fleet::{serve_fleet, FleetConfig};
+use camal::registry::{ModelKey, ModelRegistry};
+use camal::stream::{serve, HouseholdSeries, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nilm_data::prelude::*;
+
+fn fleet_keys() -> Vec<ModelKey> {
+    vec![
+        ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle),
+        ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave),
+        ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher),
+    ]
+}
+
+fn fleet_registry(window: usize) -> ModelRegistry {
+    let mut registry = ModelRegistry::unbounded();
+    for (i, key) in fleet_keys().into_iter().enumerate() {
+        registry.insert(key, nilm_bench::bench_fleet_model(window, 11 + i as u64));
+    }
+    registry
+}
+
+fn fleet_feeds(n: usize, days: usize) -> Vec<HouseholdSeries> {
+    generate_fleet_scenario(&[DatasetId::Refit, DatasetId::UkDale], n.div_ceil(2), days, 23)
+        .iter()
+        .take(n)
+        .map(|fh| HouseholdSeries { id: fh.label(), series: fh.house.aggregate.clone() })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let window = nilm_bench::bench_scale().window;
+    let mut registry = fleet_registry(window);
+    let keys = registry.keys();
+    let households = fleet_feeds(6, 2);
+    let windows_per_feed: usize = households.iter().map(|h| h.series.len() / window).sum();
+    let inferences = (windows_per_feed * keys.len()) as u64;
+
+    let mut g = c.benchmark_group("fleet_serve");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.throughput(Throughput::Elements(inferences));
+    for threads in [1usize, 2, 4] {
+        let cfg = FleetConfig { threads, ..FleetConfig::at_step(60) };
+        g.bench_with_input(BenchmarkId::new("shared_pass", threads), &cfg, |b, cfg| {
+            b.iter(|| {
+                let out = serve_fleet(&mut registry, &keys, &households, cfg).unwrap();
+                std::hint::black_box(out.summary.inferences)
+            })
+        });
+    }
+    // Baseline: N independent single-appliance passes, re-preprocessing and
+    // re-batching every feed once per appliance.
+    g.bench_function("independent_serves", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &key in &keys {
+                let model = registry.get_mut(key).unwrap();
+                let cfg = StreamConfig {
+                    window,
+                    step_s: 60,
+                    max_ffill_s: 180,
+                    batch: 64,
+                    appliance: Some(key.appliance),
+                    avg_power_w: 1000.0,
+                };
+                for tl in serve(model, &households, &cfg) {
+                    total += tl.windows_scored;
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -47,3 +47,25 @@ pub fn bench_case() -> CaseData {
 pub fn bench_model(case: &CaseData) -> CamalModel {
     CamalModel::train(&bench_camal_cfg(), &case.train, &case.val, 2)
 }
+
+/// A tiny untrained single-member model recorded at `window`, for the
+/// fleet-serving bench: scheduler throughput does not depend on trained
+/// weights, so skipping training keeps the fixture instant.
+pub fn bench_fleet_model(window: usize, seed: u64) -> CamalModel {
+    let cfg = CamalConfig {
+        n_ensemble: 1,
+        kernels: vec![5],
+        trials: 1,
+        width_div: 16,
+        ..Default::default()
+    };
+    let mut rng = nilm_tensor::init::rng(seed);
+    let member = camal::ensemble::EnsembleMember {
+        net: nilm_models::build_detector(&mut rng, nilm_models::Backbone::ResNet, 5, cfg.width_div),
+        kernel: 5,
+        val_loss: 0.1,
+    };
+    let mut model = CamalModel::from_members(cfg, vec![member]);
+    model.set_window(window);
+    model
+}

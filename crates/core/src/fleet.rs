@@ -1,0 +1,760 @@
+//! Fleet serving: N appliance detectors over one smart-meter feed, many
+//! households at a time.
+//!
+//! A deployment answers "which of the household's appliances is running?" —
+//! that is N CamAL models per feed, not one. Running [`crate::stream::serve`]
+//! N times would repeat the §V-B preprocessing (resample → forward-fill →
+//! slice) and the batch assembly N times per household; this module does the
+//! expensive, model-independent work **once per feed** and fans the shared
+//! window batches out across every registered appliance model:
+//!
+//! 1. **Shard** — households are split into contiguous shards, one per
+//!    worker thread (vendored `rayon` fan-out). Each worker materializes its
+//!    own private copy of every model from a checkpoint snapshot, so no
+//!    locking happens on the hot path and results are bit-identical for any
+//!    thread count (window scoring is row-independent: eval-mode BatchNorm
+//!    uses running statistics).
+//! 2. **Shared pass** — inside a shard, each household is preprocessed once
+//!    and its windows pooled with every other household's into
+//!    GEMM-friendly batches; each assembled batch tensor is then reused
+//!    across **all** appliance models (batching across households *and*
+//!    appliances: one batch assembly feeds N model forwards).
+//! 3. **Stitch + post-process** — per (household, appliance), window
+//!    statuses are stitched into a continuous timeline, the appliance's
+//!    duration priors run at the stitched level, and §IV-C power is
+//!    estimated — exactly the single-appliance streaming semantics.
+//!
+//! [`serve_fleet`] is the registry-driven entry point;
+//! [`crate::stream::serve`] is the N=1 special case of the same engine
+//! (both delegate to the crate-private `serve_shared` core below).
+
+use crate::model::CamalModel;
+use crate::postprocess::apply_duration_prior;
+use crate::power::estimate_power;
+use crate::registry::{ModelKey, ModelRegistry, RegistryError};
+use crate::stream::{HouseholdSeries, HouseholdTimeline};
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::preprocess::{forward_fill, resample, valid_window_starts, INPUT_SCALE};
+use nilm_data::series::TimeSeries;
+use nilm_data::templates::template;
+use nilm_tensor::tensor::Tensor;
+use rayon::prelude::*;
+use std::fmt;
+use std::time::Instant;
+
+/// Post-processing plan for one appliance model inside a shared pass: what
+/// the model-independent engine cannot know about the appliance.
+#[derive(Clone, Copy, Debug)]
+pub struct AppliancePlan {
+    /// Appliance whose duration priors run on the stitched timeline;
+    /// `None` disables post-processing (raw statuses pass through).
+    pub appliance: Option<ApplianceKind>,
+    /// Average running power P_a for the §IV-C power estimate.
+    pub avg_power_w: f32,
+}
+
+/// Work counters of one shared pass (summed over shards by [`serve_fleet`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SharedPassCounters {
+    /// Windows each feed was sliced into (model-independent; counted once
+    /// per household).
+    pub windows_total: usize,
+    /// NaN-free windows actually scored, counted once per household.
+    pub windows_scored: usize,
+    /// Model inferences performed: scored windows × models.
+    pub inferences: usize,
+    /// Batch tensors assembled (each reused across all models).
+    pub batches: usize,
+}
+
+/// One scored window's origin, for stitching.
+struct WindowJob {
+    house: usize,
+    /// Start sample of the window inside the stitched timeline.
+    start: usize,
+}
+
+/// The shared-pass engine: preprocesses every household once, pools windows
+/// across households into batches, runs **each** model on every assembled
+/// batch, and stitches per-(model, household) timelines. Returns timelines
+/// indexed `[model][household]`.
+///
+/// This is the core both [`crate::stream::serve`] (one model) and
+/// [`serve_fleet`] (one call per worker shard) execute.
+pub(crate) fn serve_shared(
+    models: &mut [&mut CamalModel],
+    plans: &[AppliancePlan],
+    households: &[HouseholdSeries],
+    window: usize,
+    step_s: u32,
+    max_ffill_s: u32,
+    batch: usize,
+) -> (Vec<Vec<HouseholdTimeline>>, SharedPassCounters) {
+    assert!(window > 0, "window length must be positive");
+    assert_eq!(models.len(), plans.len(), "one plan per model");
+    for model in models.iter() {
+        // The backbones are fully convolutional and would silently accept
+        // any window length — and silently degrade. Checkpoints record the
+        // training window precisely so this mismatch can be caught here.
+        assert!(
+            model.window() == 0 || model.window() == window,
+            "model was trained at window {} but cfg.window is {}",
+            model.window(),
+            window
+        );
+    }
+    let w = window;
+    let mut counters = SharedPassCounters::default();
+
+    // Stage 1 — per-household §V-B preprocessing and window slicing, done
+    // once per feed no matter how many models consume it.
+    let mut aggregates: Vec<TimeSeries> = Vec::with_capacity(households.len());
+    let mut jobs: Vec<WindowJob> = Vec::new();
+    let mut timelines: Vec<Vec<HouseholdTimeline>> =
+        (0..models.len()).map(|_| Vec::with_capacity(households.len())).collect();
+    for (hi, hh) in households.iter().enumerate() {
+        let agg = forward_fill(&resample(&hh.series, step_s), max_ffill_s);
+        let n = agg.len();
+        let windows_total = n / w;
+        // `valid_window_starts` is the same validity rule `slice_windows`
+        // applies during training, so streaming scores exactly the windows
+        // the windowed pipeline would.
+        let scored_starts = valid_window_starts(&agg, w);
+        counters.windows_total += windows_total;
+        counters.windows_scored += scored_starts.len();
+        jobs.extend(scored_starts.iter().map(|&start| WindowJob { house: hi, start }));
+        for per_model in timelines.iter_mut() {
+            per_model.push(HouseholdTimeline {
+                id: hh.id.clone(),
+                step_s,
+                raw_status: vec![0u8; n],
+                status: Vec::new(),
+                power_w: Vec::new(),
+                detection_proba: Vec::with_capacity(scored_starts.len()),
+                windows_total,
+                windows_scored: scored_starts.len(),
+                windows_detected: 0,
+                scored_starts: scored_starts.clone(),
+            });
+        }
+        aggregates.push(agg);
+    }
+
+    // Stage 2 — batched inference pooled across households; every assembled
+    // batch is fanned out across all models before the next one is built,
+    // so batch assembly cost is paid once per chunk, not once per model.
+    let batch = batch.max(1);
+    let mut x = Tensor::zeros(&[0]);
+    for chunk in jobs.chunks(batch) {
+        counters.batches += 1;
+        x.resize(&[chunk.len(), 1, w]);
+        for (bi, job) in chunk.iter().enumerate() {
+            let src = &aggregates[job.house].values[job.start..job.start + w];
+            let dst = &mut x.data_mut()[bi * w..(bi + 1) * w];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d = v * INPUT_SCALE;
+            }
+        }
+        for (mi, model) in models.iter_mut().enumerate() {
+            let loc = model.localize_batch(&x);
+            counters.inferences += chunk.len();
+            for (bi, job) in chunk.iter().enumerate() {
+                let tl = &mut timelines[mi][job.house];
+                tl.raw_status[job.start..job.start + w].copy_from_slice(&loc.status[bi]);
+                tl.detection_proba.push(loc.detection_proba[bi]);
+                if loc.detected[bi] {
+                    tl.windows_detected += 1;
+                }
+            }
+        }
+    }
+
+    // Stage 3 — timeline-level post-processing and power estimation, per
+    // (model, household) with the model's appliance plan.
+    for (per_model, plan) in timelines.iter_mut().zip(plans) {
+        for (tl, agg) in per_model.iter_mut().zip(&aggregates) {
+            tl.status = tl.raw_status.clone();
+            if let Some(kind) = plan.appliance {
+                apply_duration_prior(&mut tl.status, kind, step_s);
+            }
+            // NaN aggregate samples clamp to 0 W inside `estimate_power`;
+            // they can only occur outside scored windows, where status is
+            // OFF.
+            tl.power_w = estimate_power(&tl.status, plan.avg_power_w, &agg.values);
+        }
+    }
+    (timelines, counters)
+}
+
+/// How [`serve_fleet`] preprocesses, batches, shards and post-processes.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Target sampling step in seconds (the resolution every fleet model
+    /// runs at); input feeds are downsampled to it.
+    pub step_s: u32,
+    /// Maximum gap (seconds) forward-filled before windows are sliced.
+    pub max_ffill_s: u32,
+    /// Windows per inference batch, pooled across every household of a
+    /// shard (each batch is reused across all appliance models).
+    pub batch: usize,
+    /// Worker shards households are distributed over. Results are
+    /// bit-identical for any value; this only controls parallelism.
+    pub threads: usize,
+    /// Apply each appliance's duration priors on the stitched timelines.
+    pub apply_priors: bool,
+}
+
+impl FleetConfig {
+    /// A config serving at `step_s` resolution: 3-sample forward-fill,
+    /// 64-window batches, single worker, priors on.
+    ///
+    /// ```
+    /// let cfg = camal::fleet::FleetConfig::at_step(60);
+    /// assert_eq!((cfg.step_s, cfg.max_ffill_s, cfg.threads), (60, 180, 1));
+    /// ```
+    pub fn at_step(step_s: u32) -> Self {
+        FleetConfig { step_s, max_ffill_s: 3 * step_s, batch: 64, threads: 1, apply_priors: true }
+    }
+}
+
+/// Why a fleet pass could not run.
+#[derive(Debug)]
+pub enum FleetError {
+    /// No appliance keys were requested.
+    NoAppliances,
+    /// A model could not be fetched from the registry.
+    Registry(RegistryError),
+    /// A model's checkpoint does not record its training window, so feeds
+    /// cannot be sliced safely.
+    UnknownWindow(ModelKey),
+    /// The requested models were trained at different window lengths and
+    /// cannot share one preprocessing pass.
+    WindowMismatch {
+        /// The offending model.
+        key: ModelKey,
+        /// Its training window.
+        window: usize,
+        /// The window of the models before it.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoAppliances => write!(f, "fleet pass requested with no appliances"),
+            FleetError::Registry(e) => write!(f, "{e}"),
+            FleetError::UnknownWindow(key) => {
+                write!(f, "model {key} does not record its training window")
+            }
+            FleetError::WindowMismatch { key, window, expected } => write!(
+                f,
+                "model {key} was trained at window {window} but the fleet runs at {expected}; \
+                 mixed-window fleets cannot share one preprocessing pass"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Registry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegistryError> for FleetError {
+    fn from(e: RegistryError) -> Self {
+        FleetError::Registry(e)
+    }
+}
+
+/// One household's localization across every served appliance.
+#[derive(Clone, Debug)]
+pub struct FleetHouseholdResult {
+    /// Echo of the input household identifier.
+    pub id: String,
+    /// One timeline per appliance, parallel to [`FleetResult::appliances`].
+    pub timelines: Vec<HouseholdTimeline>,
+}
+
+/// Fleet-level throughput and coverage counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetSummary {
+    /// Households served.
+    pub households: usize,
+    /// Appliance models fanned out per feed.
+    pub appliances: usize,
+    /// Shared window length of every model in the pass.
+    pub window: usize,
+    /// Worker shards the households were distributed over.
+    pub shards: usize,
+    /// Windows the feeds were sliced into (counted once per feed).
+    pub feed_windows_total: usize,
+    /// NaN-free windows scored (counted once per feed; each is inferred by
+    /// every model).
+    pub feed_windows_scored: usize,
+    /// Model inferences performed: `feed_windows_scored × appliances`.
+    pub inferences: usize,
+    /// Batch tensors assembled across all shards.
+    pub batches: usize,
+    /// Wall-clock seconds of the fan-out (model snapshots excluded).
+    pub elapsed_s: f64,
+    /// `inferences / elapsed_s`.
+    pub windows_per_second: f64,
+}
+
+/// Result of one [`serve_fleet`] pass.
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// The appliances served, in the order of every per-household
+    /// `timelines` vector.
+    pub appliances: Vec<ModelKey>,
+    /// Per-household results, in input household order.
+    pub households: Vec<FleetHouseholdResult>,
+    /// Fleet-level counters.
+    pub summary: FleetSummary,
+}
+
+impl FleetResult {
+    /// The timeline of `key` for household index `house`, if both exist.
+    pub fn timeline(&self, house: usize, key: ModelKey) -> Option<&HouseholdTimeline> {
+        let ai = self.appliances.iter().position(|&k| k == key)?;
+        self.households.get(house).map(|h| &h.timelines[ai])
+    }
+}
+
+/// Serves every household against every requested appliance model in one
+/// shared pass per feed (see the module docs for the pipeline).
+///
+/// Models are fetched (lazily loading checkpoints) from `registry`,
+/// snapshotted once, and re-materialized privately inside each worker
+/// shard, so the pass leaves the registry's resident set untouched and
+/// scales across threads without locks. Per-appliance duration priors and
+/// average power come from each key's dataset template (Table I); a key
+/// absent from its template falls back to 1 kW with priors still applied.
+///
+/// All requested models must share one training window — a mixed-window
+/// fleet cannot share a preprocessing pass and is rejected with
+/// [`FleetError::WindowMismatch`].
+///
+/// ```
+/// use camal::ensemble::EnsembleMember;
+/// use camal::fleet::{serve_fleet, FleetConfig};
+/// use camal::registry::{ModelKey, ModelRegistry};
+/// use camal::stream::HouseholdSeries;
+/// use camal::{CamalConfig, CamalModel};
+/// use nilm_data::prelude::*;
+/// use nilm_models::{build_detector, Backbone};
+///
+/// // Two tiny untrained detectors stand in for a trained zoo.
+/// let mut registry = ModelRegistry::unbounded();
+/// let keys = [
+///     ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle),
+///     ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave),
+/// ];
+/// for (i, &key) in keys.iter().enumerate() {
+///     let cfg = CamalConfig { n_ensemble: 1, kernels: vec![5], width_div: 16, ..Default::default() };
+///     let mut rng = nilm_tensor::init::rng(i as u64);
+///     let member = EnsembleMember {
+///         net: build_detector(&mut rng, Backbone::ResNet, 5, 16),
+///         kernel: 5,
+///         val_loss: 0.1,
+///     };
+///     let mut model = CamalModel::from_members(cfg, vec![member]);
+///     model.set_window(32);
+///     registry.insert(key, model);
+/// }
+///
+/// let feed = HouseholdSeries {
+///     id: "house-0".into(),
+///     series: TimeSeries::new(vec![150.0; 96], 60),
+/// };
+/// let out = serve_fleet(&mut registry, &keys, &[feed], &FleetConfig::at_step(60)).unwrap();
+/// assert_eq!(out.summary.appliances, 2);
+/// assert_eq!(out.summary.inferences, 2 * out.summary.feed_windows_scored);
+/// let kettle = out.timeline(0, keys[0]).unwrap();
+/// assert_eq!(kettle.raw_status.len(), 96);
+/// ```
+pub fn serve_fleet(
+    registry: &mut ModelRegistry,
+    keys: &[ModelKey],
+    households: &[HouseholdSeries],
+    cfg: &FleetConfig,
+) -> Result<FleetResult, FleetError> {
+    if keys.is_empty() {
+        return Err(FleetError::NoAppliances);
+    }
+    // Fetch (lazily loading) every model once, validating that the fleet
+    // shares a single training window.
+    let mut plans: Vec<AppliancePlan> = Vec::with_capacity(keys.len());
+    let mut window = 0usize;
+    for &key in keys {
+        let model = registry.get_mut(key)?;
+        let w = model.window();
+        if w == 0 {
+            return Err(FleetError::UnknownWindow(key));
+        }
+        if window == 0 {
+            window = w;
+        } else if w != window {
+            return Err(FleetError::WindowMismatch { key, window: w, expected: window });
+        }
+        let avg_power_w =
+            template(key.dataset).case(key.appliance).map(|c| c.avg_power_w).unwrap_or(1000.0);
+        plans.push(AppliancePlan {
+            appliance: cfg.apply_priors.then_some(key.appliance),
+            avg_power_w,
+        });
+    }
+
+    // Shard households contiguously, one shard per worker thread. Model
+    // staging (checkout or snapshot) happens before the throughput timer
+    // starts: `elapsed_s` measures serving, not serialization.
+    let shards = cfg.threads.max(1).min(households.len().max(1));
+    let per_shard = households.len().div_ceil(shards).max(1);
+    let shard_results: Vec<(Vec<Vec<HouseholdTimeline>>, SharedPassCounters)>;
+    let elapsed_s;
+    if shards <= 1 {
+        // Single-shard fast path: check the resident models out of the
+        // registry and use them directly — no serialization, no rebuild.
+        // A bounded registry may have evicted an earlier key while the
+        // validation loop loaded a later one, so reload on demand; once a
+        // model is checked out it occupies no slot and cannot be evicted
+        // by the loads that follow.
+        let mut local: Vec<CamalModel> = Vec::with_capacity(keys.len());
+        for &k in keys {
+            let model = match registry.take_resident(k) {
+                Some(model) => model,
+                None => {
+                    registry.get_mut(k)?;
+                    registry.take_resident(k).expect("model resident after reload")
+                }
+            };
+            local.push(model);
+        }
+        let start = Instant::now();
+        let result = {
+            let mut refs: Vec<&mut CamalModel> = local.iter_mut().collect();
+            serve_shared(
+                &mut refs,
+                &plans,
+                households,
+                window,
+                cfg.step_s,
+                cfg.max_ffill_s,
+                cfg.batch,
+            )
+        };
+        elapsed_s = start.elapsed().as_secs_f64();
+        for (&k, model) in keys.iter().zip(local) {
+            registry.restore(k, model);
+        }
+        shard_results = vec![result];
+    } else {
+        // Multi-shard: snapshot each model to checkpoint bytes (`persist`
+        // format) and let every worker rebuild private copies — the
+        // persistence tests pin the rebuilds bit-identical to the
+        // originals, so shard count never changes results.
+        let mut snapshots: Vec<Vec<u8>> = Vec::with_capacity(keys.len());
+        for &key in keys {
+            snapshots.push(registry.get_mut(key)?.to_bytes());
+        }
+        let start = Instant::now();
+        shard_results = households
+            .par_chunks(per_shard)
+            .map(|shard| {
+                let mut local: Vec<CamalModel> = snapshots
+                    .iter()
+                    .map(|bytes| {
+                        CamalModel::from_bytes(bytes).expect(
+                            "fleet snapshot must reload: it was serialized from a live model \
+                             this call",
+                        )
+                    })
+                    .collect();
+                let mut refs: Vec<&mut CamalModel> = local.iter_mut().collect();
+                serve_shared(
+                    &mut refs,
+                    &plans,
+                    shard,
+                    window,
+                    cfg.step_s,
+                    cfg.max_ffill_s,
+                    cfg.batch,
+                )
+            })
+            .collect();
+        elapsed_s = start.elapsed().as_secs_f64();
+    }
+
+    // Reassemble: transpose each shard's [model][household] timelines into
+    // per-household rows, preserving input household order.
+    let mut out_households: Vec<FleetHouseholdResult> = Vec::with_capacity(households.len());
+    let mut counters = SharedPassCounters::default();
+    let actual_shards = shard_results.len();
+    for (per_model, c) in shard_results {
+        counters.windows_total += c.windows_total;
+        counters.windows_scored += c.windows_scored;
+        counters.inferences += c.inferences;
+        counters.batches += c.batches;
+        let shard_len = per_model.first().map_or(0, Vec::len);
+        let mut iters: Vec<_> = per_model.into_iter().map(Vec::into_iter).collect();
+        for _ in 0..shard_len {
+            let timelines: Vec<HouseholdTimeline> =
+                iters.iter_mut().map(|it| it.next().expect("shard rows are rectangular")).collect();
+            out_households.push(FleetHouseholdResult { id: timelines[0].id.clone(), timelines });
+        }
+    }
+
+    let summary = FleetSummary {
+        households: households.len(),
+        appliances: keys.len(),
+        window,
+        shards: actual_shards,
+        feed_windows_total: counters.windows_total,
+        feed_windows_scored: counters.windows_scored,
+        inferences: counters.inferences,
+        batches: counters.batches,
+        elapsed_s,
+        windows_per_second: counters.inferences as f64 / elapsed_s.max(1e-9),
+    };
+    Ok(FleetResult { appliances: keys.to_vec(), households: out_households, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+    use crate::ensemble::EnsembleMember;
+    use crate::registry::ModelRegistry;
+    use crate::stream::serve;
+    use crate::stream::StreamConfig;
+    use nilm_data::templates::DatasetId;
+    use nilm_models::detector::build_detector;
+    use nilm_models::Backbone;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const WINDOW: usize = 32;
+
+    fn random_model(kernels: &[usize], seed: u64) -> CamalModel {
+        let cfg = CamalConfig {
+            n_ensemble: kernels.len(),
+            kernels: kernels.to_vec(),
+            trials: 1,
+            width_div: 16,
+            ..Default::default()
+        };
+        let members = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                EnsembleMember {
+                    net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
+                    kernel: k,
+                    val_loss: 0.5 + i as f32,
+                }
+            })
+            .collect();
+        let mut model = CamalModel::from_members(cfg, members);
+        model.set_window(WINDOW);
+        model
+    }
+
+    fn toy_household(n_windows: usize, seed: u64) -> HouseholdSeries {
+        let mut rng = nilm_tensor::init::rng(seed);
+        let n = n_windows * WINDOW + 5;
+        let mut values = Vec::with_capacity(n);
+        for t in 0..n {
+            let plateau = (t / 12) % 3 == 0;
+            let base = if plateau { 1900.0 } else { 140.0 };
+            values.push(base + nilm_tensor::init::randn(&mut rng).abs() * 25.0);
+        }
+        HouseholdSeries { id: format!("house-{seed}"), series: TimeSeries::new(values, 60) }
+    }
+
+    fn kettle_key() -> ModelKey {
+        ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle)
+    }
+
+    #[test]
+    fn fleet_result_is_rectangular_and_indexed() {
+        let mut reg = ModelRegistry::unbounded();
+        let k1 = kettle_key();
+        let k2 = ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave);
+        reg.insert(k1, random_model(&[5], 1));
+        reg.insert(k2, random_model(&[7], 2));
+        let households = vec![toy_household(4, 1), toy_household(6, 2), toy_household(3, 3)];
+        let cfg = FleetConfig { batch: 5, ..FleetConfig::at_step(60) };
+        let out = serve_fleet(&mut reg, &[k1, k2], &households, &cfg).unwrap();
+        assert_eq!(out.appliances, vec![k1, k2]);
+        assert_eq!(out.households.len(), 3);
+        for (hh, input) in out.households.iter().zip(&households) {
+            assert_eq!(hh.id, input.id);
+            assert_eq!(hh.timelines.len(), 2);
+            for tl in &hh.timelines {
+                assert_eq!(tl.raw_status.len(), input.series.len());
+            }
+        }
+        assert!(out.timeline(1, k2).is_some());
+        assert!(out.timeline(1, ModelKey::new(DatasetId::Ideal, ApplianceKind::Shower)).is_none());
+        let s = out.summary;
+        assert_eq!(s.households, 3);
+        assert_eq!(s.appliances, 2);
+        assert_eq!(s.window, WINDOW);
+        assert_eq!(s.feed_windows_scored, 4 + 6 + 3);
+        assert_eq!(s.inferences, 2 * s.feed_windows_scored);
+        assert!(s.batches >= 3, "batch of 5 over 13 jobs needs >= 3 assemblies");
+    }
+
+    #[test]
+    fn empty_key_set_and_mixed_windows_are_rejected() {
+        let mut reg = ModelRegistry::unbounded();
+        let cfg = FleetConfig::at_step(60);
+        let households = vec![toy_household(2, 9)];
+        assert!(matches!(
+            serve_fleet(&mut reg, &[], &households, &cfg),
+            Err(FleetError::NoAppliances)
+        ));
+        let k1 = kettle_key();
+        let k2 = ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher);
+        reg.insert(k1, random_model(&[5], 3));
+        let mut other = random_model(&[5], 4);
+        other.set_window(64);
+        reg.insert(k2, other);
+        assert!(matches!(
+            serve_fleet(&mut reg, &[k1, k2], &households, &cfg),
+            Err(FleetError::WindowMismatch { .. })
+        ));
+        let k3 = ModelKey::new(DatasetId::Refit, ApplianceKind::Dishwasher);
+        let mut unknown_window = random_model(&[5], 5);
+        unknown_window.set_window(0);
+        reg.insert(k3, unknown_window);
+        assert!(matches!(
+            serve_fleet(&mut reg, &[k3], &households, &cfg),
+            Err(FleetError::UnknownWindow(_))
+        ));
+    }
+
+    #[test]
+    fn single_appliance_fleet_matches_stream_serve() {
+        // The N=1 fleet must be bit-identical to `stream::serve` — the
+        // fleet path is a superset, not a different pipeline.
+        let mut model = random_model(&[5, 7], 11);
+        let households = vec![toy_household(5, 4), toy_household(4, 5)];
+        let key = kettle_key();
+        let tmpl_avg = template(key.dataset).case(key.appliance).unwrap().avg_power_w;
+        let stream_cfg = StreamConfig {
+            window: WINDOW,
+            step_s: 60,
+            max_ffill_s: 180,
+            batch: 4,
+            appliance: Some(key.appliance),
+            avg_power_w: tmpl_avg,
+        };
+        let solo = serve(&mut model, &households, &stream_cfg);
+        let mut reg = ModelRegistry::unbounded();
+        reg.insert(key, model);
+        let fleet_cfg = FleetConfig { batch: 4, max_ffill_s: 180, ..FleetConfig::at_step(60) };
+        let fleet = serve_fleet(&mut reg, &[key], &households, &fleet_cfg).unwrap();
+        for (hi, tl) in solo.iter().enumerate() {
+            let ftl = fleet.timeline(hi, key).unwrap();
+            assert_eq!(ftl.raw_status, tl.raw_status);
+            assert_eq!(ftl.status, tl.status);
+            let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&ftl.detection_proba), bits(&tl.detection_proba));
+            assert_eq!(bits(&ftl.power_w), bits(&tl.power_w));
+            assert_eq!(ftl.scored_starts, tl.scored_starts);
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let mut reg = ModelRegistry::unbounded();
+        let k1 = kettle_key();
+        let k2 = ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher);
+        reg.insert(k1, random_model(&[5], 21));
+        reg.insert(k2, random_model(&[9], 22));
+        let households: Vec<HouseholdSeries> =
+            (0..5).map(|i| toy_household(3 + i % 3, 30 + i as u64)).collect();
+        let base = FleetConfig { batch: 3, ..FleetConfig::at_step(60) };
+        let one = serve_fleet(&mut reg, &[k1, k2], &households, &base).unwrap();
+        let four = serve_fleet(
+            &mut reg,
+            &[k1, k2],
+            &households,
+            &FleetConfig { threads: 4, ..base.clone() },
+        )
+        .unwrap();
+        assert!(four.summary.shards > 1, "5 households over 4 threads must shard");
+        for (a, b) in one.households.iter().zip(&four.households) {
+            assert_eq!(a.id, b.id);
+            for (ta, tb) in a.timelines.iter().zip(&b.timelines) {
+                assert_eq!(ta.raw_status, tb.raw_status);
+                assert_eq!(ta.status, tb.status);
+                let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&ta.detection_proba), bits(&tb.detection_proba));
+                assert_eq!(bits(&ta.power_w), bits(&tb.power_w));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_registry_survives_single_shard_pass_with_many_keys() {
+        // Regression: with max_loaded < keys.len(), the validation loop's
+        // later loads evict earlier models; the single-shard checkout must
+        // reload them on demand instead of panicking, and restoring the
+        // checked-out models must re-enforce the budget.
+        let dir = std::env::temp_dir().join(format!("camal_fleet_bounded_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let keys = [
+            kettle_key(),
+            ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave),
+            ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher),
+        ];
+        let mut reg = ModelRegistry::new(1);
+        for (i, &key) in keys.iter().enumerate() {
+            let path = dir.join(key.file_name());
+            random_model(&[5], 50 + i as u64).save(&path).unwrap();
+            reg.register_file(key, &path);
+        }
+        let households = vec![toy_household(3, 41)];
+        let cfg = FleetConfig::at_step(60); // threads: 1 -> single shard
+        let out = serve_fleet(&mut reg, &keys, &households, &cfg).unwrap();
+        assert_eq!(out.summary.shards, 1);
+        assert_eq!(out.households[0].timelines.len(), 3);
+        assert!(reg.loaded_count() <= 1, "budget must hold after the pass");
+        // And the bounded pass matches an unbounded one bit-for-bit.
+        let mut unbounded = ModelRegistry::unbounded();
+        unbounded.register_dir(&dir).unwrap();
+        let free = serve_fleet(&mut unbounded, &keys, &households, &cfg).unwrap();
+        for (ta, tb) in out.households[0].timelines.iter().zip(&free.households[0].timelines) {
+            assert_eq!(ta.raw_status, tb.raw_status);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_pass_leaves_registry_residency_unchanged() {
+        // Workers use snapshots; a bounded registry must not thrash.
+        let dir = std::env::temp_dir().join(format!("camal_fleet_reg_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = kettle_key();
+        let path = dir.join(key.file_name());
+        random_model(&[5], 31).save(&path).unwrap();
+        let mut reg = ModelRegistry::new(1);
+        reg.register_file(key, &path);
+        let households = vec![toy_household(3, 40)];
+        let cfg = FleetConfig { threads: 2, ..FleetConfig::at_step(60) };
+        let _ = serve_fleet(&mut reg, &[key], &households, &cfg).unwrap();
+        assert_eq!(reg.loaded_count(), 1);
+        assert_eq!(reg.stats().loads, 1, "one lazy load, no thrash");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,6 +15,13 @@
 //! 3. [`power`] — binary status → per-appliance power, clipped by the
 //!    aggregate.
 //!
+//! Serving layers on top of the pipeline: [`persist`] checkpoints a trained
+//! model, [`stream`] localizes one appliance over arbitrary-length household
+//! feeds, [`registry`] holds the per-`(dataset, appliance)` checkpoint zoo,
+//! and [`fleet`] fans every registered detector over shared preprocessed
+//! feeds — the multi-appliance scale-out ([`stream::serve`] is its N=1
+//! case).
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -28,22 +35,28 @@
 //! println!("localization F1 = {:.3}", report.localization.f1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod gradcam;
 pub mod postprocess;
 
 pub mod ensemble;
+pub mod fleet;
 pub mod localize;
 pub mod model;
 pub mod persist;
 pub mod power;
+pub mod registry;
 pub mod stream;
 #[cfg(test)]
 pub(crate) mod test_support;
 
 pub use config::{CamalConfig, DEFAULT_KERNELS};
 pub use ensemble::{train_ensemble, EnsembleMember, EnsembleStats};
+pub use fleet::{serve_fleet, FleetConfig, FleetError, FleetResult, FleetSummary};
 pub use gradcam::{cam_gradcam_divergence, grad_cam};
 pub use model::{report_from_status, CamalModel, CaseReport, Localization};
 pub use power::estimate_power;
+pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};
 pub use stream::{serve, HouseholdSeries, HouseholdTimeline, StreamConfig};

@@ -9,6 +9,27 @@
 //! the blob, so the reconstructed ensemble reproduces `detect_proba` and
 //! `localize_batch` bit-for-bit.
 //!
+//! ```
+//! use camal::ensemble::EnsembleMember;
+//! use camal::{CamalConfig, CamalModel};
+//! use nilm_models::{build_detector, Backbone};
+//!
+//! // A tiny untrained model round-trips bit-for-bit through bytes.
+//! let cfg = CamalConfig { n_ensemble: 1, kernels: vec![5], width_div: 16, ..Default::default() };
+//! let mut rng = nilm_tensor::init::rng(3);
+//! let member = EnsembleMember {
+//!     net: build_detector(&mut rng, Backbone::ResNet, 5, 16),
+//!     kernel: 5,
+//!     val_loss: 0.2,
+//! };
+//! let mut model = CamalModel::from_members(cfg, vec![member]);
+//! model.set_window(64);
+//! let bytes = model.to_bytes();
+//! let mut back = CamalModel::from_bytes(&bytes).unwrap();
+//! assert_eq!(back.window(), 64);
+//! assert_eq!(back.to_bytes(), bytes);
+//! ```
+//!
 //! Layout (little-endian throughout):
 //!
 //! ```text
@@ -195,12 +216,23 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
 }
 
 /// Writes a checkpoint file at `path`.
+///
+/// ```no_run
+/// # fn trained_model() -> camal::CamalModel { unimplemented!() }
+/// let mut model = trained_model();
+/// camal::persist::save(&mut model, "refit_kettle.ckpt").unwrap();
+/// ```
 pub fn save(model: &mut CamalModel, path: impl AsRef<Path>) -> Result<(), SerializeError> {
     std::fs::write(path, to_bytes(model))?;
     Ok(())
 }
 
 /// Loads a checkpoint file written by [`save`].
+///
+/// ```no_run
+/// let mut model = camal::persist::load("refit_kettle.ckpt").unwrap();
+/// assert!(model.ensemble_size() > 0);
+/// ```
 pub fn load(path: impl AsRef<Path>) -> Result<CamalModel, SerializeError> {
     from_bytes(&std::fs::read(path)?)
 }

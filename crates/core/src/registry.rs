@@ -1,0 +1,552 @@
+//! Model registry: the checkpoint zoo of a multi-appliance deployment.
+//!
+//! A utility running CamAL at fleet scale holds one trained detector per
+//! `(dataset template, appliance)` pair — the `refit:kettle` model, the
+//! `ukdale:dishwasher` model, and so on. [`ModelRegistry`] owns that zoo:
+//! models can be inserted directly after training (pinned in memory) or
+//! registered as checkpoint files (loaded lazily on first use via
+//! [`crate::persist`]), and a bounded registry evicts the least-recently-used
+//! reloadable model when the resident count exceeds its budget. The
+//! [`ModelRegistry::manifest`] listing is what a serving process reports to
+//! operators, and [`ModelRegistry::stats`] counts hits / loads / evictions.
+//!
+//! The registry is the model source of the [`crate::fleet`] scheduler, which
+//! snapshots the models it needs and fans them out across worker shards.
+
+use crate::model::CamalModel;
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::templates::DatasetId;
+use nilm_tensor::serialize::SerializeError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identity of one deployed detector: the dataset template it was trained on
+/// and the appliance it detects.
+///
+/// ```
+/// use camal::registry::ModelKey;
+/// use nilm_data::prelude::*;
+///
+/// let key = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+/// assert_eq!(key.label(), "refit:kettle");
+/// assert_eq!(key.file_name(), "refit_kettle.ckpt");
+/// assert_eq!(ModelKey::from_file_name(&key.file_name()), Some(key));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelKey {
+    /// Dataset template the model was trained on (fixes ∆t and Table I
+    /// thresholds).
+    pub dataset: DatasetId,
+    /// Appliance the model detects and localizes.
+    pub appliance: ApplianceKind,
+}
+
+impl ModelKey {
+    /// Builds a key.
+    pub fn new(dataset: DatasetId, appliance: ApplianceKind) -> Self {
+        ModelKey { dataset, appliance }
+    }
+
+    /// `dataset:appliance` display label (matches the evaluation cases).
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.dataset.name(), self.appliance.name())
+    }
+
+    /// Canonical checkpoint file name, `<dataset>_<appliance>.ckpt`.
+    pub fn file_name(&self) -> String {
+        format!("{}_{}.ckpt", self.dataset.name(), self.appliance.name())
+    }
+
+    /// Parses a [`ModelKey::file_name`]-shaped name back into a key.
+    /// Appliance names never contain `_`, so the split is unambiguous even
+    /// for `edf_ev` / `edf_weak` datasets.
+    pub fn from_file_name(name: &str) -> Option<Self> {
+        let stem = name.strip_suffix(".ckpt")?;
+        let (dataset, appliance) = stem.rsplit_once('_')?;
+        Some(ModelKey {
+            dataset: DatasetId::from_name(dataset)?,
+            appliance: ApplianceKind::from_name(appliance)?,
+        })
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Why a registry lookup failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The key was never registered.
+    Unknown(ModelKey),
+    /// The backing checkpoint file could not be loaded.
+    Load {
+        /// Key whose load failed.
+        key: ModelKey,
+        /// Checkpoint path that was read.
+        path: PathBuf,
+        /// The underlying checkpoint error.
+        source: SerializeError,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Unknown(key) => write!(f, "model {key} is not registered"),
+            RegistryError::Load { key, path, source } => {
+                write!(f, "cannot load model {key} from {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Unknown(_) => None,
+            RegistryError::Load { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Access counters of a registry (monotonic over its lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// `get_mut` calls served by an already-resident model.
+    pub hits: u64,
+    /// Checkpoint loads performed (first access or reload after eviction).
+    pub loads: u64,
+    /// Models dropped from memory by the LRU budget.
+    pub evictions: u64,
+}
+
+/// One row of [`ModelRegistry::manifest`].
+#[derive(Clone, Debug)]
+pub struct ManifestEntry {
+    /// The model's identity.
+    pub key: ModelKey,
+    /// Whether the model is currently resident in memory.
+    pub loaded: bool,
+    /// Backing checkpoint file, if the entry is reloadable.
+    pub path: Option<PathBuf>,
+    /// Training window length (0 until the model has been loaded once).
+    pub window: usize,
+    /// Ensemble size (0 until the model has been loaded once).
+    pub ensemble_size: usize,
+}
+
+struct Slot {
+    /// Backing checkpoint; `None` for pinned in-memory models, which are
+    /// never evicted.
+    path: Option<PathBuf>,
+    /// The resident model (`None` = registered but not loaded / evicted).
+    model: Option<CamalModel>,
+    /// LRU clock value of the last access.
+    last_used: u64,
+    /// Metadata cached at insert/first-load time for the manifest.
+    window: usize,
+    ensemble_size: usize,
+}
+
+/// Holds the per-appliance detector zoo of a serving process.
+///
+/// ```
+/// use camal::ensemble::EnsembleMember;
+/// use camal::registry::{ModelKey, ModelRegistry};
+/// use camal::{CamalConfig, CamalModel};
+/// use nilm_data::prelude::*;
+/// use nilm_models::{build_detector, Backbone};
+///
+/// // A tiny untrained single-member model stands in for a trained one.
+/// let cfg = CamalConfig { n_ensemble: 1, kernels: vec![5], width_div: 16, ..Default::default() };
+/// let mut rng = nilm_tensor::init::rng(7);
+/// let member = EnsembleMember {
+///     net: build_detector(&mut rng, Backbone::ResNet, 5, 16),
+///     kernel: 5,
+///     val_loss: 0.1,
+/// };
+/// let mut model = CamalModel::from_members(cfg, vec![member]);
+/// model.set_window(64);
+///
+/// let mut registry = ModelRegistry::unbounded();
+/// let key = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+/// registry.insert(key, model);
+/// assert_eq!(registry.len(), 1);
+/// assert_eq!(registry.get_mut(key).unwrap().window(), 64);
+/// let manifest = registry.manifest();
+/// assert!(manifest[0].loaded && manifest[0].path.is_none());
+/// ```
+pub struct ModelRegistry {
+    slots: BTreeMap<ModelKey, Slot>,
+    /// Maximum resident models (0 = unbounded).
+    max_loaded: usize,
+    clock: u64,
+    stats: RegistryStats,
+}
+
+impl ModelRegistry {
+    /// A registry keeping at most `max_loaded` models resident (0 disables
+    /// the budget). Only file-backed models count as evictable; models
+    /// added with [`ModelRegistry::insert`] are pinned.
+    pub fn new(max_loaded: usize) -> Self {
+        ModelRegistry {
+            slots: BTreeMap::new(),
+            max_loaded,
+            clock: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// A registry with no residency budget.
+    pub fn unbounded() -> Self {
+        ModelRegistry::new(0)
+    }
+
+    /// Number of registered models (resident or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of models currently resident in memory.
+    pub fn loaded_count(&self) -> usize {
+        self.slots.values().filter(|s| s.model.is_some()).count()
+    }
+
+    /// All registered keys, in sorted order.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        self.slots.keys().copied().collect()
+    }
+
+    /// True when `key` is registered.
+    pub fn contains(&self, key: ModelKey) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Access counters (hits / loads / evictions).
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// Registers an in-memory model (e.g. straight out of training). The
+    /// model is pinned: it has no backing file, so the LRU budget never
+    /// evicts it. Replaces any previous entry under `key`.
+    pub fn insert(&mut self, key: ModelKey, model: CamalModel) {
+        self.clock += 1;
+        let slot = Slot {
+            path: None,
+            window: model.window(),
+            ensemble_size: model.ensemble_size(),
+            model: Some(model),
+            last_used: self.clock,
+        };
+        self.slots.insert(key, slot);
+    }
+
+    /// Registers a checkpoint file to be loaded lazily on first
+    /// [`ModelRegistry::get_mut`]. The file is not touched here; a missing
+    /// or corrupt checkpoint surfaces as [`RegistryError::Load`] at access
+    /// time. Replaces any previous entry under `key`.
+    pub fn register_file(&mut self, key: ModelKey, path: impl Into<PathBuf>) {
+        self.clock += 1;
+        let slot = Slot {
+            path: Some(path.into()),
+            model: None,
+            last_used: self.clock,
+            window: 0,
+            ensemble_size: 0,
+        };
+        self.slots.insert(key, slot);
+    }
+
+    /// Scans `dir` for `<dataset>_<appliance>.ckpt` files (the
+    /// [`ModelKey::file_name`] convention) and registers each lazily.
+    /// Returns the keys found, sorted. Files with other names are ignored.
+    pub fn register_dir(&mut self, dir: impl AsRef<Path>) -> std::io::Result<Vec<ModelKey>> {
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(key) = ModelKey::from_file_name(name) {
+                self.register_file(key, entry.path());
+                found.push(key);
+            }
+        }
+        found.sort();
+        Ok(found)
+    }
+
+    /// Returns the model for `key`, loading it from its checkpoint if it is
+    /// not resident. Updates the LRU clock and, when a load pushes the
+    /// resident count over the budget, evicts least-recently-used
+    /// file-backed models until it fits again.
+    pub fn get_mut(&mut self, key: ModelKey) -> Result<&mut CamalModel, RegistryError> {
+        if !self.slots.contains_key(&key) {
+            return Err(RegistryError::Unknown(key));
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let resident = self.slots.get(&key).expect("checked above").model.is_some();
+        if resident {
+            self.stats.hits += 1;
+        } else {
+            let path = self
+                .slots
+                .get(&key)
+                .expect("checked above")
+                .path
+                .clone()
+                .expect("non-resident slot always has a backing path");
+            let model = CamalModel::load(&path).map_err(|source| RegistryError::Load {
+                key,
+                path: path.clone(),
+                source,
+            })?;
+            let slot = self.slots.get_mut(&key).expect("checked above");
+            slot.window = model.window();
+            slot.ensemble_size = model.ensemble_size();
+            slot.model = Some(model);
+            slot.last_used = clock;
+            self.stats.loads += 1;
+            self.enforce_budget(key);
+        }
+        let slot = self.slots.get_mut(&key).expect("checked above");
+        slot.last_used = clock;
+        Ok(slot.model.as_mut().expect("slot resident after load"))
+    }
+
+    /// Drops `key`'s model from memory, keeping the registration. Returns
+    /// `false` when the model is not resident or has no backing file (a
+    /// pinned model cannot be evicted — it would be lost).
+    pub fn evict(&mut self, key: ModelKey) -> bool {
+        match self.slots.get_mut(&key) {
+            Some(slot) if slot.model.is_some() && slot.path.is_some() => {
+                slot.model = None;
+                self.stats.evictions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evicts LRU file-backed models (never `keep`) until the resident
+    /// count fits the budget.
+    fn enforce_budget(&mut self, keep: ModelKey) {
+        if self.max_loaded == 0 {
+            return;
+        }
+        while self.loaded_count() > self.max_loaded {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(k, s)| **k != keep && s.model.is_some() && s.path.is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.slots.get_mut(&k).expect("victim exists").model = None;
+                    self.stats.evictions += 1;
+                }
+                // Everything else is pinned: allow exceeding the budget
+                // rather than dropping models that cannot be reloaded.
+                None => break,
+            }
+        }
+    }
+
+    /// Temporarily removes a resident model from its slot (no stats or
+    /// eviction bookkeeping) so a caller can hold several models mutably at
+    /// once. The caller must hand the model back with
+    /// [`ModelRegistry::restore`]; the slot stays registered meanwhile.
+    /// A checked-out model cannot be evicted (it is not in its slot).
+    /// Used by the fleet scheduler's single-shard fast path.
+    pub(crate) fn take_resident(&mut self, key: ModelKey) -> Option<CamalModel> {
+        self.slots.get_mut(&key).and_then(|slot| slot.model.take())
+    }
+
+    /// Returns a model checked out with [`ModelRegistry::take_resident`],
+    /// then re-enforces the residency budget (restoring several checked-out
+    /// models must not permanently overshoot `max_loaded`).
+    pub(crate) fn restore(&mut self, key: ModelKey, model: CamalModel) {
+        let slot = self.slots.get_mut(&key).expect("restore of a key that was never registered");
+        slot.model = Some(model);
+        self.enforce_budget(key);
+    }
+
+    /// One row per registered model: residency, backing file and (once
+    /// loaded at least once) window length and ensemble size.
+    pub fn manifest(&self) -> Vec<ManifestEntry> {
+        self.slots
+            .iter()
+            .map(|(key, slot)| ManifestEntry {
+                key: *key,
+                loaded: slot.model.is_some(),
+                path: slot.path.clone(),
+                window: slot.window,
+                ensemble_size: slot.ensemble_size,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+    use crate::ensemble::EnsembleMember;
+    use nilm_models::detector::build_detector;
+    use nilm_models::Backbone;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> CamalModel {
+        let cfg = CamalConfig {
+            n_ensemble: 1,
+            kernels: vec![5],
+            trials: 1,
+            width_div: 16,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let member = EnsembleMember {
+            net: build_detector(&mut rng, Backbone::ResNet, 5, cfg.width_div),
+            kernel: 5,
+            val_loss: 0.1,
+        };
+        let mut model = CamalModel::from_members(cfg, vec![member]);
+        model.set_window(32);
+        model
+    }
+
+    fn temp_zoo(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("camal_registry_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn save_tiny(dir: &Path, key: ModelKey, seed: u64) -> PathBuf {
+        let path = dir.join(key.file_name());
+        tiny_model(seed).save(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn key_file_name_roundtrips_for_every_pair() {
+        for dataset in DatasetId::all() {
+            for appliance in [
+                ApplianceKind::Kettle,
+                ApplianceKind::Microwave,
+                ApplianceKind::Dishwasher,
+                ApplianceKind::WashingMachine,
+                ApplianceKind::Shower,
+                ApplianceKind::ElectricVehicle,
+            ] {
+                let key = ModelKey::new(dataset, appliance);
+                assert_eq!(ModelKey::from_file_name(&key.file_name()), Some(key));
+            }
+        }
+        assert_eq!(ModelKey::from_file_name("notacheckpoint.bin"), None);
+        assert_eq!(ModelKey::from_file_name("mars_kettle.ckpt"), None);
+    }
+
+    #[test]
+    fn lazy_load_and_hit_counters() {
+        let dir = temp_zoo("lazy");
+        let key = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+        save_tiny(&dir, key, 1);
+        let mut reg = ModelRegistry::unbounded();
+        reg.register_file(key, dir.join(key.file_name()));
+        assert_eq!(reg.loaded_count(), 0, "registration must not load");
+        assert_eq!(reg.get_mut(key).unwrap().window(), 32);
+        assert_eq!(reg.loaded_count(), 1);
+        let _ = reg.get_mut(key).unwrap();
+        let stats = reg.stats();
+        assert_eq!((stats.loads, stats.hits, stats.evictions), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let dir = temp_zoo("lru");
+        let k1 = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+        let k2 = ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave);
+        let k3 = ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher);
+        let mut reg = ModelRegistry::new(2);
+        for (key, seed) in [(k1, 1), (k2, 2), (k3, 3)] {
+            save_tiny(&dir, key, seed);
+            reg.register_file(key, dir.join(key.file_name()));
+        }
+        let _ = reg.get_mut(k1).unwrap();
+        let _ = reg.get_mut(k2).unwrap();
+        // k1 is LRU; loading k3 must push it out.
+        let _ = reg.get_mut(k3).unwrap();
+        assert_eq!(reg.loaded_count(), 2);
+        let resident: Vec<ModelKey> =
+            reg.manifest().iter().filter(|m| m.loaded).map(|m| m.key).collect();
+        assert!(resident.contains(&k2) && resident.contains(&k3), "{resident:?}");
+        assert_eq!(reg.stats().evictions, 1);
+        // The evicted model transparently reloads.
+        assert_eq!(reg.get_mut(k1).unwrap().window(), 32);
+        assert_eq!(reg.stats().loads, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_models_are_never_evicted() {
+        let dir = temp_zoo("pinned");
+        let pinned = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+        let filed = ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave);
+        let mut reg = ModelRegistry::new(1);
+        reg.insert(pinned, tiny_model(9));
+        save_tiny(&dir, filed, 10);
+        reg.register_file(filed, dir.join(filed.file_name()));
+        let _ = reg.get_mut(filed).unwrap();
+        // Budget is 1 but both stay: the pinned model cannot be dropped and
+        // the just-loaded one is protected.
+        assert_eq!(reg.loaded_count(), 2);
+        assert!(!reg.evict(pinned), "pinned model must refuse manual eviction");
+        assert!(reg.evict(filed));
+        assert_eq!(reg.loaded_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_and_corrupt_entries_error() {
+        let dir = temp_zoo("err");
+        let key = ModelKey::new(DatasetId::EdfEv, ApplianceKind::ElectricVehicle);
+        let mut reg = ModelRegistry::unbounded();
+        assert!(matches!(reg.get_mut(key), Err(RegistryError::Unknown(k)) if k == key));
+        let path = dir.join(key.file_name());
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        reg.register_file(key, &path);
+        assert!(matches!(reg.get_mut(key), Err(RegistryError::Load { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn register_dir_discovers_checkpoints() {
+        let dir = temp_zoo("scan");
+        let k1 = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+        let k2 = ModelKey::new(DatasetId::EdfEv, ApplianceKind::ElectricVehicle);
+        save_tiny(&dir, k1, 4);
+        save_tiny(&dir, k2, 5);
+        std::fs::write(dir.join("README.txt"), b"ignored").unwrap();
+        let mut reg = ModelRegistry::unbounded();
+        let found = reg.register_dir(&dir).unwrap();
+        assert_eq!(found, vec![k1, k2].into_iter().collect::<Vec<_>>());
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get_mut(k2).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,16 +17,28 @@
 //! skipped, exactly like the training pipeline drops them; the
 //! corresponding timeline region stays OFF and is reported in the coverage
 //! counters.
+//!
+//! Since the fleet-serving PR, [`serve`] is the N=1 special case of the
+//! shared-pass engine in [`crate::fleet`]: one registered appliance, one
+//! worker shard. The multi-appliance scheduler ([`crate::fleet::serve_fleet`])
+//! runs the very same stages, amortizing the preprocessing and batch
+//! assembly across every model of the fleet.
 
+use crate::fleet::AppliancePlan;
 use crate::model::CamalModel;
-use crate::postprocess::apply_duration_prior;
-use crate::power::estimate_power;
 use nilm_data::appliance::ApplianceKind;
-use nilm_data::preprocess::{forward_fill, resample, valid_window_starts, INPUT_SCALE};
 use nilm_data::series::TimeSeries;
-use nilm_tensor::tensor::Tensor;
 
 /// How a [`serve`] call preprocesses, batches and post-processes.
+///
+/// ```
+/// use camal::stream::StreamConfig;
+/// use nilm_data::prelude::ApplianceKind;
+///
+/// let cfg = StreamConfig::for_appliance(128, 60, ApplianceKind::Kettle, 2000.0);
+/// assert_eq!(cfg.max_ffill_s, 180, "default forward-fill bound is 3 samples");
+/// assert_eq!(cfg.appliance, Some(ApplianceKind::Kettle));
+/// ```
 #[derive(Clone, Debug)]
 pub struct StreamConfig {
     /// Model window length `w` (must match the training window).
@@ -66,6 +78,17 @@ impl StreamConfig {
 
 /// One household's input: an identifier plus its raw aggregate series (any
 /// length, any step that divides `step_s`, NaN = missing).
+///
+/// ```
+/// use camal::stream::HouseholdSeries;
+/// use nilm_data::prelude::TimeSeries;
+///
+/// let hh = HouseholdSeries {
+///     id: "house-0".into(),
+///     series: TimeSeries::new(vec![120.0, 2000.0, 1950.0, 130.0], 60),
+/// };
+/// assert_eq!(hh.series.len(), 4);
+/// ```
 #[derive(Clone, Debug)]
 pub struct HouseholdSeries {
     /// Caller-chosen identifier, echoed in the output.
@@ -76,6 +99,26 @@ pub struct HouseholdSeries {
 
 /// One household's stitched inference output at [`StreamConfig::step_s`]
 /// resolution.
+///
+/// ```
+/// use camal::stream::HouseholdTimeline;
+///
+/// let tl = HouseholdTimeline {
+///     id: "h".into(),
+///     step_s: 1800,
+///     raw_status: vec![0, 1, 1, 0, 1, 0],
+///     status: vec![0, 1, 1, 0, 1, 0],
+///     power_w: vec![0.0, 1000.0, 1000.0, 0.0, 1000.0, 0.0],
+///     detection_proba: vec![0.9],
+///     scored_starts: vec![0],
+///     windows_total: 1,
+///     windows_scored: 1,
+///     windows_detected: 1,
+/// };
+/// assert_eq!(tl.activations(), 2);
+/// assert!((tl.on_fraction() - 0.5).abs() < 1e-9);
+/// assert!((tl.energy_wh() - 1500.0).abs() < 1e-6);
+/// ```
 #[derive(Clone, Debug)]
 pub struct HouseholdTimeline {
     /// Echo of the input identifier.
@@ -134,99 +177,45 @@ impl HouseholdTimeline {
     }
 }
 
-/// One scored window's origin, for stitching.
-struct WindowJob {
-    house: usize,
-    /// Start sample of the window inside the stitched timeline.
-    start: usize,
-}
-
 /// Runs the full streaming pipeline for a set of households against one
 /// loaded model. See the module docs for the stages. The model's window
 /// length must equal `cfg.window`; series must be sampled at a step that
 /// divides `cfg.step_s`.
+///
+/// This is the N=1 case of the fleet engine: one appliance plan, one worker
+/// shard ([`crate::fleet::serve_fleet`] runs the identical stages for N
+/// models over shared batches).
+///
+/// ```no_run
+/// use camal::stream::{serve, HouseholdSeries, StreamConfig};
+/// use camal::CamalModel;
+/// use nilm_data::prelude::*;
+///
+/// let mut model = CamalModel::load("refit_kettle.ckpt").unwrap();
+/// let cfg = StreamConfig::for_appliance(model.window(), 60, ApplianceKind::Kettle, 2000.0);
+/// let feed = HouseholdSeries {
+///     id: "house-0".into(),
+///     series: TimeSeries::new(vec![120.0; 24 * 60], 60),
+/// };
+/// let timelines = serve(&mut model, &[feed], &cfg);
+/// println!("kettle ran {} times", timelines[0].activations());
+/// ```
 pub fn serve(
     model: &mut CamalModel,
     households: &[HouseholdSeries],
     cfg: &StreamConfig,
 ) -> Vec<HouseholdTimeline> {
-    assert!(cfg.window > 0, "window length must be positive");
-    // The backbones are fully convolutional and would silently accept any
-    // window length — and silently degrade. Checkpoints record the training
-    // window precisely so this mismatch can be caught here.
-    assert!(
-        model.window() == 0 || model.window() == cfg.window,
-        "model was trained at window {} but cfg.window is {}",
-        model.window(),
-        cfg.window
+    let plans = [AppliancePlan { appliance: cfg.appliance, avg_power_w: cfg.avg_power_w }];
+    let (mut per_model, _) = crate::fleet::serve_shared(
+        &mut [model],
+        &plans,
+        households,
+        cfg.window,
+        cfg.step_s,
+        cfg.max_ffill_s,
+        cfg.batch,
     );
-    let w = cfg.window;
-
-    // Stage 1 — per-household §V-B preprocessing and window slicing.
-    let mut timelines: Vec<HouseholdTimeline> = Vec::with_capacity(households.len());
-    let mut aggregates: Vec<TimeSeries> = Vec::with_capacity(households.len());
-    let mut jobs: Vec<WindowJob> = Vec::new();
-    for (hi, hh) in households.iter().enumerate() {
-        let agg = forward_fill(&resample(&hh.series, cfg.step_s), cfg.max_ffill_s);
-        let n = agg.len();
-        let windows_total = n / w;
-        // `valid_window_starts` is the same validity rule `slice_windows`
-        // applies during training, so streaming scores exactly the windows
-        // the windowed pipeline would.
-        let scored_starts = valid_window_starts(&agg, w);
-        jobs.extend(scored_starts.iter().map(|&start| WindowJob { house: hi, start }));
-        timelines.push(HouseholdTimeline {
-            id: hh.id.clone(),
-            step_s: cfg.step_s,
-            raw_status: vec![0u8; n],
-            status: Vec::new(),
-            power_w: Vec::new(),
-            detection_proba: Vec::with_capacity(scored_starts.len()),
-            windows_total,
-            windows_scored: scored_starts.len(),
-            windows_detected: 0,
-            scored_starts,
-        });
-        aggregates.push(agg);
-    }
-
-    // Stage 2 — batched inference pooled across households, stitched back
-    // into each household's timeline as results arrive. Batch rows are
-    // scaled straight out of the retained aggregates, so the input data is
-    // never duplicated wholesale.
-    let batch = cfg.batch.max(1);
-    let mut x = Tensor::zeros(&[0]);
-    for chunk in jobs.chunks(batch) {
-        x.resize(&[chunk.len(), 1, w]);
-        for (bi, job) in chunk.iter().enumerate() {
-            let src = &aggregates[job.house].values[job.start..job.start + w];
-            let dst = &mut x.data_mut()[bi * w..(bi + 1) * w];
-            for (d, &v) in dst.iter_mut().zip(src) {
-                *d = v * INPUT_SCALE;
-            }
-        }
-        let loc = model.localize_batch(&x);
-        for (bi, job) in chunk.iter().enumerate() {
-            let tl = &mut timelines[job.house];
-            tl.raw_status[job.start..job.start + w].copy_from_slice(&loc.status[bi]);
-            tl.detection_proba.push(loc.detection_proba[bi]);
-            if loc.detected[bi] {
-                tl.windows_detected += 1;
-            }
-        }
-    }
-
-    // Stage 3 — timeline-level post-processing and power estimation.
-    for (tl, agg) in timelines.iter_mut().zip(&aggregates) {
-        tl.status = tl.raw_status.clone();
-        if let Some(kind) = cfg.appliance {
-            apply_duration_prior(&mut tl.status, kind, cfg.step_s);
-        }
-        // NaN aggregate samples clamp to 0 W inside `estimate_power`; they
-        // can only occur outside scored windows, where status is OFF.
-        tl.power_w = estimate_power(&tl.status, cfg.avg_power_w, &agg.values);
-    }
-    timelines
+    per_model.pop().expect("shared pass returns one timeline set per model")
 }
 
 #[cfg(test)]
@@ -234,6 +223,7 @@ mod tests {
     use super::*;
     use crate::config::CamalConfig;
     use crate::model::CamalModel;
+    use crate::postprocess::apply_duration_prior;
     use crate::test_support::toy_set;
     use nilm_models::TrainConfig;
 

@@ -5,6 +5,7 @@
 
 use crate::appliance::ApplianceKind;
 use crate::series::TimeSeries;
+use crate::templates::{template, DatasetId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -210,6 +211,63 @@ pub fn sample_ownership(
     owned
 }
 
+/// One household of a multi-dataset fleet scenario: the dataset template it
+/// was drawn from (fixing its sampling step and appliance mix) plus the
+/// simulated house itself.
+#[derive(Clone, Debug)]
+pub struct FleetHousehold {
+    /// Template the household was simulated from.
+    pub dataset: DatasetId,
+    /// The simulated house (aggregate, submeters, possession set).
+    pub house: House,
+}
+
+impl FleetHousehold {
+    /// Stable identifier of the household within a scenario, e.g.
+    /// `refit-h3`.
+    pub fn label(&self) -> String {
+        format!("{}-h{}", self.dataset.name(), self.house.id)
+    }
+}
+
+/// Generates a multi-appliance serving scenario: `houses_per_template`
+/// households from **each** of the given dataset templates, with ownership
+/// sampled from the template's own appliance cases via [`sample_ownership`].
+///
+/// Every template's case appliance is round-robin forced into one household
+/// in turn, so each (dataset, appliance) pair that a fleet might serve is
+/// guaranteed at least one positive household — the same trick
+/// [`crate::templates::generate_dataset`] uses. House ids are globally
+/// unique across templates so fleet timelines can be keyed by label.
+///
+/// This is the workload the `camal_fleet` scheduler ingests: one feed per
+/// household, many appliance detectors fanned out over it.
+pub fn generate_fleet_scenario(
+    ids: &[DatasetId],
+    houses_per_template: usize,
+    days: usize,
+    seed: u64,
+) -> Vec<FleetHousehold> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE7);
+    let cfg = SimConfig { days, ..SimConfig::default() };
+    let mut out = Vec::with_capacity(ids.len() * houses_per_template);
+    let mut next_id = 0usize;
+    for &id in ids {
+        let tmpl = template(id);
+        let candidates: Vec<ApplianceKind> = tmpl.cases.iter().map(|c| c.kind).collect();
+        for i in 0..houses_per_template {
+            let forced = Some(candidates[i % candidates.len()]);
+            let owned = sample_ownership(&mut rng, &candidates, forced);
+            out.push(FleetHousehold {
+                dataset: id,
+                house: generate_house(next_id, &owned, &cfg, seed.wrapping_add(3)),
+            });
+            next_id += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +341,43 @@ mod tests {
         cfg.missing_rate = 0.01;
         let gappy = generate_house(5, &owned_set(&[ApplianceKind::Kettle]), &cfg, 46);
         assert!(gappy.aggregate.missing_count() > 0);
+    }
+
+    #[test]
+    fn fleet_scenario_covers_every_template_case() {
+        let ids = [DatasetId::Refit, DatasetId::UkDale];
+        let fleet = generate_fleet_scenario(&ids, 4, 2, 17);
+        assert_eq!(fleet.len(), 8);
+        // House ids are globally unique, labels carry the dataset.
+        let mut seen = BTreeSet::new();
+        for fh in &fleet {
+            assert!(seen.insert(fh.house.id), "duplicate house id {}", fh.house.id);
+            assert!(fh.label().starts_with(fh.dataset.name()));
+        }
+        // Round-robin forcing: every case appliance of each template owns at
+        // least one household from that template.
+        for &id in &ids {
+            for case in &template(id).cases {
+                let owners =
+                    fleet.iter().filter(|fh| fh.dataset == id && fh.house.owns(case.kind)).count();
+                assert!(owners > 0, "{:?}:{:?} has no positive household", id, case.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_scenario_is_deterministic_per_seed() {
+        let ids = [DatasetId::Refit];
+        let bits = |f: &[FleetHousehold]| -> Vec<Vec<u32>> {
+            f.iter()
+                .map(|fh| fh.house.aggregate.values.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+        let a = generate_fleet_scenario(&ids, 3, 2, 5);
+        let b = generate_fleet_scenario(&ids, 3, 2, 5);
+        assert_eq!(bits(&a), bits(&b));
+        let c = generate_fleet_scenario(&ids, 3, 2, 6);
+        assert_ne!(bits(&a), bits(&c));
     }
 
     #[test]

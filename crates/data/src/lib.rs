@@ -25,6 +25,8 @@
 //! assert!(!case.train.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod appliance;
 pub mod generator;
 pub mod pipeline;
@@ -36,7 +38,10 @@ pub mod windows;
 /// Convenient glob import for dataset construction.
 pub mod prelude {
     pub use crate::appliance::ApplianceKind;
-    pub use crate::generator::{generate_house, sample_ownership, House, SimConfig, BASE_STEP_S};
+    pub use crate::generator::{
+        generate_fleet_scenario, generate_house, sample_ownership, FleetHousehold, House,
+        SimConfig, BASE_STEP_S,
+    };
     pub use crate::pipeline::{
         house_windows, prepare_case, prepare_possession_case, split_houses, CaseData, SplitConfig,
     };

@@ -24,7 +24,11 @@ pub struct ApplianceCase {
 }
 
 /// Identifier for the five datasets of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// Ordered (`Ord`) so it can key the sorted maps of `camal`'s model
+/// registry; the derived order is the declaration order below, which is the
+/// Table I row order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DatasetId {
     /// UK-DALE: 5 houses, small appliances.
     UkDale,
@@ -60,6 +64,17 @@ impl DatasetId {
             "edf_weak" => DatasetId::EdfWeak,
             _ => return None,
         })
+    }
+
+    /// All five dataset identifiers, in Table I row order.
+    pub fn all() -> [DatasetId; 5] {
+        [
+            DatasetId::UkDale,
+            DatasetId::Refit,
+            DatasetId::Ideal,
+            DatasetId::EdfEv,
+            DatasetId::EdfWeak,
+        ]
     }
 }
 

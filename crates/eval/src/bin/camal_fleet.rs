@@ -1,0 +1,69 @@
+//! `camal_fleet` — the multi-appliance fleet-serving demo: train a small
+//! per-appliance model zoo, persist it as one checkpoint per
+//! `(dataset, appliance)` pair, reload it through `camal::registry`, and
+//! stream a simulated multi-dataset household fleet through the
+//! `camal::fleet` shared-pass scheduler, emitting a validated JSON report.
+//!
+//! ```text
+//! camal_fleet train-all [--smoke|--quick|--full] [--zoo DIR] [--out DIR]
+//! camal_fleet serve     [--houses N] [--days N] [--threads T]
+//!                       [--max-loaded N] [--zoo DIR] [--out DIR]
+//! camal_fleet demo      [--smoke|--quick|--full] [--houses N] [--days N]
+//!                       [--threads T] [--zoo DIR] [--out DIR]
+//! ```
+//!
+//! `train-all` fits one CamAL ensemble per zoo case (three appliances
+//! across the REFIT and UKDALE templates) and writes
+//! `<dataset>_<appliance>.ckpt` files. `serve` scans the zoo directory into
+//! a [`camal::registry::ModelRegistry`] (optionally bounded with
+//! `--max-loaded`, exercising lazy load + LRU eviction) and fans every
+//! model over a freshly simulated fleet: `--houses` households per dataset
+//! template, sharded over `--threads` workers, each feed preprocessed once
+//! and batched across households *and* appliances. `demo` does both, plus
+//! two verification gates: every checkpoint reloads bit-stably through the
+//! registry, and the fleet's output for one appliance is bit-identical to
+//! the single-appliance `camal::stream::serve` path.
+//!
+//! The logic lives in [`nilm_eval::serving`], shared with `camal_serve`
+//! and `run_all`.
+
+use camal::registry::ModelRegistry;
+use nilm_eval::runner::Scale;
+use nilm_eval::serving;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("demo");
+    let scale = Scale::from_args(&args);
+    match mode {
+        "train-all" => {
+            serving::fleet_train_all(&scale, &args);
+        }
+        "serve" => {
+            let zoo = serving::fleet_zoo_dir(&args);
+            let max_loaded = serving::arg_usize(&args, "--max-loaded", 0);
+            let mut registry = ModelRegistry::new(max_loaded);
+            let found = registry
+                .register_dir(&zoo)
+                .unwrap_or_else(|e| panic!("cannot scan zoo {}: {e}", zoo.display()));
+            assert!(
+                !found.is_empty(),
+                "no <dataset>_<appliance>.ckpt checkpoints under {}; run train-all first",
+                zoo.display()
+            );
+            println!(
+                "registry: {} models under {} (max resident: {})",
+                found.len(),
+                zoo.display(),
+                if max_loaded == 0 { "unbounded".to_string() } else { max_loaded.to_string() }
+            );
+            let doc = serving::fleet_serve(&mut registry, &scale, &args, false);
+            serving::write_summary(&doc, &args, "camal_fleet");
+        }
+        "demo" => serving::fleet_demo(&scale, &args),
+        other => {
+            eprintln!("unknown mode {other:?}; use train-all, serve or demo");
+            std::process::exit(2);
+        }
+    }
+}

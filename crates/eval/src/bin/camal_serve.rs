@@ -18,246 +18,22 @@
 //! verifying in between that the reloaded model is bit-identical to the
 //! trained one and that stitched streaming statuses equal the windowed
 //! batch API's output pre-prior.
+//!
+//! The heavy lifting lives in [`nilm_eval::serving`], shared with the
+//! multi-appliance `camal_fleet` binary and `run_all`'s serving gates.
 
-use camal::stream::{serve, HouseholdSeries, StreamConfig};
 use camal::CamalModel;
-use nilm_data::appliance::ApplianceKind;
-use nilm_data::generator::{generate_house, SimConfig};
-use nilm_data::preprocess::{forward_fill, resample, slice_windows};
-use nilm_data::series::TimeSeries;
-use nilm_data::templates::{refit, DatasetId};
-use nilm_data::windows::WindowSet;
-use nilm_eval::json::JsonValue;
-use nilm_eval::runner::{build_case_data, case_avg_power, Case, Scale};
-use std::collections::BTreeSet;
-use std::path::{Path, PathBuf};
-
-const APPLIANCE: ApplianceKind = ApplianceKind::Kettle;
-
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
-}
-
-fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
-    arg_value(args, flag).map(|v| v.parse().expect("numeric flag")).unwrap_or(default)
-}
-
-fn ckpt_path(args: &[String]) -> PathBuf {
-    arg_value(args, "--ckpt")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| nilm_eval::results_dir(args).join("camal_kettle.ckpt"))
-}
-
-/// Repeats every sample so a 60 s simulator series becomes e.g. a 30 s
-/// feed — the shape a higher-frequency meter would deliver. The streaming
-/// preprocessing immediately resamples it back down to the model step.
-fn upsample_repeat(s: &TimeSeries, target_step_s: u32) -> TimeSeries {
-    assert!(target_step_s > 0 && s.step_s % target_step_s == 0, "target must divide source step");
-    let ratio = (s.step_s / target_step_s) as usize;
-    let mut out = Vec::with_capacity(s.len() * ratio);
-    for &v in &s.values {
-        out.extend(std::iter::repeat_n(v, ratio));
-    }
-    TimeSeries::new(out, target_step_s)
-}
-
-/// Simulates `n` households (all owning the target appliance) as
-/// month-scale series at `input_step_s`.
-fn simulated_households(
-    n: usize,
-    days: usize,
-    input_step_s: u32,
-    seed: u64,
-) -> Vec<HouseholdSeries> {
-    let owned: BTreeSet<ApplianceKind> =
-        [APPLIANCE, ApplianceKind::Dishwasher].into_iter().collect();
-    let sim = SimConfig { days, ..SimConfig::default() };
-    (0..n)
-        .map(|i| HouseholdSeries {
-            id: format!("house-{i}"),
-            series: upsample_repeat(&generate_house(i, &owned, &sim, seed).aggregate, input_step_s),
-        })
-        .collect()
-}
-
-fn train_model(scale: &Scale, path: &Path) -> CamalModel {
-    let case = Case { dataset: DatasetId::Refit, appliance: APPLIANCE };
-    println!("training CamAL ({}) on {} ...", scale.name, case.label());
-    let (_, data) = build_case_data(&case, scale);
-    let mut model = CamalModel::train(&scale.camal_config(), &data.train, &data.val, scale.threads);
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create checkpoint directory");
-    }
-    model.save(path).expect("write checkpoint");
-    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-    println!(
-        "saved checkpoint {} ({} members, kernels {:?}, {} bytes)",
-        path.display(),
-        model.ensemble_size(),
-        model.kernels(),
-        bytes
-    );
-    model
-}
-
-/// Asserts that a freshly loaded model reproduces the in-memory model
-/// bit-for-bit on a probe batch.
-fn verify_reload(trained: &mut CamalModel, loaded: &mut CamalModel, scale: &Scale) {
-    let probe_house = generate_house(
-        900,
-        &[APPLIANCE].into_iter().collect(),
-        &SimConfig { days: 2, missing_rate: 0.0, ..SimConfig::default() },
-        0xBEEF,
-    );
-    let tmpl = refit();
-    let agg = forward_fill(&resample(&probe_house.aggregate, tmpl.step_s), tmpl.max_ffill_s);
-    let set = WindowSet::new(slice_windows(&agg, None, 500.0, scale.window, 0, false));
-    assert!(!set.is_empty(), "probe produced no windows");
-    let idx: Vec<usize> = (0..set.len().min(8)).collect();
-    let x = set.batch_inputs(&idx);
-    let a = trained.localize_batch(&x);
-    let b = loaded.localize_batch(&x);
-    let bits = |v: &[Vec<f32>]| -> Vec<Vec<u32>> {
-        v.iter().map(|r| r.iter().map(|s| s.to_bits()).collect()).collect()
-    };
-    assert_eq!(a.status, b.status, "reloaded statuses differ");
-    assert_eq!(bits(&a.scores), bits(&b.scores), "reloaded scores differ");
-    assert_eq!(
-        trained.detect_proba(&x).iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
-        loaded.detect_proba(&x).iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
-        "reloaded detection probabilities differ"
-    );
-    println!("reload check: localize_batch is bit-identical after save -> load");
-}
-
-/// Asserts the stitched streaming output equals the windowed batch API on
-/// the first household (pre-prior). Demo-mode only: the production `serve`
-/// path must not pay for re-scoring a household.
-fn verify_stream_equivalence(
-    model: &mut CamalModel,
-    household: &HouseholdSeries,
-    timeline: &camal::stream::HouseholdTimeline,
-    cfg: &StreamConfig,
-) {
-    let w = cfg.window;
-    // Slice through the *training* pipeline's own window slicer; the
-    // timeline's `scored_starts` says which windows streaming actually ran.
-    let agg = forward_fill(&resample(&household.series, cfg.step_s), cfg.max_ffill_s);
-    let set = WindowSet::new(slice_windows(&agg, None, 500.0, w, 0, false));
-    assert_eq!(
-        set.len(),
-        timeline.scored_starts.len(),
-        "streaming scored a different window set than slice_windows produces"
-    );
-    let loc = model.localize_set(&set, 16);
-    for (si, &start) in timeline.scored_starts.iter().enumerate() {
-        assert_eq!(
-            &timeline.raw_status[start..start + w],
-            &loc.status[si][..],
-            "stream/batch divergence in window starting at sample {start}"
-        );
-    }
-    println!(
-        "equivalence check: {} streamed windows match the batch API exactly (pre-prior)",
-        timeline.scored_starts.len()
-    );
-}
-
-fn serve_households(
-    model: &mut CamalModel,
-    scale: &Scale,
-    args: &[String],
-    ckpt: &Path,
-    verify_equivalence: bool,
-) -> JsonValue {
-    let houses = arg_usize(args, "--houses", 3);
-    let days = arg_usize(args, "--days", 30);
-    let input_step_s = arg_usize(args, "--input-step-s", 30) as u32;
-    if houses == 0 || days == 0 || input_step_s == 0 {
-        eprintln!("--houses, --days and --input-step-s must all be >= 1");
-        std::process::exit(2);
-    }
-    let tmpl = refit();
-    let households = simulated_households(houses, days, input_step_s, 0x5EBE);
-    // The checkpoint records the window length the ensemble was trained at;
-    // trust it over whatever scale flag this process happened to get.
-    let window = match model.window() {
-        0 => scale.window,
-        w => {
-            if w != scale.window {
-                println!(
-                    "note: checkpoint was trained at window {w}; ignoring scale window {}",
-                    scale.window
-                );
-            }
-            w
-        }
-    };
-    let avg_power_w = case_avg_power(&Case { dataset: DatasetId::Refit, appliance: APPLIANCE });
-    let mut cfg = StreamConfig::for_appliance(window, tmpl.step_s, APPLIANCE, avg_power_w);
-    cfg.max_ffill_s = tmpl.max_ffill_s;
-    println!(
-        "serving {houses} households x {days} days @ {input_step_s} s input ({} samples each) ...",
-        households[0].series.len()
-    );
-    let start = std::time::Instant::now();
-    let timelines = serve(model, &households, &cfg);
-    let secs = start.elapsed().as_secs_f64();
-    let total_windows: usize = timelines.iter().map(|t| t.windows_scored).sum();
-    println!(
-        "scored {total_windows} windows in {secs:.2} s ({:.0} windows/s)",
-        total_windows as f64 / secs.max(1e-9)
-    );
-
-    if verify_equivalence {
-        verify_stream_equivalence(model, &households[0], &timelines[0], &cfg);
-    }
-
-    let hh_json: Vec<JsonValue> = timelines
-        .iter()
-        .map(|tl| {
-            JsonValue::object([
-                ("id", JsonValue::String(tl.id.clone())),
-                ("step_s", JsonValue::Number(tl.step_s as f64)),
-                ("samples", JsonValue::Number(tl.status.len() as f64)),
-                ("windows_total", JsonValue::Number(tl.windows_total as f64)),
-                ("windows_scored", JsonValue::Number(tl.windows_scored as f64)),
-                ("windows_detected", JsonValue::Number(tl.windows_detected as f64)),
-                ("on_fraction", JsonValue::Number(tl.on_fraction())),
-                ("activations", JsonValue::Number(tl.activations() as f64)),
-                ("energy_wh", JsonValue::Number(tl.energy_wh())),
-            ])
-        })
-        .collect();
-    JsonValue::object([
-        ("appliance", JsonValue::String(APPLIANCE.name().to_string())),
-        ("checkpoint", JsonValue::String(ckpt.display().to_string())),
-        ("scale", JsonValue::String(scale.name.to_string())),
-        ("days", JsonValue::Number(days as f64)),
-        ("input_step_s", JsonValue::Number(input_step_s as f64)),
-        ("windows_per_second", JsonValue::Number(total_windows as f64 / secs.max(1e-9))),
-        ("households", JsonValue::Array(hh_json)),
-    ])
-}
-
-fn write_summary(doc: &JsonValue, args: &[String]) {
-    let dir = nilm_eval::results_dir(args);
-    std::fs::create_dir_all(&dir).expect("create results directory");
-    let path = dir.join("camal_serve.json");
-    let text = doc.to_pretty();
-    nilm_eval::json::validate(&text).expect("emitted summary must be valid JSON");
-    std::fs::write(&path, &text).expect("write summary");
-    println!("wrote {} (validated)", path.display());
-}
+use nilm_eval::runner::Scale;
+use nilm_eval::serving;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str).unwrap_or("demo");
     let scale = Scale::from_args(&args);
-    let ckpt = ckpt_path(&args);
+    let ckpt = serving::serve_ckpt_path(&args);
     match mode {
         "train" => {
-            train_model(&scale, &ckpt);
+            serving::train_model(&scale, &ckpt);
         }
         "serve" => {
             let mut model = CamalModel::load(&ckpt)
@@ -268,17 +44,10 @@ fn main() {
                 model.ensemble_size(),
                 model.kernels()
             );
-            let doc = serve_households(&mut model, &scale, &args, &ckpt, false);
-            write_summary(&doc, &args);
+            let doc = serving::serve_households(&mut model, &scale, &args, &ckpt, false);
+            serving::write_summary(&doc, &args, "camal_serve");
         }
-        "demo" => {
-            let mut trained = train_model(&scale, &ckpt);
-            let mut model = CamalModel::load(&ckpt)
-                .unwrap_or_else(|e| panic!("cannot load {}: {e}", ckpt.display()));
-            verify_reload(&mut trained, &mut model, &scale);
-            let doc = serve_households(&mut model, &scale, &args, &ckpt, true);
-            write_summary(&doc, &args);
-        }
+        "demo" => serving::serve_demo(&scale, &args),
         other => {
             eprintln!("unknown mode {other:?}; use train, serve or demo");
             std::process::exit(2);

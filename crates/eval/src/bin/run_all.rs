@@ -1,4 +1,11 @@
-//! Runs every experiment at the chosen scale — the one-command reproduction.
+//! Runs every experiment at the chosen scale — the one-command
+//! reproduction — then smoke-runs both serving demos (`camal_serve`,
+//! `camal_fleet`) so the "run everything" entry point also gates the
+//! persistence / streaming / fleet paths. The serving demos always run at
+//! smoke scale: they are correctness gates (bit-identical reload,
+//! stream-vs-batch and fleet-vs-serve equivalence), not figures, so their
+//! runtime stays bounded regardless of the experiment scale (see
+//! REPRODUCING.md).
 
 use nilm_eval::runner::Scale;
 
@@ -54,5 +61,11 @@ fn main() {
         &args,
         "ext_postprocess",
     );
+
+    println!("\nServing demos (smoke scale): camal_serve ...");
+    nilm_eval::serving::serve_demo(&Scale::smoke(), &args);
+    println!("\nServing demos (smoke scale): camal_fleet ...");
+    nilm_eval::serving::fleet_demo(&Scale::smoke(), &args);
+
     println!("\nAll experiments complete.");
 }

@@ -19,6 +19,13 @@
 //! | Fig. 9 costs | `fig9_costs` |
 //! | Fig. 10 soft labels | `fig10_soft_labels` |
 //!
+//! Beyond the figures, [`serving`] backs the service demos: `camal_serve`
+//! (checkpoint + single-appliance streaming) and `camal_fleet` (model-zoo
+//! registry + multi-appliance shared-pass scheduler). `run_all` drives
+//! every experiment and then smoke-runs both serving demos. REPRODUCING.md
+//! at the repo root tabulates all binaries with runtimes and output
+//! schemas.
+//!
 //! ## Example
 //!
 //! Every experiment is parameterised by a [`runner::Scale`] preset, which
@@ -39,6 +46,7 @@ pub mod experiments;
 pub mod json;
 pub mod output;
 pub mod runner;
+pub mod serving;
 
 use output::Table;
 use std::path::PathBuf;
