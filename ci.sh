@@ -51,13 +51,69 @@ if [ "$MODE" != "quick" ]; then
     # multi-thread worker pool (the 1-core fallback runs shards serially).
     step "cargo test -p camal --test fleet_serving --release (RAYON_NUM_THREADS=4)"
     RAYON_NUM_THREADS=4 cargo test -q -p camal --test fleet_serving --release
+
+    # Gateway bit-identity + HTTP abuse tests under the optimized build —
+    # release is the production code path the byte-equality claim is about.
+    step "cargo test -p nilm_serve --release (gateway concurrency + HTTP edge cases)"
+    cargo test -q -p nilm_serve --release
+
+    step "camal_gateway smoke: ephemeral-port serve -> curl round-trip -> graceful shutdown"
+    GW_DIR=target/ci-gateway
+    rm -rf "$GW_DIR" && mkdir -p "$GW_DIR"
+    ./target/release/camal_gateway train --smoke --zoo "$GW_DIR/zoo" --out "$GW_DIR"
+    # Serve on an ephemeral port; the whole server is bounded by `timeout`
+    # so a wedged gateway cannot hang CI. --addr-file publishes the port.
+    timeout 120 ./target/release/camal_gateway serve \
+        --zoo "$GW_DIR/zoo" --addr 127.0.0.1:0 --addr-file "$GW_DIR/addr.txt" &
+    GW_PID=$!
+    for _ in $(seq 1 150); do [ -s "$GW_DIR/addr.txt" ] && break; sleep 0.2; done
+    [ -s "$GW_DIR/addr.txt" ] || { echo "gateway never published its address"; kill "$GW_PID" 2>/dev/null; exit 1; }
+    GW_ADDR=$(cat "$GW_DIR/addr.txt")
+    echo "gateway at $GW_ADDR"
+    curl -sfS "http://$GW_ADDR/healthz" -o "$GW_DIR/healthz.json"
+    grep -q '"status":"ok"' "$GW_DIR/healthz.json"
+    # One real localize round-trip: two windows of synthetic kettle data.
+    python3 - "$GW_DIR" <<'PY'
+import json, sys
+values = [150 + (1900 if (t // 9) % 4 == 0 else 0) for t in range(256)]
+body = {"appliances": ["refit:kettle"], "detail": "summary",
+        "households": [{"id": "ci-house", "step_s": 60, "values": values}]}
+open(sys.argv[1] + "/request.json", "w").write(json.dumps(body))
+PY
+    curl -sfS -X POST "http://$GW_ADDR/v1/localize" \
+        -H 'Content-Type: application/json' --data @"$GW_DIR/request.json" \
+        -o "$GW_DIR/localize.json"
+    # The response must be parseable JSON with the expected schema tag and
+    # a result for the requested appliance.
+    python3 - "$GW_DIR" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1] + "/localize.json"))
+assert doc["schema"] == "camal_localize/v1", doc
+hh = doc["households"][0]
+assert hh["id"] == "ci-house" and "refit:kettle" in hh["results"], doc
+print("localize round-trip ok:", json.dumps(hh["results"]["refit:kettle"]))
+PY
+    # Loadgen against the live server (report JSON re-validated in-process).
+    ./target/release/camal_gateway loadgen --addr "$GW_ADDR" \
+        --connections 2 --requests 40 --detail summary --out "$GW_DIR"
+    curl -sfS "http://$GW_ADDR/metrics" -o "$GW_DIR/metrics.json"
+    python3 -c "import json,sys; json.load(open('$GW_DIR/metrics.json'))"
+    curl -sfS -X POST "http://$GW_ADDR/admin/shutdown" >/dev/null
+    wait "$GW_PID"
+    echo "gateway shut down cleanly"
+
+    step "camal_gateway demo --smoke (byte-identity + micro-batching gates, JSON validated)"
+    cargo run --release -p nilm_eval --bin camal_gateway -- demo --smoke --out target/ci-gateway-demo
+
+    step "bench_gateway_rps smoke (validates BENCH_gateway.json writer)"
+    cargo bench -p nilm_bench --bench bench_gateway_rps -- --smoke --out "$PWD/target/ci-gateway"
 fi
 
-# `camal` and `nilm_data` opt into #![warn(missing_docs)]; with rustdoc
-# warnings denied this step is the docs gate: any undocumented public item
-# in those crates fails CI.
-step "docs gate: cargo doc -p camal -p nilm_data (missing_docs denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data
+# `camal`, `nilm_data`, `nilm_json` and `nilm_serve` opt into
+# #![warn(missing_docs)]; with rustdoc warnings denied this step is the
+# docs gate: any undocumented public item in those crates fails CI.
+step "docs gate: cargo doc -p camal -p nilm_data -p nilm_json -p nilm_serve (missing_docs denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_json -p nilm_serve
 
 step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

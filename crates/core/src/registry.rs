@@ -69,6 +69,26 @@ impl ModelKey {
             appliance: ApplianceKind::from_name(appliance)?,
         })
     }
+
+    /// Parses a [`ModelKey::label`]-shaped `dataset:appliance` string back
+    /// into a key — the wire format the network gateway accepts.
+    ///
+    /// ```
+    /// use camal::registry::ModelKey;
+    /// use nilm_data::prelude::*;
+    ///
+    /// let key = ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher);
+    /// assert_eq!(ModelKey::from_label(&key.label()), Some(key));
+    /// assert_eq!(ModelKey::from_label("mars:kettle"), None);
+    /// assert_eq!(ModelKey::from_label("refit"), None);
+    /// ```
+    pub fn from_label(label: &str) -> Option<Self> {
+        let (dataset, appliance) = label.split_once(':')?;
+        Some(ModelKey {
+            dataset: DatasetId::from_name(dataset)?,
+            appliance: ApplianceKind::from_name(appliance)?,
+        })
+    }
 }
 
 impl fmt::Display for ModelKey {

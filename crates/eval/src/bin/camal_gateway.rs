@@ -1,0 +1,78 @@
+//! `camal_gateway` — the networked inference gateway: serve a trained
+//! checkpoint zoo over HTTP with cross-request micro-batching, hammer it
+//! with a socket-level load generator, or run the self-contained demo.
+//!
+//! ```text
+//! camal_gateway train   [--smoke|--quick|--full] [--zoo DIR] [--out DIR]
+//! camal_gateway serve   [--zoo DIR] [--addr HOST:PORT] [--addr-file PATH]
+//!                       [--queue N] [--max-coalesce N] [--batch N]
+//! camal_gateway loadgen --addr HOST:PORT [--connections N] [--requests N]
+//!                       [--houses N] [--request-windows N] [--out DIR]
+//! camal_gateway demo    [--smoke|--quick|--full] [--requests N]
+//!                       [--request-windows N] [--zoo DIR] [--out DIR]
+//! ```
+//!
+//! `train` fits the Refit kettle CamAL ensemble and writes
+//! `refit_kettle.ckpt` into the zoo directory. `serve` scans the zoo into
+//! a [`camal::registry::ModelRegistry`], warms every checkpoint, binds
+//! (port 0 = ephemeral; `--addr-file` writes the bound address for
+//! scripts), and serves `GET /healthz`, `GET /metrics`, `GET /v1/models`
+//! and `POST /v1/localize` until `POST /admin/shutdown`. `loadgen` fires
+//! keep-alive localize requests over real sockets and emits a validated
+//! requests/s + latency report. `demo` does train → serve → verify
+//! byte-identical responses vs `camal::stream::serve` → prove concurrent
+//! loadgen beats sequential → shut down — the gate CI and `run_all` run.
+//!
+//! The logic lives in [`nilm_eval::gateway`]; the server itself is
+//! [`nilm_serve`].
+
+use camal::registry::ModelRegistry;
+use nilm_eval::gateway;
+use nilm_eval::runner::Scale;
+use nilm_eval::serving;
+use nilm_serve::Gateway;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("demo");
+    let scale = Scale::from_args(&args);
+    match mode {
+        "train" => {
+            gateway::train_gateway_zoo(&scale, &args);
+        }
+        "serve" => {
+            let zoo = gateway::gateway_zoo_dir(&args);
+            let mut registry = ModelRegistry::unbounded();
+            let found = registry
+                .register_dir(&zoo)
+                .unwrap_or_else(|e| panic!("cannot scan zoo {}: {e}", zoo.display()));
+            assert!(
+                !found.is_empty(),
+                "no <dataset>_<appliance>.ckpt checkpoints under {}; run train first",
+                zoo.display()
+            );
+            let server = Gateway::start(registry, gateway::gateway_config(&args))
+                .unwrap_or_else(|e| panic!("cannot start gateway: {e}"));
+            let addr = server.addr();
+            println!("gateway listening on {addr} ({} model(s) warmed)", found.len());
+            println!("shut down with: curl -X POST http://{addr}/admin/shutdown");
+            if let Some(path) = serving::arg_value(&args, "--addr-file") {
+                std::fs::write(&path, addr.to_string())
+                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            }
+            server.wait();
+            println!("gateway shut down cleanly");
+        }
+        "loadgen" => {
+            let addr = serving::arg_value(&args, "--addr")
+                .unwrap_or_else(|| panic!("loadgen needs --addr HOST:PORT"));
+            let doc = gateway::loadgen_run(&addr, &args);
+            serving::write_summary(&doc, &args, "camal_gateway_loadgen");
+        }
+        "demo" => gateway::gateway_demo(&scale, &args),
+        other => {
+            eprintln!("unknown mode {other:?}; use train, serve, loadgen or demo");
+            std::process::exit(2);
+        }
+    }
+}

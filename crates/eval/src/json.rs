@@ -1,337 +1,9 @@
-//! Minimal JSON emission and validation helpers.
+//! JSON emission, validation and parsing — re-exported from [`nilm_json`].
 //!
-//! The vendored `serde` stand-in carries no data model (the offline build
-//! cannot pull `serde_json`), so the perf harness writes its
-//! `BENCH_conv_gemm.json` through [`JsonValue`] and CI re-reads the file
-//! through [`validate`] — a strict RFC 8259 syntax checker — to guarantee
-//! the artifact stays machine-parseable.
+//! The emitter/validator originally lived here; it was promoted into the
+//! `nilm_json` crate so the network gateway (`nilm_serve`) can share the
+//! data model without depending on the whole evaluation harness. This
+//! module stays as a re-export so existing `nilm_eval::json::...` callers
+//! keep compiling unchanged.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// A JSON value. Objects use a [`BTreeMap`], so emission is deterministic
-/// (stable key order) — diffs of committed baselines stay readable.
-#[derive(Clone, Debug)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values are emitted as `null`).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An ordered array.
-    Array(Vec<JsonValue>),
-    /// An object with sorted keys.
-    Object(BTreeMap<String, JsonValue>),
-}
-
-impl JsonValue {
-    /// Builds an object from key/value pairs.
-    pub fn object(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
-        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Serializes with two-space indentation and a trailing newline.
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            JsonValue::Number(n) => {
-                if n.is_finite() {
-                    let _ = write!(out, "{n}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            JsonValue::String(s) => write_escaped(out, s),
-            JsonValue::Array(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    item.write(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}]");
-            }
-            JsonValue::Object(map) => {
-                if map.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in map.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}}}");
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Checks that `input` is one syntactically valid JSON document (with
-/// nothing but whitespace after it). Returns the byte offset of the first
-/// error otherwise.
-pub fn validate(input: &str) -> Result<(), String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    match b.get(*pos) {
-        None => Err(format!("unexpected end of input at byte {pos}")),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_lit(b, pos, b"true"),
-        Some(b'f') => parse_lit(b, pos, b"false"),
-        Some(b'n') => parse_lit(b, pos, b"null"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
-    if b[*pos..].starts_with(lit) {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // opening quote
-    while let Some(&c) = b.get(*pos) {
-        match c {
-            b'"' => {
-                *pos += 1;
-                return Ok(());
-            }
-            b'\\' => {
-                let esc = b.get(*pos + 1).copied();
-                match esc {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
-                    Some(b'u') => {
-                        let hex = b.get(*pos + 2..*pos + 6);
-                        match hex {
-                            Some(h) if h.iter().all(|d| d.is_ascii_hexdigit()) => *pos += 6,
-                            _ => return Err(format!("bad \\u escape at byte {pos}")),
-                        }
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-            }
-            c if c < 0x20 => return Err(format!("raw control byte in string at {pos}")),
-            _ => *pos += 1,
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let first_digit = b.get(*pos).copied();
-    let int_digits = eat_digits(b, pos);
-    if int_digits == 0 {
-        return Err(format!("number without digits at byte {start}"));
-    }
-    // RFC 8259: int = zero / ( digit1-9 *DIGIT ) — no leading zeros.
-    if int_digits > 1 && first_digit == Some(b'0') {
-        return Err(format!("leading zero in number at byte {start}"));
-    }
-    if b.get(*pos) == Some(&b'.') {
-        *pos += 1;
-        if eat_digits(b, pos) == 0 {
-            return Err(format!("missing fraction digits at byte {pos}"));
-        }
-    }
-    if matches!(b.get(*pos), Some(b'e' | b'E')) {
-        *pos += 1;
-        if matches!(b.get(*pos), Some(b'+' | b'-')) {
-            *pos += 1;
-        }
-        if eat_digits(b, pos) == 0 {
-            return Err(format!("missing exponent digits at byte {pos}"));
-        }
-    }
-    Ok(())
-}
-
-fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
-    let start = *pos;
-    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
-        *pos += 1;
-    }
-    *pos - start
-}
-
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // '['
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        parse_value(b, pos)?;
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => {
-                *pos += 1;
-                skip_ws(b, pos);
-            }
-            Some(b']') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // '{'
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected object key at byte {pos}"));
-        }
-        parse_string(b, pos)?;
-        skip_ws(b, pos);
-        if b.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {pos}"));
-        }
-        *pos += 1;
-        skip_ws(b, pos);
-        parse_value(b, pos)?;
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => {
-                *pos += 1;
-                skip_ws(b, pos);
-            }
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn emitted_documents_validate() {
-        let doc = JsonValue::object([
-            ("name", JsonValue::String("bench \"x\"\n".into())),
-            ("speedup", JsonValue::Number(3.25)),
-            ("ok", JsonValue::Bool(true)),
-            ("items", JsonValue::Array(vec![JsonValue::Number(1.0), JsonValue::Null])),
-            ("empty", JsonValue::Object(BTreeMap::new())),
-        ]);
-        let text = doc.to_pretty();
-        validate(&text).expect("emitted JSON must parse");
-    }
-
-    #[test]
-    fn validator_accepts_rfc_examples() {
-        for ok in [
-            "null",
-            " true ",
-            "-12.5e+3",
-            "[]",
-            "[1, 2, [3]]",
-            r#"{"a": {"b": [1, "two", null]}, "c": false}"#,
-            r#""esc: \" \\ \n é""#,
-        ] {
-            validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
-        }
-    }
-
-    #[test]
-    fn validator_rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\" 1}",
-            "{\"a\": 1,}",
-            "01a",
-            "01",
-            "-012.5",
-            "\"unterminated",
-            "{\"a\": 1} extra",
-            "nul",
-            "1. ",
-        ] {
-            assert!(validate(bad).is_err(), "{bad:?} accepted");
-        }
-    }
-
-    #[test]
-    fn non_finite_numbers_become_null() {
-        let doc = JsonValue::Number(f64::NAN);
-        assert_eq!(doc.to_pretty(), "null\n");
-    }
-}
+pub use nilm_json::{parse, validate, JsonValue};

@@ -21,10 +21,11 @@
 //!
 //! Beyond the figures, [`serving`] backs the service demos: `camal_serve`
 //! (checkpoint + single-appliance streaming) and `camal_fleet` (model-zoo
-//! registry + multi-appliance shared-pass scheduler). `run_all` drives
-//! every experiment and then smoke-runs both serving demos. REPRODUCING.md
-//! at the repo root tabulates all binaries with runtimes and output
-//! schemas.
+//! registry + multi-appliance shared-pass scheduler); [`gateway`] backs
+//! `camal_gateway`, the networked HTTP gateway (`nilm_serve`) with its
+//! socket-level loadgen. `run_all` drives every experiment and then
+//! smoke-runs all three serving demos. REPRODUCING.md at the repo root
+//! tabulates all binaries with runtimes and output schemas.
 //!
 //! ## Example
 //!
@@ -43,6 +44,7 @@
 pub mod complexity;
 pub mod cost;
 pub mod experiments;
+pub mod gateway;
 pub mod json;
 pub mod output;
 pub mod runner;

@@ -1,0 +1,550 @@
+//! The gateway server: accept loop, per-connection handlers, and the
+//! micro-batching scheduler thread.
+//!
+//! One thread owns the [`ModelRegistry`] — the **batcher**. Connection
+//! handlers never touch models; they parse + validate requests, enqueue
+//! jobs on the bounded [`JobQueue`], and block on a per-job response
+//! channel. The batcher pops the first waiting job, drains whatever else
+//! queued up behind it (the concurrent backlog), groups jobs by requested
+//! key set, and serves each group as **one**
+//! [`camal::fleet::serve_fleet`] pass with every job's households merged —
+//! so windows from different requests share GEMM batches. Because window
+//! scoring is row-independent (eval-mode BatchNorm, per-row GEMM tiles),
+//! coalescing never changes a response: each one is bit-identical to a
+//! direct [`camal::stream::serve`] call, which the concurrency tests pin.
+//!
+//! Overload: a full queue answers `503` immediately (load shedding), so
+//! handler threads never pile up behind a slow batcher unbounded.
+//! Shutdown: [`Gateway::shutdown`] (or `POST /admin/shutdown`) stops the
+//! accept loop, lets in-flight connections finish their current request,
+//! drains the queue, and joins every thread.
+
+use crate::http::{read_request, write_json, HttpLimits, Request};
+use crate::metrics::Metrics;
+use crate::protocol::{error_body, localize_response, parse_localize, Detail, HouseholdRow};
+use crate::queue::{JobQueue, PushError};
+use camal::fleet::{serve_fleet, FleetConfig};
+use camal::registry::{ModelKey, ModelRegistry};
+use camal::stream::HouseholdSeries;
+use nilm_json::JsonValue;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Gateway`].
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Bounded queue capacity; a full queue sheds load with `503`.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batcher pass.
+    pub max_coalesce: usize,
+    /// Extra wait after the first job of a pass, letting concurrent
+    /// requests land in the same pass. Zero relies on natural backlog.
+    pub linger: Duration,
+    /// Windows per GEMM batch inside a fleet pass.
+    pub batch_windows: usize,
+    /// Maximum concurrent connection handler threads; connections beyond
+    /// it are answered `503` and closed immediately.
+    pub max_connections: usize,
+    /// Socket read timeout; an idle keep-alive connection is closed after
+    /// this long.
+    pub read_timeout: Duration,
+    /// HTTP parsing limits.
+    pub limits: HttpLimits,
+    /// Apply Table I duration priors on stitched timelines.
+    pub apply_priors: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 256,
+            max_coalesce: 64,
+            linger: Duration::ZERO,
+            batch_windows: 64,
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(5),
+            limits: HttpLimits::default(),
+            apply_priors: true,
+        }
+    }
+}
+
+/// What the serving side knows about one registered model, snapshotted at
+/// startup for lock-free request validation in handler threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelMeta {
+    /// Sampling step of the model's dataset template.
+    pub step_s: u32,
+    /// Training window length.
+    pub window: usize,
+}
+
+/// A response computed by the batcher: the HTTP status triple plus body.
+type JobReply = (u16, &'static str, String);
+
+struct Job {
+    /// Requested keys, deduplicated, in request order (response order).
+    keys: Vec<ModelKey>,
+    /// Sorted copy of `keys` — the coalescing identity: jobs wanting the
+    /// same model set share one fleet pass.
+    group: Vec<ModelKey>,
+    households: Vec<HouseholdSeries>,
+    detail: Detail,
+    reply: mpsc::Sender<JobReply>,
+}
+
+struct Shared {
+    cfg: GatewayConfig,
+    addr: SocketAddr,
+    models: BTreeMap<ModelKey, ModelMeta>,
+    queue: JobQueue<Job>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Flags shutdown and pokes the accept loop awake with a self-connect.
+    fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running gateway. Dropping it without [`Gateway::shutdown`] leaves the
+/// server threads running for the rest of the process.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Gateway {
+    /// Binds, warms every registered model (lazy checkpoints load now, so
+    /// corrupt files fail fast instead of per-request), and spawns the
+    /// accept loop and the batcher thread. The registry moves into the
+    /// batcher — it is the only thread that touches models afterwards.
+    pub fn start(mut registry: ModelRegistry, cfg: GatewayConfig) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let mut models = BTreeMap::new();
+        for key in registry.keys() {
+            let model = registry
+                .get_mut(key)
+                .map_err(|e| std::io::Error::other(format!("cannot warm model {key}: {e}")))?;
+            let window = model.window();
+            if window == 0 {
+                return Err(std::io::Error::other(format!(
+                    "model {key} does not record its training window"
+                )));
+            }
+            let step_s = nilm_data::templates::template(key.dataset).step_s;
+            models.insert(key, ModelMeta { step_s, window });
+        }
+        if models.is_empty() {
+            return Err(std::io::Error::other("gateway needs at least one registered model"));
+        }
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+            addr,
+            models,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let batcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("gateway-batcher".into())
+                .spawn(move || batcher_loop(&shared, &mut registry))
+                .expect("spawn batcher thread")
+        };
+        let accept = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("gateway-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept thread")
+        };
+        Ok(Gateway { shared, accept: Some(accept), batcher: Some(batcher), conns })
+    }
+
+    /// The bound socket address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// True once shutdown has been requested (locally or over HTTP).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins every server thread: the accept loop
+    /// first (no new connections), then the connection handlers (each
+    /// finishes its in-flight request), then the batcher (drains the
+    /// queue). Bounded by the read timeout per idle connection.
+    pub fn shutdown(mut self) {
+        self.shared.request_shutdown();
+        self.join_all();
+    }
+
+    /// Blocks until someone requests shutdown (e.g. `POST
+    /// /admin/shutdown`), then joins every thread like
+    /// [`Gateway::shutdown`].
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // After the accept loop exits no new handler can appear; join the
+        // existing ones (they stop pushing jobs), then the batcher can see
+        // a conclusively empty queue.
+        loop {
+            let handle = self.conns.lock().expect("conns lock").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (e.g. EMFILE under fd pressure)
+                // return immediately; back off instead of busy-spinning a
+                // core until the condition clears.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up self-connect (or a late client) during shutdown.
+            return;
+        }
+        {
+            // Reap finished handlers and bound the live count: one thread
+            // per connection must not grow without limit under a flood.
+            let mut conns = conns.lock().expect("conns lock");
+            if conns.len() >= shared.cfg.max_connections {
+                conns.retain(|h| !h.is_finished());
+            }
+            if conns.len() >= shared.cfg.max_connections {
+                drop(conns);
+                shared.metrics.shed();
+                let _ = write_json(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    &error_body("connection limit reached, retry later"),
+                    false,
+                );
+                continue;
+            }
+            let shared = shared.clone();
+            match std::thread::Builder::new()
+                .name("gateway-conn".into())
+                .spawn(move || handle_connection(stream, &shared))
+            {
+                Ok(handle) => conns.push(handle),
+                // Thread exhaustion must degrade (drop this connection),
+                // not panic the accept loop and wedge the server.
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(&stream);
+    loop {
+        let request = match read_request(&mut reader, &shared.cfg.limits) {
+            Ok(r) => r,
+            Err(e) => {
+                // Parse errors get a best-effort 4xx before closing; dead
+                // or timed-out sockets are just dropped. Either way the
+                // connection ends here — framing is unreliable after an
+                // error.
+                if let Some((status, reason)) = e.status() {
+                    shared.metrics.response(status);
+                    let _ = write_json(
+                        &mut (&stream),
+                        status,
+                        reason,
+                        &error_body(&e.to_string()),
+                        false,
+                    );
+                }
+                return;
+            }
+        };
+        let (status, reason, body) = route(&request, shared);
+        // Re-read the flag after routing: /admin/shutdown flips it inside
+        // `route`, and its own response must already announce `close`.
+        let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+        shared.metrics.response(status);
+        if write_json(&mut (&stream), status, reason, &body, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request; returns `(status, reason, body)`.
+fn route(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.request("healthz");
+            let doc = JsonValue::object([
+                ("status", JsonValue::String("ok".into())),
+                ("models", JsonValue::Number(shared.models.len() as f64)),
+                ("queue_depth", JsonValue::Number(shared.queue.depth() as f64)),
+                ("shutting_down", JsonValue::Bool(shared.shutdown.load(Ordering::SeqCst))),
+            ]);
+            (200, "OK", doc.to_compact())
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.request("metrics");
+            (200, "OK", shared.metrics.to_json(shared.queue.depth()).to_pretty())
+        }
+        ("GET", "/v1/models") => {
+            shared.metrics.request("models");
+            let rows: Vec<JsonValue> = shared
+                .models
+                .iter()
+                .map(|(key, meta)| {
+                    JsonValue::object([
+                        ("key", JsonValue::String(key.label())),
+                        ("step_s", JsonValue::Number(meta.step_s as f64)),
+                        ("window", JsonValue::Number(meta.window as f64)),
+                    ])
+                })
+                .collect();
+            (200, "OK", JsonValue::object([("models", JsonValue::Array(rows))]).to_compact())
+        }
+        ("POST", "/v1/localize") => {
+            shared.metrics.request("localize");
+            handle_localize(request, shared)
+        }
+        ("POST", "/admin/shutdown") => {
+            shared.metrics.request("shutdown");
+            shared.request_shutdown();
+            (200, "OK", JsonValue::object([("ok", JsonValue::Bool(true))]).to_compact())
+        }
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/localize" | "/admin/shutdown") => {
+            shared.metrics.request("other");
+            (405, "Method Not Allowed", error_body("method not allowed for this path"))
+        }
+        _ => {
+            shared.metrics.request("other");
+            (404, "Not Found", error_body("no such route"))
+        }
+    }
+}
+
+/// Validates a localize request against the model snapshot, enqueues it,
+/// and blocks on the batcher's reply.
+fn handle_localize(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+    let start = Instant::now();
+    let parsed = match parse_localize(&request.body) {
+        Ok(p) => p,
+        Err(e) => return (400, "Bad Request", error_body(&e)),
+    };
+    // Validate against the startup snapshot so handlers never touch the
+    // registry: every key must be registered, and one pass needs a single
+    // resolution and window across its models.
+    let mut step_s = 0u32;
+    let mut window = 0usize;
+    for key in &parsed.appliances {
+        let Some(meta) = shared.models.get(key) else {
+            return (404, "Not Found", error_body(&format!("model {key} is not registered")));
+        };
+        if step_s == 0 {
+            (step_s, window) = (meta.step_s, meta.window);
+        } else if meta.step_s != step_s || meta.window != window {
+            return (
+                400,
+                "Bad Request",
+                error_body(&format!(
+                    "model {key} runs at step {} s / window {} and cannot share a pass with \
+                     step {step_s} s / window {window}; request them separately",
+                    meta.step_s, meta.window
+                )),
+            );
+        }
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (503, "Service Unavailable", error_body("gateway is shutting down"));
+    }
+    let mut group = parsed.appliances.clone();
+    group.sort();
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        keys: parsed.appliances,
+        group,
+        households: parsed.households,
+        detail: parsed.detail,
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.metrics.shed();
+            return (503, "Service Unavailable", error_body("queue full, retry later"));
+        }
+        // The batcher already exited; a job pushed now would never be
+        // served, so answer here instead of blocking on `rx` forever.
+        Err(PushError::Closed) => {
+            return (503, "Service Unavailable", error_body("gateway is shutting down"));
+        }
+    }
+    shared.metrics.queue_depth(shared.queue.depth());
+    match rx.recv() {
+        Ok((status, reason, body)) => {
+            shared.metrics.latency_ms(start.elapsed().as_secs_f64() * 1e3);
+            (status, reason, body)
+        }
+        // The batcher died (panicked) with our job in flight.
+        Err(_) => (500, "Internal Server Error", error_body("batcher failed")),
+    }
+}
+
+/// The micro-batching scheduler. Owns the registry for the gateway's
+/// lifetime.
+fn batcher_loop(shared: &Arc<Shared>, registry: &mut ModelRegistry) {
+    loop {
+        let Some(first) = shared.queue.pop_wait(Duration::from_millis(50)) else {
+            if shared.shutdown.load(Ordering::SeqCst) && shared.queue.depth() == 0 {
+                // Close the queue atomically: a handler that read the
+                // shutdown flag as false and is pushing right now either
+                // lands before `close` (we answer its job below) or after
+                // (its push fails with `Closed`) — never stranded waiting
+                // on a batcher that is gone.
+                for job in shared.queue.close() {
+                    let _ = job.reply.send((
+                        503,
+                        "Service Unavailable",
+                        error_body("gateway is shutting down"),
+                    ));
+                }
+                return;
+            }
+            continue;
+        };
+        if !shared.cfg.linger.is_zero() {
+            std::thread::sleep(shared.cfg.linger);
+        }
+        let mut jobs = vec![first];
+        jobs.extend(shared.queue.drain(shared.cfg.max_coalesce.saturating_sub(1)));
+
+        // Group by requested key set; each group becomes one fleet pass.
+        let mut groups: BTreeMap<Vec<ModelKey>, Vec<Job>> = BTreeMap::new();
+        for job in jobs {
+            groups.entry(job.group.clone()).or_default().push(job);
+        }
+        for (keys, jobs) in groups {
+            serve_group(shared, registry, &keys, jobs);
+        }
+    }
+}
+
+/// Serves one group of jobs that requested the same model set: merges all
+/// their households into one fleet pass and routes each job its slice.
+fn serve_group(
+    shared: &Arc<Shared>,
+    registry: &mut ModelRegistry,
+    keys: &[ModelKey],
+    jobs: Vec<Job>,
+) {
+    let meta = shared.models[&keys[0]];
+    let cfg = FleetConfig {
+        step_s: meta.step_s,
+        max_ffill_s: 3 * meta.step_s,
+        batch: shared.cfg.batch_windows,
+        threads: 1,
+        apply_priors: shared.cfg.apply_priors,
+    };
+    let mut jobs = jobs;
+    let mut merged: Vec<HouseholdSeries> = Vec::new();
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
+    for job in &mut jobs {
+        // Move, don't clone: the series buffers are not needed in the job
+        // after merging, and copying them would double peak memory on the
+        // batcher hot path for long feeds.
+        let households = std::mem::take(&mut job.households);
+        ranges.push((merged.len(), households.len()));
+        merged.extend(households);
+    }
+    match serve_fleet(registry, keys, &merged, &cfg) {
+        Ok(result) => {
+            shared.metrics.batch(
+                jobs.len(),
+                result.summary.batches,
+                result.summary.feed_windows_scored,
+                result.summary.inferences,
+            );
+            for (job, (start, len)) in jobs.iter().zip(&ranges) {
+                let rows: Vec<HouseholdRow> = (*start..start + len)
+                    .map(|hi| {
+                        let hh = &result.households[hi];
+                        HouseholdRow {
+                            id: &hh.id,
+                            timelines: job
+                                .keys
+                                .iter()
+                                .map(|&k| {
+                                    result
+                                        .timeline(hi, k)
+                                        .expect("fleet pass covers every requested key")
+                                })
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                let body = localize_response(&job.keys, &rows, job.detail).to_compact();
+                let _ = job.reply.send((200, "OK", body));
+            }
+        }
+        Err(e) => {
+            let body = error_body(&format!("fleet pass failed: {e}"));
+            for job in &jobs {
+                let _ = job.reply.send((500, "Internal Server Error", body.clone()));
+            }
+        }
+    }
+}

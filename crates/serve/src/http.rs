@@ -1,0 +1,485 @@
+//! Minimal HTTP/1.1 layer on blocking `std::net` streams.
+//!
+//! Implements exactly the slice of RFC 9112 the gateway needs: request-line
+//! parsing, header parsing with hard limits, `Content-Length` bodies,
+//! keep-alive negotiation and status-line responses. Chunked
+//! transfer-encoding is **not** supported (a request declaring it gets
+//! `411 Length Required`); the gateway's clients always send sized bodies.
+//!
+//! Every malformed input maps to an error value (never a panic), and every
+//! read is bounded by the caller-supplied limits plus the socket read
+//! timeout, so a hostile peer cannot hang a handler thread forever.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard limits applied while parsing one request.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Maximum request-line length in bytes.
+    pub max_request_line: usize,
+    /// Maximum single header line length in bytes.
+    pub max_header_line: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), as received.
+    pub path: String,
+    /// True for `HTTP/1.0` requests (close-by-default framing).
+    pub http10: bool,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request.
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close` is sent;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive` is sent.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => !self.http10,
+        }
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps to the 4xx status
+/// the server should answer with before closing the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending any byte of a
+    /// new request — the normal end of a keep-alive session, not an error
+    /// to report.
+    Closed,
+    /// The connection died or timed out mid-request.
+    Io(std::io::Error),
+    /// The request line or a header is malformed → `400`.
+    Malformed(String),
+    /// The request line exceeds the limit → `414`.
+    UriTooLong,
+    /// A header line or the header count exceeds the limit → `431`.
+    HeadersTooLarge,
+    /// `Content-Length` exceeds the limit → `413`.
+    BodyTooLarge,
+    /// A `Transfer-Encoding` this server does not implement → `411`
+    /// (clients must send sized bodies).
+    LengthRequired,
+}
+
+impl HttpError {
+    /// The HTTP status code this parse error should be answered with
+    /// (`Closed`/`Io` have none: the connection is just dropped).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::UriTooLong => Some((414, "URI Too Long")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge => Some((413, "Content Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::UriTooLong => write!(f, "request line too long"),
+            HttpError::HeadersTooLarge => write!(f, "headers too large"),
+            HttpError::BodyTooLarge => write!(f, "body too large"),
+            HttpError::LengthRequired => write!(f, "missing content-length"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one CRLF- (or bare-LF-) terminated line of at most `max` bytes.
+/// Returns `Ok(None)` on clean EOF before the first byte.
+fn read_line(
+    reader: &mut BufReader<impl Read>,
+    max: usize,
+    over_limit: HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if buf.is_empty() {
+            // EOF.
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Malformed("eof inside line".into()));
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
+        if line.len() + take > max + 2 {
+            return Err(over_limit);
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if nl.is_some() {
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(
+                String::from_utf8(line)
+                    .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?,
+            ));
+        }
+    }
+}
+
+/// Reads and parses one request from the stream. `Err(HttpError::Closed)`
+/// is the clean end of a keep-alive connection.
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    limits: &HttpLimits,
+) -> Result<Request, HttpError> {
+    // Request line. Tolerate (skip) leading empty lines, as RFC 9112 allows.
+    let line = loop {
+        match read_line(reader, limits.max_request_line, HttpError::UriTooLong)? {
+            None => return Err(HttpError::Closed),
+            Some(l) if l.is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
+    let path = parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version =
+        parts.next().ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line".into()));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+    }
+    let http10 = version == "HTTP/1.0";
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(HttpError::Malformed("invalid method".into()));
+    }
+
+    // Headers.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, limits.max_header_line, HttpError::HeadersTooLarge)?
+            .ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':' ({line:?})")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("invalid header name".into()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body.
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        http10,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(HttpError::LengthRequired);
+    }
+    // RFC 9112 §6.3: duplicate Content-Length headers are a framing
+    // desync (request-smuggling vector on keep-alive connections) and
+    // must be rejected.
+    if request.headers.iter().filter(|(k, _)| k == "content-length").count() > 1 {
+        return Err(HttpError::Malformed("duplicate content-length headers".into()));
+    }
+    let content_length = match request.header("content-length") {
+        Some(v) => Some(
+            v.trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        ),
+        None => None,
+    };
+    match content_length {
+        Some(n) if n > limits.max_body => return Err(HttpError::BodyTooLarge),
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body).map_err(HttpError::Io)?;
+            request.body = body;
+        }
+        // RFC 9112: no Content-Length and no Transfer-Encoding means no
+        // body — legal even for POST (`curl -X POST` sends exactly this).
+        None => {}
+    }
+    Ok(request)
+}
+
+/// Writes one response with a sized body. `keep_alive` controls the
+/// `Connection` header; the caller decides based on the request and the
+/// server's shutdown state.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response (`application/json`).
+pub fn write_json(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_response(stream, status, reason, "application/json", body.as_bytes(), keep_alive)
+}
+
+/// One parsed HTTP response (client side, for the load generator and
+/// tests).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if it is.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Reads one response from the stream (client side). Requires a
+/// `Content-Length` header, which this server always sends.
+pub fn read_response(reader: &mut BufReader<&TcpStream>) -> Result<Response, HttpError> {
+    let limits = HttpLimits::default();
+    let line = read_line(reader, limits.max_request_line, HttpError::UriTooLong)?
+        .ok_or(HttpError::Closed)?;
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad status line {line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, limits.max_header_line, HttpError::HeadersTooLarge)?
+            .ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let n: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| HttpError::Malformed("response without content-length".into()))?;
+    let mut body = vec![0u8; n];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Response { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feeds `input` to `read_request` through a real socket pair.
+    fn parse_bytes(input: &[u8]) -> Result<Request, HttpError> {
+        parse_bytes_with(input, &HttpLimits::default())
+    }
+
+    fn parse_bytes_with(input: &[u8], limits: &HttpLimits) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let input = input.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&input).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(2))).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let out = read_request(&mut reader, limits);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let r = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/healthz"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.keep_alive());
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_sized_post_body() {
+        let r =
+            parse_bytes(b"POST /v1/localize HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let r = parse_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive_requested() {
+        let r = parse_bytes(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(r.http10);
+        assert!(!r.keep_alive(), "HTTP/1.0 framing is close-by-default");
+        let r = parse_bytes(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive(), "explicit keep-alive opts back in");
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse_bytes(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"G@T /x HTTP/1.1\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            // Duplicate Content-Length = framing desync (smuggling vector).
+            b"POST /x HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 30\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_bytes(bad), Err(HttpError::Malformed(_))),
+                "{:?} not rejected as malformed",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn post_without_length_has_empty_body_but_chunked_is_rejected() {
+        // RFC 9112: absent Content-Length/Transfer-Encoding = no body,
+        // which is exactly what `curl -X POST` sends.
+        let r = parse_bytes(b"POST /admin/shutdown HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.body.is_empty());
+        assert!(matches!(
+            parse_bytes(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn limits_map_to_the_right_errors() {
+        let limits =
+            HttpLimits { max_request_line: 32, max_header_line: 32, max_headers: 2, max_body: 8 };
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        assert!(matches!(
+            parse_bytes_with(long_path.as_bytes(), &limits),
+            Err(HttpError::UriTooLong)
+        ));
+        let long_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(100));
+        assert!(matches!(
+            parse_bytes_with(long_header.as_bytes(), &limits),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        let many_headers = b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert!(matches!(parse_bytes_with(many_headers, &limits), Err(HttpError::HeadersTooLarge)));
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert!(matches!(parse_bytes_with(big_body, &limits), Err(HttpError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error_not_a_hang() {
+        // Declares 10 bytes, sends 3, then closes: read_exact must fail.
+        let out = parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(matches!(out, Err(HttpError::Io(_))), "{out:?}");
+    }
+
+    #[test]
+    fn response_round_trips_through_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            write_json(&mut stream, 200, "OK", "{\"ok\":true}", true).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let resp = read_response(&mut reader).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body_str(), Some("{\"ok\":true}"));
+    }
+}

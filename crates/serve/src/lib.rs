@@ -1,0 +1,56 @@
+//! # nilm_serve
+//!
+//! The networked inference gateway of the CamAL reproduction: a
+//! dependency-free HTTP/1.1 service (`std::net` only) that exposes the
+//! model registry and the fleet engine over a socket, with **cross-request
+//! micro-batching** — windows from concurrently arriving requests are
+//! coalesced into shared GEMM passes, so throughput under concurrency
+//! beats issuing the same requests one at a time.
+//!
+//! ```text
+//!   TCP clients ── accept loop ── per-connection handler threads
+//!                                      │ parse HTTP + JSON, validate
+//!                                      ▼
+//!                                bounded job queue ──(full)→ 503
+//!                                      │
+//!                                batcher thread (owns the ModelRegistry)
+//!                                      │ drain queue, group by key set,
+//!                                      │ merge households, ONE fleet pass
+//!                                      ▼
+//!                         camal::fleet::serve_fleet (shared GEMM batches)
+//!                                      │ split per request
+//!                                      ▼
+//!                        per-connection response channels → HTTP responses
+//! ```
+//!
+//! Modules:
+//! - [`http`] — minimal HTTP/1.1 request/response layer: request-line and
+//!   header parsing, `Content-Length` bodies, keep-alive, hard limits that
+//!   map to 4xx statuses. Never panics on malformed input.
+//! - [`protocol`] — the `POST /v1/localize` JSON request/response schemas
+//!   over [`nilm_json`].
+//! - [`queue`] — the bounded job queue between connection handlers and the
+//!   batcher (load shedding with 503 when full).
+//! - [`metrics`] — request counters, micro-batch size histogram, queue
+//!   depth and latency percentiles, served as JSON on `GET /metrics`.
+//! - [`gateway`] — the server: accept loop, batcher thread, graceful
+//!   shutdown.
+//! - [`loadgen`] — a real-socket load generator measuring requests/s and
+//!   latency percentiles against a running gateway.
+//!
+//! Micro-batching never changes results: the fleet engine scores each
+//! window independently (eval-mode BatchNorm, row-independent GEMMs), so a
+//! response is bit-identical to a direct [`camal::stream::serve`] call on
+//! the same household — the concurrency tests pin exactly that.
+
+#![warn(missing_docs)]
+
+pub mod gateway;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+
+pub use gateway::{Gateway, GatewayConfig};
+pub use loadgen::{run_loadgen, LoadgenReport};

@@ -1,0 +1,182 @@
+//! Socket-level load generator for the gateway.
+//!
+//! Opens `connections` real TCP connections, fires `total_requests`
+//! `POST /v1/localize` requests split across them (each connection sends
+//! its next request only after reading the previous response —
+//! per-connection closed-loop, so `connections = 1` measures strictly
+//! sequential serving and `connections = N` measures the concurrency the
+//! micro-batcher can coalesce), and reports requests/s plus latency
+//! percentiles.
+//!
+//! `keep_alive = false` opens a **fresh connection per request** — the
+//! "sequential single requests" shape a naive integration (one curl per
+//! household) issues, paying TCP setup and a gateway handler-thread spawn
+//! every time. That is the baseline the demo's throughput gate compares
+//! against; `keep_alive = true` is the production client shape.
+
+use crate::http::{read_response, HttpError};
+use crate::metrics::percentile;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Result of one load generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Concurrent connections used.
+    pub connections: usize,
+    /// Requests completed with a 200 response.
+    pub ok: usize,
+    /// Requests answered with a non-200 status (e.g. shed with 503).
+    pub errors: usize,
+    /// Wall-clock seconds of the whole run.
+    pub elapsed_s: f64,
+    /// Completed requests (any status) per second.
+    pub requests_per_second: f64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_ms: f64,
+    /// Mean request latency in milliseconds.
+    pub mean_ms: f64,
+    /// Total response body bytes read.
+    pub body_bytes: usize,
+}
+
+/// Errors the load generator can hit (connection-level; HTTP error
+/// *statuses* are counted in the report instead).
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// Could not connect to the gateway.
+    Connect(std::io::Error),
+    /// A connection died mid-run.
+    Http(HttpError),
+}
+
+impl std::fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadgenError::Connect(e) => write!(f, "cannot connect: {e}"),
+            LoadgenError::Http(e) => write!(f, "connection failed mid-run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {}
+
+/// Fires `total_requests` requests with body `body` at
+/// `addr`/`/v1/localize` over `connections` connections (keep-alive when
+/// `keep_alive`, one fresh connection per request otherwise). Requests
+/// are split as evenly as possible; each worker thread runs its own
+/// closed loop and records per-request latency.
+pub fn run_loadgen(
+    addr: &str,
+    connections: usize,
+    total_requests: usize,
+    body: &str,
+    keep_alive: bool,
+) -> Result<LoadgenReport, LoadgenError> {
+    let connections = connections.max(1);
+    let request = format!(
+        "POST /v1/localize HTTP/1.1\r\nHost: gateway\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}\r\n{body}",
+        body.len(),
+        if keep_alive { "" } else { "Connection: close\r\n" },
+    );
+    let per_conn: Vec<usize> = (0..connections)
+        .map(|c| total_requests / connections + usize::from(c < total_requests % connections))
+        .collect();
+
+    let start = Instant::now();
+    let results: Vec<Result<(Vec<f64>, usize, usize, usize), LoadgenError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_conn
+                .iter()
+                .map(|&n| {
+                    let request = request.as_str();
+                    scope.spawn(move || worker(addr, n, request, keep_alive))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
+        });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(total_requests);
+    let (mut ok, mut errors, mut body_bytes) = (0usize, 0usize, 0usize);
+    for r in results {
+        let (lat, o, e, bytes) = r?;
+        latencies.extend(lat);
+        ok += o;
+        errors += e;
+        body_bytes += bytes;
+    }
+    let completed = ok + errors;
+    Ok(LoadgenReport {
+        connections,
+        ok,
+        errors,
+        elapsed_s,
+        requests_per_second: completed as f64 / elapsed_s.max(1e-9),
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        mean_ms: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        body_bytes,
+    })
+}
+
+/// One closed-loop worker: `n` request/response cycles, either over one
+/// persistent connection or over a fresh connection each cycle.
+fn worker(
+    addr: &str,
+    n: usize,
+    request: &str,
+    keep_alive: bool,
+) -> Result<(Vec<f64>, usize, usize, usize), LoadgenError> {
+    if n == 0 {
+        return Ok((Vec::new(), 0, 0, 0));
+    }
+    let connect = || -> Result<TcpStream, LoadgenError> {
+        let stream = TcpStream::connect(addr).map_err(LoadgenError::Connect)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60))).map_err(LoadgenError::Connect)?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    };
+    let mut latencies = Vec::with_capacity(n);
+    let (mut ok, mut errors, mut bytes) = (0usize, 0usize, 0usize);
+    let mut record = |start: Instant, response: &crate::http::Response| {
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        if response.status == 200 {
+            ok += 1;
+        } else {
+            errors += 1;
+        }
+        bytes += response.body.len();
+    };
+    if keep_alive {
+        let stream = connect()?;
+        let mut reader = BufReader::new(&stream);
+        for _ in 0..n {
+            let start = Instant::now();
+            (&stream)
+                .write_all(request.as_bytes())
+                .map_err(|e| LoadgenError::Http(HttpError::Io(e)))?;
+            let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
+            record(start, &response);
+        }
+    } else {
+        for _ in 0..n {
+            let start = Instant::now();
+            let stream = connect()?;
+            (&stream)
+                .write_all(request.as_bytes())
+                .map_err(|e| LoadgenError::Http(HttpError::Io(e)))?;
+            let mut reader = BufReader::new(&stream);
+            let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
+            record(start, &response);
+        }
+    }
+    Ok((latencies, ok, errors, bytes))
+}

@@ -1,0 +1,214 @@
+//! Operational metrics of the gateway, served as JSON on `GET /metrics`.
+//!
+//! Counters are grouped behind one mutex (the gateway records a handful of
+//! updates per request — contention is negligible next to inference) and
+//! snapshot into a [`JsonValue`] document on demand. Latencies keep a
+//! bounded ring of recent samples, so percentiles reflect current behavior
+//! and memory stays constant under sustained load.
+
+use nilm_json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// How many recent per-request latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct Inner {
+    requests_total: u64,
+    /// Requests by route label (`localize`, `healthz`, `metrics`, ...).
+    by_route: BTreeMap<&'static str, u64>,
+    /// Responses by status code.
+    by_status: BTreeMap<u16, u64>,
+    /// `503` responses from a full queue specifically.
+    shed_total: u64,
+    /// Requests coalesced per batcher pass → number of passes with that
+    /// many requests. THE micro-batching histogram: `{1: n}` only means no
+    /// cross-request batching ever happened.
+    batch_requests_hist: BTreeMap<usize, u64>,
+    /// GEMM batch tensors assembled across all passes (from the fleet
+    /// summary), and windows scored.
+    gemm_batches_total: u64,
+    windows_scored_total: u64,
+    inferences_total: u64,
+    /// Peak queue depth observed at enqueue time.
+    queue_peak: usize,
+    /// Recent localize latencies in milliseconds (ring buffer).
+    latencies_ms: Vec<f64>,
+    latency_next: usize,
+    latency_count: u64,
+    latency_sum_ms: f64,
+}
+
+/// Shared metrics sink. All methods take `&self`.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// A fresh, zeroed sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one request hitting `route`.
+    pub fn request(&self, route: &'static str) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.requests_total += 1;
+        *m.by_route.entry(route).or_insert(0) += 1;
+    }
+
+    /// Counts one response with `status`.
+    pub fn response(&self, status: u16) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        *m.by_status.entry(status).or_insert(0) += 1;
+    }
+
+    /// Counts one load-shedding rejection (a `503` from a full queue; the
+    /// response itself is counted by [`Metrics::response`]).
+    pub fn shed(&self) {
+        self.inner.lock().expect("metrics lock").shed_total += 1;
+    }
+
+    /// Records the queue depth observed right after an enqueue.
+    pub fn queue_depth(&self, depth: usize) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.queue_peak = m.queue_peak.max(depth);
+    }
+
+    /// Records one batcher pass: how many requests it coalesced and the
+    /// fleet-pass work counters.
+    pub fn batch(&self, requests: usize, gemm_batches: usize, windows: usize, inferences: usize) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        *m.batch_requests_hist.entry(requests).or_insert(0) += 1;
+        m.gemm_batches_total += gemm_batches as u64;
+        m.windows_scored_total += windows as u64;
+        m.inferences_total += inferences as u64;
+    }
+
+    /// Records one localize request's end-to-end latency.
+    pub fn latency_ms(&self, ms: f64) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.latency_count += 1;
+        m.latency_sum_ms += ms;
+        if m.latencies_ms.len() < LATENCY_WINDOW {
+            m.latencies_ms.push(ms);
+        } else {
+            let i = m.latency_next;
+            m.latencies_ms[i] = ms;
+        }
+        m.latency_next = (m.latency_next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Snapshot as the `GET /metrics` JSON document. `queue_depth` is the
+    /// live depth sampled by the caller.
+    pub fn to_json(&self, queue_depth: usize) -> JsonValue {
+        let m = self.inner.lock().expect("metrics lock");
+        let routes: BTreeMap<String, JsonValue> =
+            m.by_route.iter().map(|(k, v)| (k.to_string(), JsonValue::Number(*v as f64))).collect();
+        let statuses: BTreeMap<String, JsonValue> = m
+            .by_status
+            .iter()
+            .map(|(k, v)| (k.to_string(), JsonValue::Number(*v as f64)))
+            .collect();
+        let hist: BTreeMap<String, JsonValue> = m
+            .batch_requests_hist
+            .iter()
+            .map(|(k, v)| (format!("{k:04}"), JsonValue::Number(*v as f64)))
+            .collect();
+        JsonValue::object([
+            ("requests_total", JsonValue::Number(m.requests_total as f64)),
+            ("requests_by_route", JsonValue::Object(routes)),
+            ("responses_by_status", JsonValue::Object(statuses)),
+            ("shed_total", JsonValue::Number(m.shed_total as f64)),
+            ("batch_requests_histogram", JsonValue::Object(hist)),
+            ("gemm_batches_total", JsonValue::Number(m.gemm_batches_total as f64)),
+            ("windows_scored_total", JsonValue::Number(m.windows_scored_total as f64)),
+            ("inferences_total", JsonValue::Number(m.inferences_total as f64)),
+            ("queue_depth", JsonValue::Number(queue_depth as f64)),
+            ("queue_peak", JsonValue::Number(m.queue_peak as f64)),
+            (
+                "latency_ms",
+                JsonValue::object([
+                    ("count", JsonValue::Number(m.latency_count as f64)),
+                    (
+                        "mean",
+                        JsonValue::Number(if m.latency_count > 0 {
+                            m.latency_sum_ms / m.latency_count as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                    ("p50", JsonValue::Number(percentile(&m.latencies_ms, 50.0))),
+                    ("p99", JsonValue::Number(percentile(&m.latencies_ms, 99.0))),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Nearest-rank percentile of `samples` (0.0 when empty).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn snapshot_counts_and_validates() {
+        let m = Metrics::new();
+        m.request("localize");
+        m.request("healthz");
+        m.response(200);
+        m.response(503);
+        m.shed();
+        m.queue_depth(5);
+        m.batch(4, 2, 48, 96);
+        m.latency_ms(10.0);
+        m.latency_ms(30.0);
+        let doc = m.to_json(1);
+        nilm_json::validate(&doc.to_pretty()).unwrap();
+        assert_eq!(doc.get("requests_total").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(doc.get("shed_total").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(
+            doc.get("batch_requests_histogram")
+                .and_then(|h| h.get("0004"))
+                .and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(doc.get("queue_peak").and_then(JsonValue::as_f64), Some(5.0));
+        let lat = doc.get("latency_ms").unwrap();
+        assert_eq!(lat.get("count").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(lat.get("p99").and_then(JsonValue::as_f64), Some(30.0));
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.latency_ms(i as f64);
+        }
+        let inner = m.inner.lock().unwrap();
+        assert_eq!(inner.latencies_ms.len(), LATENCY_WINDOW);
+        assert_eq!(inner.latency_count as usize, LATENCY_WINDOW + 100);
+    }
+}

@@ -1,0 +1,399 @@
+//! The `POST /v1/localize` request/response JSON schemas.
+//!
+//! Request (`application/json`):
+//!
+//! ```json
+//! {
+//!   "appliances": ["refit:kettle", "refit:microwave"],
+//!   "households": [
+//!     {"id": "house-1", "step_s": 60, "values": [120.5, 2010.0, null, 130.0]}
+//!   ]
+//! }
+//! ```
+//!
+//! `appliances` are [`ModelKey::label`] strings; `values` are mains watts
+//! at `step_s` resolution with `null` marking missing samples (JSON cannot
+//! carry NaN). Response:
+//!
+//! ```json
+//! {
+//!   "schema": "camal_localize/v1",
+//!   "appliances": ["refit:kettle"],
+//!   "households": [
+//!     {"id": "house-1", "step_s": 60, "samples": 4,
+//!      "windows_total": 0, "windows_scored": 0,
+//!      "results": {"refit:kettle": {"status": [], "power_w": [], "...": "..."}}}
+//!   ]
+//! }
+//! ```
+//!
+//! Both directions go through [`nilm_json`]; response emission is
+//! deterministic (sorted object keys, shortest-roundtrip numbers), so a
+//! gateway response can be compared **byte-for-byte** against one built
+//! locally from a direct [`camal::stream::serve`] call — the concurrency
+//! tests do exactly that to pin that micro-batching never changes results.
+
+use camal::registry::ModelKey;
+use camal::stream::{HouseholdSeries, HouseholdTimeline};
+use nilm_data::series::TimeSeries;
+use nilm_json::JsonValue;
+
+/// Schema tag of the localize response document.
+pub const LOCALIZE_SCHEMA: &str = "camal_localize/v1";
+
+/// How much of each timeline the response carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Detail {
+    /// Every per-sample array (status, power, probabilities, starts) —
+    /// the default, and the form the bit-identity tests compare.
+    Full,
+    /// Only the per-appliance aggregates (windows detected, activations,
+    /// on-fraction, energy) — the cheap form for dashboards and loadgen.
+    Summary,
+}
+
+/// A parsed, validated localize request.
+#[derive(Clone, Debug)]
+pub struct LocalizeRequest {
+    /// Requested appliance models, deduplicated, in request order.
+    pub appliances: Vec<ModelKey>,
+    /// Household feeds to localize over.
+    pub households: Vec<HouseholdSeries>,
+    /// Requested response detail (`"detail": "summary"`; default full).
+    pub detail: Detail,
+}
+
+/// Parses and validates a localize request body. The error string is safe
+/// to echo back in a 400 response.
+pub fn parse_localize(body: &[u8]) -> Result<LocalizeRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = nilm_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let detail = match doc.get("detail") {
+        None => Detail::Full,
+        Some(d) => match d.as_str() {
+            Some("full") => Detail::Full,
+            Some("summary") => Detail::Summary,
+            _ => return Err("\"detail\" must be \"full\" or \"summary\"".to_string()),
+        },
+    };
+    let appliances_json = doc
+        .get("appliances")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"appliances\" array".to_string())?;
+    let mut appliances: Vec<ModelKey> = Vec::with_capacity(appliances_json.len());
+    for a in appliances_json {
+        let label = a.as_str().ok_or_else(|| "appliance entries must be strings".to_string())?;
+        let key = ModelKey::from_label(label)
+            .ok_or_else(|| format!("unknown appliance label {label:?} (want dataset:appliance)"))?;
+        if !appliances.contains(&key) {
+            appliances.push(key);
+        }
+    }
+    if appliances.is_empty() {
+        return Err("\"appliances\" must name at least one model".to_string());
+    }
+    let households_json = doc
+        .get("households")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"households\" array".to_string())?;
+    if households_json.is_empty() {
+        return Err("\"households\" must contain at least one feed".to_string());
+    }
+    let mut households = Vec::with_capacity(households_json.len());
+    for (i, h) in households_json.iter().enumerate() {
+        let id = h
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("household {i}: missing \"id\" string"))?;
+        let step_s = h
+            .get("step_s")
+            .and_then(JsonValue::as_usize)
+            .filter(|&s| s >= 1 && s <= u32::MAX as usize)
+            .ok_or_else(|| format!("household {i}: missing or invalid \"step_s\""))?;
+        let values_json = h
+            .get("values")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("household {i}: missing \"values\" array"))?;
+        if values_json.is_empty() {
+            return Err(format!("household {i}: \"values\" is empty"));
+        }
+        let mut values = Vec::with_capacity(values_json.len());
+        for v in values_json {
+            if v.is_null() {
+                values.push(f32::NAN);
+            } else {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("household {i}: values must be numbers or null"))?;
+                values.push(n as f32);
+            }
+        }
+        households.push(HouseholdSeries {
+            id: id.to_string(),
+            series: TimeSeries::new(values, step_s as u32),
+        });
+    }
+    Ok(LocalizeRequest { appliances, households, detail })
+}
+
+/// Builds a localize request document (the loadgen / client side).
+pub fn localize_request(
+    appliances: &[ModelKey],
+    households: &[HouseholdSeries],
+    detail: Detail,
+) -> JsonValue {
+    let hh: Vec<JsonValue> = households
+        .iter()
+        .map(|h| {
+            JsonValue::object([
+                ("id", JsonValue::String(h.id.clone())),
+                ("step_s", JsonValue::Number(h.series.step_s as f64)),
+                (
+                    "values",
+                    JsonValue::Array(
+                        // Non-finite samples emit as null, the wire form of
+                        // a missing reading.
+                        h.series.values.iter().map(|&v| JsonValue::Number(v as f64)).collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        (
+            "appliances",
+            JsonValue::Array(appliances.iter().map(|k| JsonValue::String(k.label())).collect()),
+        ),
+        (
+            "detail",
+            JsonValue::String(match detail {
+                Detail::Full => "full".into(),
+                Detail::Summary => "summary".into(),
+            }),
+        ),
+        ("households", JsonValue::Array(hh)),
+    ])
+}
+
+/// One household row of a response: its id plus one timeline per requested
+/// appliance (parallel to the `appliances` slice handed to
+/// [`localize_response`]).
+#[derive(Clone, Debug)]
+pub struct HouseholdRow<'a> {
+    /// Echo of the request household id.
+    pub id: &'a str,
+    /// One timeline per appliance, in response-appliance order.
+    pub timelines: Vec<&'a HouseholdTimeline>,
+}
+
+fn u8s(v: &[u8]) -> JsonValue {
+    JsonValue::Array(v.iter().map(|&s| JsonValue::Number(s as f64)).collect())
+}
+
+fn f32s(v: &[f32]) -> JsonValue {
+    JsonValue::Array(v.iter().map(|&x| JsonValue::Number(x as f64)).collect())
+}
+
+fn usizes(v: &[usize]) -> JsonValue {
+    JsonValue::Array(v.iter().map(|&x| JsonValue::Number(x as f64)).collect())
+}
+
+/// Builds the deterministic localize response document. `detail` selects
+/// between the full per-sample payload and the cheap summary form.
+pub fn localize_response(
+    appliances: &[ModelKey],
+    rows: &[HouseholdRow],
+    detail: Detail,
+) -> JsonValue {
+    let hh: Vec<JsonValue> = rows
+        .iter()
+        .map(|row| {
+            let results: std::collections::BTreeMap<String, JsonValue> = appliances
+                .iter()
+                .zip(&row.timelines)
+                .map(|(key, tl)| {
+                    let aggregates = [
+                        ("windows_detected", JsonValue::Number(tl.windows_detected as f64)),
+                        ("activations", JsonValue::Number(tl.activations() as f64)),
+                        ("on_fraction", JsonValue::Number(tl.on_fraction())),
+                        ("energy_wh", JsonValue::Number(tl.energy_wh())),
+                    ];
+                    let body = match detail {
+                        Detail::Summary => JsonValue::object(aggregates),
+                        Detail::Full => JsonValue::object(
+                            [
+                                ("raw_status", u8s(&tl.raw_status)),
+                                ("status", u8s(&tl.status)),
+                                ("power_w", f32s(&tl.power_w)),
+                                ("detection_proba", f32s(&tl.detection_proba)),
+                                ("scored_starts", usizes(&tl.scored_starts)),
+                            ]
+                            .into_iter()
+                            .chain(aggregates),
+                        ),
+                    };
+                    (key.label(), body)
+                })
+                .collect();
+            let first = row.timelines.first().expect("at least one appliance per row");
+            JsonValue::object([
+                ("id", JsonValue::String(row.id.to_string())),
+                ("step_s", JsonValue::Number(first.step_s as f64)),
+                ("samples", JsonValue::Number(first.status.len() as f64)),
+                ("windows_total", JsonValue::Number(first.windows_total as f64)),
+                ("windows_scored", JsonValue::Number(first.windows_scored as f64)),
+                ("results", JsonValue::Object(results)),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("schema", JsonValue::String(LOCALIZE_SCHEMA.into())),
+        (
+            "appliances",
+            JsonValue::Array(appliances.iter().map(|k| JsonValue::String(k.label())).collect()),
+        ),
+        ("households", JsonValue::Array(hh)),
+    ])
+}
+
+/// Builds the standard error body `{"error": msg}`.
+pub fn error_body(msg: &str) -> String {
+    JsonValue::object([("error", JsonValue::String(msg.to_string()))]).to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilm_data::appliance::ApplianceKind;
+    use nilm_data::templates::DatasetId;
+
+    fn kettle() -> ModelKey {
+        ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle)
+    }
+
+    #[test]
+    fn request_round_trips_including_nan() {
+        let households = vec![HouseholdSeries {
+            id: "h1".into(),
+            series: TimeSeries::new(vec![1.0, f32::NAN, 3.5], 60),
+        }];
+        let body = localize_request(&[kettle()], &households, Detail::Full).to_compact();
+        let req = parse_localize(body.as_bytes()).unwrap();
+        assert_eq!(req.appliances, vec![kettle()]);
+        assert_eq!(req.detail, Detail::Full);
+        assert_eq!(req.households.len(), 1);
+        assert_eq!(req.households[0].series.step_s, 60);
+        let vals = &req.households[0].series.values;
+        assert_eq!((vals[0], vals[2]), (1.0, 3.5));
+        assert!(vals[1].is_nan(), "null must parse back to NaN");
+    }
+
+    #[test]
+    fn duplicate_appliances_are_deduplicated_in_order() {
+        let body = r#"{"appliances": ["refit:kettle", "refit:microwave", "refit:kettle"],
+                       "households": [{"id": "h", "step_s": 60, "values": [1]}]}"#;
+        let req = parse_localize(body.as_bytes()).unwrap();
+        assert_eq!(
+            req.appliances,
+            vec![kettle(), ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave)]
+        );
+    }
+
+    #[test]
+    fn detail_flag_parses_and_defaults_to_full() {
+        let base = r#"{"appliances": ["refit:kettle"],
+                       "households": [{"id": "h", "step_s": 60, "values": [1]}]"#;
+        let req = parse_localize(format!("{base}}}").as_bytes()).unwrap();
+        assert_eq!(req.detail, Detail::Full);
+        let req = parse_localize(format!("{base}, \"detail\": \"summary\"}}").as_bytes()).unwrap();
+        assert_eq!(req.detail, Detail::Summary);
+        let err = parse_localize(format!("{base}, \"detail\": \"tiny\"}}").as_bytes())
+            .expect_err("bad detail");
+        assert!(err.contains("detail"));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for (body, needle) in [
+            (&b"\xff\xfe"[..], "UTF-8"),
+            (b"{", "invalid JSON"),
+            (b"{}", "appliances"),
+            (br#"{"appliances": [], "households": []}"#, "at least one model"),
+            (br#"{"appliances": ["bad-label"], "households": []}"#, "unknown appliance"),
+            (br#"{"appliances": ["mars:kettle"], "households": []}"#, "unknown appliance"),
+            (br#"{"appliances": ["refit:kettle"]}"#, "households"),
+            (br#"{"appliances": ["refit:kettle"], "households": []}"#, "at least one feed"),
+            (
+                br#"{"appliances": ["refit:kettle"], "households": [{"id": "h"}]}"#,
+                "step_s",
+            ),
+            (
+                br#"{"appliances": ["refit:kettle"], "households": [{"id": "h", "step_s": 0, "values": [1]}]}"#,
+                "step_s",
+            ),
+            (
+                br#"{"appliances": ["refit:kettle"], "households": [{"id": "h", "step_s": 60, "values": []}]}"#,
+                "empty",
+            ),
+            (
+                br#"{"appliances": ["refit:kettle"], "households": [{"id": "h", "step_s": 60, "values": ["x"]}]}"#,
+                "numbers or null",
+            ),
+        ] {
+            let err = parse_localize(body).expect_err("must reject");
+            assert!(
+                err.contains(needle),
+                "error {err:?} does not mention {needle:?} for {:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn response_document_is_valid_and_deterministic() {
+        let status: Vec<u8> = [0u8, 1, 1, 0].repeat(16);
+        let power: Vec<f32> = status.iter().map(|&s| if s == 1 { 1500.0 } else { 0.0 }).collect();
+        let tl = HouseholdTimeline {
+            id: "h".into(),
+            step_s: 60,
+            raw_status: status.clone(),
+            status,
+            power_w: power,
+            detection_proba: vec![0.75, 0.5],
+            scored_starts: vec![0, 32],
+            windows_total: 2,
+            windows_scored: 2,
+            windows_detected: 1,
+        };
+        let rows = vec![HouseholdRow { id: "h", timelines: vec![&tl] }];
+        let doc = localize_response(&[kettle()], &rows, Detail::Full);
+        let text = doc.to_compact();
+        nilm_json::validate(&text).unwrap();
+        assert_eq!(text, localize_response(&[kettle()], &rows, Detail::Full).to_compact());
+        let parsed = nilm_json::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema").and_then(JsonValue::as_str), Some(LOCALIZE_SCHEMA));
+        let result = |doc: &JsonValue| -> JsonValue {
+            doc.get("households").and_then(JsonValue::as_array).unwrap()[0]
+                .get("results")
+                .and_then(|r| r.get("refit:kettle"))
+                .cloned()
+                .unwrap()
+        };
+        let full = result(&parsed);
+        assert_eq!(full.get("status").and_then(JsonValue::as_array).map(<[_]>::len), Some(64));
+        assert_eq!(full.get("activations").and_then(JsonValue::as_usize), Some(16));
+
+        // Summary detail drops the per-sample arrays but keeps aggregates.
+        let summary_doc = localize_response(&[kettle()], &rows, Detail::Summary);
+        nilm_json::validate(&summary_doc.to_compact()).unwrap();
+        let summary = result(&summary_doc);
+        assert!(summary.get("status").is_none());
+        assert!(summary.get("power_w").is_none());
+        assert_eq!(summary.get("activations").and_then(JsonValue::as_usize), Some(16));
+        assert_eq!(summary.get("windows_detected").and_then(JsonValue::as_usize), Some(1));
+        assert!(
+            summary_doc.to_compact().len() < text.len() / 2,
+            "summary responses must be much smaller"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The bounded job queue between connection handlers and the batcher.
+//!
+//! Handlers [`push`](JobQueue::push) accepted localize jobs; the batcher
+//! [`pop_wait`](JobQueue::pop_wait)s for the first job of a pass and then
+//! [`drain`](JobQueue::drain)s whatever else queued up meanwhile — that
+//! backlog is exactly what gets coalesced into one shared fleet pass. A
+//! full queue rejects the push (the handler answers `503`), which bounds
+//! both memory and tail latency under overload.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    /// Set by [`JobQueue::close`]; pushes are rejected afterwards.
+    closed: bool,
+}
+
+/// A bounded MPSC queue with blocking pop. `T` is the job type; the
+/// gateway instantiates it with its internal job struct.
+pub struct JobQueue<T> {
+    inner: Mutex<State<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+/// Why a [`JobQueue::push`] was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (load shed).
+    Full,
+    /// The consumer has shut down; no job pushed now would ever be served.
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(State {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, or rejects it when the queue is full (load shed) or
+    /// closed (the consumer is gone).
+    pub fn push(&self, job: T) -> Result<(), PushError> {
+        let mut q = self.inner.lock().expect("queue lock");
+        if q.closed {
+            return Err(PushError::Closed);
+        }
+        if q.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for a job. `None` on timeout — the batcher
+    /// uses that to re-check the shutdown flag.
+    pub fn pop_wait(&self, timeout: Duration) -> Option<T> {
+        let mut q = self.inner.lock().expect("queue lock");
+        if q.jobs.is_empty() {
+            let (guard, _) = self
+                .nonempty
+                .wait_timeout_while(q, timeout, |q| q.jobs.is_empty())
+                .expect("queue lock");
+            q = guard;
+        }
+        q.jobs.pop_front()
+    }
+
+    /// Takes up to `max` more jobs without blocking — the micro-batch
+    /// backlog that coalesces with the job already popped.
+    pub fn drain(&self, max: usize) -> Vec<T> {
+        let mut q = self.inner.lock().expect("queue lock");
+        let n = q.jobs.len().min(max);
+        q.jobs.drain(..n).collect()
+    }
+
+    /// Marks the queue closed and returns every job still enqueued, in one
+    /// atomic step. The consumer calls this when it exits so (a) any job
+    /// that raced in just before closing is handed back for a reply rather
+    /// than stranded, and (b) later pushes fail with [`PushError::Closed`]
+    /// instead of waiting forever on a consumer that is gone.
+    pub fn close(&self) -> Vec<T> {
+        let mut q = self.inner.lock().expect("queue lock");
+        q.closed = true;
+        q.jobs.drain(..).collect()
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_drain_and_shed() {
+        let q: JobQueue<u32> = JobQueue::new(3);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Ok(()));
+        assert_eq!(q.push(4), Err(PushError::Full), "capacity 3 must shed the 4th");
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop_wait(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.drain(10), vec![2, 3]);
+        assert_eq!(q.pop_wait(Duration::from_millis(1)), None, "empty queue times out");
+    }
+
+    #[test]
+    fn close_hands_back_stragglers_and_rejects_later_pushes() {
+        let q: JobQueue<u32> = JobQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.close(), vec![1, 2], "closing drains racing jobs atomically");
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_wait_wakes_on_cross_thread_push() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(8));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_wait(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

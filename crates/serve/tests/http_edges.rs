@@ -1,0 +1,249 @@
+//! Fuzz-ish HTTP edge cases over real sockets: the gateway must answer
+//! malformed, truncated, oversized and abusive inputs with clean 4xx/5xx
+//! responses (or a clean close) — and must never panic or hang.
+
+use camal::config::CamalConfig;
+use camal::ensemble::EnsembleMember;
+use camal::registry::{ModelKey, ModelRegistry};
+use camal::CamalModel;
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::templates::DatasetId;
+use nilm_models::detector::build_detector;
+use nilm_models::Backbone;
+use nilm_serve::gateway::{Gateway, GatewayConfig};
+use nilm_serve::http::{read_response, HttpLimits};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+fn tiny_model(seed: u64) -> CamalModel {
+    let cfg = CamalConfig {
+        n_ensemble: 1,
+        kernels: vec![5],
+        trials: 1,
+        width_div: 16,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let member = EnsembleMember {
+        net: build_detector(&mut rng, Backbone::ResNet, 5, cfg.width_div),
+        kernel: 5,
+        val_loss: 0.1,
+    };
+    let mut model = CamalModel::from_members(cfg, vec![member]);
+    model.set_window(32);
+    model
+}
+
+fn start_gateway() -> Gateway {
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle), tiny_model(5));
+    let cfg = GatewayConfig {
+        read_timeout: Duration::from_millis(500),
+        limits: HttpLimits {
+            max_request_line: 1024,
+            max_header_line: 1024,
+            max_headers: 16,
+            max_body: 64 * 1024,
+        },
+        ..GatewayConfig::default()
+    };
+    Gateway::start(registry, cfg).expect("gateway starts")
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+}
+
+/// Sends raw bytes on a fresh connection; returns the status of the first
+/// response, or `None` if the server just closed the connection.
+fn send_raw(addr: &str, bytes: &[u8]) -> Option<u16> {
+    let stream = connect(addr);
+    (&stream).write_all(bytes).ok()?;
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader).ok().map(|r| r.status)
+}
+
+/// The server is alive iff /healthz answers 200.
+fn assert_alive(addr: &str) {
+    let stream = connect(addr);
+    (&stream).write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(&stream);
+    let r = read_response(&mut reader).expect("healthz after abuse");
+    assert_eq!(r.status, 200);
+}
+
+#[test]
+fn malformed_and_truncated_inputs_get_4xx_and_never_kill_the_server() {
+    let gateway = start_gateway();
+    let addr = gateway.addr().to_string();
+
+    // (input, expected status) — None means "clean close is acceptable".
+    let cases: Vec<(&[u8], Option<u16>)> = vec![
+        (b"GARBAGE\r\n\r\n", Some(400)),
+        (b"GET /x\r\n\r\n", Some(400)),
+        (b"GET /x HTTP/9.9\r\n\r\n", Some(400)),
+        (b"POST /v1/localize HTTP/1.1\r\nContent-Length: oops\r\n\r\n", Some(400)),
+        // No Content-Length = empty body (curl -X POST); invalid JSON -> 400.
+        (b"POST /v1/localize HTTP/1.1\r\n\r\n", Some(400)),
+        (b"POST /v1/localize HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n", Some(411)),
+        (b"GET /nope HTTP/1.1\r\n\r\n", Some(404)),
+        (b"PUT /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n", Some(405)),
+        (b"POST /v1/localize HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson", Some(400)),
+        // Content-Length over the configured 64 KiB cap.
+        (b"POST /v1/localize HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n", Some(413)),
+    ];
+    for (input, want) in cases {
+        let got = send_raw(&addr, input);
+        match want {
+            Some(status) => {
+                assert_eq!(got, Some(status), "input {:?}", String::from_utf8_lossy(input))
+            }
+            None => {}
+        }
+        assert_alive(&addr);
+    }
+
+    // A JSON nesting bomb in the body must be a 400, not a stack-overflow
+    // abort of the whole server process.
+    let bomb =
+        format!("POST /v1/localize HTTP/1.1\r\nContent-Length: 20000\r\n\r\n{}", "[".repeat(20000));
+    assert_eq!(send_raw(&addr, bomb.as_bytes()), Some(400));
+    assert_alive(&addr);
+
+    // Oversized request line -> 414; oversized header line / count -> 431.
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4000));
+    assert_eq!(send_raw(&addr, long_line.as_bytes()), Some(414));
+    let long_header = format!("GET /healthz HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(4000));
+    assert_eq!(send_raw(&addr, long_header.as_bytes()), Some(431));
+    let many_headers = format!("GET /healthz HTTP/1.1\r\n{}\r\n", "a: 1\r\n".repeat(32));
+    assert_eq!(send_raw(&addr, many_headers.as_bytes()), Some(431));
+    assert_alive(&addr);
+
+    gateway.shutdown();
+}
+
+#[test]
+fn truncated_request_line_and_mid_body_disconnects_do_not_hang() {
+    let gateway = start_gateway();
+    let addr = gateway.addr().to_string();
+
+    // Truncated request line, then abrupt close.
+    {
+        let stream = connect(&addr);
+        (&stream).write_all(b"GET /hea").unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Server should close without a response (incomplete line).
+        let mut reader = BufReader::new(&stream);
+        let _ = read_response(&mut reader); // whatever it is, it must return
+    }
+    assert_alive(&addr);
+
+    // Declared body of 100 bytes, 10 sent, then abrupt close.
+    {
+        let stream = connect(&addr);
+        (&stream)
+            .write_all(b"POST /v1/localize HTTP/1.1\r\nContent-Length: 100\r\n\r\n0123456789")
+            .unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut buf = Vec::new();
+        // The server drops the connection (no valid framing possible).
+        let _ = (&stream).read_to_end(&mut buf);
+    }
+    assert_alive(&addr);
+
+    // Client that sends nothing at all: the read timeout reaps it.
+    {
+        let stream = connect(&addr);
+        std::thread::sleep(Duration::from_millis(700));
+        let mut buf = [0u8; 16];
+        let n = (&stream).read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "idle connection must be closed by the server");
+    }
+    assert_alive(&addr);
+
+    gateway.shutdown();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_all_get_answers_in_order() {
+    let gateway = start_gateway();
+    let addr = gateway.addr().to_string();
+
+    let stream = connect(&addr);
+    // Three pipelined requests in one write: two healthz, one models.
+    (&stream)
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /v1/models HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let r1 = read_response(&mut reader).expect("first pipelined response");
+    let r2 = read_response(&mut reader).expect("second pipelined response");
+    let r3 = read_response(&mut reader).expect("third pipelined response");
+    assert_eq!((r1.status, r2.status, r3.status), (200, 200, 200));
+    assert!(r2.body_str().unwrap().contains("refit:kettle"));
+    assert_eq!(r1.header("connection"), Some("keep-alive"));
+    assert_eq!(r3.header("connection"), Some("close"), "Connection: close must be honored");
+
+    gateway.shutdown();
+}
+
+#[test]
+fn connection_flood_is_shed_with_503_not_unbounded_threads() {
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle), tiny_model(6));
+    let cfg = GatewayConfig {
+        max_connections: 2,
+        read_timeout: Duration::from_millis(500),
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    // Two idle connections occupy both handler slots...
+    let _held_a = connect(&addr);
+    let _held_b = connect(&addr);
+    std::thread::sleep(Duration::from_millis(50));
+    // ...so the third is answered 503 and closed instead of spawning a
+    // third handler thread.
+    let shed = connect(&addr);
+    let mut reader = BufReader::new(&shed);
+    let r = read_response(&mut reader).expect("shed connection still gets a response");
+    assert_eq!(r.status, 503);
+    assert_eq!(r.header("connection"), Some("close"));
+
+    // Once the idle connections are reaped by the read timeout, new
+    // clients are served again.
+    std::thread::sleep(Duration::from_millis(700));
+    assert_alive(&addr);
+
+    gateway.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_over_http_stops_the_server() {
+    let gateway = start_gateway();
+    let addr = gateway.addr().to_string();
+
+    let stream = connect(&addr);
+    (&stream)
+        .write_all(b"POST /admin/shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let r = read_response(&mut reader).expect("shutdown response");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("connection"), Some("close"));
+
+    // wait() must return promptly now that shutdown was requested.
+    gateway.wait();
+    // And the port must stop accepting.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(TcpStream::connect(&addr).is_err(), "listener must be closed after graceful shutdown");
+}
