@@ -38,6 +38,19 @@ if [ "$MODE" != "quick" ]; then
     step "cargo test -p nilm_tensor --release (RAYON_NUM_THREADS=4)"
     RAYON_NUM_THREADS=4 cargo test -q -p nilm_tensor --release
 
+    # Kernel-oracle sweep: the dispatch-layer property suite once per forced
+    # backend, plus once with SIMD disabled to pin the portable-scalar
+    # fallback. Together with the unforced run above this oracle-checks every
+    # path a `NILM_BACKEND` override can select in production.
+    for BK in naive gemm simd; do
+        step "kernel oracle sweep: NILM_BACKEND=$BK"
+        NILM_BACKEND=$BK cargo test -q -p nilm_tensor --release \
+            --test kernel_oracle --test conv_gemm_equivalence
+    done
+    step "kernel oracle sweep: NILM_BACKEND=simd NILM_SIMD=off (scalar fallback)"
+    NILM_BACKEND=simd NILM_SIMD=off cargo test -q -p nilm_tensor --release \
+        --test kernel_oracle --test conv_gemm_equivalence
+
     step "perf harness smoke run (validates BENCH_conv_gemm.json)"
     cargo run --release -p nilm_eval --bin bench_conv_gemm -- --smoke --out target/ci-bench
 

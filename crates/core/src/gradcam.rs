@@ -25,7 +25,9 @@ use nilm_tensor::tensor::Tensor;
 /// full backward pass would also update parameter gradients, which an
 /// explainer must not do.)
 pub fn grad_cam(net: &mut dyn Detector, x: &Tensor, class: usize) -> Tensor {
-    let (features, _logits) = net.forward_features(x, Mode::Eval);
+    // `Infer`: eval numerics without backward bookkeeping — an explainer
+    // must not leave gradient state behind anyway.
+    let (features, _logits) = net.forward_features(x, Mode::Infer);
     let (b, c, t) = features.dims3();
     let w = net.head_weights();
     assert!(class < w.dims2().0, "class {class} out of range");

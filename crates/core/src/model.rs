@@ -164,10 +164,12 @@ impl CamalModel {
         let (b, _, t) = x.dims3();
         // Step 1–2: ensemble probability and detection gate. The member
         // forward passes also cache the feature maps for CAM extraction.
+        // `Mode::Infer` is bit-identical to eval but skips every
+        // backward-only cache — the serving path never differentiates.
         let mut probs = vec![0.0f32; b];
         let mut member_cams: Vec<Tensor> = Vec::with_capacity(self.members.len());
         for member in &mut self.members {
-            let (_, logits) = member.net.forward_features(x, Mode::Eval);
+            let (_, logits) = member.net.forward_features(x, Mode::Infer);
             let p = nilm_tensor::activation::softmax_rows(&logits);
             for (bi, pr) in probs.iter_mut().enumerate() {
                 *pr += p.at2(bi, 1);

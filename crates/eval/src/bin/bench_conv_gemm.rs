@@ -1,17 +1,23 @@
-//! Perf harness for the im2col + GEMM compute backend.
+//! Perf harness for the convolution compute backends.
 //!
 //! Times the hot path of the reproduction — detector forward/backward, full
 //! CamAL inference, and one ensemble-training epoch — under the naive
-//! (shifted-axpy) and GEMM convolution backends at [`Scale::bench`]
-//! geometry (batch 16, window 128), and writes the results to
-//! `BENCH_conv_gemm.json` so later PRs have a trajectory to regress
-//! against.
+//! (shifted-axpy), GEMM (portable microkernel), SIMD (explicit AVX2/NEON
+//! microkernels + skinny fast path) and Auto (shape-keyed autotuner)
+//! backends at [`Scale::bench`] geometry (batch 16, window 128), and writes
+//! the results to `BENCH_conv_gemm.json` so later PRs have a trajectory to
+//! regress against.
 //!
 //! ```text
 //! cargo run --release -p nilm_eval --bin bench_conv_gemm            # paper-width ResNet
 //! cargo run --release -p nilm_eval --bin bench_conv_gemm -- --smoke # CI-sized, seconds
 //! cargo run --release -p nilm_eval --bin bench_conv_gemm -- --out results
 //! ```
+//!
+//! Besides aggregate speedups, the artifact carries the autotuner's
+//! **per-shape winner table** (which backend won each lowered-GEMM shape at
+//! the measured thread count), so a future regression is attributable to a
+//! specific layer shape rather than a mystery aggregate.
 //!
 //! The emitted file is re-read and checked with [`nilm_eval::json`] before
 //! the process exits, so a malformed artifact fails loudly (CI runs the
@@ -22,6 +28,7 @@ use nilm_eval::json::{validate, JsonValue};
 use nilm_eval::runner::Scale;
 use nilm_models::resnet::{ResNet, ResNetConfig};
 use nilm_tensor::conv::{set_conv_backend, ConvBackend};
+use nilm_tensor::dispatch;
 use nilm_tensor::init::{randn_tensor, rng};
 use nilm_tensor::layer::{Layer, Mode};
 use nilm_tensor::loss::cross_entropy;
@@ -34,21 +41,34 @@ const BATCH: usize = 16;
 struct Timings {
     naive_ms: f64,
     gemm_ms: f64,
+    simd_ms: f64,
+    auto_ms: f64,
 }
 
 impl Timings {
-    fn speedup(&self) -> f64 {
-        if self.gemm_ms > 0.0 {
-            self.naive_ms / self.gemm_ms
+    fn speedup_over_naive(&self, ms: f64) -> f64 {
+        if ms > 0.0 {
+            self.naive_ms / ms
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Naive over the best dispatched backend — the number a serving stack
+    /// actually gets, since Auto races all bit-identical candidates.
+    fn speedup(&self) -> f64 {
+        self.speedup_over_naive(self.gemm_ms.min(self.simd_ms).min(self.auto_ms))
     }
 
     fn to_json(&self) -> JsonValue {
         JsonValue::object([
             ("naive_ms", JsonValue::Number(self.naive_ms)),
             ("gemm_ms", JsonValue::Number(self.gemm_ms)),
+            ("simd_ms", JsonValue::Number(self.simd_ms)),
+            ("auto_ms", JsonValue::Number(self.auto_ms)),
+            ("speedup_gemm", JsonValue::Number(self.speedup_over_naive(self.gemm_ms))),
+            ("speedup_simd", JsonValue::Number(self.speedup_over_naive(self.simd_ms))),
+            ("speedup_auto", JsonValue::Number(self.speedup_over_naive(self.auto_ms))),
             ("speedup", JsonValue::Number(self.speedup())),
         ])
     }
@@ -57,7 +77,7 @@ impl Timings {
 /// Median wall-clock milliseconds of `reps` runs of `f` under `backend`.
 fn time_backend(backend: ConvBackend, reps: usize, mut f: impl FnMut()) -> f64 {
     set_conv_backend(backend);
-    f(); // warm-up: page in buffers, settle the branch predictors
+    f(); // warm-up: page in buffers, settle caches (and, for Auto, tune)
     let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| {
             let start = Instant::now();
@@ -72,8 +92,43 @@ fn time_backend(backend: ConvBackend, reps: usize, mut f: impl FnMut()) -> f64 {
 fn measure(reps: usize, mut f: impl FnMut()) -> Timings {
     let naive_ms = time_backend(ConvBackend::Naive, reps, &mut f);
     let gemm_ms = time_backend(ConvBackend::Gemm, reps, &mut f);
+    let simd_ms = time_backend(ConvBackend::Simd, reps, &mut f);
+    let auto_ms = time_backend(ConvBackend::Auto, reps, &mut f);
     set_conv_backend(ConvBackend::Auto);
-    Timings { naive_ms, gemm_ms }
+    Timings { naive_ms, gemm_ms, simd_ms, auto_ms }
+}
+
+fn print_timings(label: &str, t: &Timings, suffix: &str) {
+    println!(
+        "{label:<20} naive {:8.2} ms | gemm {:8.2} ms ({:4.2}x) | simd {:8.2} ms ({:4.2}x) | \
+         auto {:8.2} ms ({:4.2}x){suffix}",
+        t.naive_ms,
+        t.gemm_ms,
+        t.speedup_over_naive(t.gemm_ms),
+        t.simd_ms,
+        t.speedup_over_naive(t.simd_ms),
+        t.auto_ms,
+        t.speedup_over_naive(t.auto_ms),
+    );
+}
+
+/// The autotuner's tuned decisions as a JSON array (one row per shape key).
+fn winner_table() -> JsonValue {
+    JsonValue::Array(
+        dispatch::tuned_entries()
+            .into_iter()
+            .map(|(key, winner)| {
+                JsonValue::object([
+                    ("op", JsonValue::String(key.op.into())),
+                    ("m", JsonValue::Number(key.m as f64)),
+                    ("n", JsonValue::Number(key.n as f64)),
+                    ("k", JsonValue::Number(key.k as f64)),
+                    ("threads", JsonValue::Number(key.threads as f64)),
+                    ("winner", JsonValue::String(winner.as_str().into())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn main() {
@@ -93,9 +148,12 @@ fn main() {
         if smoke { (ResNetConfig::scaled(5, 8), 3) } else { (ResNetConfig::paper(5), 9) };
 
     println!(
-        "bench_conv_gemm: mode={} window={window} batch={BATCH} resnet_channels={:?}",
+        "bench_conv_gemm: mode={} window={window} batch={BATCH} resnet_channels={:?} \
+         simd_available={} simd_exact={}",
         if smoke { "smoke" } else { "full" },
-        resnet_cfg.channels
+        resnet_cfg.channels,
+        nilm_tensor::simd::simd_available(),
+        nilm_tensor::simd::simd_exact(),
     );
 
     // --- detector forward / backward ------------------------------------
@@ -107,68 +165,52 @@ fn main() {
     let forward = measure(reps, || {
         let _ = net.forward(&x, Mode::Train);
     });
-    println!(
-        "resnet_forward      naive {:8.2} ms | gemm {:8.2} ms | speedup {:4.2}x",
-        forward.naive_ms,
-        forward.gemm_ms,
-        forward.speedup()
-    );
+    print_timings("resnet_forward", &forward, "");
 
     let (_, grad) = cross_entropy(&net.forward(&x, Mode::Train), &labels);
     let backward = measure(reps, || {
         net.zero_grad();
         let _ = net.backward(&grad);
     });
-    println!(
-        "resnet_backward     naive {:8.2} ms | gemm {:8.2} ms | speedup {:4.2}x",
-        backward.naive_ms,
-        backward.gemm_ms,
-        backward.speedup()
-    );
+    print_timings("resnet_backward", &backward, "");
 
     // --- full CamAL inference and one ensemble-training epoch -----------
     let cfg = scale.camal_config();
     let case = nilm_eval::runner::build_case_data(&nilm_eval::runner::smoke_cases()[0], &scale).1;
     set_conv_backend(ConvBackend::Gemm);
     let mut model = CamalModel::train(&cfg, &case.train, &case.val, scale.threads);
-    let inference = measure(reps, || {
+    let inference = measure(reps.max(5), || {
         let _ = model.localize_set(&case.test, BATCH);
     });
-    println!(
-        "camal_inference     naive {:8.2} ms | gemm {:8.2} ms | speedup {:4.2}x ({} windows)",
-        inference.naive_ms,
-        inference.gemm_ms,
-        inference.speedup(),
-        case.test.len()
-    );
+    print_timings("camal_inference", &inference, &format!(" ({} windows)", case.test.len()));
 
     let train_reps = if smoke { 1 } else { 2 };
     let train_epoch = measure(train_reps, || {
         let _ = CamalModel::train(&cfg, &case.train, &case.val, scale.threads);
     });
-    println!(
-        "ensemble_train_epoch naive {:7.2} ms | gemm {:8.2} ms | speedup {:4.2}x ({} windows)",
-        train_epoch.naive_ms,
-        train_epoch.gemm_ms,
-        train_epoch.speedup(),
-        case.train.len()
+    print_timings(
+        "ensemble_train_epoch",
+        &train_epoch,
+        &format!(" ({} windows)", case.train.len()),
     );
 
     // --- artifact --------------------------------------------------------
     let doc = JsonValue::object([
-        ("schema", JsonValue::String("bench_conv_gemm/v1".into())),
+        ("schema", JsonValue::String("bench_conv_gemm/v2".into())),
         (
             "baseline_note",
             JsonValue::String(
-                "naive_ms runs the shifted-axpy reference backend inside the post-PR \
-                 build, so it already benefits from this PR's shared layer work \
-                 (FMA accumulation, vectorized BatchNorm reductions, allocation \
-                 trims, target-cpu codegen); the untouched pre-PR tree measures \
-                 ~1.2-1.3x slower than naive_ms on the same machine (reproduce: \
-                 git worktree add /tmp/prepr <seed>; time ResNet::paper(5) forward \
-                 on [16,1,128]). The recorded `threads` field shows how many \
-                 workers the parallel fan-outs had; on a single-core machine \
-                 the GEMM numbers are sequential-path only."
+                "naive_ms runs the shifted-axpy reference backend inside the current \
+                 build, so it already benefits from shared layer work (FMA \
+                 accumulation, vectorized BatchNorm reductions, allocation trims, \
+                 target-cpu codegen). gemm_ms is im2col + the portable packed \
+                 microkernel; simd_ms is the same lowering through the explicit \
+                 AVX2/NEON microkernels and the skinny-GEMM fast path; auto_ms is \
+                 the shape-keyed autotuner picking per layer shape (tuning happens \
+                 in the warm-up run and is cached). Each section's `speedup` is \
+                 naive over the best dispatched backend. `winner_table` records \
+                 the autotuner's per-shape decisions at the recorded `threads` \
+                 count; re-record after kernel changes (see REPRODUCING.md)."
                     .into(),
             ),
         ),
@@ -176,6 +218,8 @@ fn main() {
         ("window", JsonValue::Number(window as f64)),
         ("batch", JsonValue::Number(BATCH as f64)),
         ("threads", JsonValue::Number(rayon::current_num_threads() as f64)),
+        ("simd_available", JsonValue::Bool(nilm_tensor::simd::simd_available())),
+        ("simd_exact", JsonValue::Bool(nilm_tensor::simd::simd_exact())),
         (
             "resnet_channels",
             JsonValue::Array(
@@ -191,6 +235,7 @@ fn main() {
                 ("ensemble_train_epoch", train_epoch.to_json()),
             ]),
         ),
+        ("winner_table", winner_table()),
     ]);
     let text = doc.to_pretty();
     validate(&text).expect("harness emitted invalid JSON");

@@ -22,9 +22,10 @@ pub trait Detector: Layer {
     /// The classifier-head weight matrix `[num_classes, channels]`.
     fn head_weights(&self) -> &Tensor;
 
-    /// Class probabilities `[b, num_classes]` via softmax.
+    /// Class probabilities `[b, num_classes]` via softmax. Runs in
+    /// [`Mode::Infer`] (bit-identical to eval, minus backward bookkeeping).
     fn predict_proba(&mut self, x: &Tensor) -> Tensor {
-        let (_, logits) = self.forward_features(x, Mode::Eval);
+        let (_, logits) = self.forward_features(x, Mode::Infer);
         nilm_tensor::activation::softmax_rows(&logits)
     }
 }

@@ -93,13 +93,13 @@ impl ResNet {
 
 impl Detector for ResNet {
     fn forward_features(&mut self, x: &Tensor, mode: Mode) -> (Tensor, Tensor) {
-        let mut cur = x.clone();
+        let mut cur: Option<Tensor> = None;
         for (unit, relu) in self.units.iter_mut().zip(&mut self.relus) {
-            cur = unit.forward(&cur, mode);
-            cur = relu.forward(&cur, mode);
+            let y = unit.forward(cur.as_ref().unwrap_or(x), mode);
+            cur = Some(relu.forward(&y, mode));
         }
-        let features = cur.clone();
-        let pooled = self.gap.forward(&cur, mode);
+        let features = cur.expect("ResNet has at least one residual unit");
+        let pooled = self.gap.forward(&features, mode);
         let logits = self.head.forward(&pooled, mode);
         self.last_features = Some(features.clone());
         (features, logits)

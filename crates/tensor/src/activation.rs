@@ -10,9 +10,11 @@ pub struct ReLU {
 }
 
 impl Layer for ReLU {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         self.mask.clear();
-        self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        if mode.caches_for_backward() {
+            self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        }
         x.map(|v| v.max(0.0))
     }
 
@@ -43,9 +45,9 @@ pub fn sigmoid(x: f32) -> f32 {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let out = x.map(sigmoid);
-        self.out = out.data().to_vec();
+        self.out = if mode.caches_for_backward() { out.data().to_vec() } else { Vec::new() };
         out
     }
 
@@ -63,9 +65,9 @@ pub struct Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let out = x.map(f32::tanh);
-        self.out = out.data().to_vec();
+        self.out = if mode.caches_for_backward() { out.data().to_vec() } else { Vec::new() };
         out
     }
 

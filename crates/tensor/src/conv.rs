@@ -1,26 +1,47 @@
 //! 1-D convolution over `[batch, channels, time]` tensors.
 //!
-//! Two interchangeable compute backends produce bit-identical results:
+//! Three interchangeable compute backends:
 //!
-//! - **GEMM** (the default for non-tiny shapes): the input is lowered with
-//!   [`crate::im2col`] and the forward pass, the weight gradient and the
-//!   input gradient each become one [`crate::gemm`] call per batch item,
-//!   with batch items fanned out over worker threads when the per-item work
-//!   is large enough.
-//! - **Naive**: the original decomposition into K shifted scaled-row
-//!   (axpy/dot) operations. It is kept as the fallback for tiny shapes,
-//!   where im2col overhead dominates, and as the correctness oracle the
-//!   property tests compare the GEMM path against
-//!   (`tests/conv_gemm_equivalence.rs`).
+//! - **Naive**: the decomposition into K shifted scaled-row (axpy/dot)
+//!   operations. The correctness oracle every other path is property-tested
+//!   against (`tests/conv_gemm_equivalence.rs`, `tests/kernel_oracle.rs`),
+//!   and the fastest option for very skinny shapes where im2col overhead
+//!   dominates.
+//! - **Gemm**: the input is lowered with [`crate::im2col`] and the forward
+//!   pass, the weight gradient and the input gradient each become one
+//!   [`crate::gemm`] call per batch group, with groups fanned out over
+//!   worker threads when the per-item work is large enough. Uses the
+//!   portable scalar microkernel.
+//! - **Simd**: the same lowering driven through the explicit
+//!   [`crate::simd`] microkernels (AVX2/FMA or NEON, runtime-detected) and
+//!   the skinny-GEMM fast path for `out_c ≤ 16` — the inference-serving
+//!   specialization. Stride-1, dilation-1 skinny convolutions (the entire
+//!   CamAL trunk) skip im2col entirely: each lowered row is a shifted
+//!   window of a once-padded input, fed to the kernel as a slice
+//!   ([`Conv1d::forward_simd_direct`]).
 //!
-//! Both paths accumulate every output element over `(c_in, tap)` — and the
+//! All paths accumulate every output element over `(c_in, tap)` — and the
 //! weight gradient over `(batch, t)` — in the same left-to-right order, so
-//! the equivalence is exact, not approximate.
+//! they are bit-identical wherever each multiply-add step fuses identically
+//! (see [`crate::simd::simd_exact`]; Naive vs Gemm is exact on every
+//! build).
+//!
+//! [`ConvBackend::Auto`] (the default) resolves per shape through the
+//! [`crate::dispatch`] autotuner: the first call on a given
+//! `(out_c, batch·t_out, in_c·k, threads)` key races the candidate backends
+//! on the real workload and caches the winner for the process lifetime.
+//! Only bit-identical candidates are raced, so autotuning never perturbs
+//! results. `NILM_BACKEND=naive|gemm|simd` (or
+//! [`crate::dispatch::set_forced_backend`]) forces one backend everywhere;
+//! the longer-standing `NILM_CONV_BACKEND` does the same for convolutions
+//! only and takes precedence.
 
-use crate::gemm::{fmadd, gemm, gemm_seq, Layout};
+use crate::dispatch::{self, Backend, ShapeKey};
+use crate::gemm::{fmadd, gemm_mode, gemm_seq_mode, kernel_mode_for, KernelMode, Layout};
 use crate::im2col::{grad2col, im2col, weight_for_input_grad, ConvGeometry};
 use crate::init;
 use crate::layer::{Layer, Mode, Param};
+use crate::simd;
 use crate::tensor::Tensor;
 use rand::Rng;
 use rayon::prelude::*;
@@ -41,17 +62,20 @@ pub enum Padding {
 /// Which convolution implementation [`Conv1d`] dispatches to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConvBackend {
-    /// Pick per call: GEMM unless the shape is tiny.
+    /// Pick per shape via the cached autotuner (naive for tiny shapes).
     Auto,
     /// Always the shifted-axpy reference path.
     Naive,
-    /// Always the im2col + GEMM path.
+    /// Always im2col + GEMM with the portable scalar microkernel.
     Gemm,
+    /// Always im2col + GEMM with the explicit SIMD microkernels (falls back
+    /// to the scalar microkernel where the ISA is missing).
+    Simd,
 }
 
 /// Process-wide backend default, overridable per layer with
 /// [`Conv1d::set_backend`]. Initialized from `NILM_CONV_BACKEND`
-/// (`auto|naive|gemm`) on first use.
+/// (`auto|naive|gemm|simd`) on first use.
 static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(u8::MAX);
 
 fn encode(b: ConvBackend) -> u8 {
@@ -59,6 +83,7 @@ fn encode(b: ConvBackend) -> u8 {
         ConvBackend::Auto => 0,
         ConvBackend::Naive => 1,
         ConvBackend::Gemm => 2,
+        ConvBackend::Simd => 3,
     }
 }
 
@@ -66,6 +91,7 @@ fn decode(v: u8) -> ConvBackend {
     match v {
         1 => ConvBackend::Naive,
         2 => ConvBackend::Gemm,
+        3 => ConvBackend::Simd,
         _ => ConvBackend::Auto,
     }
 }
@@ -85,26 +111,33 @@ pub fn conv_backend() -> ConvBackend {
     let from_env = match std::env::var("NILM_CONV_BACKEND").ok().as_deref() {
         Some("naive") => ConvBackend::Naive,
         Some("gemm") => ConvBackend::Gemm,
+        Some("simd") => ConvBackend::Simd,
         _ => ConvBackend::Auto,
     };
     GLOBAL_BACKEND.store(encode(from_env), Ordering::Relaxed);
     from_env
 }
 
-/// Minimum work per batch item before `Auto` considers the GEMM path.
+/// Minimum total multiply-accumulate count (whole batch) before `Auto`
+/// bothers autotuning; below this the shifted-axpy path wins outright and
+/// even the one-time tuning race would outweigh any possible gain.
 const GEMM_MIN_MACS: usize = 4096;
 
-/// Minimum im2col inner dimension (`C_in * K`) for the GEMM path: below
-/// this the packed kernel cannot amortize the lowering copy against so few
-/// multiply-accumulates per output element.
-const GEMM_MIN_COL_ROWS: usize = 32;
+/// How a resolved backend executes: the reference loop, or the lowered GEMM
+/// path with one of the two inner-kernel flavors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Plan {
+    Naive,
+    Gemm(KernelMode),
+}
 
-/// Minimum output channels for the GEMM path: with very few GEMM rows the
-/// per-column packing/scatter overhead dominates. Together with
-/// [`GEMM_MIN_COL_ROWS`] this matches measurement: smoke-width detectors
-/// (channels 4/8) run faster on the shifted-axpy path, `CamalConfig::small`
-/// widths (16+) and paper widths run ~3x faster on GEMM.
-const GEMM_MIN_OUT_C: usize = 16;
+fn plan_for(backend: Backend) -> Plan {
+    match backend {
+        Backend::Naive => Plan::Naive,
+        Backend::Gemm => Plan::Gemm(KernelMode::Scalar),
+        Backend::Simd => Plan::Gemm(kernel_mode_for(Some(Backend::Simd))),
+    }
+}
 
 /// Total multiply-accumulate count above which the batch splits into one
 /// GEMM group per worker thread instead of a single wide GEMM.
@@ -235,21 +268,47 @@ impl Conv1d {
         }
     }
 
-    /// Resolves `Auto` for a given geometry. The GEMM path needs both
-    /// enough total work to amortize the im2col copy and a deep enough
-    /// inner dimension for the packed kernel to beat the shifted-axpy loop
-    /// (a 1-input-channel, small-kernel conv has `col_rows` ≈ k and is
-    /// memory-bound either way).
-    fn use_gemm(&self, geo: &ConvGeometry) -> bool {
-        match self.backend.unwrap_or_else(conv_backend) {
-            ConvBackend::Naive => false,
-            ConvBackend::Gemm => true,
-            ConvBackend::Auto => {
-                geo.col_rows() >= GEMM_MIN_COL_ROWS
-                    && geo.out_c >= GEMM_MIN_OUT_C
-                    && geo.out_c * geo.col_rows() * geo.t_out >= GEMM_MIN_MACS
-            }
+    /// The backend this layer dispatches to, before `Auto` resolution:
+    /// per-layer override, then the conv-specific global
+    /// (`set_conv_backend` / `NILM_CONV_BACKEND`), then the cross-op forced
+    /// backend (`set_forced_backend` / `NILM_BACKEND`), else `Auto`.
+    fn resolved_backend(&self) -> ConvBackend {
+        if let Some(b) = self.backend {
+            return b;
         }
+        let global = conv_backend();
+        if global != ConvBackend::Auto {
+            return global;
+        }
+        match dispatch::forced_backend() {
+            Some(Backend::Naive) => ConvBackend::Naive,
+            Some(Backend::Gemm) => ConvBackend::Gemm,
+            Some(Backend::Simd) => ConvBackend::Simd,
+            None => ConvBackend::Auto,
+        }
+    }
+
+    /// Whether an `Auto` dispatch at this geometry is worth autotuning at
+    /// all (tiny shapes go straight to the naive path).
+    fn auto_tunes(geo: &ConvGeometry, batch: usize) -> bool {
+        batch * geo.out_c * geo.col_rows() * geo.t_out >= GEMM_MIN_MACS
+    }
+
+    /// Autotune key of the forward pass at this geometry/batch: the lowered
+    /// GEMM shape plus the worker-pool width (see [`ShapeKey`]).
+    fn forward_key(geo: &ConvGeometry, batch: usize) -> ShapeKey {
+        ShapeKey::with_current_threads("conv_fwd", geo.out_c, batch * geo.t_out, geo.col_rows())
+    }
+
+    /// Backends the autotuner may race: always Naive and Gemm (bit-identical
+    /// on every build); Simd only when its results are bit-identical too, so
+    /// the timing race can never change computed values.
+    fn auto_candidates() -> Vec<Backend> {
+        let mut v = vec![Backend::Naive, Backend::Gemm];
+        if crate::simd::simd_available() && crate::simd::simd_exact() {
+            v.push(Backend::Simd);
+        }
+        v
     }
 
     /// Adds the bias (when present) on top of fully accumulated outputs.
@@ -383,6 +442,7 @@ impl Conv1d {
         oblk: &mut [f32],
         col: &mut Vec<f32>,
         prod: &mut Vec<f32>,
+        mode: KernelMode,
     ) {
         let (m, t, kdim) = (geo.out_c, geo.t_out, geo.col_rows());
         let gb = oblk.len() / (m * t);
@@ -392,7 +452,7 @@ impl Conv1d {
         for local in 0..gb {
             im2col(geo, x.batch_slice(b0 + local), col, n, local * t);
         }
-        gemm_seq(m, n, kdim, w, Layout::Normal, col, Layout::Normal, prod, false);
+        gemm_seq_mode(m, n, kdim, w, Layout::Normal, col, Layout::Normal, prod, false, mode);
         // Scatter [C_out, gb * T] back to batch-major [gb, C_out, T].
         for local in 0..gb {
             for co in 0..m {
@@ -402,7 +462,62 @@ impl Conv1d {
         }
     }
 
-    fn forward_gemm(&mut self, x: &Tensor, geo: &ConvGeometry, out: &mut Tensor) {
+    /// Whether [`Self::forward_simd_direct`] applies: a stride-1,
+    /// dilation-1 convolution whose output channels fit the skinny kernel
+    /// (`out_c ≤ SKINNY_MAX_M`). Under those constraints every lowered
+    /// `(c_in, tap)` row of the im2col matrix is a plain shifted window of
+    /// the zero-padded input, so the column matrix never needs to exist.
+    fn direct_simd_eligible(geo: &ConvGeometry) -> bool {
+        geo.stride == 1 && geo.dilation == 1 && geo.out_c <= simd::SKINNY_MAX_M
+    }
+
+    /// Direct (im2col-free) SIMD convolution: zero-pad each batch item once
+    /// (`in_c · pad_len` floats instead of `in_c · k · t_out`), hand the
+    /// skinny kernel the `k · in_c` shifted windows as row slices, and write
+    /// straight into the batch-major output block. Same `(c_in, tap)`
+    /// left-to-right accumulation chain as the lowered path, so results are
+    /// bit-identical to [`Self::forward_gemm`] under `KernelMode::Simd`.
+    fn forward_simd_direct(&mut self, x: &Tensor, geo: &ConvGeometry, out: &mut Tensor) {
+        let (b, _, _) = x.dims3();
+        let (m, t, kdim, kw) = (geo.out_c, geo.t_out, geo.col_rows(), geo.k);
+        // Long enough that every window `[tap, tap + t_out)` is in bounds
+        // and the real samples land at `pad_left + [0, t_in)`.
+        let pad_len = (t + kw - 1).max(geo.pad_left + geo.t_in);
+        let item = geo.in_c * pad_len;
+        let xp = &mut self.buf_col;
+        xp.clear();
+        xp.resize(b * item, 0.0);
+        for bi in 0..b {
+            let xi = x.batch_slice(bi);
+            for ci in 0..geo.in_c {
+                let dst = bi * item + ci * pad_len + geo.pad_left;
+                xp[dst..dst + geo.t_in].copy_from_slice(&xi[ci * geo.t_in..(ci + 1) * geo.t_in]);
+            }
+        }
+        let xp = &self.buf_col;
+        let w = self.weight.value.data();
+        let run_item = |bi: usize, oblk: &mut [f32]| {
+            let base = bi * item;
+            let rows: Vec<&[f32]> = (0..kdim)
+                .map(|p| {
+                    let start = base + (p / kw) * pad_len + (p % kw);
+                    &xp[start..start + t]
+                })
+                .collect();
+            simd::skinny_gemm_rows(m, t, kdim, w, &rows, oblk, false);
+        };
+        if Self::batch_groups(b, m * t * kdim) >= b {
+            for (bi, oblk) in out.data_mut().chunks_mut(m * t).enumerate() {
+                run_item(bi, oblk);
+            }
+        } else {
+            out.data_mut().par_chunks_mut(m * t).enumerate().for_each(|(bi, oblk)| {
+                run_item(bi, oblk);
+            });
+        }
+    }
+
+    fn forward_gemm(&mut self, x: &Tensor, geo: &ConvGeometry, out: &mut Tensor, mode: KernelMode) {
         let (b, _, _) = x.dims3();
         let w = self.weight.value.data();
         let (m, t, kdim) = (geo.out_c, geo.t_out, geo.col_rows());
@@ -417,11 +532,12 @@ impl Conv1d {
                 out.data_mut(),
                 &mut self.buf_col,
                 &mut self.buf_wide,
+                mode,
             );
         } else {
             out.data_mut().par_chunks_mut(group * m * t).enumerate().for_each(|(gi, oblk)| {
                 let (mut col, mut prod) = (Vec::new(), Vec::new());
-                Self::forward_gemm_group(w, x, geo, gi * group, oblk, &mut col, &mut prod);
+                Self::forward_gemm_group(w, x, geo, gi * group, oblk, &mut col, &mut prod, mode);
             });
         }
     }
@@ -437,6 +553,7 @@ impl Conv1d {
         dblk: &mut [f32],
         gcol: &mut Vec<f32>,
         prod: &mut Vec<f32>,
+        mode: KernelMode,
     ) {
         let (in_c, t_in, gk) = (geo.in_c, geo.t_in, geo.gcol_rows());
         let gb = dblk.len() / (in_c * t_in);
@@ -446,7 +563,7 @@ impl Conv1d {
         for local in 0..gb {
             grad2col(geo, grad.batch_slice(b0 + local), gcol, n, local * t_in);
         }
-        gemm_seq(in_c, n, gk, what, Layout::Normal, gcol, Layout::Normal, prod, false);
+        gemm_seq_mode(in_c, n, gk, what, Layout::Normal, gcol, Layout::Normal, prod, false, mode);
         for local in 0..gb {
             for ci in 0..in_c {
                 let src = &prod[ci * n + local * t_in..ci * n + local * t_in + t_in];
@@ -456,7 +573,14 @@ impl Conv1d {
         }
     }
 
-    fn backward_gemm(&mut self, x: &Tensor, grad: &Tensor, geo: &ConvGeometry, dx: &mut Tensor) {
+    fn backward_gemm(
+        &mut self,
+        x: &Tensor,
+        grad: &Tensor,
+        geo: &ConvGeometry,
+        dx: &mut Tensor,
+        mode: KernelMode,
+    ) {
         let (b, _, _) = x.dims3();
         let kdim = geo.col_rows();
         let (out_c, t_out, in_c, t_in) = (geo.out_c, geo.t_out, geo.in_c, geo.t_in);
@@ -479,7 +603,18 @@ impl Conv1d {
         let dw = &mut self.buf_dw;
         dw.clear();
         dw.resize(out_c * kdim, 0.0);
-        gemm(out_c, kdim, n_out, grad_big, Layout::Normal, col_big, Layout::Transposed, dw, false);
+        gemm_mode(
+            out_c,
+            kdim,
+            n_out,
+            grad_big,
+            Layout::Normal,
+            col_big,
+            Layout::Transposed,
+            dw,
+            false,
+            mode,
+        );
         for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(self.buf_dw.iter()) {
             *g += d;
         }
@@ -502,6 +637,7 @@ impl Conv1d {
                 dx.data_mut(),
                 &mut self.buf_gcol,
                 &mut self.buf_wide,
+                mode,
             );
         } else {
             // Parallel groups need per-worker buffers; the allocations are
@@ -517,6 +653,7 @@ impl Conv1d {
                     dblk,
                     &mut gcol,
                     &mut prod,
+                    mode,
                 );
             });
         }
@@ -524,23 +661,55 @@ impl Conv1d {
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let (b, c_in, t_in) = x.dims3();
         assert_eq!(c_in, self.in_c, "Conv1d expected {} input channels, got {}", self.in_c, c_in);
         let geo = self.geometry(t_in);
         let mut out = Tensor::zeros(&[b, self.out_c, geo.t_out]);
-        if self.use_gemm(&geo) {
-            self.forward_gemm(x, &geo, &mut out);
-        } else {
-            self.forward_naive(x, &geo, &mut out);
+        match self.resolved_backend() {
+            ConvBackend::Naive => self.forward_naive(x, &geo, &mut out),
+            ConvBackend::Gemm => self.forward_gemm(x, &geo, &mut out, KernelMode::Scalar),
+            ConvBackend::Simd => {
+                let kmode = kernel_mode_for(Some(Backend::Simd));
+                if kmode == KernelMode::Simd && Self::direct_simd_eligible(&geo) {
+                    self.forward_simd_direct(x, &geo, &mut out)
+                } else {
+                    self.forward_gemm(x, &geo, &mut out, kmode)
+                }
+            }
+            ConvBackend::Auto if !Self::auto_tunes(&geo, b) => {
+                self.forward_naive(x, &geo, &mut out)
+            }
+            ConvBackend::Auto => {
+                let key = Self::forward_key(&geo, b);
+                let candidates = Self::auto_candidates();
+                dispatch::autotune(key, &candidates, |backend| {
+                    // The naive path accumulates into a zeroed output, so
+                    // tuning re-runs must re-zero between candidates.
+                    out.data_mut().iter_mut().for_each(|v| *v = 0.0);
+                    match plan_for(backend) {
+                        Plan::Naive => self.forward_naive(x, &geo, &mut out),
+                        Plan::Gemm(KernelMode::Simd) if Self::direct_simd_eligible(&geo) => {
+                            self.forward_simd_direct(x, &geo, &mut out)
+                        }
+                        Plan::Gemm(mode) => self.forward_gemm(x, &geo, &mut out, mode),
+                    }
+                });
+            }
         }
         self.add_bias(&mut out);
-        // Cache the input for backward, reusing the previous cache's
-        // allocation.
-        let mut cache = self.cached_input.take().unwrap_or_else(|| Tensor::zeros(&[0]));
-        cache.resize(x.shape());
-        cache.data_mut().copy_from_slice(x.data());
-        self.cached_input = Some(cache);
+        if mode.caches_for_backward() {
+            // Cache the input for backward, reusing the previous cache's
+            // allocation.
+            let mut cache = self.cached_input.take().unwrap_or_else(|| Tensor::zeros(&[0]));
+            cache.resize(x.shape());
+            cache.data_mut().copy_from_slice(x.data());
+            self.cached_input = Some(cache);
+        } else {
+            // Inference: drop any stale cache so a later backward cannot
+            // silently differentiate against the wrong input.
+            self.cached_input = None;
+        }
         out
     }
 
@@ -563,10 +732,24 @@ impl Layer for Conv1d {
             }
         }
 
-        if self.use_gemm(&geo) {
-            self.backward_gemm(&x, grad, &geo, &mut dx);
-        } else {
-            self.backward_naive(&x, grad, &geo, &mut dx);
+        let plan = match self.resolved_backend() {
+            ConvBackend::Naive => Plan::Naive,
+            ConvBackend::Gemm => Plan::Gemm(KernelMode::Scalar),
+            ConvBackend::Simd => Plan::Gemm(kernel_mode_for(Some(Backend::Simd))),
+            ConvBackend::Auto if !Self::auto_tunes(&geo, b) => Plan::Naive,
+            ConvBackend::Auto => {
+                // Reuse the forward pass's tuned winner: backward shares its
+                // arithmetic-intensity profile, and re-racing here would
+                // double-accumulate the parameter gradients.
+                match dispatch::cached_choice(Self::forward_key(&geo, b)) {
+                    Some(winner) => plan_for(winner),
+                    None => Plan::Gemm(kernel_mode_for(None)),
+                }
+            }
+        };
+        match plan {
+            Plan::Naive => self.backward_naive(&x, grad, &geo, &mut dx),
+            Plan::Gemm(mode) => self.backward_gemm(&x, grad, &geo, &mut dx, mode),
         }
         self.cached_input = Some(x);
         dx
@@ -728,11 +911,56 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_naive_for_tiny_and_gemm_for_large() {
+    fn auto_skips_tuning_for_tiny_shapes_and_tunes_large_ones() {
         let mut r = rng(8);
         let tiny = Conv1d::new(&mut r, 1, 1, 3, Padding::Same);
-        assert!(!tiny.use_gemm(&tiny.geometry(8)));
+        assert!(!Conv1d::auto_tunes(&tiny.geometry(8), 1));
         let big = Conv1d::new(&mut r, 32, 64, 5, Padding::Same);
-        assert!(big.use_gemm(&big.geometry(128)));
+        assert!(Conv1d::auto_tunes(&big.geometry(128), 1));
+    }
+
+    #[test]
+    fn auto_dispatch_output_matches_forced_naive_bitwise() {
+        // Whatever the autotuner picks, the result must equal the oracle
+        // bit for bit (only bit-identical candidates are raced).
+        let mut r = rng(21);
+        let mut conv = Conv1d::new(&mut r, 4, 8, 5, Padding::Same);
+        let x = init::randn_tensor(&mut r, &[3, 4, 64], 1.0);
+        conv.set_backend(Some(ConvBackend::Auto));
+        let y_auto = conv.forward(&x, Mode::Eval);
+        conv.set_backend(Some(ConvBackend::Naive));
+        let y_naive = conv.forward(&x, Mode::Eval);
+        assert_eq!(y_auto.data(), y_naive.data());
+    }
+
+    #[test]
+    fn simd_backend_agrees_with_naive_when_exact() {
+        if !crate::simd::simd_exact() {
+            return; // covered with a ULP budget by the oracle suite
+        }
+        let mut r = rng(9);
+        let mut conv = Conv1d::with_options(&mut r, 3, 5, 7, Padding::Same, 1, 1, true);
+        let x = init::randn_tensor(&mut r, &[2, 3, 40], 1.0);
+        let g = init::randn_tensor(&mut r, &[2, 5, 40], 1.0);
+
+        conv.set_backend(Some(ConvBackend::Naive));
+        let y_n = conv.forward(&x, Mode::Train);
+        conv.zero_grad();
+        let dx_n = conv.backward(&g);
+        let mut grads_n = Vec::new();
+        conv.visit_params(&mut |p| grads_n.push(p.grad.clone()));
+
+        conv.set_backend(Some(ConvBackend::Simd));
+        let y_s = conv.forward(&x, Mode::Train);
+        conv.zero_grad();
+        let dx_s = conv.backward(&g);
+        let mut grads_s = Vec::new();
+        conv.visit_params(&mut |p| grads_s.push(p.grad.clone()));
+
+        assert_eq!(y_n.data(), y_s.data());
+        assert_eq!(dx_n.data(), dx_s.data());
+        for (a, b) in grads_n.iter().zip(&grads_s) {
+            assert_eq!(a.data(), b.data());
+        }
     }
 }

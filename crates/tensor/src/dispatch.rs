@@ -1,0 +1,294 @@
+//! Shape-keyed backend dispatch for the compute kernels.
+//!
+//! Three backends implement every hot operation (convolution, GEMM):
+//!
+//! - [`Backend::Naive`] — the scalar reference path (shifted-axpy
+//!   convolution, scalar-microkernel GEMM). Always available, always the
+//!   correctness oracle.
+//! - [`Backend::Gemm`] — im2col + cache-blocked GEMM with the portable
+//!   (auto-vectorized) microkernel; the training workhorse.
+//! - [`Backend::Simd`] — the same lowering, but with explicit `std::arch`
+//!   microkernels (AVX2/FMA on x86-64, NEON on aarch64) selected by runtime
+//!   feature detection, plus a skinny-GEMM specialization for the
+//!   `M ≤ 16` output-channel shapes small-batch inference emits. Falls back
+//!   to the portable kernel on machines without the required ISA (see
+//!   [`crate::simd::simd_available`]).
+//!
+//! Selection, from strongest to weakest:
+//!
+//! 1. a per-layer override ([`crate::conv::Conv1d::set_backend`]);
+//! 2. a process-wide forced backend — [`set_forced_backend`] from code, or
+//!    the `NILM_BACKEND` environment variable (`naive|gemm|simd`, anything
+//!    else = auto) read once at first use;
+//! 3. the **autotuner**: per shape key (operation, `m`, `n`, `k`, *and
+//!    worker-thread count* — single-core picks different winners than a
+//!    parallel fan-out), the first call races every candidate backend on the
+//!    real workload and caches the winner for the life of the process.
+//!
+//! The autotuner only ever races candidates that produce **bit-identical**
+//! results (callers must guarantee this; when FMA contraction makes the SIMD
+//! path differ from the scalar chain — see [`crate::simd::simd_exact`] — the
+//! SIMD backend is excluded from auto-selection and must be forced
+//! explicitly), so which candidate wins can never change computed values.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One of the interchangeable compute implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Scalar reference path (the oracle).
+    Naive,
+    /// im2col + blocked GEMM with the portable microkernel.
+    Gemm,
+    /// Explicit SIMD microkernels behind runtime feature detection.
+    Simd,
+}
+
+impl Backend {
+    /// Every backend, in oracle-first order.
+    pub fn all() -> [Backend; 3] {
+        [Backend::Naive, Backend::Gemm, Backend::Simd]
+    }
+
+    /// Lower-case name used by `NILM_BACKEND` and benchmark artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Naive => "naive",
+            Backend::Gemm => "gemm",
+            Backend::Simd => "simd",
+        }
+    }
+
+    /// Parses a `NILM_BACKEND`-style name.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "naive" => Some(Backend::Naive),
+            "gemm" => Some(Backend::Gemm),
+            "simd" => Some(Backend::Simd),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Programmatic process-wide override (`u8::MAX` = unset).
+static FORCED: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn encode(b: Option<Backend>) -> u8 {
+    match b {
+        None => 3,
+        Some(Backend::Naive) => 0,
+        Some(Backend::Gemm) => 1,
+        Some(Backend::Simd) => 2,
+    }
+}
+
+fn decode(v: u8) -> Option<Backend> {
+    match v {
+        0 => Some(Backend::Naive),
+        1 => Some(Backend::Gemm),
+        2 => Some(Backend::Simd),
+        _ => None,
+    }
+}
+
+/// The backend forced by the `NILM_BACKEND` environment variable, if any
+/// (read once; `auto`, unset or unrecognized values force nothing).
+pub fn env_backend() -> Option<Backend> {
+    static ENV: OnceLock<Option<Backend>> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("NILM_BACKEND").ok().as_deref().and_then(Backend::parse))
+}
+
+/// Sets (or with `None`, clears) the process-wide forced backend. A set
+/// value takes precedence over `NILM_BACKEND`; clearing restores the
+/// environment override (if present) and autotuned selection otherwise.
+pub fn set_forced_backend(backend: Option<Backend>) {
+    FORCED.store(
+        match backend {
+            None => u8::MAX,
+            some => encode(some),
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The process-wide forced backend: the programmatic override if set, else
+/// the `NILM_BACKEND` environment variable, else `None` (= autotune).
+pub fn forced_backend() -> Option<Backend> {
+    let v = FORCED.load(Ordering::Relaxed);
+    if v != u8::MAX {
+        return decode(v);
+    }
+    env_backend()
+}
+
+/// Identity of one tuned problem. `threads` is part of the key because the
+/// parallel fan-out changes which backend wins: a shape whose GEMM lowering
+/// amortizes across a multi-thread row-block split can lose to the naive
+/// path when the same shape runs on a single worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// Operation tag (e.g. `"conv_fwd"`): different lowerings of the same
+    /// `(m, n, k)` tune independently.
+    pub op: &'static str,
+    /// Output rows of the lowered GEMM.
+    pub m: usize,
+    /// Output columns of the lowered GEMM.
+    pub n: usize,
+    /// Inner (accumulation) dimension.
+    pub k: usize,
+    /// Worker threads available to the operation.
+    pub threads: usize,
+}
+
+impl ShapeKey {
+    /// Key for `op` at `(m, n, k)` with the current worker-pool width.
+    pub fn with_current_threads(op: &'static str, m: usize, n: usize, k: usize) -> Self {
+        ShapeKey { op, m, n, k, threads: rayon::current_num_threads() }
+    }
+}
+
+/// Timed runs per candidate when autotuning (plus one untimed warm-up).
+const AUTOTUNE_REPS: usize = 2;
+
+fn cache() -> &'static Mutex<HashMap<ShapeKey, Backend>> {
+    static CACHE: OnceLock<Mutex<HashMap<ShapeKey, Backend>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The cached winner for `key`, if this shape has been tuned.
+pub fn cached_choice(key: ShapeKey) -> Option<Backend> {
+    cache().lock().unwrap().get(&key).copied()
+}
+
+/// Records `backend` as the winner for `key` (autotuning does this
+/// automatically; exposed for tests and benchmarks).
+pub fn record_choice(key: ShapeKey, backend: Backend) {
+    cache().lock().unwrap().insert(key, backend);
+}
+
+/// Drops every tuned decision (tests / benchmarks re-tune from scratch).
+pub fn clear_choices() {
+    cache().lock().unwrap().clear();
+}
+
+/// Snapshot of the autotuner cache, sorted by key — the benchmark's
+/// per-shape winner table.
+pub fn tuned_entries() -> Vec<(ShapeKey, Backend)> {
+    let mut entries: Vec<_> = cache().lock().unwrap().iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_by_key(|(k, _)| (k.op, k.m, k.n, k.k, k.threads));
+    entries
+}
+
+/// Returns the cached winner for `key`, or races `candidates` to find it.
+///
+/// `run(backend)` must execute the real operation under `backend`; on a
+/// cache miss every candidate runs once as warm-up plus [`AUTOTUNE_REPS`]
+/// timed repetitions (minimum taken), the fastest is cached, and the caller
+/// is left with the output of the *last* run. All candidates must produce
+/// bit-identical output, so which one ran last is unobservable.
+///
+/// With a single candidate, or a cache hit, `run` is executed exactly once.
+pub fn autotune(key: ShapeKey, candidates: &[Backend], mut run: impl FnMut(Backend)) -> Backend {
+    assert!(!candidates.is_empty(), "autotune needs at least one candidate");
+    if let Some(choice) = cached_choice(key) {
+        run(choice);
+        return choice;
+    }
+    if candidates.len() == 1 {
+        record_choice(key, candidates[0]);
+        run(candidates[0]);
+        return candidates[0];
+    }
+    let mut best = candidates[0];
+    let mut best_elapsed = f64::INFINITY;
+    for &candidate in candidates {
+        run(candidate); // warm-up: page in scratch buffers, warm the caches
+        let mut elapsed = f64::INFINITY;
+        for _ in 0..AUTOTUNE_REPS {
+            let start = Instant::now();
+            run(candidate);
+            elapsed = elapsed.min(start.elapsed().as_secs_f64());
+        }
+        if elapsed < best_elapsed {
+            best_elapsed = elapsed;
+            best = candidate;
+        }
+    }
+    record_choice(key, best);
+    // The caller's buffers currently hold the last candidate's output; all
+    // candidates are bit-identical, so no final re-run is needed.
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_backend() {
+        for b in Backend::all() {
+            assert_eq!(Backend::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(Backend::parse("auto"), None);
+        assert_eq!(Backend::parse(""), None);
+    }
+
+    #[test]
+    fn forced_backend_set_and_clear() {
+        // Serialize against other tests touching the global through a lock
+        // on the cache (cheap way to share one mutex).
+        set_forced_backend(Some(Backend::Naive));
+        assert_eq!(forced_backend(), Some(Backend::Naive));
+        set_forced_backend(Some(Backend::Simd));
+        assert_eq!(forced_backend(), Some(Backend::Simd));
+        set_forced_backend(None);
+        assert_eq!(forced_backend(), env_backend());
+    }
+
+    #[test]
+    fn cache_is_keyed_on_thread_count_as_well_as_shape() {
+        // Regression for the single-core-vs-fan-out mistuning: the same
+        // (op, m, n, k) must tune independently per worker count.
+        let one = ShapeKey { op: "test_threads", m: 8, n: 256, k: 40, threads: 1 };
+        let four = ShapeKey { op: "test_threads", m: 8, n: 256, k: 40, threads: 4 };
+        record_choice(one, Backend::Naive);
+        record_choice(four, Backend::Simd);
+        assert_eq!(cached_choice(one), Some(Backend::Naive));
+        assert_eq!(cached_choice(four), Some(Backend::Simd));
+        assert_ne!(one, four);
+    }
+
+    #[test]
+    fn autotune_caches_the_winner_and_reuses_it() {
+        let key = ShapeKey { op: "test_autotune", m: 3, n: 3, k: 3, threads: 1 };
+        let mut runs = Vec::new();
+        let choice = autotune(key, &[Backend::Naive, Backend::Gemm], |b| runs.push(b));
+        // Both candidates ran (warm-up + timed reps each).
+        assert!(runs.iter().any(|&b| b == Backend::Naive));
+        assert!(runs.iter().any(|&b| b == Backend::Gemm));
+        assert_eq!(cached_choice(key), Some(choice));
+        // Second call: cache hit, exactly one run of the winner.
+        runs.clear();
+        let again = autotune(key, &[Backend::Naive, Backend::Gemm], |b| runs.push(b));
+        assert_eq!(again, choice);
+        assert_eq!(runs, vec![choice]);
+    }
+
+    #[test]
+    fn single_candidate_skips_timing() {
+        let key = ShapeKey { op: "test_single", m: 1, n: 1, k: 1, threads: 1 };
+        let mut runs = 0;
+        let choice = autotune(key, &[Backend::Naive], |_| runs += 1);
+        assert_eq!(choice, Backend::Naive);
+        assert_eq!(runs, 1);
+    }
+}

@@ -27,7 +27,7 @@ impl Dropout {
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         match mode {
-            Mode::Eval => {
+            Mode::Eval | Mode::Infer => {
                 self.train_pass = false;
                 x.clone()
             }

@@ -28,6 +28,7 @@
 //! assert exact equality between the GEMM-lowered convolution and the
 //! shifted-axpy reference path.
 
+use crate::dispatch::Backend;
 use rayon::prelude::*;
 
 /// Fused (or fused-style) multiply-add: compiles to a single FMA
@@ -40,13 +41,52 @@ use rayon::prelude::*;
 /// of the target ISA.
 #[inline(always)]
 pub fn fmadd(a: f32, b: f32, c: f32) -> f32 {
-    #[cfg(target_feature = "fma")]
+    #[cfg(any(target_feature = "fma", all(target_arch = "aarch64", target_feature = "neon")))]
     {
         a.mul_add(b, c)
     }
-    #[cfg(not(target_feature = "fma"))]
+    #[cfg(not(any(
+        target_feature = "fma",
+        all(target_arch = "aarch64", target_feature = "neon")
+    )))]
     {
         a * b + c
+    }
+}
+
+/// Which inner kernel a GEMM runs: the portable scalar microkernel or the
+/// explicit `std::arch` SIMD kernels in [`crate::simd`] (which also enable
+/// the no-packing skinny fast path for `m ≤ simd::SKINNY_MAX_M`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Portable microkernel (auto-vectorized by the compiler).
+    Scalar,
+    /// Explicit AVX2/FMA or NEON microkernels + skinny specialization.
+    Simd,
+}
+
+/// Maps a dispatch-layer backend choice to a kernel mode. `None` (= no
+/// forced backend) uses SIMD only when it is available **and** bit-identical
+/// to the scalar chain ([`crate::simd::simd_exact`]), so un-forced runs are
+/// always deterministic. Forcing [`Backend::Simd`] opts into the SIMD
+/// kernels whenever the ISA is there, exact or not.
+pub fn kernel_mode_for(backend: Option<Backend>) -> KernelMode {
+    match backend {
+        Some(Backend::Simd) => {
+            if crate::simd::simd_available() {
+                KernelMode::Simd
+            } else {
+                KernelMode::Scalar
+            }
+        }
+        Some(_) => KernelMode::Scalar,
+        None => {
+            if crate::simd::simd_available() && crate::simd::simd_exact() {
+                KernelMode::Simd
+            } else {
+                KernelMode::Scalar
+            }
+        }
     }
 }
 
@@ -99,8 +139,7 @@ pub fn gemm(
     c: &mut [f32],
     accumulate: bool,
 ) {
-    let parallel = m * n * k >= PAR_MACS && rayon::current_num_threads() > 1 && m > MC;
-    gemm_with(m, n, k, a, a_layout, b, b_layout, c, accumulate, parallel)
+    gemm_mode(m, n, k, a, a_layout, b, b_layout, c, accumulate, default_mode())
 }
 
 /// [`gemm`] forced sequential — used by callers that already parallelize at
@@ -117,7 +156,49 @@ pub fn gemm_seq(
     c: &mut [f32],
     accumulate: bool,
 ) {
-    gemm_with(m, n, k, a, a_layout, b, b_layout, c, accumulate, false)
+    gemm_seq_mode(m, n, k, a, a_layout, b, b_layout, c, accumulate, default_mode())
+}
+
+/// Kernel mode for callers that don't specify one: honors the process-wide
+/// forced backend (`NILM_BACKEND` / `set_forced_backend`).
+fn default_mode() -> KernelMode {
+    kernel_mode_for(crate::dispatch::forced_backend())
+}
+
+/// [`gemm`] with an explicit inner-kernel mode (the conv dispatcher passes
+/// the autotuned winner's mode here).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_mode(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+    accumulate: bool,
+    mode: KernelMode,
+) {
+    let parallel = m * n * k >= PAR_MACS && rayon::current_num_threads() > 1 && m > MC;
+    gemm_with(m, n, k, a, a_layout, b, b_layout, c, accumulate, parallel, mode)
+}
+
+/// [`gemm_seq`] with an explicit inner-kernel mode.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_seq_mode(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+    accumulate: bool,
+    mode: KernelMode,
+) {
+    gemm_with(m, n, k, a, a_layout, b, b_layout, c, accumulate, false, mode)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -132,6 +213,7 @@ fn gemm_with(
     c: &mut [f32],
     accumulate: bool,
     parallel: bool,
+    mode: KernelMode,
 ) {
     assert_eq!(a.len(), m * k, "A length != m*k");
     assert_eq!(b.len(), k * n, "B length != k*n");
@@ -143,6 +225,19 @@ fn gemm_with(
         if !accumulate {
             c.iter_mut().for_each(|v| *v = 0.0);
         }
+        return;
+    }
+
+    // Skinny fast path: for the M ≤ 16 products small-batch inference emits,
+    // panel packing costs more than it saves — stream B directly through the
+    // SIMD kernel with A broadcast from registers. Preserves the per-element
+    // k chain, so it stays on the same accumulation tree as the packed path.
+    if mode == KernelMode::Simd
+        && m <= crate::simd::SKINNY_MAX_M
+        && a_layout == Layout::Normal
+        && b_layout == Layout::Normal
+    {
+        crate::simd::skinny_gemm(m, n, k, a, b, c, accumulate);
         return;
     }
 
@@ -177,13 +272,24 @@ fn gemm_with(
                         c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, cblk)| {
                             let mc = MC.min(m - blk * MC);
                             let ap = &aref[blk * block_panels * kc * MR..];
-                            block_kernel(mc, nc, kc, ap, bref, cblk, n, 0, first);
+                            block_kernel(mc, nc, kc, ap, bref, cblk, n, 0, first, mode);
                         });
                     } else {
                         for ic in (0..m).step_by(MC) {
                             let mc = MC.min(m - ic);
                             let ap = &apack[(ic / MR) * kc * MR..];
-                            block_kernel(mc, nc, kc, ap, bpack, &mut c[ic * n..], n, jc, first);
+                            block_kernel(
+                                mc,
+                                nc,
+                                kc,
+                                ap,
+                                bpack,
+                                &mut c[ic * n..],
+                                n,
+                                jc,
+                                first,
+                                mode,
+                            );
                         }
                     }
                 }
@@ -299,6 +405,7 @@ fn block_kernel(
     ldc: usize,
     jc: usize,
     first: bool,
+    mode: KernelMode,
 ) {
     for (jp, j0) in (0..nc).step_by(NR).enumerate() {
         let nr = NR.min(nc - j0);
@@ -306,7 +413,23 @@ fn block_kernel(
         for (ip, i0) in (0..mc).step_by(MR).enumerate() {
             let mr = MR.min(mc - i0);
             let apanel = &apack[ip * kc * MR..(ip + 1) * kc * MR];
-            microkernel(kc, apanel, bpanel, c, i0, jc + j0, ldc, mr, nr, first);
+            match mode {
+                KernelMode::Scalar => {
+                    scalar_microkernel(kc, apanel, bpanel, c, i0, jc + j0, ldc, mr, nr, first)
+                }
+                KernelMode::Simd => crate::simd::packed_microkernel(
+                    kc,
+                    apanel,
+                    bpanel,
+                    c,
+                    i0,
+                    jc + j0,
+                    ldc,
+                    mr,
+                    nr,
+                    first,
+                ),
+            }
         }
     }
 }
@@ -317,7 +440,7 @@ fn block_kernel(
 /// compiler vectorizes.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn microkernel(
+pub(crate) fn scalar_microkernel(
     kc: usize,
     apanel: &[f32],
     bpanel: &[f32],
@@ -462,10 +585,158 @@ mod tests {
         let b = fill(k * n, 11);
         let mut c_par = vec![0.0f32; m * n];
         let mut c_seq = vec![0.0f32; m * n];
-        gemm_with(m, n, k, &a, Layout::Normal, &b, Layout::Normal, &mut c_par, false, true);
-        gemm_with(m, n, k, &a, Layout::Normal, &b, Layout::Normal, &mut c_seq, false, false);
+        let mode = KernelMode::Scalar;
+        gemm_with(m, n, k, &a, Layout::Normal, &b, Layout::Normal, &mut c_par, false, true, mode);
+        gemm_with(m, n, k, &a, Layout::Normal, &b, Layout::Normal, &mut c_seq, false, false, mode);
         assert_eq!(c_par, c_seq);
         assert_eq!(c_seq, reference(m, n, k, &a, &b));
+    }
+
+    /// Shapes covering the skinny fast path (m ≤ 16), partial tiles and the
+    /// packed SIMD microkernel (m > 16).
+    const SIMD_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (4, 2048, 20),
+        (8, 130, 40),
+        (16, 33, 7),
+        (17, 33, 7),
+        (70, 40, 12),
+        (MC + 3, NR + 1, 19),
+        (3, NR + 3, KC + 37),
+    ];
+
+    #[test]
+    fn simd_mode_matches_scalar_mode() {
+        // When simd_exact() the two kernel modes are bit-identical; when the
+        // scalar chain is unfused they may differ by one rounding per
+        // multiply-add, bounded here loosely (the oracle tests bound it in
+        // ULP).
+        for &(m, n, k) in SIMD_SHAPES {
+            let a = fill(m * k, 20);
+            let b = fill(k * n, 21);
+            let mut c_scalar = vec![0.0f32; m * n];
+            let mut c_simd = vec![0.0f32; m * n];
+            gemm_seq_mode(
+                m,
+                n,
+                k,
+                &a,
+                Layout::Normal,
+                &b,
+                Layout::Normal,
+                &mut c_scalar,
+                false,
+                KernelMode::Scalar,
+            );
+            gemm_seq_mode(
+                m,
+                n,
+                k,
+                &a,
+                Layout::Normal,
+                &b,
+                Layout::Normal,
+                &mut c_simd,
+                false,
+                KernelMode::Simd,
+            );
+            if crate::simd::simd_exact() {
+                assert_eq!(c_scalar, c_simd, "shape ({m},{n},{k})");
+            } else {
+                for (x, y) in c_scalar.iter().zip(&c_simd) {
+                    assert!((x - y).abs() <= 1e-4, "shape ({m},{n},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_mode_transposed_layouts_match_scalar() {
+        // Transposed operands skip the skinny path but still hit the packed
+        // SIMD microkernel.
+        let (m, n, k) = (21, 19, 23);
+        let a = fill(m * k, 22);
+        let b = fill(k * n, 23);
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c_scalar = vec![0.0f32; m * n];
+        let mut c_simd = vec![0.0f32; m * n];
+        gemm_seq_mode(
+            m,
+            n,
+            k,
+            &at,
+            Layout::Transposed,
+            &b,
+            Layout::Normal,
+            &mut c_scalar,
+            false,
+            KernelMode::Scalar,
+        );
+        gemm_seq_mode(
+            m,
+            n,
+            k,
+            &at,
+            Layout::Transposed,
+            &b,
+            Layout::Normal,
+            &mut c_simd,
+            false,
+            KernelMode::Simd,
+        );
+        if crate::simd::simd_exact() {
+            assert_eq!(c_scalar, c_simd);
+        } else {
+            for (x, y) in c_scalar.iter().zip(&c_simd) {
+                assert!((x - y).abs() <= 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_accumulate_matches_scalar_accumulate() {
+        let (m, n, k) = (8, 50, 11);
+        let a = fill(m * k, 24);
+        let b = fill(k * n, 25);
+        let base = fill(m * n, 26);
+        let mut c_scalar = base.clone();
+        let mut c_simd = base.clone();
+        gemm_seq_mode(
+            m,
+            n,
+            k,
+            &a,
+            Layout::Normal,
+            &b,
+            Layout::Normal,
+            &mut c_scalar,
+            true,
+            KernelMode::Scalar,
+        );
+        gemm_seq_mode(
+            m,
+            n,
+            k,
+            &a,
+            Layout::Normal,
+            &b,
+            Layout::Normal,
+            &mut c_simd,
+            true,
+            KernelMode::Simd,
+        );
+        if crate::simd::simd_exact() {
+            assert_eq!(c_scalar, c_simd);
+        } else {
+            for (x, y) in c_scalar.iter().zip(&c_simd) {
+                assert!((x - y).abs() <= 1e-4);
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!
 //! The row orderings are chosen so every GEMM accumulates its inner
 //! dimension in exactly the order the shifted-axpy reference path does,
-//! which keeps the two convolution backends bit-identical (see
-//! `tests/conv_gemm_equivalence.rs`).
+//! which keeps the convolution backends bit-identical (see
+//! `tests/conv_gemm_equivalence.rs`). The same column matrices feed both
+//! the portable microkernel and the [`crate::simd`] kernels — the SIMD
+//! backend is a different *consumer* of this lowering, not a different
+//! lowering — so the ordering contract covers it too.
 
 /// Geometry of one lowered convolution: every index computation lives here
 /// so the GEMM path and the reference path cannot drift apart.

@@ -10,13 +10,33 @@
 use crate::tensor::Tensor;
 
 /// Whether a forward pass is part of training (dropout active, batch-norm
-/// batch statistics) or evaluation (deterministic).
+/// batch statistics), evaluation (deterministic), or inference
+/// (deterministic *and* free of backward bookkeeping).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {
     /// Training: stochastic layers are active, normalization uses batch stats.
     Train,
-    /// Evaluation: deterministic forward with running statistics.
+    /// Evaluation: deterministic forward with running statistics. Layers
+    /// still cache what `backward` needs, so gradient checks can run
+    /// eval-mode semantics.
     Eval,
+    /// Inference: numerically identical to [`Mode::Eval`], but layers skip
+    /// every cache that exists only for a subsequent `backward` call (input
+    /// copies, activation masks, normalized-input buffers). Calling
+    /// `backward` after an `Infer` forward is a contract violation and
+    /// panics. This is the serving path's mode: the CamAL localization
+    /// pipeline never differentiates, and at skinny inference shapes the
+    /// cache traffic is comparable to the compute itself.
+    Infer,
+}
+
+impl Mode {
+    /// True when a forward pass in this mode must retain whatever the
+    /// backward pass needs (everything except [`Mode::Infer`]).
+    #[inline]
+    pub fn caches_for_backward(self) -> bool {
+        !matches!(self, Mode::Infer)
+    }
 }
 
 /// A trainable parameter: the value plus its accumulated gradient.

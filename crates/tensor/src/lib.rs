@@ -29,6 +29,7 @@
 pub mod activation;
 pub mod attention;
 pub mod conv;
+pub mod dispatch;
 pub mod dropout;
 pub mod gemm;
 pub mod gradcheck;
@@ -39,9 +40,11 @@ pub mod linear;
 pub mod loss;
 pub mod norm;
 pub mod optim;
+pub mod oracle;
 pub mod pool;
 pub mod rnn;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 
 /// Convenient glob import for model construction.
@@ -51,6 +54,7 @@ pub mod prelude {
         MultiHeadSelfAttention, PositionalEncoding, TransformerEncoderLayer,
     };
     pub use crate::conv::{conv_backend, set_conv_backend, Conv1d, ConvBackend, Padding};
+    pub use crate::dispatch::{forced_backend, set_forced_backend, Backend};
     pub use crate::dropout::Dropout;
     pub use crate::layer::{Identity, Layer, Mode, Param, Residual, Sequential};
     pub use crate::linear::{Linear, TimeDistributed};

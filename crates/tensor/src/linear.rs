@@ -2,6 +2,12 @@
 //! and the [`TimeDistributed`] variant that applies a linear map at every
 //! timestep of a `[batch, channels, time]` tensor (per-timestep heads of the
 //! sequence-to-sequence baselines).
+//!
+//! Both route their products through [`crate::gemm::gemm`], which consults
+//! the [`crate::dispatch`] layer for its inner kernel: forcing
+//! `NILM_BACKEND=simd` (or running un-forced on a machine where the SIMD
+//! kernels are bit-exact) moves these layers onto the explicit AVX2/NEON
+//! microkernels with no call-site changes here.
 
 use crate::gemm::{gemm, Layout};
 use crate::init;
@@ -49,7 +55,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let (b, f) = x.dims2();
         assert_eq!(f, self.in_f, "Linear expected {} features, got {f}", self.in_f);
         // y[b, o] = sum_i x[b, i] * w[o, i] + bias[o] — one GEMM against the
@@ -76,7 +82,7 @@ impl Layer for Linear {
                 }
             }
         }
-        self.cached_input = Some(x.clone());
+        self.cached_input = if mode.caches_for_backward() { Some(x.clone()) } else { None };
         out
     }
 

@@ -71,11 +71,37 @@ impl Layer for BatchNorm1d {
         assert_eq!(c, self.channels, "BatchNorm1d expected {} channels, got {c}", self.channels);
         let n = (b * t) as f32;
         let mut out = Tensor::zeros(&[b, c, t]);
+        self.last_mode = mode;
+
+        if mode == Mode::Infer {
+            // Inference fast path: running statistics, one fused pass, and
+            // no normalized-input buffer (backward after an `Infer` forward
+            // is a contract violation and panics on the missing cache). The
+            // per-element operation order matches the eval path exactly —
+            // `g * ((v - mean) * inv_std) + be` — so the two modes stay
+            // bit-identical.
+            self.xhat = None;
+            for ci in 0..c {
+                let mean = self.running_mean.data()[ci];
+                let var = self.running_var.data()[ci];
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                let g = self.gamma.value.data()[ci];
+                let be = self.beta.value.data()[ci];
+                for bi in 0..b {
+                    let xr = x.row(bi, ci);
+                    let or = out.row_mut(bi, ci);
+                    for (o, &v) in or.iter_mut().zip(xr) {
+                        *o = g * ((v - mean) * inv_std) + be;
+                    }
+                }
+            }
+            return out;
+        }
+
         // Reuse the previous call's cache allocation; contents are fully
         // overwritten below.
         let mut xhat = self.xhat.take().unwrap_or_else(|| Tensor::zeros(&[0]));
         xhat.resize(&[b, c, t]);
-        self.last_mode = mode;
 
         for ci in 0..c {
             let (mean, var) = match mode {
@@ -89,7 +115,10 @@ impl Layer for BatchNorm1d {
                     *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
                     (mean, var)
                 }
-                Mode::Eval => (self.running_mean.data()[ci], self.running_var.data()[ci]),
+                // `Infer` returned above; listed only for exhaustiveness.
+                Mode::Eval | Mode::Infer => {
+                    (self.running_mean.data()[ci], self.running_var.data()[ci])
+                }
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
             self.inv_std[ci] = inv_std;
@@ -158,7 +187,9 @@ impl Layer for BatchNorm1d {
                         }
                     }
                 }
-                Mode::Eval => {
+                // (`Infer` is unreachable here: its forward drops the xhat
+                // cache, so backward panics before this match.)
+                Mode::Eval | Mode::Infer => {
                     // Running stats are constants.
                     let k = g * inv_std;
                     for bi in 0..b {

@@ -10,9 +10,15 @@
 //! contract. A tolerance here would hide genuine indexing bugs (an
 //! off-by-one pad produces small errors on smooth random inputs).
 
+//! The SIMD backend rides the same contract: when
+//! [`nilm_tensor::simd::simd_exact`] holds (every multiply-add fused on both
+//! paths) it too must match bit for bit; otherwise it is held to the oracle's
+//! ULP budget (see `nilm_tensor::oracle`).
+
 use nilm_tensor::conv::{Conv1d, ConvBackend, Padding};
 use nilm_tensor::init::{randn_tensor, rng};
 use nilm_tensor::layer::{Layer, Mode};
+use nilm_tensor::oracle::{assert_within, ulp_budget};
 use nilm_tensor::tensor::Tensor;
 use proptest::prelude::*;
 
@@ -106,6 +112,17 @@ proptest! {
                 a.data() == b.data(),
                 "param grad mismatch: k={k} s={stride} d={dilation} pad={padding:?} t={t_in}"
             );
+        }
+
+        // The SIMD consumer of the same lowering: bit-exact when the build
+        // fuses scalar multiply-adds too, within the ULP budget otherwise.
+        let (y_s, dx_s, g_s) = run_pass(&mut conv, ConvBackend::Simd, &x, &upstream);
+        let budget = ulp_budget();
+        let label = format!("simd k={k} s={stride} d={dilation} pad={padding:?} t={t_in}");
+        assert_within(&format!("{label} forward"), y_s.data(), y_n.data(), budget);
+        assert_within(&format!("{label} dX"), dx_s.data(), dx_n.data(), budget);
+        for (i, (a, b)) in g_n.iter().zip(&g_s).enumerate() {
+            assert_within(&format!("{label} grad[{i}]"), b.data(), a.data(), budget);
         }
     }
 

@@ -1,0 +1,165 @@
+//! Oracle-driven property suite for the dispatch layer: every compute
+//! backend must reproduce the naive reference within the documented ULP
+//! budget across randomized GEMM and convolution problems (see
+//! [`nilm_tensor::oracle`] for the harness and the tolerance model).
+//!
+//! The suite honours `NILM_BACKEND`: when the variable forces a backend,
+//! only that backend is exercised — CI sweeps the suite once per value
+//! (`naive`, `gemm`, `simd`), plus once with `NILM_SIMD=off` to pin the
+//! portable-scalar fallback, so every dispatch path is oracle-checked on
+//! every build. Without the variable, one run covers all backends.
+
+use nilm_tensor::conv::{ConvBackend, Padding};
+use nilm_tensor::dispatch::{env_backend, Backend};
+use nilm_tensor::gemm::Layout;
+use nilm_tensor::oracle::{ulp_budget, ConvSpec, GemmSpec, ULP_BUDGET_EXACT};
+use proptest::prelude::*;
+
+/// Backends under test: the `NILM_BACKEND`-forced backend when set, every
+/// backend otherwise.
+fn backends_under_test() -> Vec<Backend> {
+    match env_backend() {
+        Some(b) => vec![b],
+        None => Backend::all().to_vec(),
+    }
+}
+
+/// The scalar backends preserve the reference chain on every build (budget
+/// 0); the SIMD backend earns a nonzero budget only on builds whose scalar
+/// path is compiled without fused multiply-adds.
+fn budget_for(backend: Backend) -> u64 {
+    match backend {
+        Backend::Simd => ulp_budget(),
+        _ => ULP_BUDGET_EXACT,
+    }
+}
+
+fn conv_backend(b: Backend) -> ConvBackend {
+    match b {
+        Backend::Naive => ConvBackend::Naive,
+        Backend::Gemm => ConvBackend::Gemm,
+        Backend::Simd => ConvBackend::Simd,
+    }
+}
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    prop_oneof![Just(Layout::Normal), Just(Layout::Transposed)]
+}
+
+fn padding_strategy() -> impl Strategy<Value = Padding> {
+    prop_oneof![
+        Just(Padding::Same).boxed(),
+        Just(Padding::Valid).boxed(),
+        (1usize..4).prop_map(Padding::Explicit).boxed(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random GEMMs: sizes straddle the skinny fast path (`m <= 16`), the
+    /// packed-panel blocking thresholds, and partial MR/NR edge tiles.
+    #[test]
+    fn every_backend_reproduces_the_gemm_oracle(
+        seed in 0u64..1_000_000,
+        m in 1usize..40,
+        n in 1usize..70,
+        k in 1usize..50,
+        a_layout in layout_strategy(),
+        b_layout in layout_strategy(),
+        accumulate in prop_oneof![Just(true), Just(false)],
+    ) {
+        let spec = GemmSpec { m, n, k, a_layout, b_layout, accumulate, seed };
+        for backend in backends_under_test() {
+            spec.check(backend, budget_for(backend));
+        }
+    }
+
+    /// Random convolutions (forward + both gradients) across strides,
+    /// dilations and padding policies.
+    #[test]
+    fn every_backend_reproduces_the_conv_oracle(
+        seed in 0u64..1_000_000,
+        batch in 1usize..4,
+        in_c in 1usize..5,
+        out_c in 1usize..7,
+        k in 1usize..8,
+        stride in prop_oneof![Just(1usize), Just(2usize), Just(3usize)],
+        dilation in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+        padding in padding_strategy(),
+        t_extra in 0usize..17,
+        bias in prop_oneof![Just(true), Just(false)],
+    ) {
+        let spec = ConvSpec {
+            in_c,
+            out_c,
+            k,
+            stride,
+            dilation,
+            padding,
+            batch,
+            t_in: (k - 1) * dilation + 1 + stride * 2 + t_extra,
+            bias,
+            seed,
+        };
+        for backend in backends_under_test() {
+            spec.check(conv_backend(backend), budget_for(backend));
+        }
+    }
+}
+
+/// The lowered-GEMM shapes the CamAL serving path actually emits (skinny
+/// rows at bench width, paper-width rows, long streaming columns) — pinned
+/// explicitly so a kernel regression on the shapes that matter cannot hide
+/// behind proptest's randomness.
+#[test]
+fn serving_shapes_are_oracle_checked_on_every_backend() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (4, 2048, 5),    // bench-width first conv, batch-wide columns
+        (8, 2048, 40),   // bench-width mid conv
+        (16, 128, 20),   // skinny-path boundary (m == SKINNY_MAX_M)
+        (17, 128, 20),   // first non-skinny row count
+        (64, 2048, 320), // paper-width conv
+        (2, 16, 128),    // classifier head (classes x batch over channels)
+    ];
+    for &(m, n, k) in shapes {
+        for layout in [Layout::Normal, Layout::Transposed] {
+            let spec = GemmSpec {
+                m,
+                n,
+                k,
+                a_layout: layout,
+                b_layout: Layout::Normal,
+                accumulate: false,
+                seed: (m * 31 + n * 7 + k) as u64,
+            };
+            for backend in backends_under_test() {
+                spec.check(backend, budget_for(backend));
+            }
+        }
+    }
+}
+
+/// The ResNet's conv geometries at bench scale, forward and backward.
+#[test]
+fn resnet_conv_geometries_are_oracle_checked() {
+    for &(in_c, out_c, k) in
+        &[(1usize, 4usize, 5usize), (4, 4, 5), (4, 4, 3), (1, 4, 1), (4, 8, 5), (8, 8, 3)]
+    {
+        let spec = ConvSpec {
+            in_c,
+            out_c,
+            k,
+            stride: 1,
+            dilation: 1,
+            padding: Padding::Same,
+            batch: 3,
+            t_in: 32,
+            bias: false,
+            seed: (in_c * 100 + out_c * 10 + k) as u64,
+        };
+        for backend in backends_under_test() {
+            spec.check(conv_backend(backend), budget_for(backend));
+        }
+    }
+}

@@ -109,6 +109,171 @@ fn soft_label_round_trip_trains_a_baseline() {
     assert!(report.localization.f1.is_finite());
 }
 
+/// Serving equivalence across compute backends: the streaming service, the
+/// fleet scheduler and the HTTP gateway must each return **byte-identical**
+/// response JSON whether the kernels underneath are naive, lowered-GEMM or
+/// SIMD. The backend is flipped with [`set_forced_backend`] rather than the
+/// `NILM_BACKEND` env var (which is latched once per process); the flip is
+/// process-global, but every backend raced here is bit-identical (SIMD is
+/// included only when `simd_exact()` holds), so concurrently running tests
+/// cannot observe a numeric difference.
+#[test]
+fn serving_surfaces_are_backend_invariant() {
+    use camal::ensemble::EnsembleMember;
+    use camal::fleet::{serve_fleet, FleetConfig};
+    use camal::registry::{ModelKey, ModelRegistry};
+    use camal::stream::{serve, HouseholdSeries, StreamConfig};
+    use nilm_data::series::TimeSeries;
+    use nilm_data::templates::{template, DatasetId};
+    use nilm_models::detector::build_detector;
+    use nilm_models::Backbone;
+    use nilm_serve::gateway::{Gateway, GatewayConfig};
+    use nilm_serve::http::read_response;
+    use nilm_serve::protocol::{localize_request, localize_response, Detail, HouseholdRow};
+    use nilm_tensor::dispatch::{set_forced_backend, Backend};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    const WINDOW: usize = 32;
+
+    /// Untrained-but-deterministic model: same seed → identical weights, so
+    /// each serving surface gets its own equal copy.
+    fn model(seed: u64) -> CamalModel {
+        let kernels = [5usize, 9];
+        let cfg = CamalConfig {
+            n_ensemble: kernels.len(),
+            kernels: kernels.to_vec(),
+            trials: 1,
+            width_div: 16,
+            ..CamalConfig::default()
+        };
+        let members = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                EnsembleMember {
+                    net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
+                    kernel: k,
+                    val_loss: 0.5 + i as f32,
+                }
+            })
+            .collect();
+        let mut m = CamalModel::from_members(cfg, members);
+        m.set_window(WINDOW);
+        m
+    }
+
+    fn household(n_windows: usize, seed: u64) -> HouseholdSeries {
+        let mut rng = nilm_tensor::init::rng(seed);
+        let n = n_windows * WINDOW + 3;
+        let values = (0..n)
+            .map(|t| {
+                let base = if (t / 10) % 3 == 0 { 2100.0 } else { 130.0 };
+                base + nilm_tensor::init::randn(&mut rng).abs() * 20.0
+            })
+            .collect();
+        HouseholdSeries { id: format!("house-{seed}"), series: TimeSeries::new(values, 60) }
+    }
+
+    // Restores autotuned dispatch even if an assertion below panics.
+    struct RestoreBackend;
+    impl Drop for RestoreBackend {
+        fn drop(&mut self) {
+            set_forced_backend(None);
+        }
+    }
+    let _restore = RestoreBackend;
+
+    let key = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+    let keys = [key];
+    let households = vec![household(4, 42), household(3, 7)];
+    let tmpl = template(key.dataset);
+    let avg = tmpl.case(key.appliance).map(|c| c.avg_power_w).unwrap_or(1000.0);
+
+    let mut stream_model = model(1);
+    let stream_cfg = StreamConfig {
+        window: WINDOW,
+        step_s: tmpl.step_s,
+        max_ffill_s: 3 * tmpl.step_s,
+        batch: 16,
+        appliance: Some(key.appliance),
+        avg_power_w: avg,
+    };
+
+    let mut fleet_registry = ModelRegistry::unbounded();
+    fleet_registry.insert(key, model(1));
+    let fleet_cfg = FleetConfig::at_step(tmpl.step_s);
+
+    let mut gateway_registry = ModelRegistry::unbounded();
+    gateway_registry.insert(key, model(1));
+    let gateway = Gateway::start(
+        gateway_registry,
+        GatewayConfig { read_timeout: Duration::from_secs(5), ..GatewayConfig::default() },
+    )
+    .expect("gateway starts");
+    let addr = gateway.addr().to_string();
+    let request_body = localize_request(&keys, &households, Detail::Full).to_compact();
+
+    let mut backends = vec![Backend::Naive, Backend::Gemm];
+    if nilm_tensor::simd::simd_exact() {
+        backends.push(Backend::Simd);
+    }
+
+    let mut per_backend: Vec<(String, String, String)> = Vec::new();
+    for &backend in &backends {
+        set_forced_backend(Some(backend));
+
+        let timelines = serve(&mut stream_model, &households, &stream_cfg);
+        let rows: Vec<HouseholdRow> = households
+            .iter()
+            .enumerate()
+            .map(|(hi, hh)| HouseholdRow { id: &hh.id, timelines: vec![&timelines[hi]] })
+            .collect();
+        let stream_body = localize_response(&keys, &rows, Detail::Full).to_compact();
+
+        let result =
+            serve_fleet(&mut fleet_registry, &keys, &households, &fleet_cfg).expect("fleet pass");
+        let rows: Vec<HouseholdRow> = households
+            .iter()
+            .enumerate()
+            .map(|(hi, hh)| HouseholdRow {
+                id: &hh.id,
+                timelines: vec![result.timeline(hi, key).expect("timeline")],
+            })
+            .collect();
+        let fleet_body = localize_response(&keys, &rows, Detail::Full).to_compact();
+
+        let stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let request = format!(
+            "POST /v1/localize HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{request_body}",
+            request_body.len()
+        );
+        (&stream).write_all(request.as_bytes()).expect("send");
+        let mut reader = BufReader::new(&stream);
+        let response = read_response(&mut reader).expect("response");
+        assert_eq!(response.status, 200, "{backend:?}");
+        let gateway_body = response.body_str().expect("UTF-8 body").to_string();
+
+        per_backend.push((stream_body, fleet_body, gateway_body));
+    }
+    set_forced_backend(None);
+    gateway.shutdown();
+
+    let (s0, f0, g0) = &per_backend[0];
+    assert!(s0.contains("\"status\""), "stream response looks empty: {s0}");
+    for (i, (s, f, g)) in per_backend.iter().enumerate() {
+        let b = backends[i];
+        assert_eq!(s, s0, "stream::serve diverged on {b:?} vs {:?}", backends[0]);
+        assert_eq!(f, f0, "serve_fleet diverged on {b:?} vs {:?}", backends[0]);
+        assert_eq!(g, g0, "gateway diverged on {b:?} vs {:?}", backends[0]);
+    }
+}
+
 #[test]
 fn possession_only_training_works_end_to_end() {
     let scale = ScaleOverride {
