@@ -118,15 +118,22 @@ PY
     step "camal_gateway demo --smoke (byte-identity + micro-batching gates, JSON validated)"
     cargo run --release -p nilm_eval --bin camal_gateway -- demo --smoke --out target/ci-gateway-demo
 
+    # Chaos smoke: batcher panics + checkpoint corruption at 10% while a
+    # ≥200-request load runs. Gates: every request completes (no hangs),
+    # statuses are only 200 or 503-with-Retry-After (a single 500 fails),
+    # and after disarming the gateway heals to byte-identical responses.
+    step "camal_gateway chaos --smoke (fault injection: zero hangs, zero 500s, heals byte-identical)"
+    cargo run --release -p nilm_eval --bin camal_gateway -- chaos --smoke --out target/ci-gateway-chaos
+
     step "bench_gateway_rps smoke (validates BENCH_gateway.json writer)"
     cargo bench -p nilm_bench --bench bench_gateway_rps -- --smoke --out "$PWD/target/ci-gateway"
 fi
 
-# `camal`, `nilm_data`, `nilm_json` and `nilm_serve` opt into
+# `camal`, `nilm_data`, `nilm_fault`, `nilm_json` and `nilm_serve` opt into
 # #![warn(missing_docs)]; with rustdoc warnings denied this step is the
 # docs gate: any undocumented public item in those crates fails CI.
-step "docs gate: cargo doc -p camal -p nilm_data -p nilm_json -p nilm_serve (missing_docs denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_json -p nilm_serve
+step "docs gate: cargo doc -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_serve (missing_docs denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_serve
 
 step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -90,6 +90,7 @@ pub(crate) fn serve_shared(
     max_ffill_s: u32,
     batch: usize,
 ) -> (Vec<Vec<HouseholdTimeline>>, SharedPassCounters) {
+    nilm_fault::maybe_panic("fleet.shard.panic");
     assert!(window > 0, "window length must be positive");
     assert_eq!(models.len(), plans.len(), "one plan per model");
     for model in models.iter() {
@@ -278,6 +279,10 @@ pub struct FleetHouseholdResult {
     pub id: String,
     /// One timeline per appliance, parallel to [`FleetResult::appliances`].
     pub timelines: Vec<HouseholdTimeline>,
+    /// `Some(reason)` when this household's shard worker panicked twice and
+    /// the timelines are zeroed placeholders of the correct resampled
+    /// length; `None` for a normally served household.
+    pub degraded: Option<String>,
 }
 
 /// Fleet-level throughput and coverage counters.
@@ -304,6 +309,11 @@ pub struct FleetSummary {
     pub elapsed_s: f64,
     /// `inferences / elapsed_s`.
     pub windows_per_second: f64,
+    /// Shards that panicked once and were retried on fresh model copies.
+    pub shard_retries: usize,
+    /// Households answered with zeroed placeholder timelines because their
+    /// shard panicked twice (see [`FleetHouseholdResult::degraded`]).
+    pub households_degraded: usize,
 }
 
 /// Result of one [`serve_fleet`] pass.
@@ -323,6 +333,114 @@ impl FleetResult {
     pub fn timeline(&self, house: usize, key: ModelKey) -> Option<&HouseholdTimeline> {
         let ai = self.appliances.iter().position(|&k| k == key)?;
         self.households.get(house).map(|h| &h.timelines[ai])
+    }
+}
+
+/// One shard's outcome after panic isolation: results and counters on
+/// success, zeroed placeholders plus the panic message when both attempts
+/// failed.
+struct ShardOutcome {
+    timelines: Vec<Vec<HouseholdTimeline>>,
+    counters: SharedPassCounters,
+    retries: usize,
+    degraded: Option<String>,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".into()
+    }
+}
+
+/// One attempt at a shard on freshly rebuilt model copies. A panic anywhere
+/// inside — snapshot rebuild, preprocessing, inference, post-processing — is
+/// caught and returned as the panic message instead of unwinding into the
+/// caller (under rayon an uncaught worker panic would poison the whole
+/// fan-out).
+fn attempt_shard(
+    snapshots: &[Vec<u8>],
+    plans: &[AppliancePlan],
+    shard: &[HouseholdSeries],
+    window: usize,
+    cfg: &FleetConfig,
+) -> Result<(Vec<Vec<HouseholdTimeline>>, SharedPassCounters), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut local: Vec<CamalModel> = snapshots
+            .iter()
+            .map(|bytes| {
+                CamalModel::from_bytes(bytes).expect(
+                    "fleet snapshot must reload: it was serialized from a live model this call",
+                )
+            })
+            .collect();
+        let mut refs: Vec<&mut CamalModel> = local.iter_mut().collect();
+        serve_shared(&mut refs, plans, shard, window, cfg.step_s, cfg.max_ffill_s, cfg.batch)
+    }))
+    .map_err(panic_message)
+}
+
+/// Zeroed placeholder timelines for a shard whose worker panicked twice:
+/// per household the correct resampled length, everything OFF at 0 W and no
+/// windows scored. The gateway surfaces these as structured degraded rows.
+fn degraded_shard(
+    plans: &[AppliancePlan],
+    shard: &[HouseholdSeries],
+    window: usize,
+    step_s: u32,
+) -> Vec<Vec<HouseholdTimeline>> {
+    (0..plans.len())
+        .map(|_| {
+            shard
+                .iter()
+                .map(|hh| {
+                    let n = resample(&hh.series, step_s).len();
+                    HouseholdTimeline {
+                        id: hh.id.clone(),
+                        step_s,
+                        raw_status: vec![0u8; n],
+                        status: vec![0u8; n],
+                        power_w: vec![0.0; n],
+                        detection_proba: Vec::new(),
+                        windows_total: n / window.max(1),
+                        windows_scored: 0,
+                        windows_detected: 0,
+                        scored_starts: Vec::new(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one shard with panic isolation: first attempt, one retry on fresh
+/// model copies, then degraded placeholders if both panicked.
+fn run_shard_guarded(
+    snapshots: &[Vec<u8>],
+    plans: &[AppliancePlan],
+    shard: &[HouseholdSeries],
+    window: usize,
+    cfg: &FleetConfig,
+) -> ShardOutcome {
+    match attempt_shard(snapshots, plans, shard, window, cfg) {
+        Ok((timelines, counters)) => {
+            ShardOutcome { timelines, counters, retries: 0, degraded: None }
+        }
+        Err(first) => match attempt_shard(snapshots, plans, shard, window, cfg) {
+            Ok((timelines, counters)) => {
+                ShardOutcome { timelines, counters, retries: 1, degraded: None }
+            }
+            Err(second) => ShardOutcome {
+                timelines: degraded_shard(plans, shard, window, cfg.step_s),
+                counters: SharedPassCounters::default(),
+                retries: 1,
+                degraded: Some(format!("shard worker panicked twice ({first}; then {second})")),
+            },
+        },
     }
 }
 
@@ -415,7 +533,7 @@ pub fn serve_fleet(
     // starts: `elapsed_s` measures serving, not serialization.
     let shards = cfg.threads.max(1).min(households.len().max(1));
     let per_shard = households.len().div_ceil(shards).max(1);
-    let shard_results: Vec<(Vec<Vec<HouseholdTimeline>>, SharedPassCounters)>;
+    let shard_results: Vec<ShardOutcome>;
     let elapsed_s;
     if shards <= 1 {
         // Single-shard fast path: check the resident models out of the
@@ -436,7 +554,7 @@ pub fn serve_fleet(
             local.push(model);
         }
         let start = Instant::now();
-        let result = {
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut refs: Vec<&mut CamalModel> = local.iter_mut().collect();
             serve_shared(
                 &mut refs,
@@ -447,17 +565,45 @@ pub fn serve_fleet(
                 cfg.max_ffill_s,
                 cfg.batch,
             )
+        }));
+        let outcome = match first {
+            Ok((timelines, counters)) => {
+                ShardOutcome { timelines, counters, retries: 0, degraded: None }
+            }
+            Err(payload) => {
+                // A panic can only interrupt scratch-buffer work — the
+                // checked-out models' weights are intact — so snapshot them
+                // and retry once on fresh rebuilds, exactly like the
+                // multi-shard path.
+                let first_msg = panic_message(payload);
+                let snapshots: Vec<Vec<u8>> = local.iter_mut().map(|m| m.to_bytes()).collect();
+                match attempt_shard(&snapshots, &plans, households, window, cfg) {
+                    Ok((timelines, counters)) => {
+                        ShardOutcome { timelines, counters, retries: 1, degraded: None }
+                    }
+                    Err(second) => ShardOutcome {
+                        timelines: degraded_shard(&plans, households, window, cfg.step_s),
+                        counters: SharedPassCounters::default(),
+                        retries: 1,
+                        degraded: Some(format!(
+                            "shard worker panicked twice ({first_msg}; then {second})"
+                        )),
+                    },
+                }
+            }
         };
         elapsed_s = start.elapsed().as_secs_f64();
         for (&k, model) in keys.iter().zip(local) {
             registry.restore(k, model);
         }
-        shard_results = vec![result];
+        shard_results = vec![outcome];
     } else {
         // Multi-shard: snapshot each model to checkpoint bytes (`persist`
         // format) and let every worker rebuild private copies — the
         // persistence tests pin the rebuilds bit-identical to the
-        // originals, so shard count never changes results.
+        // originals, so shard count never changes results. Each shard runs
+        // panic-isolated: one retry on fresh copies, then degraded
+        // placeholders, so a poisoned worker cannot sink the whole pass.
         let mut snapshots: Vec<Vec<u8>> = Vec::with_capacity(keys.len());
         for &key in keys {
             snapshots.push(registry.get_mut(key)?.to_bytes());
@@ -465,27 +611,7 @@ pub fn serve_fleet(
         let start = Instant::now();
         shard_results = households
             .par_chunks(per_shard)
-            .map(|shard| {
-                let mut local: Vec<CamalModel> = snapshots
-                    .iter()
-                    .map(|bytes| {
-                        CamalModel::from_bytes(bytes).expect(
-                            "fleet snapshot must reload: it was serialized from a live model \
-                             this call",
-                        )
-                    })
-                    .collect();
-                let mut refs: Vec<&mut CamalModel> = local.iter_mut().collect();
-                serve_shared(
-                    &mut refs,
-                    &plans,
-                    shard,
-                    window,
-                    cfg.step_s,
-                    cfg.max_ffill_s,
-                    cfg.batch,
-                )
-            })
+            .map(|shard| run_shard_guarded(&snapshots, &plans, shard, window, cfg))
             .collect();
         elapsed_s = start.elapsed().as_secs_f64();
     }
@@ -494,18 +620,29 @@ pub fn serve_fleet(
     // per-household rows, preserving input household order.
     let mut out_households: Vec<FleetHouseholdResult> = Vec::with_capacity(households.len());
     let mut counters = SharedPassCounters::default();
+    let mut shard_retries = 0usize;
+    let mut households_degraded = 0usize;
     let actual_shards = shard_results.len();
-    for (per_model, c) in shard_results {
+    for outcome in shard_results {
+        let c = outcome.counters;
         counters.windows_total += c.windows_total;
         counters.windows_scored += c.windows_scored;
         counters.inferences += c.inferences;
         counters.batches += c.batches;
-        let shard_len = per_model.first().map_or(0, Vec::len);
-        let mut iters: Vec<_> = per_model.into_iter().map(Vec::into_iter).collect();
+        shard_retries += outcome.retries;
+        let shard_len = outcome.timelines.first().map_or(0, Vec::len);
+        if outcome.degraded.is_some() {
+            households_degraded += shard_len;
+        }
+        let mut iters: Vec<_> = outcome.timelines.into_iter().map(Vec::into_iter).collect();
         for _ in 0..shard_len {
             let timelines: Vec<HouseholdTimeline> =
                 iters.iter_mut().map(|it| it.next().expect("shard rows are rectangular")).collect();
-            out_households.push(FleetHouseholdResult { id: timelines[0].id.clone(), timelines });
+            out_households.push(FleetHouseholdResult {
+                id: timelines[0].id.clone(),
+                timelines,
+                degraded: outcome.degraded.clone(),
+            });
         }
     }
 
@@ -520,6 +657,8 @@ pub fn serve_fleet(
         batches: counters.batches,
         elapsed_s,
         windows_per_second: counters.inferences as f64 / elapsed_s.max(1e-9),
+        shard_retries,
+        households_degraded,
     };
     Ok(FleetResult { appliances: keys.to_vec(), households: out_households, summary })
 }

@@ -30,7 +30,7 @@
 //! assert_eq!(back.to_bytes(), bytes);
 //! ```
 //!
-//! Layout (little-endian throughout):
+//! Layout (little-endian throughout; format v2):
 //!
 //! ```text
 //! magic    [8]  b"CAMALCKP"
@@ -44,7 +44,15 @@
 //! window   u32 training window length (0 = unknown)
 //! members  u32 count, then per member:
 //!              kernel:u32, val_loss:f32, blob: len:u64 + bytes
+//! crc      u32 IEEE CRC-32 of every preceding byte (magic through members)
 //! ```
+//!
+//! The CRC footer (new in v2) is verified by [`from_bytes`] before any
+//! payload parsing, so a torn or bit-flipped file fails loudly as a checksum
+//! mismatch instead of as a confusing parse error deep in a member blob.
+//! [`save`] writes through a same-directory temp file with `sync_all` and an
+//! atomic rename, so a crash mid-save can never leave a partial checkpoint
+//! at the target path.
 
 use crate::config::CamalConfig;
 use crate::ensemble::EnsembleMember;
@@ -60,7 +68,35 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"CAMALCKP";
 
 /// Current checkpoint version; bumped on any layout change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// v2 appended the IEEE CRC-32 footer.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// IEEE CRC-32 (the zlib/ethernet polynomial, reflected) of `bytes`.
+///
+/// Exposed so tooling can recompute or verify the checkpoint footer without
+/// a full [`from_bytes`] parse.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 fn backbone_tag(b: Backbone) -> u8 {
     match b {
@@ -159,26 +195,48 @@ pub fn to_bytes(model: &mut CamalModel) -> Vec<u8> {
         w.put_u64(blob.len() as u64);
         w.put_bytes(&blob);
     }
-    w.finish()
+    let mut bytes = w.finish();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
 }
 
 /// Reconstructs a model from checkpoint bytes. Rejects bad magic, unknown
 /// versions, truncated or trailing data, and any member blob whose tensor
 /// shapes do not match the architecture implied by the stored config.
 pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
-    let mut r = ByteReader::new(bytes);
-    let magic = r.get_bytes(MAGIC.len(), "magic")?;
+    // Probe magic and version first for precise error messages, then verify
+    // the CRC footer over everything before it, and only then parse the
+    // payload — any torn or bit-flipped file is caught as a checksum
+    // mismatch rather than a parse error deep in a member blob.
+    let mut probe = ByteReader::new(bytes);
+    let magic = probe.get_bytes(MAGIC.len(), "magic")?;
     if magic != MAGIC {
         return Err(SerializeError::Format(format!(
             "bad magic {magic:02x?}, expected {MAGIC:02x?} — not a CamAL checkpoint"
         )));
     }
-    let version = r.get_u32("version")?;
+    let version = probe.get_u32("version")?;
     if version != CHECKPOINT_VERSION {
         return Err(SerializeError::Format(format!(
             "unsupported checkpoint version {version}, expected {CHECKPOINT_VERSION}"
         )));
     }
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(SerializeError::Format("checkpoint truncated before CRC footer".into()));
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(footer.try_into().expect("footer is 4 bytes"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(SerializeError::Format(format!(
+            "checkpoint CRC mismatch: stored {stored:08x}, computed {computed:08x} — \
+             file is torn or corrupt"
+        )));
+    }
+    let mut r = ByteReader::new(payload);
+    r.get_bytes(MAGIC.len(), "magic")?;
+    r.get_u32("version")?;
     let cfg = read_config(&mut r)?;
     let window = r.get_u32("window length")? as usize;
     let n_members = r.get_u32("member count")? as usize;
@@ -215,7 +273,22 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
     Ok(model)
 }
 
-/// Writes a checkpoint file at `path`.
+/// Sibling path used for the write-then-rename dance: same directory (so
+/// the rename cannot cross filesystems), file name suffixed with `.tmp`.
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("checkpoint"));
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes a checkpoint file at `path` crash-safely: the bytes go to a
+/// same-directory temp file, are flushed with `sync_all`, and only then
+/// atomically renamed over `path`. A crash (or the injected
+/// `persist.save.torn` fault) at any point leaves the previous checkpoint at
+/// `path` untouched — never a partial file.
 ///
 /// ```no_run
 /// # fn trained_model() -> camal::CamalModel { unimplemented!() }
@@ -223,18 +296,47 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
 /// camal::persist::save(&mut model, "refit_kettle.ckpt").unwrap();
 /// ```
 pub fn save(model: &mut CamalModel, path: impl AsRef<Path>) -> Result<(), SerializeError> {
-    std::fs::write(path, to_bytes(model))?;
-    Ok(())
+    let path = path.as_ref();
+    let bytes = to_bytes(model);
+    let tmp = temp_sibling(path);
+    if nilm_fault::fires("persist.save.torn") {
+        // Simulate a crash mid-write: a truncated temp file is left behind
+        // (as a real crash would) but the target path is never touched.
+        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        return Err(SerializeError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected fault: persist.save.torn",
+        )));
+    }
+    let result = (|| -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(SerializeError::from)
 }
 
-/// Loads a checkpoint file written by [`save`].
+/// Loads a checkpoint file written by [`save`], verifying the CRC footer.
 ///
 /// ```no_run
 /// let mut model = camal::persist::load("refit_kettle.ckpt").unwrap();
 /// assert!(model.ensemble_size() > 0);
 /// ```
 pub fn load(path: impl AsRef<Path>) -> Result<CamalModel, SerializeError> {
-    from_bytes(&std::fs::read(path)?)
+    let bytes = std::fs::read(&path)?;
+    if nilm_fault::fires("persist.load.corrupt") {
+        return Err(SerializeError::Format(format!(
+            "injected fault: persist.load.corrupt while reading {}",
+            path.as_ref().display()
+        )));
+    }
+    from_bytes(&bytes)
 }
 
 #[cfg(test)]
@@ -316,6 +418,14 @@ mod tests {
         assert!(from_bytes(&trailing).is_err());
     }
 
+    /// Recomputes the CRC footer after a test deliberately edits the payload,
+    /// so the edit reaches the parser instead of tripping the checksum.
+    fn refresh_crc(bytes: &mut [u8]) {
+        let n = bytes.len() - 4;
+        let crc = crc32(&bytes[..n]);
+        bytes[n..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn member_architecture_mismatch_is_rejected() {
         // Corrupt the stored kernel of member 0: the rebuilt backbone then
@@ -324,15 +434,54 @@ mod tests {
         let mut model = untrained_model(Backbone::ResNet, &[5]);
         let mut bytes = to_bytes(&mut model);
         let kernel_pos = bytes.len()
+            - 4  // CRC footer
             - model.members_mut()[0].net.save_state().len()
             - 8  // blob length
             - 4  // val_loss
             - 4; // kernel
         bytes[kernel_pos..kernel_pos + 4].copy_from_slice(&25u32.to_le_bytes());
+        refresh_crc(&mut bytes);
         let err = match from_bytes(&bytes) {
             Err(e) => e,
             Ok(_) => panic!("mismatched member architecture was accepted"),
         };
         assert!(format!("{err}").contains("member 0"), "{err}");
+    }
+
+    #[test]
+    fn crc_footer_detects_any_bit_flip() {
+        let mut model = untrained_model(Backbone::ResNet, &[5]);
+        let bytes = to_bytes(&mut model);
+        // Flip one bit at a sampling of payload offsets past the version
+        // field; every flip must be rejected as a CRC mismatch, not survive
+        // as a silently different model.
+        for pos in (13..bytes.len() - 4).step_by(101) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            let err = match from_bytes(&bad) {
+                Err(e) => e,
+                Ok(_) => panic!("bit flip at {pos} was accepted"),
+            };
+            assert!(format!("{err}").contains("CRC"), "offset {pos}: {err}");
+        }
+    }
+
+    #[test]
+    fn save_renames_atomically_and_cleans_temp() {
+        let dir = std::env::temp_dir().join(format!("camal_persist_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut model = untrained_model(Backbone::ResNet, &[5]);
+        save(&mut model, &path).unwrap();
+        let mut back = load(&path).unwrap();
+        assert_eq!(to_bytes(&mut back), to_bytes(&mut model));
+        // No temp debris after a clean save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,7 +8,16 @@
 //! [`crate::persist`]), and a bounded registry evicts the least-recently-used
 //! reloadable model when the resident count exceeds its budget. The
 //! [`ModelRegistry::manifest`] listing is what a serving process reports to
-//! operators, and [`ModelRegistry::stats`] counts hits / loads / evictions.
+//! operators, and [`ModelRegistry::stats`] counts hits / loads / evictions
+//! plus load failures and quarantines.
+//!
+//! Checkpoints that repeatedly fail to load are **quarantined**: after
+//! [`QuarantinePolicy::threshold`] consecutive failures the registry stops
+//! touching the file for an exponentially growing backoff window and lookups
+//! fail fast with [`RegistryError::Quarantined`] (which carries a
+//! `retry_after` hint). A successful load after the window expires clears
+//! the quarantine, so a checkpoint that is repaired on disk heals without a
+//! restart.
 //!
 //! The registry is the model source of the [`crate::fleet`] scheduler, which
 //! snapshots the models it needs and fans them out across worker shards.
@@ -20,6 +29,7 @@ use nilm_tensor::serialize::SerializeError;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Identity of one deployed detector: the dataset template it was trained on
 /// and the appliance it detects.
@@ -111,6 +121,16 @@ pub enum RegistryError {
         /// The underlying checkpoint error.
         source: SerializeError,
     },
+    /// The backing checkpoint failed to load too many times in a row and is
+    /// inside its quarantine backoff window; the file was not touched.
+    Quarantined {
+        /// Key whose checkpoint is quarantined.
+        key: ModelKey,
+        /// The quarantined checkpoint path.
+        path: PathBuf,
+        /// Time remaining until the registry will retry the load.
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -120,6 +140,12 @@ impl fmt::Display for RegistryError {
             RegistryError::Load { key, path, source } => {
                 write!(f, "cannot load model {key} from {}: {source}", path.display())
             }
+            RegistryError::Quarantined { key, path, retry_after } => write!(
+                f,
+                "model {key} ({}) is quarantined after repeated load failures; retry in {:.1}s",
+                path.display(),
+                retry_after.as_secs_f64()
+            ),
         }
     }
 }
@@ -127,9 +153,41 @@ impl fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RegistryError::Unknown(_) => None,
+            RegistryError::Unknown(_) | RegistryError::Quarantined { .. } => None,
             RegistryError::Load { source, .. } => Some(source),
         }
+    }
+}
+
+/// When and for how long the registry quarantines a failing checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Consecutive load failures before the first quarantine window opens.
+    pub threshold: u32,
+    /// Length of the first quarantine window; doubles with every further
+    /// failure past the threshold.
+    pub base_backoff: Duration,
+    /// Upper bound on the backoff window.
+    pub max_backoff: Duration,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            threshold: 3,
+            base_backoff: Duration::from_millis(500),
+            max_backoff: Duration::from_secs(30),
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Backoff window after `failures` consecutive failures (≥ threshold):
+    /// `base_backoff * 2^(failures - threshold)`, capped at `max_backoff`.
+    fn backoff(&self, failures: u32) -> Duration {
+        let exp = failures.saturating_sub(self.threshold).min(16);
+        let window = self.base_backoff.saturating_mul(1u32 << exp);
+        window.min(self.max_backoff)
     }
 }
 
@@ -142,6 +200,10 @@ pub struct RegistryStats {
     pub loads: u64,
     /// Models dropped from memory by the LRU budget.
     pub evictions: u64,
+    /// Checkpoint loads that failed (missing, torn or corrupt file).
+    pub load_failures: u64,
+    /// Quarantine windows opened by consecutive load failures.
+    pub quarantines: u64,
 }
 
 /// One row of [`ModelRegistry::manifest`].
@@ -170,6 +232,10 @@ struct Slot {
     /// Metadata cached at insert/first-load time for the manifest.
     window: usize,
     ensemble_size: usize,
+    /// Consecutive checkpoint load failures (reset on success).
+    failures: u32,
+    /// End of the current quarantine window, if one is open.
+    quarantined_until: Option<Instant>,
 }
 
 /// Holds the per-appliance detector zoo of a serving process.
@@ -206,6 +272,7 @@ pub struct ModelRegistry {
     max_loaded: usize,
     clock: u64,
     stats: RegistryStats,
+    quarantine: QuarantinePolicy,
 }
 
 impl ModelRegistry {
@@ -218,12 +285,30 @@ impl ModelRegistry {
             max_loaded,
             clock: 0,
             stats: RegistryStats::default(),
+            quarantine: QuarantinePolicy::default(),
         }
+    }
+
+    /// Replaces the quarantine policy (default:
+    /// [`QuarantinePolicy::default`]). Tests use tight windows; operators
+    /// can widen them for slow shared storage.
+    pub fn set_quarantine_policy(&mut self, policy: QuarantinePolicy) {
+        self.quarantine = policy;
+    }
+
+    /// The active quarantine policy.
+    pub fn quarantine_policy(&self) -> QuarantinePolicy {
+        self.quarantine
     }
 
     /// A registry with no residency budget.
     pub fn unbounded() -> Self {
         ModelRegistry::new(0)
+    }
+
+    /// The residency budget this registry was built with (0 = unbounded).
+    pub fn max_loaded(&self) -> usize {
+        self.max_loaded
     }
 
     /// Number of registered models (resident or not).
@@ -267,6 +352,8 @@ impl ModelRegistry {
             ensemble_size: model.ensemble_size(),
             model: Some(model),
             last_used: self.clock,
+            failures: 0,
+            quarantined_until: None,
         };
         self.slots.insert(key, slot);
     }
@@ -283,6 +370,8 @@ impl ModelRegistry {
             last_used: self.clock,
             window: 0,
             ensemble_size: 0,
+            failures: 0,
+            quarantined_until: None,
         };
         self.slots.insert(key, slot);
     }
@@ -309,6 +398,11 @@ impl ModelRegistry {
     /// not resident. Updates the LRU clock and, when a load pushes the
     /// resident count over the budget, evicts least-recently-used
     /// file-backed models until it fits again.
+    ///
+    /// Load failures count toward the quarantine policy: inside an open
+    /// quarantine window the file is not touched and the lookup fails fast
+    /// with [`RegistryError::Quarantined`]; a successful load clears the
+    /// failure streak.
     pub fn get_mut(&mut self, key: ModelKey) -> Result<&mut CamalModel, RegistryError> {
         if !self.slots.contains_key(&key) {
             return Err(RegistryError::Unknown(key));
@@ -319,25 +413,39 @@ impl ModelRegistry {
         if resident {
             self.stats.hits += 1;
         } else {
-            let path = self
-                .slots
-                .get(&key)
-                .expect("checked above")
-                .path
-                .clone()
-                .expect("non-resident slot always has a backing path");
-            let model = CamalModel::load(&path).map_err(|source| RegistryError::Load {
-                key,
-                path: path.clone(),
-                source,
-            })?;
-            let slot = self.slots.get_mut(&key).expect("checked above");
-            slot.window = model.window();
-            slot.ensemble_size = model.ensemble_size();
-            slot.model = Some(model);
-            slot.last_used = clock;
-            self.stats.loads += 1;
-            self.enforce_budget(key);
+            let slot = self.slots.get(&key).expect("checked above");
+            let path = slot.path.clone().expect("non-resident slot always has a backing path");
+            if let Some(until) = slot.quarantined_until {
+                let now = Instant::now();
+                if now < until {
+                    return Err(RegistryError::Quarantined { key, path, retry_after: until - now });
+                }
+            }
+            match CamalModel::load(&path) {
+                Ok(model) => {
+                    let slot = self.slots.get_mut(&key).expect("checked above");
+                    slot.window = model.window();
+                    slot.ensemble_size = model.ensemble_size();
+                    slot.model = Some(model);
+                    slot.last_used = clock;
+                    slot.failures = 0;
+                    slot.quarantined_until = None;
+                    self.stats.loads += 1;
+                    self.enforce_budget(key);
+                }
+                Err(source) => {
+                    let policy = self.quarantine;
+                    let slot = self.slots.get_mut(&key).expect("checked above");
+                    slot.failures += 1;
+                    self.stats.load_failures += 1;
+                    if slot.failures >= policy.threshold {
+                        slot.quarantined_until =
+                            Some(Instant::now() + policy.backoff(slot.failures));
+                        self.stats.quarantines += 1;
+                    }
+                    return Err(RegistryError::Load { key, path, source });
+                }
+            }
         }
         let slot = self.slots.get_mut(&key).expect("checked above");
         slot.last_used = clock;
@@ -551,6 +659,42 @@ mod tests {
         std::fs::write(&path, b"not a checkpoint").unwrap();
         reg.register_file(key, &path);
         assert!(matches!(reg.get_mut(key), Err(RegistryError::Load { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_load_failures_quarantine_then_heal() {
+        let dir = temp_zoo("quarantine");
+        let key = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+        let path = dir.join(key.file_name());
+        std::fs::write(&path, b"garbage, not a checkpoint").unwrap();
+        let mut reg = ModelRegistry::unbounded();
+        reg.set_quarantine_policy(QuarantinePolicy {
+            threshold: 2,
+            base_backoff: std::time::Duration::from_millis(40),
+            max_backoff: std::time::Duration::from_secs(1),
+        });
+        reg.register_file(key, &path);
+        // Failures below the threshold keep hitting the disk.
+        assert!(matches!(reg.get_mut(key), Err(RegistryError::Load { .. })));
+        // The second failure reaches the threshold and opens the window.
+        assert!(matches!(reg.get_mut(key), Err(RegistryError::Load { .. })));
+        match reg.get_mut(key) {
+            Err(RegistryError::Quarantined { retry_after, .. }) => {
+                assert!(retry_after <= std::time::Duration::from_millis(40));
+            }
+            other => panic!("expected Quarantined, got {:?}", other.map(|_| ())),
+        }
+        let stats = reg.stats();
+        assert_eq!((stats.load_failures, stats.quarantines), (2, 1));
+        // Repair the checkpoint on disk; after the window expires the next
+        // lookup retries, succeeds and clears the streak.
+        tiny_model(3).save(&path).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert_eq!(reg.get_mut(key).unwrap().window(), 32);
+        assert_eq!(reg.stats().loads, 1);
+        // The healed entry quarantines again only after fresh failures.
+        assert!(reg.get_mut(key).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

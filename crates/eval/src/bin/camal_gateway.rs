@@ -10,6 +10,9 @@
 //!                       [--houses N] [--request-windows N] [--out DIR]
 //! camal_gateway demo    [--smoke|--quick|--full] [--requests N]
 //!                       [--request-windows N] [--zoo DIR] [--out DIR]
+//! camal_gateway chaos   [--smoke|--quick|--full] [--requests N]
+//!                       [--rate-pct N] [--deadline-ms N] [--zoo DIR]
+//!                       [--out DIR]
 //! ```
 //!
 //! `train` fits the Refit kettle CamAL ensemble and writes
@@ -22,6 +25,11 @@
 //! requests/s + latency report. `demo` does train → serve → verify
 //! byte-identical responses vs `camal::stream::serve` → prove concurrent
 //! loadgen beats sequential → shut down — the gate CI and `run_all` run.
+//! `chaos` trains, then arms the `batcher.panic` and
+//! `persist.load.corrupt` fault points at `--rate-pct` (default 10%) and
+//! proves a ≥200-request load completes with zero hangs and zero 500s —
+//! only 200s and 503s-with-`Retry-After` — and that the gateway heals to
+//! byte-identical responses after the faults are disarmed.
 //!
 //! The logic lives in [`nilm_eval::gateway`]; the server itself is
 //! [`nilm_serve`].
@@ -70,8 +78,9 @@ fn main() {
             serving::write_summary(&doc, &args, "camal_gateway_loadgen");
         }
         "demo" => gateway::gateway_demo(&scale, &args),
+        "chaos" => gateway::gateway_chaos(&scale, &args),
         other => {
-            eprintln!("unknown mode {other:?}; use train, serve, loadgen or demo");
+            eprintln!("unknown mode {other:?}; use train, serve, loadgen, chaos or demo");
             std::process::exit(2);
         }
     }

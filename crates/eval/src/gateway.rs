@@ -39,7 +39,7 @@ pub fn gateway_zoo_dir(args: &[String]) -> PathBuf {
 }
 
 /// Builds the [`GatewayConfig`] from CLI flags (`--addr`, `--queue`,
-/// `--max-coalesce`, `--batch`).
+/// `--max-coalesce`, `--batch`, `--deadline-ms`).
 pub fn gateway_config(args: &[String]) -> GatewayConfig {
     let mut cfg = GatewayConfig::default();
     if let Some(addr) = arg_value(args, "--addr") {
@@ -48,6 +48,10 @@ pub fn gateway_config(args: &[String]) -> GatewayConfig {
     cfg.queue_capacity = arg_usize(args, "--queue", cfg.queue_capacity);
     cfg.max_coalesce = arg_usize(args, "--max-coalesce", cfg.max_coalesce);
     cfg.batch_windows = arg_usize(args, "--batch", cfg.batch_windows);
+    cfg.deadline =
+        Duration::from_millis(
+            arg_usize(args, "--deadline-ms", cfg.deadline.as_millis() as usize) as u64
+        );
     cfg
 }
 
@@ -112,10 +116,17 @@ pub fn http_post(addr: &str, path: &str, body: &str) -> (u16, String) {
 
 /// A [`LoadgenReport`] as JSON.
 pub fn loadgen_json(r: &LoadgenReport) -> JsonValue {
+    let by_status: std::collections::BTreeMap<String, JsonValue> = r
+        .by_status
+        .iter()
+        .map(|(status, count)| (status.to_string(), JsonValue::Number(*count as f64)))
+        .collect();
     JsonValue::object([
         ("connections", JsonValue::Number(r.connections as f64)),
         ("ok", JsonValue::Number(r.ok as f64)),
         ("errors", JsonValue::Number(r.errors as f64)),
+        ("by_status", JsonValue::Object(by_status)),
+        ("missing_retry_after", JsonValue::Number(r.missing_retry_after as f64)),
         ("elapsed_s", JsonValue::Number(r.elapsed_s)),
         ("requests_per_second", JsonValue::Number(r.requests_per_second)),
         ("p50_ms", JsonValue::Number(r.p50_ms)),
@@ -201,6 +212,136 @@ pub fn train_gateway_zoo(scale: &Scale, args: &[String]) -> camal::CamalModel {
     serving::train_model(scale, &zoo.join(gateway_key().file_name()))
 }
 
+/// The chaos gate: train → serve the checkpoint file-backed → arm batcher
+/// panics and checkpoint-corruption faults (default 10% each) → fire a
+/// `>= 200`-request loadgen → assert **zero hangs and zero 500s** (every
+/// request answers 200 or 503, every 503 carries `Retry-After`) → disarm →
+/// assert the gateway recovers to responses **byte-identical** to a direct
+/// [`camal::stream::serve`] run. Flags: `--requests`, `--connections`,
+/// `--rate-pct`, `--deadline-ms`, `--zoo`, `--out`.
+///
+/// This is what `camal_gateway chaos` and the CI chaos smoke stage run.
+pub fn gateway_chaos(scale: &Scale, args: &[String]) {
+    let mut trained = train_gateway_zoo(scale, args);
+    let zoo = gateway_zoo_dir(args);
+    let key = gateway_key();
+
+    // File-backed on purpose: after an injected batcher panic the rebuilt
+    // registry must reload from disk, which is where the corruption fault
+    // bites.
+    let mut registry = ModelRegistry::unbounded();
+    registry.register_file(key, zoo.join(key.file_name()));
+    let mut cfg = gateway_config(args);
+    if arg_value(args, "--deadline-ms").is_none() {
+        // Bound every request tightly so an injected wedge turns into a
+        // timely 503 instead of a 60s client timeout.
+        cfg.deadline = Duration::from_secs(10);
+    }
+    let batch = cfg.batch_windows;
+    let gateway =
+        Gateway::start(registry, cfg).unwrap_or_else(|e| panic!("cannot start gateway: {e}"));
+    let addr = gateway.addr().to_string();
+    println!("chaos gateway listening on {addr}");
+
+    let window = trained.window();
+    let tmpl = template(key.dataset);
+    let households: Vec<HouseholdSeries> =
+        (0..2).map(|i| synth_household(4, window, tmpl.step_s, 51 + i as u64)).collect();
+    let body = localize_request(&[key], &households, Detail::Full).to_compact();
+    let stream_cfg = StreamConfig {
+        window,
+        step_s: tmpl.step_s,
+        max_ffill_s: 3 * tmpl.step_s,
+        batch,
+        appliance: Some(key.appliance),
+        avg_power_w: tmpl.case(key.appliance).map(|c| c.avg_power_w).unwrap_or(1000.0),
+    };
+    let timelines = serve(&mut trained, &households, &stream_cfg);
+    let rows: Vec<HouseholdRow> = households
+        .iter()
+        .zip(&timelines)
+        .map(|(hh, tl)| HouseholdRow { id: &hh.id, degraded: None, timelines: vec![tl] })
+        .collect();
+    let expected = localize_response(&[key], &rows, Detail::Full).to_compact();
+
+    // Pre-chaos sanity: healthy responses match the oracle byte-for-byte.
+    let (status, got) = http_post(&addr, "/v1/localize", &body);
+    assert_eq!(status, 200, "pre-chaos localize failed: {got}");
+    assert_eq!(got, expected, "pre-chaos response differs from stream::serve");
+
+    let requests = arg_usize(args, "--requests", 240).max(200);
+    let connections = arg_usize(args, "--connections", 4);
+    let rate = arg_usize(args, "--rate-pct", 10).min(100) as f64 / 100.0;
+    println!(
+        "arming faults: batcher.panic and persist.load.corrupt at {:.0}%, \
+         {requests} requests over {connections} keep-alive connections",
+        rate * 100.0
+    );
+    nilm_fault::arm("batcher.panic", rate, 7);
+    nilm_fault::arm("persist.load.corrupt", rate, 11);
+    let report = run_loadgen(&addr, connections, requests, &body, true)
+        .unwrap_or_else(|e| panic!("chaos loadgen failed (a connection died or hung): {e}"));
+    nilm_fault::disarm_all();
+    print_report("chaos", &report);
+
+    // Hard gates: every request answered, nothing but 200/503, every 503
+    // tells the client when to retry.
+    let completed: usize = report.by_status.values().sum();
+    assert_eq!(completed, requests, "every request must complete — zero hangs");
+    let illegal: Vec<u16> =
+        report.by_status.keys().copied().filter(|s| *s != 200 && *s != 503).collect();
+    assert!(
+        illegal.is_empty(),
+        "only 200 and 503 are acceptable under chaos, got statuses {:?}",
+        report.by_status
+    );
+    assert_eq!(report.missing_retry_after, 0, "every 503 must carry Retry-After");
+    assert!(report.ok > 0, "the gateway must keep serving successes under chaos");
+    let shed = report.by_status.get(&503).copied().unwrap_or(0);
+    println!(
+        "chaos verdict: {} x 200, {shed} x 503 (all with Retry-After), 0 x 500, 0 hangs",
+        report.ok
+    );
+
+    // Recovery gate: with faults disarmed the gateway must return to
+    // byte-identical responses. A quarantine window opened by the last
+    // injected corruption may still be draining — poll briefly.
+    let mut recovered = None;
+    for _ in 0..40 {
+        let (status, got) = http_post(&addr, "/v1/localize", &body);
+        if status == 200 {
+            recovered = Some(got);
+            break;
+        }
+        assert_eq!(status, 503, "post-chaos recovery saw status {status}: {got}");
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let recovered = recovered.expect("gateway did not recover to 200 within 10s of disarming");
+    assert_eq!(recovered, expected, "post-chaos response differs from the stream::serve baseline");
+    println!("recovery: fault-free response is byte-identical to camal::stream::serve");
+
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics_doc = nilm_json::parse(&metrics).expect("metrics must be valid JSON");
+    for counter in ["batcher_restarts", "deadline_timeouts", "shard_retries_total"] {
+        let v = metrics_doc.get(counter).and_then(JsonValue::as_usize).expect("counter");
+        println!("  {counter}: {v}");
+    }
+
+    let doc = JsonValue::object([
+        ("schema", JsonValue::String("camal_gateway_chaos/v1".into())),
+        ("scale", JsonValue::String(scale.name.to_string())),
+        ("requests", JsonValue::Number(requests as f64)),
+        ("fault_rate", JsonValue::Number(rate)),
+        ("report", loadgen_json(&report)),
+        ("recovered_byte_identical", JsonValue::Bool(true)),
+        ("metrics", metrics_doc),
+    ]);
+    gateway.shutdown();
+    println!("gateway shut down cleanly");
+    serving::write_summary(&doc, args, "camal_gateway_chaos");
+}
+
 /// The full demo: train → serve over a real socket → verify one response
 /// byte-identical to a direct `stream::serve` run → loadgen sequentially
 /// and at 4 concurrent connections → assert the micro-batching win → emit
@@ -246,7 +387,7 @@ pub fn gateway_demo(scale: &Scale, args: &[String]) {
     let rows: Vec<HouseholdRow> = households
         .iter()
         .zip(&timelines)
-        .map(|(hh, tl)| HouseholdRow { id: &hh.id, timelines: vec![tl] })
+        .map(|(hh, tl)| HouseholdRow { id: &hh.id, degraded: None, timelines: vec![tl] })
         .collect();
     let expected = localize_response(&[key], &rows, Detail::Full).to_compact();
     assert_eq!(got, expected, "gateway response differs from the direct stream::serve baseline");

@@ -18,18 +18,36 @@
 //! Shutdown: [`Gateway::shutdown`] (or `POST /admin/shutdown`) stops the
 //! accept loop, lets in-flight connections finish their current request,
 //! drains the queue, and joins every thread.
+//!
+//! Failure is a first-class input, not an afterthought. The batcher runs
+//! under a supervisor (`supervise_batcher`): a panic anywhere in a pass
+//! is caught, the in-flight jobs' reply channels drop (their handlers
+//! answer `503` + `Retry-After` instead of hanging or `500`ing), and a
+//! fresh batcher generation is respawned with the registry rebuilt from
+//! the startup `RegistrySpec` — file-backed checkpoints re-register
+//! their paths, pinned models are restored from byte snapshots taken at
+//! warm time. Handlers never block forever: the localize handler waits on
+//! the reply channel with `recv_timeout` bounded by
+//! [`GatewayConfig::deadline`] (overridable per request via the
+//! `X-Camal-Deadline-Ms` header), so even a wedged pass turns into a
+//! timely `503` + `Retry-After`. Registry load failures and quarantines
+//! surface as `503` + `Retry-After` too — `500` is reserved for genuine
+//! programming errors.
 
-use crate::http::{read_request, write_json, HttpLimits, Request};
+use crate::http::{read_request, write_json, write_json_with, HttpLimits, Request};
 use crate::metrics::Metrics;
 use crate::protocol::{error_body, localize_response, parse_localize, Detail, HouseholdRow};
 use crate::queue::{JobQueue, PushError};
-use camal::fleet::{serve_fleet, FleetConfig};
-use camal::registry::{ModelKey, ModelRegistry};
+use camal::fleet::{serve_fleet, FleetConfig, FleetError};
+use camal::registry::{ModelKey, ModelRegistry, QuarantinePolicy, RegistryError};
 use camal::stream::HouseholdSeries;
+use camal::CamalModel;
 use nilm_json::JsonValue;
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -59,6 +77,11 @@ pub struct GatewayConfig {
     pub limits: HttpLimits,
     /// Apply Table I duration priors on stitched timelines.
     pub apply_priors: bool,
+    /// How long a handler waits for the batcher's reply before answering
+    /// `503` + `Retry-After` on its own. Overridable per request with the
+    /// `X-Camal-Deadline-Ms` header. This is the anti-wedge bound: no
+    /// localize request ever outlives it, whatever the batcher is doing.
+    pub deadline: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -73,6 +96,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_secs(5),
             limits: HttpLimits::default(),
             apply_priors: true,
+            deadline: Duration::from_secs(30),
         }
     }
 }
@@ -87,8 +111,91 @@ pub struct ModelMeta {
     pub window: usize,
 }
 
-/// A response computed by the batcher: the HTTP status triple plus body.
-type JobReply = (u16, &'static str, String);
+/// A computed HTTP response: status line plus body, with an optional
+/// `Retry-After` value (seconds) that `503`s carry so clients can back
+/// off deliberately instead of guessing.
+#[derive(Clone, Debug)]
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Reply {
+    /// A reply with no extra headers.
+    fn new(status: u16, reason: &'static str, body: String) -> Reply {
+        Reply { status, reason, body, retry_after: None }
+    }
+
+    /// A `503` carrying `Retry-After: {retry_after_s}`.
+    fn unavailable(message: &str, retry_after_s: u64) -> Reply {
+        Reply {
+            status: 503,
+            reason: "Service Unavailable",
+            body: error_body(message),
+            retry_after: Some(retry_after_s.max(1)),
+        }
+    }
+}
+
+/// How to recreate one registry entry after a batcher panic.
+enum RebuildEntry {
+    /// File-backed checkpoint: re-register the path, reload lazily.
+    File(PathBuf),
+    /// Pinned in-memory model: restore from a byte snapshot taken at warm
+    /// time (pinned models have no backing file to reload from).
+    Pinned(Vec<u8>),
+}
+
+/// Everything needed to rebuild the batcher's [`ModelRegistry`] from
+/// scratch, captured once at [`Gateway::start`]. The supervisor replays it
+/// after a panic so a fresh generation serves the same model set with the
+/// same budget and quarantine policy.
+struct RegistrySpec {
+    entries: Vec<(ModelKey, RebuildEntry)>,
+    max_loaded: usize,
+    quarantine: QuarantinePolicy,
+}
+
+impl RegistrySpec {
+    /// Captures the rebuild recipe from a warmed registry.
+    fn capture(registry: &mut ModelRegistry) -> RegistrySpec {
+        let mut entries = Vec::new();
+        for row in registry.manifest() {
+            let rebuild = match row.path {
+                Some(path) => RebuildEntry::File(path),
+                None => {
+                    let model = registry.get_mut(row.key).expect("pinned model is always resident");
+                    RebuildEntry::Pinned(model.to_bytes())
+                }
+            };
+            entries.push((row.key, rebuild));
+        }
+        RegistrySpec {
+            entries,
+            max_loaded: registry.max_loaded(),
+            quarantine: registry.quarantine_policy(),
+        }
+    }
+
+    /// Builds a fresh registry from the recipe.
+    fn build(&self) -> Result<ModelRegistry, String> {
+        let mut registry = ModelRegistry::new(self.max_loaded);
+        registry.set_quarantine_policy(self.quarantine);
+        for (key, entry) in &self.entries {
+            match entry {
+                RebuildEntry::File(path) => registry.register_file(*key, path.clone()),
+                RebuildEntry::Pinned(bytes) => {
+                    let model = CamalModel::from_bytes(bytes)
+                        .map_err(|e| format!("cannot restore pinned model {key}: {e}"))?;
+                    registry.insert(*key, model);
+                }
+            }
+        }
+        Ok(registry)
+    }
+}
 
 struct Job {
     /// Requested keys, deduplicated, in request order (response order).
@@ -98,7 +205,7 @@ struct Job {
     group: Vec<ModelKey>,
     households: Vec<HouseholdSeries>,
     detail: Detail,
-    reply: mpsc::Sender<JobReply>,
+    reply: mpsc::Sender<Reply>,
 }
 
 struct Shared {
@@ -154,6 +261,9 @@ impl Gateway {
         if models.is_empty() {
             return Err(std::io::Error::other("gateway needs at least one registered model"));
         }
+        // Capture the rebuild recipe while every model is warm, so the
+        // supervisor can respawn the batcher after a panic without help.
+        let spec = RegistrySpec::capture(&mut registry);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
             metrics: Metrics::new(),
@@ -168,7 +278,7 @@ impl Gateway {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("gateway-batcher".into())
-                .spawn(move || batcher_loop(&shared, &mut registry))
+                .spawn(move || supervise_batcher(&shared, registry, &spec))
                 .expect("spawn batcher thread")
         };
         let accept = {
@@ -263,12 +373,13 @@ fn accept_loop(
             if conns.len() >= shared.cfg.max_connections {
                 drop(conns);
                 shared.metrics.shed();
-                let _ = write_json(
+                let _ = write_json_with(
                     &mut stream,
                     503,
                     "Service Unavailable",
                     &error_body("connection limit reached, retry later"),
                     false,
+                    &[("Retry-After", "1".into())],
                 );
                 continue;
             }
@@ -311,12 +422,25 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
-        let (status, reason, body) = route(&request, shared);
+        let reply = route(&request, shared);
         // Re-read the flag after routing: /admin/shutdown flips it inside
         // `route`, and its own response must already announce `close`.
         let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-        shared.metrics.response(status);
-        if write_json(&mut (&stream), status, reason, &body, keep_alive).is_err() {
+        shared.metrics.response(reply.status);
+        let mut extra: Vec<(&str, String)> = Vec::new();
+        if let Some(secs) = reply.retry_after {
+            extra.push(("Retry-After", secs.to_string()));
+        }
+        if write_json_with(
+            &mut (&stream),
+            reply.status,
+            reply.reason,
+            &reply.body,
+            keep_alive,
+            &extra,
+        )
+        .is_err()
+        {
             return;
         }
         if !keep_alive {
@@ -325,8 +449,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Dispatches one request; returns `(status, reason, body)`.
-fn route(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+/// Dispatches one request.
+fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.request("healthz");
@@ -336,11 +460,11 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String)
                 ("queue_depth", JsonValue::Number(shared.queue.depth() as f64)),
                 ("shutting_down", JsonValue::Bool(shared.shutdown.load(Ordering::SeqCst))),
             ]);
-            (200, "OK", doc.to_compact())
+            Reply::new(200, "OK", doc.to_compact())
         }
         ("GET", "/metrics") => {
             shared.metrics.request("metrics");
-            (200, "OK", shared.metrics.to_json(shared.queue.depth()).to_pretty())
+            Reply::new(200, "OK", shared.metrics.to_json(shared.queue.depth()).to_pretty())
         }
         ("GET", "/v1/models") => {
             shared.metrics.request("models");
@@ -355,7 +479,11 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String)
                     ])
                 })
                 .collect();
-            (200, "OK", JsonValue::object([("models", JsonValue::Array(rows))]).to_compact())
+            Reply::new(
+                200,
+                "OK",
+                JsonValue::object([("models", JsonValue::Array(rows))]).to_compact(),
+            )
         }
         ("POST", "/v1/localize") => {
             shared.metrics.request("localize");
@@ -364,26 +492,34 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String)
         ("POST", "/admin/shutdown") => {
             shared.metrics.request("shutdown");
             shared.request_shutdown();
-            (200, "OK", JsonValue::object([("ok", JsonValue::Bool(true))]).to_compact())
+            Reply::new(200, "OK", JsonValue::object([("ok", JsonValue::Bool(true))]).to_compact())
         }
         (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/localize" | "/admin/shutdown") => {
             shared.metrics.request("other");
-            (405, "Method Not Allowed", error_body("method not allowed for this path"))
+            Reply::new(405, "Method Not Allowed", error_body("method not allowed for this path"))
         }
         _ => {
             shared.metrics.request("other");
-            (404, "Not Found", error_body("no such route"))
+            Reply::new(404, "Not Found", error_body("no such route"))
         }
     }
 }
 
 /// Validates a localize request against the model snapshot, enqueues it,
-/// and blocks on the batcher's reply.
-fn handle_localize(request: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+/// and waits for the batcher's reply — bounded by the request deadline
+/// (`X-Camal-Deadline-Ms` header, falling back to
+/// [`GatewayConfig::deadline`]), never forever.
+fn handle_localize(request: &Request, shared: &Arc<Shared>) -> Reply {
     let start = Instant::now();
+    let deadline = request
+        .header("x-camal-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(shared.cfg.deadline)
+        .max(Duration::from_millis(1));
     let parsed = match parse_localize(&request.body) {
         Ok(p) => p,
-        Err(e) => return (400, "Bad Request", error_body(&e)),
+        Err(e) => return Reply::new(400, "Bad Request", error_body(&e)),
     };
     // Validate against the startup snapshot so handlers never touch the
     // registry: every key must be registered, and one pass needs a single
@@ -392,12 +528,16 @@ fn handle_localize(request: &Request, shared: &Arc<Shared>) -> (u16, &'static st
     let mut window = 0usize;
     for key in &parsed.appliances {
         let Some(meta) = shared.models.get(key) else {
-            return (404, "Not Found", error_body(&format!("model {key} is not registered")));
+            return Reply::new(
+                404,
+                "Not Found",
+                error_body(&format!("model {key} is not registered")),
+            );
         };
         if step_s == 0 {
             (step_s, window) = (meta.step_s, meta.window);
         } else if meta.step_s != step_s || meta.window != window {
-            return (
+            return Reply::new(
                 400,
                 "Bad Request",
                 error_body(&format!(
@@ -409,7 +549,7 @@ fn handle_localize(request: &Request, shared: &Arc<Shared>) -> (u16, &'static st
         }
     }
     if shared.shutdown.load(Ordering::SeqCst) {
-        return (503, "Service Unavailable", error_body("gateway is shutting down"));
+        return Reply::unavailable("gateway is shutting down", 1);
     }
     let mut group = parsed.appliances.clone();
     group.sort();
@@ -425,27 +565,85 @@ fn handle_localize(request: &Request, shared: &Arc<Shared>) -> (u16, &'static st
         Ok(()) => {}
         Err(PushError::Full) => {
             shared.metrics.shed();
-            return (503, "Service Unavailable", error_body("queue full, retry later"));
+            return Reply::unavailable("queue full, retry later", 1);
         }
         // The batcher already exited; a job pushed now would never be
         // served, so answer here instead of blocking on `rx` forever.
         Err(PushError::Closed) => {
-            return (503, "Service Unavailable", error_body("gateway is shutting down"));
+            return Reply::unavailable("gateway is shutting down", 1);
         }
     }
     shared.metrics.queue_depth(shared.queue.depth());
-    match rx.recv() {
-        Ok((status, reason, body)) => {
+    match rx.recv_timeout(deadline) {
+        Ok(reply) => {
             shared.metrics.latency_ms(start.elapsed().as_secs_f64() * 1e3);
-            (status, reason, body)
+            reply
         }
-        // The batcher died (panicked) with our job in flight.
-        Err(_) => (500, "Internal Server Error", error_body("batcher failed")),
+        // The batcher is wedged or overloaded past this request's
+        // deadline. Answer now — if the pass finishes later, its send to
+        // the dropped receiver fails harmlessly.
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            shared.metrics.deadline_timeout();
+            Reply::unavailable(
+                &format!(
+                    "deadline of {} ms expired before the batcher replied, retry later",
+                    deadline.as_millis()
+                ),
+                1,
+            )
+        }
+        // The batcher panicked with our job in flight; the supervisor is
+        // respawning it. Retrying shortly will hit the fresh generation.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Reply::unavailable("batcher restarting after a fault, retry shortly", 1)
+        }
     }
 }
 
-/// The micro-batching scheduler. Owns the registry for the gateway's
-/// lifetime.
+/// Runs the batcher under a panic supervisor. A clean exit (shutdown) ends
+/// the thread; a panic rolls the dead generation's registry counters into
+/// the metrics base, rebuilds the registry from the startup spec, and
+/// spawns the next generation. In-flight jobs of the dead generation are
+/// not replayed — their reply senders dropped during the unwind, so their
+/// handlers answer `503` + `Retry-After` immediately; jobs still sitting
+/// in the queue carry over untouched and the next generation serves them.
+fn supervise_batcher(shared: &Arc<Shared>, registry: ModelRegistry, spec: &RegistrySpec) {
+    let mut registry = registry;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| batcher_loop(shared, &mut registry)));
+        if outcome.is_ok() {
+            // batcher_loop only returns on shutdown, after closing the
+            // queue and answering every drained job.
+            return;
+        }
+        shared.metrics.batcher_restart();
+        // The panicked generation's counters are still valid (plain
+        // integers); fold them into the base so /metrics stays monotonic.
+        shared.metrics.roll_registry(registry.stats());
+        let mut delay = Duration::from_millis(10);
+        registry = loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                for job in shared.queue.close() {
+                    let _ = job.reply.send(Reply::unavailable("gateway is shutting down", 1));
+                }
+                return;
+            }
+            match spec.build() {
+                Ok(r) => break r,
+                // A failed rebuild (snapshot bytes refuse to parse — should
+                // be impossible) retries with backoff rather than abandoning
+                // the queue; handlers stay bounded by their deadlines.
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_secs(1));
+                }
+            }
+        };
+    }
+}
+
+/// The micro-batching scheduler. Owns the registry for its generation's
+/// lifetime (the supervisor rebuilds it across panics).
 fn batcher_loop(shared: &Arc<Shared>, registry: &mut ModelRegistry) {
     loop {
         let Some(first) = shared.queue.pop_wait(Duration::from_millis(50)) else {
@@ -456,11 +654,7 @@ fn batcher_loop(shared: &Arc<Shared>, registry: &mut ModelRegistry) {
                 // (its push fails with `Closed`) — never stranded waiting
                 // on a batcher that is gone.
                 for job in shared.queue.close() {
-                    let _ = job.reply.send((
-                        503,
-                        "Service Unavailable",
-                        error_body("gateway is shutting down"),
-                    ));
+                    let _ = job.reply.send(Reply::unavailable("gateway is shutting down", 1));
                 }
                 return;
             }
@@ -471,6 +665,9 @@ fn batcher_loop(shared: &Arc<Shared>, registry: &mut ModelRegistry) {
         }
         let mut jobs = vec![first];
         jobs.extend(shared.queue.drain(shared.cfg.max_coalesce.saturating_sub(1)));
+        // Deliberately after the drain: the injected panic hits with jobs
+        // in flight, which is exactly the case supervision must recover.
+        nilm_fault::maybe_panic("batcher.panic");
 
         // Group by requested key set; each group becomes one fleet pass.
         let mut groups: BTreeMap<Vec<ModelKey>, Vec<Job>> = BTreeMap::new();
@@ -480,6 +677,7 @@ fn batcher_loop(shared: &Arc<Shared>, registry: &mut ModelRegistry) {
         for (keys, jobs) in groups {
             serve_group(shared, registry, &keys, jobs);
         }
+        shared.metrics.set_registry_current(registry.stats());
     }
 }
 
@@ -510,6 +708,12 @@ fn serve_group(
         ranges.push((merged.len(), households.len()));
         merged.extend(households);
     }
+    // Emulates a pass stuck on slow storage or a runaway computation:
+    // sleeps past every waiting handler's deadline, so the requests are
+    // answered `503` + `Retry-After` by the deadline path, not by luck.
+    if nilm_fault::fires("gateway.slow_pass") {
+        std::thread::sleep(shared.cfg.deadline.saturating_mul(2));
+    }
     match serve_fleet(registry, keys, &merged, &cfg) {
         Ok(result) => {
             shared.metrics.batch(
@@ -518,12 +722,16 @@ fn serve_group(
                 result.summary.feed_windows_scored,
                 result.summary.inferences,
             );
+            shared
+                .metrics
+                .shard_recovery(result.summary.shard_retries, result.summary.households_degraded);
             for (job, (start, len)) in jobs.iter().zip(&ranges) {
                 let rows: Vec<HouseholdRow> = (*start..start + len)
                     .map(|hi| {
                         let hh = &result.households[hi];
                         HouseholdRow {
                             id: &hh.id,
+                            degraded: hh.degraded.as_deref(),
                             timelines: job
                                 .keys
                                 .iter()
@@ -537,13 +745,28 @@ fn serve_group(
                     })
                     .collect();
                 let body = localize_response(&job.keys, &rows, job.detail).to_compact();
-                let _ = job.reply.send((200, "OK", body));
+                let _ = job.reply.send(Reply::new(200, "OK", body));
             }
         }
         Err(e) => {
-            let body = error_body(&format!("fleet pass failed: {e}"));
+            // Registry trouble is recoverable operator territory — answer
+            // `503` + `Retry-After` (quarantine windows know exactly how
+            // long). `500` stays reserved for genuine programming errors.
+            let reply = match &e {
+                FleetError::Registry(RegistryError::Quarantined { retry_after, .. }) => {
+                    Reply::unavailable(&format!("fleet pass failed: {e}"), retry_after.as_secs())
+                }
+                FleetError::Registry(RegistryError::Load { .. }) => {
+                    Reply::unavailable(&format!("fleet pass failed: {e}"), 1)
+                }
+                _ => Reply::new(
+                    500,
+                    "Internal Server Error",
+                    error_body(&format!("fleet pass failed: {e}")),
+                ),
+            };
             for job in &jobs {
-                let _ = job.reply.send((500, "Internal Server Error", body.clone()));
+                let _ = job.reply.send(reply.clone());
             }
         }
     }

@@ -252,9 +252,36 @@ pub fn read_request(
     Ok(request)
 }
 
-/// Writes one response with a sized body. `keep_alive` controls the
-/// `Connection` header; the caller decides based on the request and the
-/// server's shutdown state.
+/// Writes one response with a sized body and extra headers (e.g.
+/// `Retry-After` on a 503). `keep_alive` controls the `Connection` header;
+/// the caller decides based on the request and the server's shutdown state.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes one response with a sized body and no extra headers.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
@@ -263,14 +290,7 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    write_response_with(stream, status, reason, content_type, body, keep_alive, &[])
 }
 
 /// Writes a JSON response (`application/json`).
@@ -282,6 +302,26 @@ pub fn write_json(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     write_response(stream, status, reason, "application/json", body.as_bytes(), keep_alive)
+}
+
+/// Writes a JSON response with extra headers.
+pub fn write_json_with(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    write_response_with(
+        stream,
+        status,
+        reason,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        extra_headers,
+    )
 }
 
 /// One parsed HTTP response (client side, for the load generator and

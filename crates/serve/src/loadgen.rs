@@ -16,6 +16,7 @@
 
 use crate::http::{read_response, HttpError};
 use crate::metrics::percentile;
+use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -29,6 +30,15 @@ pub struct LoadgenReport {
     pub ok: usize,
     /// Requests answered with a non-200 status (e.g. shed with 503).
     pub errors: usize,
+    /// Completed requests by HTTP status code. The chaos gate reads this:
+    /// under fault injection every request must land in 200 or 503 —
+    /// a single 500 (or a hang, which shows up as a connection error)
+    /// fails the run.
+    pub by_status: BTreeMap<u16, usize>,
+    /// `503` responses that arrived without a `Retry-After` header. The
+    /// recovery contract says every `503` tells the client when to come
+    /// back; this counts violations (should be 0).
+    pub missing_retry_after: usize,
     /// Wall-clock seconds of the whole run.
     pub elapsed_s: f64,
     /// Completed requests (any status) per second.
@@ -87,33 +97,40 @@ pub fn run_loadgen(
         .collect();
 
     let start = Instant::now();
-    let results: Vec<Result<(Vec<f64>, usize, usize, usize), LoadgenError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = per_conn
-                .iter()
-                .map(|&n| {
-                    let request = request.as_str();
-                    scope.spawn(move || worker(addr, n, request, keep_alive))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
-        });
+    let results: Vec<Result<WorkerTally, LoadgenError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn
+            .iter()
+            .map(|&n| {
+                let request = request.as_str();
+                scope.spawn(move || worker(addr, n, request, keep_alive))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
+    });
     let elapsed_s = start.elapsed().as_secs_f64();
 
     let mut latencies: Vec<f64> = Vec::with_capacity(total_requests);
     let (mut ok, mut errors, mut body_bytes) = (0usize, 0usize, 0usize);
+    let mut by_status: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut missing_retry_after = 0usize;
     for r in results {
-        let (lat, o, e, bytes) = r?;
-        latencies.extend(lat);
-        ok += o;
-        errors += e;
-        body_bytes += bytes;
+        let tally = r?;
+        latencies.extend(tally.latencies_ms);
+        ok += tally.ok;
+        errors += tally.errors;
+        body_bytes += tally.body_bytes;
+        missing_retry_after += tally.missing_retry_after;
+        for (status, count) in tally.by_status {
+            *by_status.entry(status).or_insert(0) += count;
+        }
     }
     let completed = ok + errors;
     Ok(LoadgenReport {
         connections,
         ok,
         errors,
+        by_status,
+        missing_retry_after,
         elapsed_s,
         requests_per_second: completed as f64 / elapsed_s.max(1e-9),
         p50_ms: percentile(&latencies, 50.0),
@@ -127,6 +144,33 @@ pub fn run_loadgen(
     })
 }
 
+/// What one worker thread measured.
+#[derive(Default)]
+struct WorkerTally {
+    latencies_ms: Vec<f64>,
+    ok: usize,
+    errors: usize,
+    body_bytes: usize,
+    by_status: BTreeMap<u16, usize>,
+    missing_retry_after: usize,
+}
+
+impl WorkerTally {
+    fn record(&mut self, start: Instant, response: &crate::http::Response) {
+        self.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        if response.status == 200 {
+            self.ok += 1;
+        } else {
+            self.errors += 1;
+        }
+        *self.by_status.entry(response.status).or_insert(0) += 1;
+        if response.status == 503 && response.header("retry-after").is_none() {
+            self.missing_retry_after += 1;
+        }
+        self.body_bytes += response.body.len();
+    }
+}
+
 /// One closed-loop worker: `n` request/response cycles, either over one
 /// persistent connection or over a fresh connection each cycle.
 fn worker(
@@ -134,9 +178,10 @@ fn worker(
     n: usize,
     request: &str,
     keep_alive: bool,
-) -> Result<(Vec<f64>, usize, usize, usize), LoadgenError> {
+) -> Result<WorkerTally, LoadgenError> {
+    let mut tally = WorkerTally::default();
     if n == 0 {
-        return Ok((Vec::new(), 0, 0, 0));
+        return Ok(tally);
     }
     let connect = || -> Result<TcpStream, LoadgenError> {
         let stream = TcpStream::connect(addr).map_err(LoadgenError::Connect)?;
@@ -144,17 +189,7 @@ fn worker(
         let _ = stream.set_nodelay(true);
         Ok(stream)
     };
-    let mut latencies = Vec::with_capacity(n);
-    let (mut ok, mut errors, mut bytes) = (0usize, 0usize, 0usize);
-    let mut record = |start: Instant, response: &crate::http::Response| {
-        latencies.push(start.elapsed().as_secs_f64() * 1e3);
-        if response.status == 200 {
-            ok += 1;
-        } else {
-            errors += 1;
-        }
-        bytes += response.body.len();
-    };
+    tally.latencies_ms.reserve(n);
     if keep_alive {
         let stream = connect()?;
         let mut reader = BufReader::new(&stream);
@@ -164,7 +199,7 @@ fn worker(
                 .write_all(request.as_bytes())
                 .map_err(|e| LoadgenError::Http(HttpError::Io(e)))?;
             let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
-            record(start, &response);
+            tally.record(start, &response);
         }
     } else {
         for _ in 0..n {
@@ -175,8 +210,8 @@ fn worker(
                 .map_err(|e| LoadgenError::Http(HttpError::Io(e)))?;
             let mut reader = BufReader::new(&stream);
             let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
-            record(start, &response);
+            tally.record(start, &response);
         }
     }
-    Ok((latencies, ok, errors, bytes))
+    Ok(tally)
 }

@@ -5,7 +5,15 @@
 //! snapshot into a [`JsonValue`] document on demand. Latencies keep a
 //! bounded ring of recent samples, so percentiles reflect current behavior
 //! and memory stays constant under sustained load.
+//!
+//! Recovery is observable, not just tested: the document carries batcher
+//! restarts, per-request deadline timeouts, fleet shard retries and
+//! degraded households, the registry's load-failure / quarantine counters
+//! (kept monotonic across batcher restarts by folding each dead
+//! generation's totals into a base), and — when fault injection is armed —
+//! per-point trial/fire counts from [`nilm_fault::stats`].
 
+use camal::registry::RegistryStats;
 use nilm_json::JsonValue;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -38,6 +46,30 @@ struct Inner {
     latency_next: usize,
     latency_count: u64,
     latency_sum_ms: f64,
+    /// Batcher generations respawned after a panic.
+    batcher_restarts: u64,
+    /// Localize requests answered 503 because the per-request deadline
+    /// expired before the batcher replied.
+    deadline_timeouts: u64,
+    /// Fleet shards retried on fresh model copies after a panic.
+    shard_retries: u64,
+    /// Households answered with degraded placeholder rows.
+    households_degraded: u64,
+    /// Registry counters folded in from batcher generations that ended
+    /// (panicked or exited); `registry_current` is the live generation.
+    registry_base: RegistryStats,
+    registry_current: RegistryStats,
+}
+
+/// `a + b` per counter (RegistryStats has no Add impl of its own).
+fn add_stats(a: RegistryStats, b: RegistryStats) -> RegistryStats {
+    RegistryStats {
+        hits: a.hits + b.hits,
+        loads: a.loads + b.loads,
+        evictions: a.evictions + b.evictions,
+        load_failures: a.load_failures + b.load_failures,
+        quarantines: a.quarantines + b.quarantines,
+    }
 }
 
 /// Shared metrics sink. All methods take `&self`.
@@ -101,6 +133,39 @@ impl Metrics {
         m.latency_next = (m.latency_next + 1) % LATENCY_WINDOW;
     }
 
+    /// Counts one batcher respawn after a panic.
+    pub fn batcher_restart(&self) {
+        self.inner.lock().expect("metrics lock").batcher_restarts += 1;
+    }
+
+    /// Counts one localize request that hit its deadline before the
+    /// batcher replied (answered `503` + `Retry-After`).
+    pub fn deadline_timeout(&self) {
+        self.inner.lock().expect("metrics lock").deadline_timeouts += 1;
+    }
+
+    /// Records one fleet pass's recovery counters: shards retried after a
+    /// panic and households answered with degraded rows.
+    pub fn shard_recovery(&self, retries: usize, degraded: usize) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.shard_retries += retries as u64;
+        m.households_degraded += degraded as u64;
+    }
+
+    /// Updates the live registry counters (the current batcher generation).
+    pub fn set_registry_current(&self, stats: RegistryStats) {
+        self.inner.lock().expect("metrics lock").registry_current = stats;
+    }
+
+    /// Folds a dead batcher generation's final registry counters into the
+    /// base, so the exported totals stay monotonic across restarts. The
+    /// fresh generation starts from zero.
+    pub fn roll_registry(&self, last_seen: RegistryStats) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.registry_base = add_stats(m.registry_base, last_seen);
+        m.registry_current = RegistryStats::default();
+    }
+
     /// Snapshot as the `GET /metrics` JSON document. `queue_depth` is the
     /// live depth sampled by the caller.
     pub fn to_json(&self, queue_depth: usize) -> JsonValue {
@@ -144,8 +209,43 @@ impl Metrics {
                     ("p99", JsonValue::Number(percentile(&m.latencies_ms, 99.0))),
                 ]),
             ),
+            ("batcher_restarts", JsonValue::Number(m.batcher_restarts as f64)),
+            ("deadline_timeouts", JsonValue::Number(m.deadline_timeouts as f64)),
+            ("shard_retries_total", JsonValue::Number(m.shard_retries as f64)),
+            ("households_degraded_total", JsonValue::Number(m.households_degraded as f64)),
+            ("registry", registry_json(add_stats(m.registry_base, m.registry_current))),
+            ("faults", faults_json()),
         ])
     }
+}
+
+/// Registry totals (all batcher generations combined) as a JSON object.
+fn registry_json(s: RegistryStats) -> JsonValue {
+    JsonValue::object([
+        ("hits", JsonValue::Number(s.hits as f64)),
+        ("loads", JsonValue::Number(s.loads as f64)),
+        ("evictions", JsonValue::Number(s.evictions as f64)),
+        ("load_failures", JsonValue::Number(s.load_failures as f64)),
+        ("quarantines", JsonValue::Number(s.quarantines as f64)),
+    ])
+}
+
+/// Per-point fault-injection counters; an empty object when no fault
+/// point is (or ever was) armed.
+fn faults_json() -> JsonValue {
+    let points: BTreeMap<String, JsonValue> = nilm_fault::stats()
+        .into_iter()
+        .map(|(name, s)| {
+            (
+                name,
+                JsonValue::object([
+                    ("trials", JsonValue::Number(s.trials as f64)),
+                    ("fired", JsonValue::Number(s.fired as f64)),
+                ]),
+            )
+        })
+        .collect();
+    JsonValue::Object(points)
 }
 
 /// Nearest-rank percentile of `samples` (0.0 when empty).

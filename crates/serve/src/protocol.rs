@@ -184,6 +184,12 @@ pub struct HouseholdRow<'a> {
     pub id: &'a str,
     /// One timeline per appliance, in response-appliance order.
     pub timelines: Vec<&'a HouseholdTimeline>,
+    /// `Some(reason)` when this household's fleet shard panicked twice and
+    /// the timelines are zeroed placeholders: the row is emitted in summary
+    /// detail with a `"degraded"` key so clients can tell a real all-OFF
+    /// result from a failed one. `None` for normally served rows (which are
+    /// emitted byte-identically to the pre-fault format).
+    pub degraded: Option<&'a str>,
 }
 
 fn u8s(v: &[u8]) -> JsonValue {
@@ -208,6 +214,10 @@ pub fn localize_response(
     let hh: Vec<JsonValue> = rows
         .iter()
         .map(|row| {
+            // A degraded row carries zeroed placeholder timelines; emitting
+            // its full per-sample arrays would dress a failure up as data,
+            // so degraded rows are forced to summary detail.
+            let row_detail = if row.degraded.is_some() { Detail::Summary } else { detail };
             let results: std::collections::BTreeMap<String, JsonValue> = appliances
                 .iter()
                 .zip(&row.timelines)
@@ -218,7 +228,7 @@ pub fn localize_response(
                         ("on_fraction", JsonValue::Number(tl.on_fraction())),
                         ("energy_wh", JsonValue::Number(tl.energy_wh())),
                     ];
-                    let body = match detail {
+                    let body = match row_detail {
                         Detail::Summary => JsonValue::object(aggregates),
                         Detail::Full => JsonValue::object(
                             [
@@ -236,14 +246,18 @@ pub fn localize_response(
                 })
                 .collect();
             let first = row.timelines.first().expect("at least one appliance per row");
-            JsonValue::object([
+            let mut fields = vec![
                 ("id", JsonValue::String(row.id.to_string())),
                 ("step_s", JsonValue::Number(first.step_s as f64)),
                 ("samples", JsonValue::Number(first.status.len() as f64)),
                 ("windows_total", JsonValue::Number(first.windows_total as f64)),
                 ("windows_scored", JsonValue::Number(first.windows_scored as f64)),
                 ("results", JsonValue::Object(results)),
-            ])
+            ];
+            if let Some(reason) = row.degraded {
+                fields.push(("degraded", JsonValue::String(reason.to_string())));
+            }
+            JsonValue::object(fields)
         })
         .collect();
     JsonValue::object([
@@ -365,11 +379,15 @@ mod tests {
             windows_scored: 2,
             windows_detected: 1,
         };
-        let rows = vec![HouseholdRow { id: "h", timelines: vec![&tl] }];
+        let rows = vec![HouseholdRow { id: "h", timelines: vec![&tl], degraded: None }];
         let doc = localize_response(&[kettle()], &rows, Detail::Full);
         let text = doc.to_compact();
         nilm_json::validate(&text).unwrap();
         assert_eq!(text, localize_response(&[kettle()], &rows, Detail::Full).to_compact());
+        assert!(
+            !text.contains("degraded"),
+            "healthy rows must not mention degradation (byte-stability)"
+        );
         let parsed = nilm_json::parse(&text).unwrap();
         assert_eq!(parsed.get("schema").and_then(JsonValue::as_str), Some(LOCALIZE_SCHEMA));
         let result = |doc: &JsonValue| -> JsonValue {
@@ -395,5 +413,32 @@ mod tests {
             summary_doc.to_compact().len() < text.len() / 2,
             "summary responses must be much smaller"
         );
+    }
+
+    #[test]
+    fn degraded_rows_carry_the_reason_and_drop_sample_arrays() {
+        let tl = HouseholdTimeline {
+            id: "h".into(),
+            step_s: 60,
+            raw_status: vec![0; 64],
+            status: vec![0; 64],
+            power_w: vec![0.0; 64],
+            detection_proba: Vec::new(),
+            scored_starts: Vec::new(),
+            windows_total: 2,
+            windows_scored: 0,
+            windows_detected: 0,
+        };
+        let rows =
+            vec![HouseholdRow { id: "h", timelines: vec![&tl], degraded: Some("shard panicked") }];
+        // Even when the client asked for full detail, a degraded row comes
+        // back as summary + reason, never fabricated per-sample data.
+        let doc = localize_response(&[kettle()], &rows, Detail::Full);
+        nilm_json::validate(&doc.to_compact()).unwrap();
+        let row = &doc.get("households").and_then(JsonValue::as_array).unwrap()[0];
+        assert_eq!(row.get("degraded").and_then(JsonValue::as_str), Some("shard panicked"));
+        let result = row.get("results").and_then(|r| r.get("refit:kettle")).unwrap();
+        assert!(result.get("status").is_none(), "no per-sample arrays in degraded rows");
+        assert_eq!(result.get("windows_detected").and_then(JsonValue::as_usize), Some(0));
     }
 }

@@ -48,13 +48,14 @@ impl<T> JobQueue<T> {
     }
 
     /// Enqueues a job, or rejects it when the queue is full (load shed) or
-    /// closed (the consumer is gone).
+    /// closed (the consumer is gone). The `queue.full` fault point injects
+    /// artificial capacity rejections for overload testing.
     pub fn push(&self, job: T) -> Result<(), PushError> {
         let mut q = self.inner.lock().expect("queue lock");
         if q.closed {
             return Err(PushError::Closed);
         }
-        if q.jobs.len() >= self.capacity {
+        if q.jobs.len() >= self.capacity || nilm_fault::fires("queue.full") {
             return Err(PushError::Full);
         }
         q.jobs.push_back(job);

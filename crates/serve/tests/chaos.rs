@@ -1,0 +1,416 @@
+//! Chaos suite for the gateway: every fault point of the serving stack is
+//! armed in turn and the gateway must answer **every** request — `200`s
+//! and `503 + Retry-After`s only, never a `500` and never a hang — and
+//! once the fault clears, responses must return to being byte-identical
+//! to a direct `camal::stream::serve` baseline.
+//!
+//! The fault table is process-global, so this suite lives in its own test
+//! binary and serializes every test on one mutex.
+
+use camal::config::CamalConfig;
+use camal::ensemble::EnsembleMember;
+use camal::registry::{ModelKey, ModelRegistry, QuarantinePolicy};
+use camal::stream::{serve, HouseholdSeries, StreamConfig};
+use camal::CamalModel;
+use nilm_data::appliance::ApplianceKind;
+use nilm_data::series::TimeSeries;
+use nilm_data::templates::{template, DatasetId};
+use nilm_json::JsonValue;
+use nilm_models::detector::build_detector;
+use nilm_models::Backbone;
+use nilm_serve::gateway::{Gateway, GatewayConfig};
+use nilm_serve::http::{read_response, Response};
+use nilm_serve::protocol::{localize_request, localize_response, Detail, HouseholdRow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+const WINDOW: usize = 32;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        nilm_fault::disarm_all();
+    }
+}
+
+fn faults() -> FaultGuard {
+    let g = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    nilm_fault::disarm_all();
+    FaultGuard { _serial: g }
+}
+
+fn random_model(kernels: &[usize], seed: u64) -> CamalModel {
+    let cfg = CamalConfig {
+        n_ensemble: kernels.len(),
+        kernels: kernels.to_vec(),
+        trials: 1,
+        width_div: 16,
+        ..Default::default()
+    };
+    let members = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            EnsembleMember {
+                net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
+                kernel: k,
+                val_loss: 0.5 + i as f32,
+            }
+        })
+        .collect();
+    let mut model = CamalModel::from_members(cfg, members);
+    model.set_window(WINDOW);
+    model
+}
+
+fn toy_household(n_windows: usize, seed: u64) -> HouseholdSeries {
+    let mut rng = nilm_tensor::init::rng(seed);
+    let n = n_windows * WINDOW + 3;
+    let mut values = Vec::with_capacity(n);
+    for t in 0..n {
+        let plateau = (t / 10) % 3 == 0;
+        let base = if plateau { 2100.0 } else { 130.0 };
+        values.push(base + nilm_tensor::init::randn(&mut rng).abs() * 20.0);
+    }
+    HouseholdSeries { id: format!("house-{seed}"), series: TimeSeries::new(values, 60) }
+}
+
+fn kettle() -> ModelKey {
+    ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle)
+}
+
+fn test_config() -> GatewayConfig {
+    GatewayConfig { read_timeout: Duration::from_secs(5), ..GatewayConfig::default() }
+}
+
+/// The byte-exact body a direct `stream::serve` produces for one kettle
+/// request over `households`.
+fn expected_body(oracle: &mut CamalModel, households: &[HouseholdSeries], batch: usize) -> String {
+    let key = kettle();
+    let tmpl = template(key.dataset);
+    let cfg = StreamConfig {
+        window: WINDOW,
+        step_s: tmpl.step_s,
+        max_ffill_s: 3 * tmpl.step_s,
+        batch,
+        appliance: Some(key.appliance),
+        avg_power_w: tmpl.case(key.appliance).map(|c| c.avg_power_w).unwrap_or(1000.0),
+    };
+    let timelines = serve(oracle, households, &cfg);
+    let rows: Vec<HouseholdRow> = households
+        .iter()
+        .enumerate()
+        .map(|(hi, hh)| HouseholdRow {
+            id: &hh.id,
+            degraded: None,
+            timelines: vec![&timelines[hi]],
+        })
+        .collect();
+    localize_response(&[key], &rows, Detail::Full).to_compact()
+}
+
+/// One blocking localize round-trip; returns the full response so callers
+/// can inspect headers (`Retry-After`).
+fn post_localize(addr: &str, body: &str) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let request = format!(
+        "POST /v1/localize HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    (&stream).write_all(request.as_bytes()).expect("send");
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader).expect("response")
+}
+
+fn metrics_doc(addr: &str) -> JsonValue {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    (&stream).write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    let mut reader = BufReader::new(&stream);
+    let response = read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 200);
+    nilm_json::parse(response.body_str().expect("UTF-8")).expect("metrics JSON")
+}
+
+fn counter(doc: &JsonValue, name: &str) -> usize {
+    doc.get(name).and_then(JsonValue::as_usize).unwrap_or_else(|| panic!("{name} in metrics"))
+}
+
+/// A `503` under chaos must always say when to come back.
+fn assert_503_with_retry_after(response: &Response) {
+    assert_eq!(response.status, 503, "{:?}", response.body_str());
+    let retry = response.header("retry-after").expect("503 must carry Retry-After");
+    assert!(retry.parse::<u64>().is_ok_and(|s| s >= 1), "Retry-After {retry:?}");
+}
+
+#[test]
+fn batcher_panic_respawns_and_replies_identically() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5, 7], 1));
+    let mut oracle = random_model(&[5, 7], 1);
+    let cfg = test_config();
+    let batch = cfg.batch_windows;
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(4, 42)];
+    let body = localize_request(&[kettle()], &households, Detail::Full).to_compact();
+    let expected = expected_body(&mut oracle, &households, batch);
+
+    // Sanity: healthy round-trip first.
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body_str().unwrap(), expected);
+
+    // The next pass panics with our job in flight: the handler must get a
+    // prompt 503 + Retry-After (reply channel dropped in the unwind), not
+    // a hang and not a 500.
+    nilm_fault::arm_limited("batcher.panic", 1.0, 7, Some(1));
+    let start = Instant::now();
+    let response = post_localize(&addr, &body);
+    assert!(start.elapsed() < Duration::from_secs(10), "no timely reply after panic");
+    assert_503_with_retry_after(&response);
+
+    // The supervisor respawned the batcher with a rebuilt registry: the
+    // very next request must succeed and be byte-identical to before.
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert_eq!(
+        response.body_str().unwrap(),
+        expected,
+        "post-restart response must match the pre-fault baseline byte-for-byte"
+    );
+
+    let doc = metrics_doc(&addr);
+    assert!(counter(&doc, "batcher_restarts") >= 1, "restart must be visible in metrics");
+    let fired = doc
+        .get("faults")
+        .and_then(|f| f.get("batcher.panic"))
+        .and_then(|p| p.get("fired"))
+        .and_then(JsonValue::as_usize);
+    assert_eq!(fired, Some(1), "fault counters must be exported");
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+}
+
+#[test]
+fn wedged_pass_hits_the_deadline_not_a_hang() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5], 3));
+    // Tight deadline so the test is fast; the injected slow pass sleeps
+    // 2x this, past every waiting handler's budget.
+    let cfg = GatewayConfig { deadline: Duration::from_millis(250), ..test_config() };
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(2, 5)];
+    let body = localize_request(&[kettle()], &households, Detail::Summary).to_compact();
+
+    nilm_fault::arm_limited("gateway.slow_pass", 1.0, 9, Some(1));
+    let start = Instant::now();
+    let response = post_localize(&addr, &body);
+    let elapsed = start.elapsed();
+    assert_503_with_retry_after(&response);
+    assert!(response.body_str().unwrap().contains("deadline"), "{:?}", response.body_str());
+    assert!(
+        elapsed >= Duration::from_millis(200) && elapsed < Duration::from_secs(5),
+        "deadline reply took {elapsed:?}, want ~250ms"
+    );
+
+    // Once the slow pass drains (the injected nap is 2 x 250ms plus the
+    // pass itself), the gateway serves normally again.
+    std::thread::sleep(Duration::from_millis(700));
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert!(counter(&metrics_doc(&addr), "deadline_timeouts") >= 1);
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+}
+
+#[test]
+fn per_request_deadline_header_overrides_the_config() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5], 3));
+    // Config deadline of 1s; the request's own 200ms header must win (the
+    // injected slow pass sleeps 2x the config deadline, past both).
+    let cfg = GatewayConfig { deadline: Duration::from_secs(1), ..test_config() };
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(2, 5)];
+    let body = localize_request(&[kettle()], &households, Detail::Summary).to_compact();
+
+    nilm_fault::arm_limited("gateway.slow_pass", 1.0, 9, Some(1));
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let request = format!(
+        "POST /v1/localize HTTP/1.1\r\nHost: t\r\nX-Camal-Deadline-Ms: 200\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let start = Instant::now();
+    (&stream).write_all(request.as_bytes()).expect("send");
+    let mut reader = BufReader::new(&stream);
+    let response = read_response(&mut reader).expect("response");
+    let elapsed = start.elapsed();
+    assert_503_with_retry_after(&response);
+    assert!(
+        elapsed < Duration::from_millis(900),
+        "a 200ms header deadline must beat the 1s config deadline, took {elapsed:?}"
+    );
+
+    nilm_fault::disarm_all();
+    // shutdown joins the batcher, which is still inside its 2s injected
+    // nap — bounded, so the join is too.
+    gateway.shutdown();
+}
+
+#[test]
+fn checkpoint_corruption_becomes_503_retry_after_and_heals() {
+    let _g = faults();
+    let dir = std::env::temp_dir().join(format!("camal_chaos_gw_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join(kettle().file_name());
+    random_model(&[5], 21).save(&path).expect("save checkpoint");
+
+    let mut registry = ModelRegistry::unbounded();
+    registry.set_quarantine_policy(QuarantinePolicy {
+        threshold: 2,
+        base_backoff: Duration::from_millis(300),
+        max_backoff: Duration::from_secs(2),
+    });
+    registry.register_file(kettle(), &path);
+    let mut oracle = random_model(&[5], 21);
+    let cfg = test_config();
+    let batch = cfg.batch_windows;
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts (warm load is clean)");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(3, 8)];
+    let body = localize_request(&[kettle()], &households, Detail::Full).to_compact();
+    let expected = expected_body(&mut oracle, &households, batch);
+
+    // Kill the batcher once so the rebuilt registry must reload the
+    // checkpoint from disk — and make the next two reads corrupt.
+    nilm_fault::arm_limited("batcher.panic", 1.0, 11, Some(1));
+    nilm_fault::arm_limited("persist.load.corrupt", 1.0, 13, Some(2));
+    let response = post_localize(&addr, &body);
+    assert_503_with_retry_after(&response); // the panicked generation
+
+    // Two corrupt reads: a Load failure (503), then the second failure
+    // trips the threshold-2 quarantine (503 whose Retry-After covers the
+    // backoff window). Neither may surface as 500.
+    let response = post_localize(&addr, &body);
+    assert_503_with_retry_after(&response);
+    assert!(response.body_str().unwrap().contains("fleet pass failed"));
+    let response = post_localize(&addr, &body);
+    assert_503_with_retry_after(&response);
+
+    // The quarantine window is open: even with storage healed the next
+    // request inside the window is refused with a timed Retry-After.
+    nilm_fault::disarm("persist.load.corrupt");
+    let response = post_localize(&addr, &body);
+    assert_503_with_retry_after(&response);
+    assert!(response.body_str().unwrap().contains("quarantined"), "{:?}", response.body_str());
+
+    // After the backoff expires the load retries, succeeds, and the
+    // response is byte-identical to the healthy baseline.
+    std::thread::sleep(Duration::from_millis(400));
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert_eq!(response.body_str().unwrap(), expected);
+
+    let doc = metrics_doc(&addr);
+    let registry_doc = doc.get("registry").expect("registry counters");
+    assert!(counter(registry_doc, "load_failures") >= 2);
+    assert!(counter(registry_doc, "quarantines") >= 1);
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_queue_full_sheds_cleanly() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5], 31));
+    let gateway = Gateway::start(registry, test_config()).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(2, 6)];
+    let body = localize_request(&[kettle()], &households, Detail::Summary).to_compact();
+
+    nilm_fault::arm_limited("queue.full", 1.0, 17, Some(1));
+    let response = post_localize(&addr, &body);
+    assert_503_with_retry_after(&response);
+    assert!(response.body_str().unwrap().contains("queue full"));
+
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+}
+
+#[test]
+fn shard_panic_inside_the_gateway_retries_or_degrades() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5, 7], 41));
+    let mut oracle = random_model(&[5, 7], 41);
+    let cfg = test_config();
+    let batch = cfg.batch_windows;
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(3, 9)];
+    let body = localize_request(&[kettle()], &households, Detail::Full).to_compact();
+    let expected = expected_body(&mut oracle, &households, batch);
+
+    // One panic: the shard retries on a fresh model copy; the client sees
+    // a perfectly normal, byte-identical 200.
+    nilm_fault::arm_limited("fleet.shard.panic", 1.0, 23, Some(1));
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert_eq!(response.body_str().unwrap(), expected);
+    assert!(counter(&metrics_doc(&addr), "shard_retries_total") >= 1);
+
+    // Persistent panics: attempt + retry both die, so the household comes
+    // back as a structured degraded summary row — still a 200, the rest
+    // of the response shape intact.
+    nilm_fault::arm("fleet.shard.panic", 1.0, 29);
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    let doc = nilm_json::parse(response.body_str().unwrap()).expect("valid JSON");
+    let hh = doc.get("households").and_then(JsonValue::as_array).expect("households")[0].clone();
+    let reason = hh.get("degraded").and_then(JsonValue::as_str).expect("degraded reason");
+    assert!(reason.contains("injected fault"), "{reason}");
+    assert!(counter(&metrics_doc(&addr), "households_degraded_total") >= 1);
+
+    // Fault cleared: back to byte-identical healthy responses.
+    nilm_fault::disarm_all();
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body_str().unwrap(), expected);
+
+    gateway.shutdown();
+}

@@ -108,6 +108,7 @@ fn expected_body(
         .enumerate()
         .map(|(hi, hh)| HouseholdRow {
             id: &hh.id,
+            degraded: None,
             timelines: per_key.iter().map(|tls| &tls[hi]).collect(),
         })
         .collect();

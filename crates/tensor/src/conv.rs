@@ -18,7 +18,7 @@
 //!   specialization. Stride-1, dilation-1 skinny convolutions (the entire
 //!   CamAL trunk) skip im2col entirely: each lowered row is a shifted
 //!   window of a once-padded input, fed to the kernel as a slice
-//!   ([`Conv1d::forward_simd_direct`]).
+//!   (`Conv1d::forward_simd_direct`).
 //!
 //! All paths accumulate every output element over `(c_in, tap)` — and the
 //! weight gradient over `(batch, t)` — in the same left-to-right order, so

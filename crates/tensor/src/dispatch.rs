@@ -191,7 +191,7 @@ pub fn tuned_entries() -> Vec<(ShapeKey, Backend)> {
 /// Returns the cached winner for `key`, or races `candidates` to find it.
 ///
 /// `run(backend)` must execute the real operation under `backend`; on a
-/// cache miss every candidate runs once as warm-up plus [`AUTOTUNE_REPS`]
+/// cache miss every candidate runs once as warm-up plus `AUTOTUNE_REPS`
 /// timed repetitions (minimum taken), the fastest is cached, and the caller
 /// is left with the output of the *last* run. All candidates must produce
 /// bit-identical output, so which one ran last is unobservable.

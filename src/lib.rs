@@ -18,6 +18,7 @@
 pub use camal;
 pub use nilm_data;
 pub use nilm_eval;
+pub use nilm_fault;
 pub use nilm_json;
 pub use nilm_metrics;
 pub use nilm_models;

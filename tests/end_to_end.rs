@@ -231,7 +231,11 @@ fn serving_surfaces_are_backend_invariant() {
         let rows: Vec<HouseholdRow> = households
             .iter()
             .enumerate()
-            .map(|(hi, hh)| HouseholdRow { id: &hh.id, timelines: vec![&timelines[hi]] })
+            .map(|(hi, hh)| HouseholdRow {
+                id: &hh.id,
+                degraded: None,
+                timelines: vec![&timelines[hi]],
+            })
             .collect();
         let stream_body = localize_response(&keys, &rows, Detail::Full).to_compact();
 
@@ -242,6 +246,7 @@ fn serving_surfaces_are_backend_invariant() {
             .enumerate()
             .map(|(hi, hh)| HouseholdRow {
                 id: &hh.id,
+                degraded: None,
                 timelines: vec![result.timeline(hi, key).expect("timeline")],
             })
             .collect();
