@@ -54,11 +54,20 @@ if [ "$MODE" != "quick" ]; then
     step "perf harness smoke run (validates BENCH_conv_gemm.json)"
     cargo run --release -p nilm_eval --bin bench_conv_gemm -- --smoke --out target/ci-bench
 
-    step "camal_serve smoke run (train -> save -> load -> serve, JSON validated)"
+    # The serving demos train mixed ResNet + TransApp ensembles
+    # (`Scale::mixed_camal_config`), so these smoke runs double as the
+    # heterogeneous-backbone zoo gate: checkpoint v3 save/load, registry
+    # manifest metadata and fleet/gateway serving over mixed members.
+    step "camal_serve smoke run (mixed-backbone train -> save -> load -> serve, JSON validated)"
     cargo run --release -p nilm_eval --bin camal_serve -- demo --smoke --out target/ci-serve
 
-    step "camal_fleet smoke run (zoo train-all -> registry reload -> fleet serve, JSON validated)"
+    step "camal_fleet smoke run (mixed-backbone zoo train-all -> registry reload -> fleet serve, JSON validated)"
     cargo run --release -p nilm_eval --bin camal_fleet -- demo --smoke --out target/ci-fleet
+
+    # Checkpoint compatibility: the committed v2 fixture must keep loading
+    # (and serving bit-identically) through the v3 reader.
+    step "cargo test -p camal --test checkpoint_compat --release (v2 fixture compat)"
+    cargo test -q -p camal --test checkpoint_compat --release
 
     # The fleet sharding-invariance tests only exercise real fan-out with a
     # multi-thread worker pool (the 1-core fallback runs shards serially).
@@ -129,11 +138,12 @@ PY
     cargo bench -p nilm_bench --bench bench_gateway_rps -- --smoke --out "$PWD/target/ci-gateway"
 fi
 
-# `camal`, `nilm_data`, `nilm_fault`, `nilm_json` and `nilm_serve` opt into
-# #![warn(missing_docs)]; with rustdoc warnings denied this step is the
-# docs gate: any undocumented public item in those crates fails CI.
-step "docs gate: cargo doc -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_serve (missing_docs denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_serve
+# `camal`, `nilm_data`, `nilm_fault`, `nilm_json`, `nilm_models` and
+# `nilm_serve` opt into #![warn(missing_docs)]; with rustdoc warnings denied
+# this step is the docs gate: any undocumented public item in those crates
+# (the backbone zoo — detector/resnet/inception/transapp — included) fails CI.
+step "docs gate: cargo doc -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_models -p nilm_serve (missing_docs denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_models -p nilm_serve
 
 step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -60,9 +60,10 @@ pub fn bench_fleet_model(window: usize, seed: u64) -> CamalModel {
         ..Default::default()
     };
     let mut rng = nilm_tensor::init::rng(seed);
+    let spec = nilm_models::BackboneSpec::ResNet { kernel: 5, width_div: cfg.width_div };
     let member = camal::ensemble::EnsembleMember {
-        net: nilm_models::build_detector(&mut rng, nilm_models::Backbone::ResNet, 5, cfg.width_div),
-        kernel: 5,
+        net: nilm_models::build_from_spec(&mut rng, spec),
+        spec,
         val_loss: 0.1,
     };
     let mut model = CamalModel::from_members(cfg, vec![member]);

@@ -1,6 +1,6 @@
 //! CamAL hyper-parameters (paper §IV and Algorithm 1).
 
-use nilm_models::{Backbone, TrainConfig};
+use nilm_models::{Backbone, BackboneSpec, TrainConfig};
 
 /// Default kernel grid K_p of the ensemble (paper §IV-A.1).
 pub const DEFAULT_KERNELS: [usize; 5] = [5, 7, 9, 15, 25];
@@ -27,9 +27,16 @@ pub struct CamalConfig {
     pub use_attention: bool,
     /// Channel-width divisor of the ResNets (1 = paper scale `[64,128,128]`).
     pub width_div: usize,
-    /// Detector architecture (paper: ResNet; InceptionTime is the backbone
-    /// ablation discussed in §IV-A).
+    /// Detector family the kernel grid instantiates (paper: ResNet;
+    /// InceptionTime is the backbone ablation discussed in §IV-A). Together
+    /// with `kernels` and `width_div` this is the historical convenience
+    /// surface; the full candidate grid is [`CamalConfig::candidate_specs`].
     pub backbone: Backbone,
+    /// Extra architecture candidates appended to the kernel grid — each one
+    /// enters Algorithm 1's sweep alongside the `(backbone, kernel)`
+    /// candidates, so a single run can select a mixed ResNet + TransApp
+    /// ensemble. Empty by default (pure paper behaviour).
+    pub candidates: Vec<BackboneSpec>,
     /// Optimizer settings for each member.
     pub train: TrainConfig,
     /// Balance the training set by random undersampling before training.
@@ -49,6 +56,7 @@ impl Default for CamalConfig {
             use_attention: true,
             width_div: 1,
             backbone: Backbone::ResNet,
+            candidates: Vec::new(),
             train: TrainConfig::default(),
             balance: true,
             seed: 0xCA_3A1,
@@ -82,6 +90,37 @@ impl CamalConfig {
         self.use_attention = false;
         self
     }
+
+    /// The laptop-scale mixed-backbone configuration: the [`Self::small`]
+    /// ResNet kernel grid plus a small TransApp candidate per trial, so
+    /// Algorithm 1 can select a heterogeneous ensemble. Used by the fleet
+    /// and gateway smoke demos.
+    pub fn mixed_small() -> Self {
+        CamalConfig {
+            candidates: vec![BackboneSpec::TransApp {
+                d_model: 16,
+                heads: 2,
+                d_ff: 32,
+                layers: 1,
+                downsample: 4,
+            }],
+            ..Self::small()
+        }
+    }
+
+    /// The full candidate grid of Algorithm 1: every kernel expanded through
+    /// the configured `backbone` family at `width_div`, followed by the
+    /// explicit extra `candidates`. Order is deterministic — it seeds the
+    /// per-candidate RNG salts.
+    pub fn candidate_specs(&self) -> Vec<BackboneSpec> {
+        let mut specs: Vec<BackboneSpec> = self
+            .kernels
+            .iter()
+            .map(|&k| BackboneSpec::from_kernel(self.backbone, k, self.width_div))
+            .collect();
+        specs.extend(self.candidates.iter().copied());
+        specs
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +143,28 @@ mod tests {
         assert_eq!(cfg.kernels, vec![7]);
         let cfg = CamalConfig::default().without_attention();
         assert!(!cfg.use_attention);
+    }
+
+    #[test]
+    fn candidate_grid_expands_kernels_then_extras() {
+        let mut cfg = CamalConfig::small();
+        let ta =
+            BackboneSpec::TransApp { d_model: 8, heads: 2, d_ff: 16, layers: 1, downsample: 4 };
+        cfg.candidates.push(ta);
+        let specs = cfg.candidate_specs();
+        assert_eq!(specs.len(), cfg.kernels.len() + 1);
+        for (spec, &k) in specs.iter().zip(&cfg.kernels) {
+            assert_eq!(*spec, BackboneSpec::from_kernel(cfg.backbone, k, cfg.width_div));
+        }
+        assert_eq!(*specs.last().unwrap(), ta);
+    }
+
+    #[test]
+    fn mixed_small_holds_a_transapp_candidate() {
+        let cfg = CamalConfig::mixed_small();
+        assert!(!cfg.candidates.is_empty());
+        assert!(cfg.candidate_specs().iter().any(|s| s.family() == "transapp"));
+        // The kernel grid itself is untouched relative to `small()`.
+        assert_eq!(cfg.kernels, CamalConfig::small().kernels);
     }
 }

@@ -1,13 +1,16 @@
-//! Algorithm 1: training and selection of the CamAL ResNet ensemble.
+//! Algorithm 1: training and selection of the CamAL ensemble.
 //!
-//! For each kernel size k_p and each trial, a ResNet is trained on an 80%
-//! sub-split of the training windows (cross-entropy on the weak labels);
-//! candidates are ranked by loss on the validation set and the best `n`
-//! are kept. Candidate training runs on parallel threads.
+//! For each candidate architecture spec (the kernel grid expanded through
+//! the configured backbone family, plus any explicit extra candidates —
+//! e.g. a TransApp attention detector) and each trial, a detector is
+//! trained on an 80% sub-split of the training windows (cross-entropy on
+//! the weak labels); candidates are ranked by loss on the validation set
+//! and the best `n` are kept, regardless of family. Candidate training runs
+//! on parallel threads.
 
 use crate::config::CamalConfig;
 use nilm_data::windows::WindowSet;
-use nilm_models::detector::{build_detector, Detector};
+use nilm_models::detector::{build_from_spec, BackboneSpec, Detector};
 use nilm_tensor::layer::Mode;
 use nilm_tensor::loss::cross_entropy;
 use nilm_tensor::optim::{clip_grad_norm, Adam};
@@ -22,8 +25,8 @@ use std::time::Instant;
 pub struct EnsembleMember {
     /// The trained detector.
     pub net: Box<dyn Detector>,
-    /// Kernel size k_p this member was built with.
-    pub kernel: usize,
+    /// The full architecture spec this member was built from.
+    pub spec: BackboneSpec,
     /// Cross-entropy loss on the validation windows (selection criterion).
     pub val_loss: f32,
 }
@@ -31,7 +34,7 @@ pub struct EnsembleMember {
 /// Statistics of one ensemble training run.
 #[derive(Clone, Debug, Default)]
 pub struct EnsembleStats {
-    /// Candidates trained ( |kernels| × trials ).
+    /// Candidates trained ( |candidate specs| × trials ).
     pub candidates: usize,
     /// Members selected.
     pub selected: usize,
@@ -43,9 +46,10 @@ pub struct EnsembleStats {
     pub candidate_secs_total: f64,
 }
 
-/// Trains one ResNet candidate on `train` and scores it on `val`.
+/// Trains one candidate of architecture `spec` on `train` and scores it on
+/// `val`.
 fn train_candidate(
-    kernel: usize,
+    spec: BackboneSpec,
     cfg: &CamalConfig,
     train: &WindowSet,
     val: &WindowSet,
@@ -53,7 +57,7 @@ fn train_candidate(
 ) -> (Box<dyn Detector>, f32, f64) {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = build_detector(&mut rng, cfg.backbone, kernel, cfg.width_div);
+    let mut net = build_from_spec(&mut rng, spec);
     let mut opt = Adam::new(cfg.train.lr);
     let mut order_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
     // Scratch buffers hoisted out of the epoch × batch loop: every chunk
@@ -125,11 +129,28 @@ pub fn train_ensemble(
     };
     let (train_sub, _val_sub) = train_for_members.split_train_val(0.2, &mut split_rng);
 
-    // Candidate grid.
-    let jobs: Vec<(usize, u64)> = cfg
-        .kernels
+    // Candidate grid: every spec × every trial. Salts are a pure function
+    // of the grid definition, never of scheduling: kernel-grid candidates
+    // keep the historical `(kernel << 32) | trial` salt (so pure-ResNet
+    // configs reproduce pre-spec checkpoints exactly), while extra spec
+    // candidates salt by their position in `cfg.candidates` under a
+    // distinct high tag that cannot collide with any 32-bit kernel.
+    let kernel_specs = cfg.kernels.len();
+    let salted: Vec<(BackboneSpec, u64)> = cfg
+        .candidate_specs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let base = match spec.kernel() {
+                Some(k) if i < kernel_specs => (k as u64) << 32,
+                _ => 0xB5ACu64 << 48 | ((i - kernel_specs) as u64) << 32,
+            };
+            (spec, base)
+        })
+        .collect();
+    let jobs: Vec<(BackboneSpec, u64)> = salted
         .iter()
-        .flat_map(|&k| (0..cfg.trials.max(1)).map(move |t| (k, (k as u64) << 32 | t as u64)))
+        .flat_map(|&(spec, base)| (0..cfg.trials.max(1)).map(move |t| (spec, base | t as u64)))
         .collect();
 
     // Shared work queue over one thread scope: each worker pops the next
@@ -139,7 +160,7 @@ pub fn train_ensemble(
     // its (kernel, trial) salt and results land in per-job slots, so the
     // outcome is identical for any thread count.
     let threads = threads.max(1).min(jobs.len().max(1));
-    let slots: Mutex<Vec<Option<(usize, Box<dyn Detector>, f32, f64)>>> =
+    let slots: Mutex<Vec<Option<(BackboneSpec, Box<dyn Detector>, f32, f64)>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
     let next_job = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -152,17 +173,16 @@ pub fn train_ensemble(
             let next_ref = &next_job;
             scope.spawn(move || loop {
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                let Some(&(kernel, salt)) = jobs_ref.get(i) else {
+                let Some(&(spec, salt)) = jobs_ref.get(i) else {
                     break;
                 };
                 let (net, loss, secs) =
-                    train_candidate(kernel, cfg_ref, train_ref, val_ref, cfg_ref.seed ^ salt);
-                slots_ref.lock().expect("result slots poisoned")[i] =
-                    Some((kernel, net, loss, secs));
+                    train_candidate(spec, cfg_ref, train_ref, val_ref, cfg_ref.seed ^ salt);
+                slots_ref.lock().expect("result slots poisoned")[i] = Some((spec, net, loss, secs));
             });
         }
     });
-    let mut results: Vec<(usize, Box<dyn Detector>, f32, f64)> = slots
+    let mut results: Vec<(BackboneSpec, Box<dyn Detector>, f32, f64)> = slots
         .into_inner()
         .expect("result slots poisoned")
         .into_iter()
@@ -178,7 +198,7 @@ pub fn train_ensemble(
     let selected_losses: Vec<f32> = results.iter().map(|r| r.2).collect();
     let members = results
         .into_iter()
-        .map(|(kernel, net, val_loss, _)| EnsembleMember { net, kernel, val_loss })
+        .map(|(spec, net, val_loss, _)| EnsembleMember { net, spec, val_loss })
         .collect::<Vec<_>>();
     let stats = EnsembleStats {
         candidates,
@@ -264,13 +284,65 @@ mod tests {
         let (m1, s1) = train_ensemble(&cfg, &train, &val, 1);
         let (m4, s4) = train_ensemble(&cfg, &train, &val, 4);
         assert_eq!(s1.candidates, s4.candidates);
-        let summary = |ms: &[EnsembleMember]| -> Vec<(usize, u32)> {
-            ms.iter().map(|m| (m.kernel, m.val_loss.to_bits())).collect()
+        let summary = |ms: &[EnsembleMember]| -> Vec<(BackboneSpec, u32)> {
+            ms.iter().map(|m| (m.spec, m.val_loss.to_bits())).collect()
         };
         assert_eq!(summary(&m1), summary(&m4), "selection depends on thread count");
         for (mut a, mut b) in m1.into_iter().zip(m4) {
             assert_eq!(a.net.save_state(), b.net.save_state(), "member weights differ");
         }
+    }
+
+    #[test]
+    fn mixed_spec_selection_is_invariant_to_thread_count() {
+        // The heterogeneous grid (ResNet kernels + an explicit TransApp
+        // candidate) must select identically — specs, losses, and weights
+        // bit-for-bit — whether candidates trained on 1 thread or 4.
+        let train = toy_set(24, 32, 15);
+        let val = toy_set(8, 32, 16);
+        let mut cfg = fast_cfg();
+        cfg.kernels = vec![5, 9];
+        cfg.candidates = vec![BackboneSpec::TransApp {
+            d_model: 8,
+            heads: 2,
+            d_ff: 16,
+            layers: 1,
+            downsample: 4,
+        }];
+        cfg.trials = 2;
+        cfg.n_ensemble = 4;
+        let (m1, s1) = train_ensemble(&cfg, &train, &val, 1);
+        let (m4, s4) = train_ensemble(&cfg, &train, &val, 4);
+        assert_eq!(s1.candidates, 6, "3 specs x 2 trials");
+        assert_eq!(s1.candidates, s4.candidates);
+        let summary = |ms: &[EnsembleMember]| -> Vec<(BackboneSpec, u32)> {
+            ms.iter().map(|m| (m.spec, m.val_loss.to_bits())).collect()
+        };
+        assert_eq!(summary(&m1), summary(&m4), "mixed selection depends on thread count");
+        for (mut a, mut b) in m1.into_iter().zip(m4) {
+            assert_eq!(a.net.save_state(), b.net.save_state(), "member weights differ");
+        }
+    }
+
+    #[test]
+    fn extra_candidates_enter_the_sweep_and_can_be_selected() {
+        // With the TransApp candidate as the only spec, every selected
+        // member must be a transformer.
+        let train = toy_set(16, 32, 17);
+        let mut cfg = fast_cfg();
+        cfg.kernels = Vec::new();
+        cfg.candidates = vec![BackboneSpec::TransApp {
+            d_model: 8,
+            heads: 2,
+            d_ff: 16,
+            layers: 1,
+            downsample: 4,
+        }];
+        cfg.n_ensemble = 1;
+        let (members, stats) = train_ensemble(&cfg, &train, &train, 2);
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(members.len(), 1);
+        assert_eq!(members[0].spec.family(), "transapp");
     }
 
     #[test]

@@ -465,7 +465,7 @@ fn run_shard_guarded(
 /// use camal::stream::HouseholdSeries;
 /// use camal::{CamalConfig, CamalModel};
 /// use nilm_data::prelude::*;
-/// use nilm_models::{build_detector, Backbone};
+/// use nilm_models::{build_from_spec, BackboneSpec};
 ///
 /// // Two tiny untrained detectors stand in for a trained zoo.
 /// let mut registry = ModelRegistry::unbounded();
@@ -476,11 +476,8 @@ fn run_shard_guarded(
 /// for (i, &key) in keys.iter().enumerate() {
 ///     let cfg = CamalConfig { n_ensemble: 1, kernels: vec![5], width_div: 16, ..Default::default() };
 ///     let mut rng = nilm_tensor::init::rng(i as u64);
-///     let member = EnsembleMember {
-///         net: build_detector(&mut rng, Backbone::ResNet, 5, 16),
-///         kernel: 5,
-///         val_loss: 0.1,
-///     };
+///     let spec = BackboneSpec::ResNet { kernel: 5, width_div: 16 };
+///     let member = EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.1 };
 ///     let mut model = CamalModel::from_members(cfg, vec![member]);
 ///     model.set_window(32);
 ///     registry.insert(key, model);
@@ -672,8 +669,7 @@ mod tests {
     use crate::stream::serve;
     use crate::stream::StreamConfig;
     use nilm_data::templates::DatasetId;
-    use nilm_models::detector::build_detector;
-    use nilm_models::Backbone;
+    use nilm_models::detector::{build_from_spec, BackboneSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -692,9 +688,10 @@ mod tests {
             .enumerate()
             .map(|(i, &k)| {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                let spec = BackboneSpec::ResNet { kernel: k, width_div: cfg.width_div };
                 EnsembleMember {
-                    net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
-                    kernel: k,
+                    net: build_from_spec(&mut rng, spec),
+                    spec,
                     val_loss: 0.5 + i as f32,
                 }
             })

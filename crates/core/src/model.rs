@@ -91,9 +91,16 @@ impl CamalModel {
         self.members.len()
     }
 
-    /// Kernel sizes of the selected members.
-    pub fn kernels(&self) -> Vec<usize> {
-        self.members.iter().map(|m| m.kernel).collect()
+    /// Architecture specs of the selected members (ascending val loss).
+    pub fn member_specs(&self) -> Vec<nilm_models::BackboneSpec> {
+        self.members.iter().map(|m| m.spec).collect()
+    }
+
+    /// Compact human-readable descriptions of the selected members, e.g.
+    /// `["resnet(k5/div8)", "transapp(d16xh2,ff32,l1,ds4)"]` — what demos,
+    /// manifests and `/v1/models` print.
+    pub fn describe_members(&self) -> Vec<String> {
+        self.members.iter().map(|m| m.spec.describe()).collect()
     }
 
     /// Consumes the model and returns its members (ascending validation
@@ -139,6 +146,12 @@ impl CamalModel {
     /// Total trainable parameters across the ensemble (Table II row CamAL).
     pub fn num_params(&mut self) -> usize {
         self.members.iter_mut().map(|m| m.net.num_params()).sum()
+    }
+
+    /// Trainable parameters of each member (ascending val loss) — paired
+    /// with [`CamalModel::describe_members`] in manifests and `/v1/models`.
+    pub fn member_param_counts(&mut self) -> Vec<usize> {
+        self.members.iter_mut().map(|m| m.net.num_params()).collect()
     }
 
     /// Ensemble detection probability (mean of member class-1 softmax) for a

@@ -2,26 +2,23 @@
 //! reload it in a fresh process with bit-identical inference behaviour.
 //!
 //! A checkpoint is the full [`CamalConfig`] plus, per ensemble member, the
-//! member metadata (kernel, validation loss) and the backbone's tensor-state
-//! blob in the [`nilm_tensor::serialize`] format. Loading rebuilds each
-//! backbone through [`build_detector`] (the same constructor used by
-//! training) and then overwrites every parameter and batch-norm buffer from
-//! the blob, so the reconstructed ensemble reproduces `detect_proba` and
-//! `localize_batch` bit-for-bit.
+//! member metadata (architecture spec, validation loss) and the backbone's
+//! tensor-state blob in the [`nilm_tensor::serialize`] format. Loading
+//! rebuilds each backbone through [`build_from_spec`] (the same constructor
+//! used by training) and then overwrites every parameter and batch-norm
+//! buffer from the blob, so the reconstructed ensemble reproduces
+//! `detect_proba` and `localize_batch` bit-for-bit.
 //!
 //! ```
 //! use camal::ensemble::EnsembleMember;
 //! use camal::{CamalConfig, CamalModel};
-//! use nilm_models::{build_detector, Backbone};
+//! use nilm_models::{build_from_spec, BackboneSpec};
 //!
 //! // A tiny untrained model round-trips bit-for-bit through bytes.
 //! let cfg = CamalConfig { n_ensemble: 1, kernels: vec![5], width_div: 16, ..Default::default() };
 //! let mut rng = nilm_tensor::init::rng(3);
-//! let member = EnsembleMember {
-//!     net: build_detector(&mut rng, Backbone::ResNet, 5, 16),
-//!     kernel: 5,
-//!     val_loss: 0.2,
-//! };
+//! let spec = BackboneSpec::ResNet { kernel: 5, width_div: 16 };
+//! let member = EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.2 };
 //! let mut model = CamalModel::from_members(cfg, vec![member]);
 //! model.set_window(64);
 //! let bytes = model.to_bytes();
@@ -30,7 +27,7 @@
 //! assert_eq!(back.to_bytes(), bytes);
 //! ```
 //!
-//! Layout (little-endian throughout; format v2):
+//! Layout (little-endian throughout; format v3):
 //!
 //! ```text
 //! magic    [8]  b"CAMALCKP"
@@ -39,13 +36,26 @@
 //!              detection_threshold:f32, attention_margin:f32,
 //!              use_attention:u8, balance:u8,
 //!              kernels: count:u32 + u32 each,
+//!              candidates: count:u32 + spec each          (v3+)
 //!              train: epochs:u32, batch_size:u32, lr:f32, clip:f32, seed:u64,
 //!              seed:u64
 //! window   u32 training window length (0 = unknown)
 //! members  u32 count, then per member:
-//!              kernel:u32, val_loss:f32, blob: len:u64 + bytes
+//!              spec, val_loss:f32, blob: len:u64 + bytes
 //! crc      u32 IEEE CRC-32 of every preceding byte (magic through members)
 //! ```
+//!
+//! where a `spec` record is a tag byte (0 = ResNet, 1 = InceptionTime,
+//! 2 = TransApp) followed by the variant's fields as u32s (`kernel,
+//! width_div` for the conv families; `d_model, heads, d_ff, layers,
+//! downsample` for TransApp).
+//!
+//! Version history: v2 appended the IEEE CRC-32 footer and stored a bare
+//! per-member `kernel:u32`; v3 replaced it with the full per-member spec
+//! (and added the config's extra-candidate grid), so heterogeneous
+//! ensembles persist. [`from_bytes`] still accepts v2 files — the stored
+//! kernel is widened into a spec through the config's `backbone`/`width_div`,
+//! which is exactly how v2 loading reconstructed members.
 //!
 //! The CRC footer (new in v2) is verified by [`from_bytes`] before any
 //! payload parsing, so a torn or bit-flipped file fails loudly as a checksum
@@ -57,7 +67,7 @@
 use crate::config::CamalConfig;
 use crate::ensemble::EnsembleMember;
 use crate::model::CamalModel;
-use nilm_models::detector::build_detector;
+use nilm_models::detector::{build_from_spec, BackboneSpec};
 use nilm_models::{Backbone, TrainConfig};
 use nilm_tensor::serialize::{ByteReader, ByteWriter, SerializeError};
 use rand::rngs::StdRng;
@@ -68,8 +78,14 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"CAMALCKP";
 
 /// Current checkpoint version; bumped on any layout change.
-/// v2 appended the IEEE CRC-32 footer.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// v2 appended the IEEE CRC-32 footer; v3 replaced the per-member kernel
+/// with a full [`BackboneSpec`] record (still loadable: see
+/// [`MIN_SUPPORTED_VERSION`]).
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// Oldest checkpoint version [`from_bytes`] still loads (v2: CRC-gated,
+/// kernel-only member records).
+pub const MIN_SUPPORTED_VERSION: u32 = 2;
 
 /// IEEE CRC-32 (the zlib/ethernet polynomial, reflected) of `bytes`.
 ///
@@ -113,6 +129,50 @@ fn backbone_from_tag(tag: u8) -> Result<Backbone, SerializeError> {
     }
 }
 
+fn write_spec(w: &mut ByteWriter, spec: BackboneSpec) {
+    match spec {
+        BackboneSpec::ResNet { kernel, width_div } => {
+            w.put_u8(0);
+            w.put_u32(kernel as u32);
+            w.put_u32(width_div as u32);
+        }
+        BackboneSpec::InceptionTime { kernel, width_div } => {
+            w.put_u8(1);
+            w.put_u32(kernel as u32);
+            w.put_u32(width_div as u32);
+        }
+        BackboneSpec::TransApp { d_model, heads, d_ff, layers, downsample } => {
+            w.put_u8(2);
+            w.put_u32(d_model as u32);
+            w.put_u32(heads as u32);
+            w.put_u32(d_ff as u32);
+            w.put_u32(layers as u32);
+            w.put_u32(downsample as u32);
+        }
+    }
+}
+
+fn read_spec(r: &mut ByteReader) -> Result<BackboneSpec, SerializeError> {
+    match r.get_u8("spec tag")? {
+        0 => Ok(BackboneSpec::ResNet {
+            kernel: r.get_u32("spec kernel")? as usize,
+            width_div: r.get_u32("spec width_div")? as usize,
+        }),
+        1 => Ok(BackboneSpec::InceptionTime {
+            kernel: r.get_u32("spec kernel")? as usize,
+            width_div: r.get_u32("spec width_div")? as usize,
+        }),
+        2 => Ok(BackboneSpec::TransApp {
+            d_model: r.get_u32("spec d_model")? as usize,
+            heads: r.get_u32("spec heads")? as usize,
+            d_ff: r.get_u32("spec d_ff")? as usize,
+            layers: r.get_u32("spec layers")? as usize,
+            downsample: r.get_u32("spec downsample")? as usize,
+        }),
+        other => Err(SerializeError::Format(format!("unknown backbone spec tag {other}"))),
+    }
+}
+
 fn write_config(w: &mut ByteWriter, cfg: &CamalConfig) {
     w.put_u8(backbone_tag(cfg.backbone));
     w.put_u32(cfg.width_div as u32);
@@ -126,6 +186,10 @@ fn write_config(w: &mut ByteWriter, cfg: &CamalConfig) {
     for &k in &cfg.kernels {
         w.put_u32(k as u32);
     }
+    w.put_u32(cfg.candidates.len() as u32);
+    for &spec in &cfg.candidates {
+        write_spec(w, spec);
+    }
     w.put_u32(cfg.train.epochs as u32);
     w.put_u32(cfg.train.batch_size as u32);
     w.put_f32(cfg.train.lr);
@@ -134,7 +198,7 @@ fn write_config(w: &mut ByteWriter, cfg: &CamalConfig) {
     w.put_u64(cfg.seed);
 }
 
-fn read_config(r: &mut ByteReader) -> Result<CamalConfig, SerializeError> {
+fn read_config(r: &mut ByteReader, version: u32) -> Result<CamalConfig, SerializeError> {
     let backbone = backbone_from_tag(r.get_u8("backbone tag")?)?;
     let width_div = r.get_u32("width_div")? as usize;
     let n_ensemble = r.get_u32("n_ensemble")? as usize;
@@ -155,6 +219,24 @@ fn read_config(r: &mut ByteReader) -> Result<CamalConfig, SerializeError> {
     for _ in 0..n_kernels {
         kernels.push(r.get_u32("kernel")? as usize);
     }
+    let candidates = if version >= 3 {
+        let n_candidates = r.get_u32("candidate count")? as usize;
+        // Smallest spec record is tag + two u32 fields (conv families).
+        if n_candidates > r.remaining() / 9 {
+            return Err(SerializeError::Format(format!(
+                "candidate count {n_candidates} exceeds remaining payload"
+            )));
+        }
+        let mut candidates = Vec::with_capacity(n_candidates);
+        for _ in 0..n_candidates {
+            candidates.push(read_spec(r)?);
+        }
+        candidates
+    } else {
+        // v2 predates the extra-candidate grid: the kernel sweep was the
+        // whole candidate set.
+        Vec::new()
+    };
     let train = TrainConfig {
         epochs: r.get_u32("epochs")? as usize,
         batch_size: r.get_u32("batch_size")? as usize,
@@ -172,6 +254,7 @@ fn read_config(r: &mut ByteReader) -> Result<CamalConfig, SerializeError> {
         use_attention,
         width_div,
         backbone,
+        candidates,
         train,
         balance,
         seed,
@@ -189,7 +272,7 @@ pub fn to_bytes(model: &mut CamalModel) -> Vec<u8> {
     let members = model.members_mut();
     w.put_u32(members.len() as u32);
     for member in members {
-        w.put_u32(member.kernel as u32);
+        write_spec(&mut w, member.spec);
         w.put_f32(member.val_loss);
         let blob = member.net.save_state();
         w.put_u64(blob.len() as u64);
@@ -217,9 +300,10 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
         )));
     }
     let version = probe.get_u32("version")?;
-    if version != CHECKPOINT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=CHECKPOINT_VERSION).contains(&version) {
         return Err(SerializeError::Format(format!(
-            "unsupported checkpoint version {version}, expected {CHECKPOINT_VERSION}"
+            "unsupported checkpoint version {version}, \
+             expected {MIN_SUPPORTED_VERSION}..={CHECKPOINT_VERSION}"
         )));
     }
     if bytes.len() < MAGIC.len() + 4 + 4 {
@@ -237,13 +321,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
     let mut r = ByteReader::new(payload);
     r.get_bytes(MAGIC.len(), "magic")?;
     r.get_u32("version")?;
-    let cfg = read_config(&mut r)?;
+    let cfg = read_config(&mut r, version)?;
     let window = r.get_u32("window length")? as usize;
     let n_members = r.get_u32("member count")? as usize;
     if n_members == 0 {
         return Err(SerializeError::Format("checkpoint holds no ensemble members".into()));
     }
-    // Each member record is at least kernel + val_loss + blob length.
+    // Each member record is at least spec (or v2 kernel) + val_loss + blob
+    // length.
     if n_members > r.remaining() / 16 {
         return Err(SerializeError::Format(format!(
             "member count {n_members} exceeds remaining payload"
@@ -251,21 +336,29 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CamalModel, SerializeError> {
     }
     let mut members = Vec::with_capacity(n_members);
     for i in 0..n_members {
-        let kernel = r.get_u32("member kernel")? as usize;
+        let spec = if version >= 3 {
+            read_spec(&mut r)?
+        } else {
+            // v2 stored a bare kernel; the member architecture was implied by
+            // the config's backbone family and width divisor, so widening it
+            // into a spec reconstructs exactly what v2 loading built.
+            let kernel = r.get_u32("member kernel")? as usize;
+            BackboneSpec::from_kernel(cfg.backbone, kernel, cfg.width_div)
+        };
         let val_loss = r.get_f32("member val_loss")?;
         let blob_len = r.get_u64("member state length")? as usize;
         let blob = r.get_bytes(blob_len, "member state")?;
         // The RNG only seeds the soon-overwritten init, but keep it
         // deterministic anyway so partial failures are reproducible.
         let mut rng = StdRng::seed_from_u64(0x10AD ^ i as u64);
-        let mut net = build_detector(&mut rng, cfg.backbone, kernel, cfg.width_div);
+        let mut net = build_from_spec(&mut rng, spec);
         net.load_state(blob).map_err(|e| match e {
             SerializeError::Format(msg) => {
-                SerializeError::Format(format!("member {i} (kernel {kernel}): {msg}"))
+                SerializeError::Format(format!("member {i} ({}): {msg}", spec.describe()))
             }
             io => io,
         })?;
-        members.push(EnsembleMember { net, kernel, val_loss });
+        members.push(EnsembleMember { net, spec, val_loss });
     }
     r.expect_end()?;
     let mut model = CamalModel::from_members(cfg, members);
@@ -358,9 +451,35 @@ mod tests {
             .enumerate()
             .map(|(i, &k)| {
                 let mut rng = StdRng::seed_from_u64(42 + i as u64);
+                let spec = BackboneSpec::from_kernel(backbone, k, cfg.width_div);
                 EnsembleMember {
-                    net: build_detector(&mut rng, backbone, k, cfg.width_div),
-                    kernel: k,
+                    net: build_from_spec(&mut rng, spec),
+                    spec,
+                    val_loss: 0.1 * (i + 1) as f32,
+                }
+            })
+            .collect();
+        CamalModel::from_members(cfg, members)
+    }
+
+    /// An untrained model over an arbitrary spec list — the heterogeneous
+    /// sibling of [`untrained_model`].
+    fn untrained_model_from_specs(specs: &[BackboneSpec]) -> CamalModel {
+        let cfg = CamalConfig {
+            n_ensemble: specs.len(),
+            kernels: Vec::new(),
+            candidates: specs.to_vec(),
+            trials: 1,
+            ..Default::default()
+        };
+        let members = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                let mut rng = StdRng::seed_from_u64(42 + i as u64);
+                EnsembleMember {
+                    net: build_from_spec(&mut rng, spec),
+                    spec,
                     val_loss: 0.1 * (i + 1) as f32,
                 }
             })
@@ -375,9 +494,31 @@ mod tests {
         let bytes = to_bytes(&mut model);
         let mut back = from_bytes(&bytes).expect("roundtrip");
         assert_eq!(back.ensemble_size(), 2);
-        assert_eq!(back.kernels(), vec![5, 9]);
+        assert_eq!(
+            back.member_specs(),
+            vec![
+                BackboneSpec::ResNet { kernel: 5, width_div: 16 },
+                BackboneSpec::ResNet { kernel: 9, width_div: 16 },
+            ]
+        );
         assert_eq!(back.config().width_div, 16);
         assert_eq!(back.window(), 96, "training window length must survive the roundtrip");
+        assert_eq!(to_bytes(&mut back), bytes, "re-serialization must be stable");
+    }
+
+    #[test]
+    fn heterogeneous_roundtrip_preserves_specs_and_candidates() {
+        let specs = [
+            BackboneSpec::ResNet { kernel: 5, width_div: 16 },
+            BackboneSpec::TransApp { d_model: 8, heads: 2, d_ff: 16, layers: 1, downsample: 4 },
+            BackboneSpec::InceptionTime { kernel: 7, width_div: 16 },
+        ];
+        let mut model = untrained_model_from_specs(&specs);
+        model.set_window(64);
+        let bytes = to_bytes(&mut model);
+        let mut back = from_bytes(&bytes).expect("heterogeneous roundtrip");
+        assert_eq!(back.member_specs(), specs.to_vec());
+        assert_eq!(back.config().candidates, specs.to_vec());
         assert_eq!(to_bytes(&mut back), bytes, "re-serialization must be stable");
     }
 
@@ -428,9 +569,9 @@ mod tests {
 
     #[test]
     fn member_architecture_mismatch_is_rejected() {
-        // Corrupt the stored kernel of member 0: the rebuilt backbone then
-        // has different conv shapes than the blob and the load must fail
-        // instead of silently mis-assigning weights.
+        // Corrupt the stored kernel of member 0's spec record: the rebuilt
+        // backbone then has different conv shapes than the blob and the load
+        // must fail instead of silently mis-assigning weights.
         let mut model = untrained_model(Backbone::ResNet, &[5]);
         let mut bytes = to_bytes(&mut model);
         let kernel_pos = bytes.len()
@@ -438,7 +579,8 @@ mod tests {
             - model.members_mut()[0].net.save_state().len()
             - 8  // blob length
             - 4  // val_loss
-            - 4; // kernel
+            - 4  // spec width_div
+            - 4; // spec kernel
         bytes[kernel_pos..kernel_pos + 4].copy_from_slice(&25u32.to_le_bytes());
         refresh_crc(&mut bytes);
         let err = match from_bytes(&bytes) {
@@ -446,6 +588,40 @@ mod tests {
             Ok(_) => panic!("mismatched member architecture was accepted"),
         };
         assert!(format!("{err}").contains("member 0"), "{err}");
+    }
+
+    #[test]
+    fn unknown_spec_tag_is_rejected() {
+        let mut model = untrained_model(Backbone::ResNet, &[5]);
+        let mut bytes = to_bytes(&mut model);
+        let tag_pos = bytes.len()
+            - 4  // CRC footer
+            - model.members_mut()[0].net.save_state().len()
+            - 8  // blob length
+            - 4  // val_loss
+            - 8  // spec kernel + width_div
+            - 1; // spec tag
+        bytes[tag_pos] = 9;
+        refresh_crc(&mut bytes);
+        let err = match from_bytes(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown spec tag was accepted"),
+        };
+        assert!(format!("{err}").contains("spec tag"), "{err}");
+    }
+
+    #[test]
+    fn pre_crc_versions_are_rejected() {
+        // v1 files carried no CRC footer; loading one must fail on the
+        // version gate, never by misreading payload bytes as a checksum.
+        let mut model = untrained_model(Backbone::ResNet, &[5]);
+        let mut bytes = to_bytes(&mut model);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = match from_bytes(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("version 1 was accepted"),
+        };
+        assert!(format!("{err}").contains("unsupported checkpoint version"), "{err}");
     }
 
     #[test]

@@ -219,6 +219,12 @@ pub struct ManifestEntry {
     pub window: usize,
     /// Ensemble size (0 until the model has been loaded once).
     pub ensemble_size: usize,
+    /// Per-member backbone descriptions, e.g. `resnet(k5/div8)` (empty
+    /// until the model has been loaded once).
+    pub backbones: Vec<String>,
+    /// Per-member trainable-parameter counts, aligned with `backbones`
+    /// (empty until the model has been loaded once).
+    pub param_counts: Vec<usize>,
 }
 
 struct Slot {
@@ -232,6 +238,8 @@ struct Slot {
     /// Metadata cached at insert/first-load time for the manifest.
     window: usize,
     ensemble_size: usize,
+    backbones: Vec<String>,
+    param_counts: Vec<usize>,
     /// Consecutive checkpoint load failures (reset on success).
     failures: u32,
     /// End of the current quarantine window, if one is open.
@@ -245,16 +253,13 @@ struct Slot {
 /// use camal::registry::{ModelKey, ModelRegistry};
 /// use camal::{CamalConfig, CamalModel};
 /// use nilm_data::prelude::*;
-/// use nilm_models::{build_detector, Backbone};
+/// use nilm_models::{build_from_spec, BackboneSpec};
 ///
 /// // A tiny untrained single-member model stands in for a trained one.
 /// let cfg = CamalConfig { n_ensemble: 1, kernels: vec![5], width_div: 16, ..Default::default() };
 /// let mut rng = nilm_tensor::init::rng(7);
-/// let member = EnsembleMember {
-///     net: build_detector(&mut rng, Backbone::ResNet, 5, 16),
-///     kernel: 5,
-///     val_loss: 0.1,
-/// };
+/// let spec = BackboneSpec::ResNet { kernel: 5, width_div: 16 };
+/// let member = EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.1 };
 /// let mut model = CamalModel::from_members(cfg, vec![member]);
 /// model.set_window(64);
 ///
@@ -344,12 +349,14 @@ impl ModelRegistry {
     /// Registers an in-memory model (e.g. straight out of training). The
     /// model is pinned: it has no backing file, so the LRU budget never
     /// evicts it. Replaces any previous entry under `key`.
-    pub fn insert(&mut self, key: ModelKey, model: CamalModel) {
+    pub fn insert(&mut self, key: ModelKey, mut model: CamalModel) {
         self.clock += 1;
         let slot = Slot {
             path: None,
             window: model.window(),
             ensemble_size: model.ensemble_size(),
+            backbones: model.describe_members(),
+            param_counts: model.member_param_counts(),
             model: Some(model),
             last_used: self.clock,
             failures: 0,
@@ -370,6 +377,8 @@ impl ModelRegistry {
             last_used: self.clock,
             window: 0,
             ensemble_size: 0,
+            backbones: Vec::new(),
+            param_counts: Vec::new(),
             failures: 0,
             quarantined_until: None,
         };
@@ -422,10 +431,12 @@ impl ModelRegistry {
                 }
             }
             match CamalModel::load(&path) {
-                Ok(model) => {
+                Ok(mut model) => {
                     let slot = self.slots.get_mut(&key).expect("checked above");
                     slot.window = model.window();
                     slot.ensemble_size = model.ensemble_size();
+                    slot.backbones = model.describe_members();
+                    slot.param_counts = model.member_param_counts();
                     slot.model = Some(model);
                     slot.last_used = clock;
                     slot.failures = 0;
@@ -511,7 +522,8 @@ impl ModelRegistry {
     }
 
     /// One row per registered model: residency, backing file and (once
-    /// loaded at least once) window length and ensemble size.
+    /// loaded at least once) window length, ensemble size and the
+    /// per-member backbone descriptions with parameter counts.
     pub fn manifest(&self) -> Vec<ManifestEntry> {
         self.slots
             .iter()
@@ -521,6 +533,8 @@ impl ModelRegistry {
                 path: slot.path.clone(),
                 window: slot.window,
                 ensemble_size: slot.ensemble_size,
+                backbones: slot.backbones.clone(),
+                param_counts: slot.param_counts.clone(),
             })
             .collect()
     }
@@ -531,8 +545,7 @@ mod tests {
     use super::*;
     use crate::config::CamalConfig;
     use crate::ensemble::EnsembleMember;
-    use nilm_models::detector::build_detector;
-    use nilm_models::Backbone;
+    use nilm_models::detector::{build_from_spec, BackboneSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -545,11 +558,8 @@ mod tests {
             ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(seed);
-        let member = EnsembleMember {
-            net: build_detector(&mut rng, Backbone::ResNet, 5, cfg.width_div),
-            kernel: 5,
-            val_loss: 0.1,
-        };
+        let spec = BackboneSpec::ResNet { kernel: 5, width_div: cfg.width_div };
+        let member = EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.1 };
         let mut model = CamalModel::from_members(cfg, vec![member]);
         model.set_window(32);
         model
@@ -601,6 +611,69 @@ mod tests {
         let _ = reg.get_mut(key).unwrap();
         let stats = reg.stats();
         assert_eq!((stats.loads, stats.hits, stats.evictions), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A two-member mixed ResNet + TransApp model for manifest tests.
+    fn mixed_model(seed: u64) -> CamalModel {
+        let specs = [
+            BackboneSpec::ResNet { kernel: 5, width_div: 16 },
+            BackboneSpec::TransApp { d_model: 16, heads: 2, d_ff: 32, layers: 1, downsample: 4 },
+        ];
+        let cfg = CamalConfig {
+            n_ensemble: specs.len(),
+            kernels: vec![5],
+            candidates: vec![specs[1]],
+            trials: 1,
+            width_div: 16,
+            ..Default::default()
+        };
+        let members = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                let mut rng = StdRng::seed_from_u64(seed + i as u64);
+                EnsembleMember {
+                    net: build_from_spec(&mut rng, spec),
+                    spec,
+                    val_loss: 0.1 * (i + 1) as f32,
+                }
+            })
+            .collect();
+        let mut model = CamalModel::from_members(cfg, members);
+        model.set_window(32);
+        model
+    }
+
+    #[test]
+    fn manifest_reports_backbones_and_param_counts() {
+        let dir = temp_zoo("backbones");
+        let pinned = ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle);
+        let lazy = ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher);
+        let mut expected = mixed_model(11);
+        let expected_backbones = expected.describe_members();
+        let expected_params = expected.member_param_counts();
+        mixed_model(11).save(dir.join(lazy.file_name())).unwrap();
+
+        let mut reg = ModelRegistry::unbounded();
+        reg.insert(pinned, mixed_model(11));
+        reg.register_file(lazy, dir.join(lazy.file_name()));
+
+        // Pinned models report their zoo immediately; lazy ones only after
+        // the first load.
+        let manifest = reg.manifest();
+        let row = manifest.iter().find(|m| m.key == pinned).unwrap();
+        assert_eq!(row.backbones, expected_backbones);
+        assert_eq!(row.param_counts, expected_params);
+        assert!(row.backbones.iter().any(|b| b.starts_with("transapp(")), "{:?}", row.backbones);
+        let row = manifest.iter().find(|m| m.key == lazy).unwrap();
+        assert!(row.backbones.is_empty() && row.param_counts.is_empty());
+
+        let _ = reg.get_mut(lazy).unwrap();
+        let manifest = reg.manifest();
+        let row = manifest.iter().find(|m| m.key == lazy).unwrap();
+        assert_eq!(row.backbones, expected_backbones);
+        assert_eq!(row.param_counts, expected_params);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

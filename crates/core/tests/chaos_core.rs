@@ -16,8 +16,7 @@ use camal::CamalModel;
 use nilm_data::appliance::ApplianceKind;
 use nilm_data::series::TimeSeries;
 use nilm_data::templates::DatasetId;
-use nilm_models::detector::build_detector;
-use nilm_models::Backbone;
+use nilm_models::detector::{build_from_spec, BackboneSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -56,11 +55,8 @@ fn tiny_model(seed: u64) -> CamalModel {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let member = EnsembleMember {
-        net: build_detector(&mut rng, Backbone::ResNet, 5, cfg.width_div),
-        kernel: 5,
-        val_loss: 0.1,
-    };
+    let spec = BackboneSpec::ResNet { kernel: 5, width_div: cfg.width_div };
+    let member = EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.1 };
     let mut model = CamalModel::from_members(cfg, vec![member]);
     model.set_window(WINDOW);
     model

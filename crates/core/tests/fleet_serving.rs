@@ -10,7 +10,7 @@ use camal::registry::{ModelKey, ModelRegistry};
 use camal::stream::{serve, HouseholdSeries, StreamConfig};
 use camal::{CamalConfig, CamalModel};
 use nilm_data::prelude::*;
-use nilm_models::{build_detector, Backbone};
+use nilm_models::{build_from_spec, BackboneSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -30,11 +30,36 @@ fn random_model(kernels: &[usize], seed: u64) -> CamalModel {
         .enumerate()
         .map(|(i, &k)| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(97 * i as u64));
-            EnsembleMember {
-                net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
-                kernel: k,
-                val_loss: 0.3 + i as f32,
-            }
+            let spec = BackboneSpec::ResNet { kernel: k, width_div: cfg.width_div };
+            EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.3 + i as f32 }
+        })
+        .collect();
+    let mut model = CamalModel::from_members(cfg, members);
+    model.set_window(WINDOW);
+    model
+}
+
+/// An untrained heterogeneous model: a ResNet member plus a TransApp member,
+/// as a mixed-candidate sweep would select.
+fn random_mixed_model(seed: u64) -> CamalModel {
+    let specs = [
+        BackboneSpec::ResNet { kernel: 5, width_div: 16 },
+        BackboneSpec::TransApp { d_model: 16, heads: 2, d_ff: 32, layers: 1, downsample: 4 },
+    ];
+    let cfg = CamalConfig {
+        n_ensemble: specs.len(),
+        kernels: vec![5],
+        candidates: vec![specs[1]],
+        trials: 1,
+        width_div: 16,
+        ..Default::default()
+    };
+    let members = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(31 * i as u64));
+            EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.3 + i as f32 }
         })
         .collect();
     let mut model = CamalModel::from_members(cfg, members);
@@ -149,6 +174,63 @@ fn worker_thread_count_is_invisible_in_fleet_output() {
             assert_eq!(f32_bits(&ta.detection_proba), f32_bits(&tb.detection_proba));
             assert_eq!(f32_bits(&ta.power_w), f32_bits(&tb.power_w));
         }
+    }
+}
+
+/// Sharding invariance holds for a heterogeneous zoo too: mixing TransApp
+/// members into some of the fleet's models must not open any thread-count
+/// dependence, and a mixed fleet-of-one still reproduces `stream::serve`
+/// bit-for-bit.
+#[test]
+fn mixed_backbone_zoo_is_shard_invariant_and_matches_stream_serve() {
+    let keys = [
+        ModelKey::new(DatasetId::Refit, ApplianceKind::Kettle),
+        ModelKey::new(DatasetId::UkDale, ApplianceKind::Dishwasher),
+        ModelKey::new(DatasetId::Refit, ApplianceKind::Microwave),
+    ];
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(keys[0], random_mixed_model(71));
+    registry.insert(keys[1], random_model(&[5], 72)); // pure ResNet neighbour
+    registry.insert(keys[2], random_mixed_model(73));
+    let households: Vec<HouseholdSeries> =
+        (0..6).map(|i| gappy_household(3 + i % 4, 180 + i as u64)).collect();
+    let base =
+        FleetConfig { step_s: 60, max_ffill_s: 120, batch: 4, threads: 1, apply_priors: true };
+    let one = serve_fleet(&mut registry, &keys, &households, &base).unwrap();
+    let four = serve_fleet(&mut registry, &keys, &households, &FleetConfig { threads: 4, ..base })
+        .unwrap();
+    assert!(four.summary.shards > 1, "6 households over 4 threads must use several shards");
+    for (a, b) in one.households.iter().zip(&four.households) {
+        assert_eq!(a.id, b.id);
+        for (ta, tb) in a.timelines.iter().zip(&b.timelines) {
+            assert_eq!(ta.raw_status, tb.raw_status);
+            assert_eq!(ta.status, tb.status);
+            assert_eq!(f32_bits(&ta.detection_proba), f32_bits(&tb.detection_proba));
+            assert_eq!(f32_bits(&ta.power_w), f32_bits(&tb.power_w));
+        }
+    }
+
+    // Mixed fleet-of-one vs direct stream::serve, bit-for-bit.
+    let key = keys[0];
+    let avg_power_w = template(key.dataset).case(key.appliance).unwrap().avg_power_w;
+    let mut solo_model = random_mixed_model(71);
+    let stream_cfg = StreamConfig {
+        window: WINDOW,
+        step_s: 60,
+        max_ffill_s: 120,
+        batch: 5,
+        appliance: Some(key.appliance),
+        avg_power_w,
+    };
+    let solo = serve(&mut solo_model, &households, &stream_cfg);
+    let fleet_cfg = FleetConfig { batch: 5, ..base };
+    let fleet = serve_fleet(&mut registry, &[key], &households, &fleet_cfg).unwrap();
+    for (hi, tl) in solo.iter().enumerate() {
+        let ftl = fleet.timeline(hi, key).expect("fleet covers every household");
+        assert_eq!(ftl.raw_status, tl.raw_status, "mixed stream/fleet divergence at {hi}");
+        assert_eq!(ftl.status, tl.status);
+        assert_eq!(f32_bits(&ftl.detection_proba), f32_bits(&tl.detection_proba));
+        assert_eq!(f32_bits(&ftl.power_w), f32_bits(&tl.power_w));
     }
 }
 

@@ -9,7 +9,7 @@ use camal::{CamalConfig, CamalModel};
 use nilm_data::preprocess::Window;
 use nilm_data::series::TimeSeries;
 use nilm_data::windows::WindowSet;
-use nilm_models::{build_detector, Backbone};
+use nilm_models::{build_from_spec, Backbone, BackboneSpec};
 use nilm_tensor::tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -33,14 +33,33 @@ fn random_model(backbone: Backbone, kernels: &[usize], seed: u64) -> CamalModel 
         .enumerate()
         .map(|(i, &k)| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            EnsembleMember {
-                net: build_detector(&mut rng, backbone, k, cfg.width_div),
-                kernel: k,
-                val_loss: 0.5 + i as f32,
-            }
+            let spec = BackboneSpec::from_kernel(backbone, k, cfg.width_div);
+            EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.5 + i as f32 }
         })
         .collect();
     CamalModel::from_members(cfg, members)
+}
+
+/// A model with randomly initialized members over an arbitrary spec mix.
+fn random_mixed_model(specs: &[BackboneSpec], seed: u64) -> CamalModel {
+    let cfg = CamalConfig {
+        n_ensemble: specs.len(),
+        kernels: Vec::new(),
+        candidates: specs.to_vec(),
+        trials: 1,
+        ..Default::default()
+    };
+    let members = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.5 + i as f32 }
+        })
+        .collect();
+    let mut model = CamalModel::from_members(cfg, members);
+    model.set_window(WINDOW);
+    model
 }
 
 /// Deterministic pseudo-random `[b, 1, WINDOW]` batch.
@@ -61,6 +80,25 @@ fn kernel_strategy() -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(prop_oneof![Just(3usize), Just(5), Just(7), Just(9)], 1..3)
 }
 
+/// One backbone spec of any of the three families, at smoke-test scale.
+fn spec_strategy() -> impl Strategy<Value = BackboneSpec> {
+    prop_oneof![
+        prop_oneof![Just(3usize), Just(5), Just(9)]
+            .prop_map(|kernel| BackboneSpec::ResNet { kernel, width_div: 16 }),
+        prop_oneof![Just(3usize), Just(5), Just(7)]
+            .prop_map(|kernel| BackboneSpec::InceptionTime { kernel, width_div: 16 }),
+        prop_oneof![Just((8usize, 2usize)), Just((16, 2)), Just((12, 4))].prop_map(
+            |(d_model, heads)| BackboneSpec::TransApp {
+                d_model,
+                heads,
+                d_ff: 2 * d_model,
+                layers: 1,
+                downsample: 4,
+            }
+        ),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -76,7 +114,9 @@ proptest! {
         let bytes = model.to_bytes();
         let mut back = CamalModel::from_bytes(&bytes).expect("roundtrip load");
         prop_assert_eq!(back.ensemble_size(), kernels.len());
-        prop_assert_eq!(back.kernels(), kernels.clone());
+        let specs: Vec<BackboneSpec> =
+            kernels.iter().map(|&k| BackboneSpec::from_kernel(backbone, k, 16)).collect();
+        prop_assert_eq!(back.member_specs(), specs);
         let x = probe_batch(4, seed ^ 0xF00D);
         let pa: Vec<u32> = model.detect_proba(&x).iter().map(|p| p.to_bits()).collect();
         let pb: Vec<u32> = back.detect_proba(&x).iter().map(|p| p.to_bits()).collect();
@@ -88,6 +128,28 @@ proptest! {
         prop_assert_eq!(f32_bits(&a.cam), f32_bits(&b.cam), "CAMs differ after reload");
         // And the reloaded model re-serializes to the very same bytes.
         prop_assert_eq!(back.to_bytes(), bytes, "re-serialization unstable");
+    }
+
+    /// v3 checkpoints round-trip bit-identically for arbitrary mixes of all
+    /// three backbone families — the heterogeneous-zoo persistence contract.
+    #[test]
+    fn mixed_spec_checkpoint_roundtrip_is_bit_identical(
+        specs in proptest::collection::vec(spec_strategy(), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let mut model = random_mixed_model(&specs, seed);
+        let bytes = model.to_bytes();
+        let mut back = CamalModel::from_bytes(&bytes).expect("mixed roundtrip load");
+        prop_assert_eq!(back.member_specs(), specs.clone());
+        let x = probe_batch(3, seed ^ 0xBEEF);
+        let pa: Vec<u32> = model.detect_proba(&x).iter().map(|p| p.to_bits()).collect();
+        let pb: Vec<u32> = back.detect_proba(&x).iter().map(|p| p.to_bits()).collect();
+        prop_assert_eq!(pa, pb, "detect_proba differs after mixed reload");
+        let a = model.localize_batch(&x);
+        let b = back.localize_batch(&x);
+        prop_assert_eq!(a.status, b.status, "statuses differ after mixed reload");
+        prop_assert_eq!(f32_bits(&a.cam), f32_bits(&b.cam), "CAMs differ after mixed reload");
+        prop_assert_eq!(back.to_bytes(), bytes, "mixed re-serialization unstable");
     }
 
     /// Any strict prefix of a checkpoint is rejected — truncated files can
@@ -129,7 +191,7 @@ fn wrong_version_and_foreign_files_are_rejected() {
     assert!(CamalModel::from_bytes(&wrong_version).is_err());
     // A raw tensor-state blob is not a checkpoint.
     let mut rng = StdRng::seed_from_u64(1);
-    let mut net = build_detector(&mut rng, Backbone::ResNet, 5, 16);
+    let mut net = build_from_spec(&mut rng, BackboneSpec::ResNet { kernel: 5, width_div: 16 });
     assert!(CamalModel::from_bytes(&net.save_state()).is_err());
     // Garbage.
     assert!(CamalModel::from_bytes(b"definitely not a checkpoint").is_err());

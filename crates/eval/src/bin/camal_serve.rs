@@ -39,10 +39,10 @@ fn main() {
             let mut model = CamalModel::load(&ckpt)
                 .unwrap_or_else(|e| panic!("cannot load {}: {e}", ckpt.display()));
             println!(
-                "loaded checkpoint {} ({} members, kernels {:?})",
+                "loaded checkpoint {} ({} members, backbones {:?})",
                 ckpt.display(),
                 model.ensemble_size(),
-                model.kernels()
+                model.describe_members()
             );
             let doc = serving::serve_households(&mut model, &scale, &args, &ckpt, false);
             serving::write_summary(&doc, &args, "camal_serve");

@@ -132,6 +132,31 @@ impl Scale {
         }
     }
 
+    /// The heterogeneous variant of [`Scale::camal_config`]: the ResNet
+    /// kernel grid plus one TransApp candidate sized to this scale's width
+    /// divisor, so Algorithm 1 sweeps a mixed backbone zoo. The serving
+    /// demos train their zoos with this. The ensemble is sized to the full
+    /// candidate pool (one trial each) so the selected ensemble provably
+    /// mixes both families — a zoo demo where the attention member always
+    /// lost selection would never exercise heterogeneous serving.
+    pub fn mixed_camal_config(&self) -> CamalConfig {
+        let ta = nilm_models::TransAppConfig::scaled(self.width_div);
+        let base = self.camal_config();
+        let n_ensemble = base.kernels.len() + 1;
+        CamalConfig {
+            candidates: vec![nilm_models::BackboneSpec::TransApp {
+                d_model: ta.d_model,
+                heads: ta.heads,
+                d_ff: ta.d_ff,
+                layers: ta.layers,
+                downsample: ta.downsample,
+            }],
+            n_ensemble,
+            trials: 1,
+            ..base
+        }
+    }
+
     /// The baseline training configuration induced by this scale.
     pub fn train_config(&self) -> TrainConfig {
         TrainConfig { epochs: self.epochs, batch_size: 16, lr: 1e-3, clip: 5.0, seed: self.seed }

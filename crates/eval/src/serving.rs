@@ -92,23 +92,26 @@ pub fn serve_ckpt_path(args: &[String]) -> PathBuf {
         .unwrap_or_else(|| crate::results_dir(args).join("camal_kettle.ckpt"))
 }
 
-/// Trains CamAL on the Refit kettle case at `scale` and writes a checkpoint
-/// at `path`. Returns the trained model.
+/// Trains CamAL on the Refit kettle case at `scale` — sweeping the mixed
+/// ResNet + TransApp candidate grid, so the served checkpoint can hold a
+/// heterogeneous ensemble — and writes a checkpoint at `path`. Returns the
+/// trained model.
 pub fn train_model(scale: &Scale, path: &Path) -> CamalModel {
     let case = Case { dataset: DatasetId::Refit, appliance: SERVE_APPLIANCE };
     println!("training CamAL ({}) on {} ...", scale.name, case.label());
     let (_, data) = build_case_data(&case, scale);
-    let mut model = CamalModel::train(&scale.camal_config(), &data.train, &data.val, scale.threads);
+    let mut model =
+        CamalModel::train(&scale.mixed_camal_config(), &data.train, &data.val, scale.threads);
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).expect("create checkpoint directory");
     }
     model.save(path).expect("write checkpoint");
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!(
-        "saved checkpoint {} ({} members, kernels {:?}, {} bytes)",
+        "saved checkpoint {} ({} members, backbones {:?}, {} bytes)",
         path.display(),
         model.ensemble_size(),
-        model.kernels(),
+        model.describe_members(),
         bytes
     );
     model
@@ -293,9 +296,11 @@ pub fn fleet_zoo_dir(args: &[String]) -> PathBuf {
         .unwrap_or_else(|| crate::results_dir(args).join("fleet_zoo"))
 }
 
-/// Trains one CamAL model per [`fleet_zoo_keys`] entry at `scale`, saving
-/// each as `<dataset>_<appliance>.ckpt` under the zoo directory. Returns
-/// the trained models, keyed, for demo-mode verification.
+/// Trains one CamAL model per [`fleet_zoo_keys`] entry at `scale` — each
+/// over the mixed ResNet + TransApp candidate grid, so the zoo can select
+/// heterogeneous ensembles — saving each as `<dataset>_<appliance>.ckpt`
+/// under the zoo directory. Returns the trained models, keyed, for
+/// demo-mode verification.
 pub fn fleet_train_all(scale: &Scale, args: &[String]) -> Vec<(ModelKey, CamalModel)> {
     let zoo = fleet_zoo_dir(args);
     std::fs::create_dir_all(&zoo).expect("create zoo directory");
@@ -306,14 +311,14 @@ pub fn fleet_train_all(scale: &Scale, args: &[String]) -> Vec<(ModelKey, CamalMo
         println!("training zoo model ({}) on {} ...", scale.name, case.label());
         let (_, data) = build_case_data(&case, scale);
         let mut model =
-            CamalModel::train(&scale.camal_config(), &data.train, &data.val, scale.threads);
+            CamalModel::train(&scale.mixed_camal_config(), &data.train, &data.val, scale.threads);
         let path = zoo.join(key.file_name());
         model.save(&path).expect("write zoo checkpoint");
         println!(
-            "  saved {} ({} members, kernels {:?})",
+            "  saved {} ({} members, backbones {:?})",
             path.display(),
             model.ensemble_size(),
-            model.kernels()
+            model.describe_members()
         );
         out.push((key, model));
     }
@@ -441,11 +446,23 @@ pub fn fleet_serve(
         .manifest()
         .iter()
         .map(|m| {
+            let members: Vec<JsonValue> = m
+                .backbones
+                .iter()
+                .zip(&m.param_counts)
+                .map(|(backbone, params)| {
+                    JsonValue::object([
+                        ("backbone", JsonValue::String(backbone.clone())),
+                        ("params", JsonValue::Number(*params as f64)),
+                    ])
+                })
+                .collect();
             JsonValue::object([
                 ("key", JsonValue::String(m.key.label())),
                 ("loaded", JsonValue::Bool(m.loaded)),
                 ("window", JsonValue::Number(m.window as f64)),
                 ("ensemble_size", JsonValue::Number(m.ensemble_size as f64)),
+                ("members", JsonValue::Array(members)),
             ])
         })
         .collect();

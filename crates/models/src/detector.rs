@@ -6,6 +6,7 @@
 
 use crate::inception::{InceptionConfig, InceptionTime};
 use crate::resnet::{ResNet, ResNetConfig};
+use crate::transapp::{TransApp, TransAppConfig};
 use nilm_tensor::layer::{Layer, Mode};
 use nilm_tensor::tensor::Tensor;
 use rand::Rng;
@@ -30,7 +31,10 @@ pub trait Detector: Layer {
     }
 }
 
-/// The detector architecture used by the CamAL ensemble.
+/// The detector *family* used when CamAL expands its kernel grid into
+/// candidates (the paper's §IV-A backbone ablation swaps this). Per-member
+/// architecture is fully described by a [`BackboneSpec`]; `Backbone` only
+/// names which family a `kernel` sweep instantiates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backbone {
     /// The paper's choice (Fig. 4).
@@ -40,17 +44,103 @@ pub enum Backbone {
     InceptionTime,
 }
 
-/// Builds a detector of the chosen backbone. For ResNet, `kernel` is k_p;
-/// for InceptionTime it seeds the multi-scale kernel set
-/// `{k, 2k+1, 4k+1}`, preserving CamAL's receptive-field diversity.
-pub fn build_detector(
-    rng: &mut impl Rng,
-    backbone: Backbone,
-    kernel: usize,
-    width_div: usize,
-) -> Box<dyn Detector> {
-    match backbone {
-        Backbone::ResNet => {
+/// The complete, serializable architecture of one ensemble member.
+///
+/// Unlike the `(Backbone, kernel)` pair this replaced, a spec carries the
+/// full hyper-parameter set of its family, so members with genuinely
+/// different spaces (convolutional kernel/width vs transformer
+/// `d_model`/heads/layers) can coexist in one ensemble, one checkpoint,
+/// and one serving zoo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackboneSpec {
+    /// The paper's residual conv net at kernel k_p, channels divided by
+    /// `width_div` (1 = paper scale `[64, 128, 128]`).
+    ResNet {
+        /// First-conv kernel size k_p.
+        kernel: usize,
+        /// Channel-width divisor (1 = paper scale).
+        width_div: usize,
+    },
+    /// Multi-scale InceptionTime with branch kernels `{k, 2k+1, 4k+1}`.
+    InceptionTime {
+        /// Base branch kernel k (expanded to the multi-scale set).
+        kernel: usize,
+        /// Filter-width divisor (1 = paper scale).
+        width_div: usize,
+    },
+    /// TransApp-style attention detector: conv embedding + transformer
+    /// encoder, localized via attention rollout (see
+    /// [`crate::transapp::TransApp`]).
+    TransApp {
+        /// Embedding/model width (must be divisible by `heads`).
+        d_model: usize,
+        /// Attention heads per encoder block.
+        heads: usize,
+        /// Feed-forward hidden width.
+        d_ff: usize,
+        /// Number of transformer encoder blocks.
+        layers: usize,
+        /// Temporal downsampling before attention (keeps O(t²) in check).
+        downsample: usize,
+    },
+}
+
+impl BackboneSpec {
+    /// The spec a `(family, kernel, width_div)` grid point denotes — the
+    /// bridge from CamAL's historical kernel sweep to the spec world.
+    pub fn from_kernel(backbone: Backbone, kernel: usize, width_div: usize) -> Self {
+        match backbone {
+            Backbone::ResNet => BackboneSpec::ResNet { kernel, width_div },
+            Backbone::InceptionTime => BackboneSpec::InceptionTime { kernel, width_div },
+        }
+    }
+
+    /// Short family name (`"resnet"`, `"inception"`, `"transapp"`), used by
+    /// registry manifests and the gateway's `/v1/models` rows.
+    pub fn family(&self) -> &'static str {
+        match self {
+            BackboneSpec::ResNet { .. } => "resnet",
+            BackboneSpec::InceptionTime { .. } => "inception",
+            BackboneSpec::TransApp { .. } => "transapp",
+        }
+    }
+
+    /// A compact human-readable description of the full spec, e.g.
+    /// `resnet(k5/div16)` or `transapp(d16xh2,ff32,l1,ds4)`.
+    pub fn describe(&self) -> String {
+        match *self {
+            BackboneSpec::ResNet { kernel, width_div } => {
+                format!("resnet(k{kernel}/div{width_div})")
+            }
+            BackboneSpec::InceptionTime { kernel, width_div } => {
+                format!("inception(k{kernel}/div{width_div})")
+            }
+            BackboneSpec::TransApp { d_model, heads, d_ff, layers, downsample } => {
+                format!("transapp(d{d_model}xh{heads},ff{d_ff},l{layers},ds{downsample})")
+            }
+        }
+    }
+
+    /// The conv kernel of convolutional specs (`None` for TransApp, whose
+    /// hyper-parameter space has no k_p axis).
+    pub fn kernel(&self) -> Option<usize> {
+        match *self {
+            BackboneSpec::ResNet { kernel, .. } | BackboneSpec::InceptionTime { kernel, .. } => {
+                Some(kernel)
+            }
+            BackboneSpec::TransApp { .. } => None,
+        }
+    }
+}
+
+/// Builds a detector from its full architecture spec (the constructor used
+/// by ensemble training *and* checkpoint loading, so both sides agree on
+/// layer shapes). For ResNet, `kernel` is k_p; for InceptionTime it seeds
+/// the multi-scale kernel set `{k, 2k+1, 4k+1}`, preserving CamAL's
+/// receptive-field diversity; TransApp ignores the kernel axis entirely.
+pub fn build_from_spec(rng: &mut impl Rng, spec: BackboneSpec) -> Box<dyn Detector> {
+    match spec {
+        BackboneSpec::ResNet { kernel, width_div } => {
             let cfg = if width_div <= 1 {
                 ResNetConfig::paper(kernel)
             } else {
@@ -58,7 +148,7 @@ pub fn build_detector(
             };
             Box::new(ResNet::new(rng, cfg))
         }
-        Backbone::InceptionTime => {
+        BackboneSpec::InceptionTime { kernel, width_div } => {
             let mut cfg = if width_div <= 1 {
                 InceptionConfig::paper()
             } else {
@@ -66,6 +156,10 @@ pub fn build_detector(
             };
             cfg.kernels = [kernel, 2 * kernel + 1, 4 * kernel + 1];
             Box::new(InceptionTime::new(rng, cfg))
+        }
+        BackboneSpec::TransApp { d_model, heads, d_ff, layers, downsample } => {
+            let cfg = TransAppConfig { d_model, heads, d_ff, layers, downsample };
+            Box::new(TransApp::new(rng, cfg))
         }
     }
 }
@@ -99,19 +193,41 @@ mod tests {
     use nilm_tensor::init::{randn_tensor, rng};
 
     #[test]
-    fn both_backbones_build_and_expose_cams() {
+    fn all_backbones_build_and_expose_cams() {
         let mut r = rng(0);
         let x = randn_tensor(&mut r, &[1, 1, 32], 1.0);
-        for backbone in [Backbone::ResNet, Backbone::InceptionTime] {
-            let mut det = build_detector(&mut r, backbone, 5, 16);
+        let specs = [
+            BackboneSpec::ResNet { kernel: 5, width_div: 16 },
+            BackboneSpec::InceptionTime { kernel: 5, width_div: 16 },
+            BackboneSpec::TransApp { d_model: 8, heads: 2, d_ff: 16, layers: 1, downsample: 4 },
+        ];
+        for spec in specs {
+            let mut det = build_from_spec(&mut r, spec);
             let (features, logits) = det.forward_features(&x, Mode::Eval);
-            assert_eq!(logits.shape(), &[1, 2], "{backbone:?}");
-            assert_eq!(features.dims3().2, 32, "{backbone:?}");
+            assert_eq!(logits.shape(), &[1, 2], "{spec:?}");
+            assert_eq!(features.dims3().2, 32, "{spec:?}");
             let cam = det.cam(1);
-            assert_eq!(cam.shape(), &[1, 32], "{backbone:?}");
+            assert_eq!(cam.shape(), &[1, 32], "{spec:?}");
             let p = det.predict_proba(&x);
             assert!((p.at2(0, 0) + p.at2(0, 1) - 1.0).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn spec_descriptions_and_kernel_axis() {
+        let r5 = BackboneSpec::from_kernel(Backbone::ResNet, 5, 16);
+        assert_eq!(r5, BackboneSpec::ResNet { kernel: 5, width_div: 16 });
+        assert_eq!(r5.family(), "resnet");
+        assert_eq!(r5.kernel(), Some(5));
+        assert_eq!(r5.describe(), "resnet(k5/div16)");
+        let i7 = BackboneSpec::from_kernel(Backbone::InceptionTime, 7, 1);
+        assert_eq!(i7.family(), "inception");
+        assert_eq!(i7.kernel(), Some(7));
+        let ta =
+            BackboneSpec::TransApp { d_model: 16, heads: 2, d_ff: 32, layers: 1, downsample: 4 };
+        assert_eq!(ta.family(), "transapp");
+        assert_eq!(ta.kernel(), None);
+        assert_eq!(ta.describe(), "transapp(d16xh2,ff32,l1,ds4)");
     }
 
     #[test]

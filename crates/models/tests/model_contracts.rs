@@ -3,7 +3,7 @@
 //! and learnability on a separable toy problem.
 
 use nilm_models::baselines::BaselineKind;
-use nilm_models::detector::{build_detector, Backbone};
+use nilm_models::detector::{build_from_spec, Backbone, BackboneSpec};
 use nilm_tensor::init::{randn_tensor, rng};
 use nilm_tensor::layer::Mode;
 use nilm_tensor::loss::bce_with_logits;
@@ -78,7 +78,7 @@ fn both_detectors_have_cam_peaking_near_discriminative_region() {
 
     for backbone in [Backbone::ResNet, Backbone::InceptionTime] {
         let mut r = rng(4);
-        let mut det = build_detector(&mut r, backbone, 5, WIDTH_DIV);
+        let mut det = build_from_spec(&mut r, BackboneSpec::from_kernel(backbone, 5, WIDTH_DIV));
         let w = 64;
         // Build batch: even = positive with plateau at [16, 32), odd = flat.
         let make_batch = |r: &mut rand::rngs::StdRng| {

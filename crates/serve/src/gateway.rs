@@ -103,12 +103,17 @@ impl Default for GatewayConfig {
 
 /// What the serving side knows about one registered model, snapshotted at
 /// startup for lock-free request validation in handler threads.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ModelMeta {
     /// Sampling step of the model's dataset template.
     pub step_s: u32,
     /// Training window length.
     pub window: usize,
+    /// Per-member backbone descriptions, e.g. `resnet(k5/div8)` — a mixed
+    /// zoo shows heterogeneous entries here.
+    pub backbones: Vec<String>,
+    /// Per-member trainable-parameter counts, aligned with `backbones`.
+    pub param_counts: Vec<usize>,
 }
 
 /// A computed HTTP response: status line plus body, with an optional
@@ -256,7 +261,9 @@ impl Gateway {
                 )));
             }
             let step_s = nilm_data::templates::template(key.dataset).step_s;
-            models.insert(key, ModelMeta { step_s, window });
+            let backbones = model.describe_members();
+            let param_counts = model.member_param_counts();
+            models.insert(key, ModelMeta { step_s, window, backbones, param_counts });
         }
         if models.is_empty() {
             return Err(std::io::Error::other("gateway needs at least one registered model"));
@@ -472,10 +479,22 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
                 .models
                 .iter()
                 .map(|(key, meta)| {
+                    let members: Vec<JsonValue> = meta
+                        .backbones
+                        .iter()
+                        .zip(&meta.param_counts)
+                        .map(|(backbone, &params)| {
+                            JsonValue::object([
+                                ("backbone", JsonValue::String(backbone.clone())),
+                                ("params", JsonValue::Number(params as f64)),
+                            ])
+                        })
+                        .collect();
                     JsonValue::object([
                         ("key", JsonValue::String(key.label())),
                         ("step_s", JsonValue::Number(meta.step_s as f64)),
                         ("window", JsonValue::Number(meta.window as f64)),
+                        ("members", JsonValue::Array(members)),
                     ])
                 })
                 .collect();
@@ -689,7 +708,7 @@ fn serve_group(
     keys: &[ModelKey],
     jobs: Vec<Job>,
 ) {
-    let meta = shared.models[&keys[0]];
+    let meta = &shared.models[&keys[0]];
     let cfg = FleetConfig {
         step_s: meta.step_s,
         max_ffill_s: 3 * meta.step_s,

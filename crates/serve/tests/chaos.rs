@@ -16,8 +16,7 @@ use nilm_data::appliance::ApplianceKind;
 use nilm_data::series::TimeSeries;
 use nilm_data::templates::{template, DatasetId};
 use nilm_json::JsonValue;
-use nilm_models::detector::build_detector;
-use nilm_models::Backbone;
+use nilm_models::detector::{build_from_spec, BackboneSpec};
 use nilm_serve::gateway::{Gateway, GatewayConfig};
 use nilm_serve::http::{read_response, Response};
 use nilm_serve::protocol::{localize_request, localize_response, Detail, HouseholdRow};
@@ -62,11 +61,8 @@ fn random_model(kernels: &[usize], seed: u64) -> CamalModel {
         .enumerate()
         .map(|(i, &k)| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            EnsembleMember {
-                net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
-                kernel: k,
-                val_loss: 0.5 + i as f32,
-            }
+            let spec = BackboneSpec::ResNet { kernel: k, width_div: cfg.width_div };
+            EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.5 + i as f32 }
         })
         .collect();
     let mut model = CamalModel::from_members(cfg, members);

@@ -16,8 +16,7 @@ use nilm_data::appliance::ApplianceKind;
 use nilm_data::series::TimeSeries;
 use nilm_data::templates::{template, DatasetId};
 use nilm_json::JsonValue;
-use nilm_models::detector::build_detector;
-use nilm_models::Backbone;
+use nilm_models::detector::{build_from_spec, BackboneSpec};
 use nilm_serve::gateway::{Gateway, GatewayConfig};
 use nilm_serve::http::read_response;
 use nilm_serve::protocol::{localize_request, localize_response, Detail, HouseholdRow};
@@ -43,11 +42,8 @@ fn random_model(kernels: &[usize], seed: u64) -> CamalModel {
         .enumerate()
         .map(|(i, &k)| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            EnsembleMember {
-                net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
-                kernel: k,
-                val_loss: 0.5 + i as f32,
-            }
+            let spec = BackboneSpec::ResNet { kernel: k, width_div: cfg.width_div };
+            EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.5 + i as f32 }
         })
         .collect();
     let mut model = CamalModel::from_members(cfg, members);
@@ -321,7 +317,22 @@ fn full_queue_sheds_with_503() {
 #[test]
 fn health_models_and_unknown_key_routes() {
     let mut registry = ModelRegistry::unbounded();
-    registry.insert(kettle(), random_model(&[5], 21));
+    // A mixed TransApp + ResNet ensemble so /v1/models reports both families.
+    let cfg = CamalConfig { n_ensemble: 2, kernels: vec![5], trials: 1, ..Default::default() };
+    let members = [
+        (BackboneSpec::TransApp { d_model: 8, heads: 2, d_ff: 16, layers: 1, downsample: 4 }, 0.4),
+        (BackboneSpec::ResNet { kernel: 5, width_div: 16 }, 0.5),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (spec, val_loss))| {
+        let mut rng = StdRng::seed_from_u64(77 + i as u64);
+        EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss }
+    })
+    .collect();
+    let mut model = CamalModel::from_members(cfg, members);
+    model.set_window(WINDOW);
+    registry.insert(kettle(), model);
     let gateway = Gateway::start(registry, test_config()).expect("gateway starts");
     let addr = gateway.addr().to_string();
 
@@ -337,6 +348,12 @@ fn health_models_and_unknown_key_routes() {
     let models = doc.get("models").and_then(JsonValue::as_array).unwrap();
     assert_eq!(models[0].get("key").and_then(JsonValue::as_str), Some("refit:kettle"));
     assert_eq!(models[0].get("window").and_then(JsonValue::as_usize), Some(WINDOW));
+    let members = models[0].get("members").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(
+        members[0].get("backbone").and_then(JsonValue::as_str),
+        Some("transapp(d8xh2,ff16,l1,ds4)")
+    );
+    assert!(members[0].get("params").and_then(JsonValue::as_usize).unwrap() > 0);
 
     // A valid label that is not registered -> 404, not 500.
     let households = vec![toy_household(2, 1)];

@@ -8,8 +8,7 @@ use camal::registry::{ModelKey, ModelRegistry};
 use camal::CamalModel;
 use nilm_data::appliance::ApplianceKind;
 use nilm_data::templates::DatasetId;
-use nilm_models::detector::build_detector;
-use nilm_models::Backbone;
+use nilm_models::detector::{build_from_spec, BackboneSpec};
 use nilm_serve::gateway::{Gateway, GatewayConfig};
 use nilm_serve::http::{read_response, HttpLimits};
 use rand::rngs::StdRng;
@@ -27,11 +26,8 @@ fn tiny_model(seed: u64) -> CamalModel {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let member = EnsembleMember {
-        net: build_detector(&mut rng, Backbone::ResNet, 5, cfg.width_div),
-        kernel: 5,
-        val_loss: 0.1,
-    };
+    let spec = BackboneSpec::ResNet { kernel: 5, width_div: cfg.width_div };
+    let member = EnsembleMember { net: build_from_spec(&mut rng, spec), spec, val_loss: 0.1 };
     let mut model = CamalModel::from_members(cfg, vec![member]);
     model.set_window(32);
     model

@@ -100,8 +100,8 @@ fn gelu_grad_scalar(x: f32) -> f32 {
 }
 
 impl Layer for Gelu {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        self.input = x.data().to_vec();
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.input = if mode.caches_for_backward() { x.data().to_vec() } else { Vec::new() };
         x.map(gelu_scalar)
     }
 

@@ -64,6 +64,8 @@ pub struct MultiHeadSelfAttention {
     w_v: Param,
     w_o: Param,
     caches: Vec<AttnCache>,
+    retain_attention: bool,
+    retained: Vec<Tensor>,
 }
 
 impl MultiHeadSelfAttention {
@@ -83,7 +85,29 @@ impl MultiHeadSelfAttention {
             w_v: mk(&mut sample),
             w_o: mk(&mut sample),
             caches: Vec::new(),
+            retain_attention: false,
+            retained: Vec::new(),
         }
+    }
+
+    /// When enabled, every forward pass (including [`Mode::Infer`]) keeps
+    /// the head-averaged attention map per batch item, readable through
+    /// [`MultiHeadSelfAttention::retained_attention`]. This is the hook for
+    /// attention-rollout localization: the maps are forward products, not
+    /// backward caches, so retaining them does not violate the `Infer`
+    /// no-backward-bookkeeping contract.
+    pub fn set_retain_attention(&mut self, retain: bool) {
+        self.retain_attention = retain;
+        if !retain {
+            self.retained.clear();
+        }
+    }
+
+    /// The head-averaged `[t, t]` attention map of each batch item from the
+    /// most recent forward pass (empty unless
+    /// [`MultiHeadSelfAttention::set_retain_attention`] was enabled).
+    pub fn retained_attention(&self) -> &[Tensor] {
+        &self.retained
     }
 
     /// `[b, d, t]` batch item -> time-major `[t, d]` matrix.
@@ -133,13 +157,14 @@ impl MultiHeadSelfAttention {
 }
 
 impl Layer for MultiHeadSelfAttention {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let (b, d, t) = x.dims3();
         assert_eq!(d, self.d_model);
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let mut out = Tensor::zeros(&[b, d, t]);
         self.caches.clear();
+        self.retained.clear();
 
         for bi in 0..b {
             let xt = Self::to_time_major(x, bi); // [t, d]
@@ -160,7 +185,16 @@ impl Layer for MultiHeadSelfAttention {
             }
             let y = concat.matmul(&self.w_o.value.transpose2()); // [t, d]
             Self::from_time_major(&mut out, &y, bi);
-            self.caches.push(AttnCache { xt, q, k, v, attn: attn_maps, concat });
+            if self.retain_attention {
+                let mut mean = Tensor::zeros(&[t, t]);
+                for attn in &attn_maps {
+                    mean.add_assign(attn);
+                }
+                self.retained.push(mean.scale(1.0 / self.heads as f32));
+            }
+            if mode.caches_for_backward() {
+                self.caches.push(AttnCache { xt, q, k, v, attn: attn_maps, concat });
+            }
         }
         out
     }
@@ -172,7 +206,10 @@ impl Layer for MultiHeadSelfAttention {
         let mut dx = Tensor::zeros(&[b, d, t]);
 
         for bi in 0..b {
-            let cache = &self.caches[bi];
+            let cache = self
+                .caches
+                .get(bi)
+                .expect("MultiHeadSelfAttention backward before forward (or after Infer)");
             let dy = Self::to_time_major(grad, bi); // [t, d]
             self.w_o.grad.add_assign(&dy.transpose2().matmul(&cache.concat)); // y = concat W_o^T
             let dconcat = dy.matmul(&self.w_o.value); // [t, d]
@@ -239,6 +276,18 @@ impl TransformerEncoderLayer {
             ff2: TimeDistributed::new(rng, d_ff, d_model),
             norm2: LayerNorm::new(d_model),
         }
+    }
+
+    /// Forwards to [`MultiHeadSelfAttention::set_retain_attention`] on the
+    /// block's attention sublayer.
+    pub fn set_retain_attention(&mut self, retain: bool) {
+        self.attn.set_retain_attention(retain);
+    }
+
+    /// The retained head-averaged attention maps of the block's attention
+    /// sublayer (see [`MultiHeadSelfAttention::retained_attention`]).
+    pub fn retained_attention(&self) -> &[Tensor] {
+        self.attn.retained_attention()
     }
 }
 
@@ -339,5 +388,49 @@ mod tests {
     fn attention_rejects_bad_head_count() {
         let mut r = rng(3);
         let _ = MultiHeadSelfAttention::new(&mut r, 6, 4);
+    }
+
+    #[test]
+    fn encoder_infer_is_bit_identical_to_eval() {
+        // The attention path (MHSA, LayerNorm, GELU, TimeDistributed) must
+        // treat `Infer` as a pure cache-skipping knob: every output bit
+        // matches an `Eval` forward of the same input.
+        let mut r = rng(4);
+        let mut enc = TransformerEncoderLayer::new(&mut r, 8, 2, 16);
+        let x = randn_tensor(&mut r, &[2, 8, 6], 1.0);
+        let eval = enc.forward(&x, Mode::Eval);
+        let infer = enc.forward(&x, Mode::Infer);
+        let bits = |t: &Tensor| -> Vec<u32> { t.data().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&eval), bits(&infer), "Infer diverged from Eval through the encoder");
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn attention_backward_after_infer_panics() {
+        let mut r = rng(5);
+        let mut attn = MultiHeadSelfAttention::new(&mut r, 8, 2);
+        let x = randn_tensor(&mut r, &[1, 8, 4], 1.0);
+        let _ = attn.forward(&x, Mode::Infer);
+        let _ = attn.backward(&Tensor::full(&[1, 8, 4], 0.1));
+    }
+
+    #[test]
+    fn retained_attention_survives_infer_and_is_row_stochastic() {
+        let mut r = rng(6);
+        let mut attn = MultiHeadSelfAttention::new(&mut r, 8, 2);
+        attn.set_retain_attention(true);
+        let x = randn_tensor(&mut r, &[2, 8, 5], 1.0);
+        let _ = attn.forward(&x, Mode::Infer);
+        let maps = attn.retained_attention();
+        assert_eq!(maps.len(), 2, "one retained map per batch item");
+        for map in maps {
+            assert_eq!(map.shape(), &[5, 5]);
+            for ti in 0..5 {
+                let row_sum: f32 = (0..5).map(|tj| map.at2(ti, tj)).sum();
+                assert!((row_sum - 1.0).abs() < 1e-5, "head-averaged rows must sum to 1");
+            }
+        }
+        attn.set_retain_attention(false);
+        assert!(attn.retained_attention().is_empty());
     }
 }

@@ -244,12 +244,17 @@ impl LayerNorm {
 }
 
 impl Layer for LayerNorm {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let (b, c, t) = x.dims3();
         assert_eq!(c, self.dim, "LayerNorm expected {} channels, got {c}", self.dim);
         let mut out = Tensor::zeros(&[b, c, t]);
-        let mut xhat = Tensor::zeros(&[b, c, t]);
-        self.inv_std = vec![0.0; b * t];
+        // Under `Mode::Infer` the normalized-input buffer and inverse
+        // standard deviations exist only for backward, so they are skipped;
+        // the per-element arithmetic below is shared between the modes, so
+        // `Infer` stays bit-identical to `Eval`.
+        let caches = mode.caches_for_backward();
+        let mut xhat = caches.then(|| Tensor::zeros(&[b, c, t]));
+        self.inv_std = if caches { vec![0.0; b * t] } else { Vec::new() };
 
         for bi in 0..b {
             for ti in 0..t {
@@ -263,16 +268,20 @@ impl Layer for LayerNorm {
                 let mean = sum / c as f32;
                 let var = (sumsq / c as f32 - mean * mean).max(0.0);
                 let inv_std = 1.0 / (var + self.eps).sqrt();
-                self.inv_std[bi * t + ti] = inv_std;
+                if caches {
+                    self.inv_std[bi * t + ti] = inv_std;
+                }
                 for ci in 0..c {
                     let h = (x.at3(bi, ci, ti) - mean) * inv_std;
-                    *xhat.at3_mut(bi, ci, ti) = h;
+                    if let Some(xh) = &mut xhat {
+                        *xh.at3_mut(bi, ci, ti) = h;
+                    }
                     *out.at3_mut(bi, ci, ti) =
                         self.gamma.value.data()[ci] * h + self.beta.value.data()[ci];
                 }
             }
         }
-        self.xhat = Some(xhat);
+        self.xhat = xhat;
         out
     }
 

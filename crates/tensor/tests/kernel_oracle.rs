@@ -140,6 +140,45 @@ fn serving_shapes_are_oracle_checked_on_every_backend() {
     }
 }
 
+/// The attention GEMM shapes a TransApp forward emits — per-head QKᵀ score
+/// matrices, attention-weighted V products, the fused QKV/output projections
+/// and the encoder feed-forward — at both smoke scale (d_model 16, 2 heads,
+/// window 128/downsample 4) and paper scale (d_model 128, 8 heads, window
+/// 510/downsample 4). Pinned so `NILM_BACKEND=naive|gemm|simd` stays within
+/// budget through the attention path, not just the conv path.
+#[test]
+fn attention_shapes_are_oracle_checked_on_every_backend() {
+    let shapes: &[(usize, usize, usize)] = &[
+        // Smoke scale: td = 32, head_dim = 8.
+        (32, 32, 8),  // QKᵀ scores per head
+        (32, 8, 32),  // softmax(scores) · V per head
+        (16, 32, 16), // Q/K/V and output projections over time columns
+        (32, 32, 16), // feed-forward up-projection (d_ff x td over d_model)
+        (16, 32, 32), // feed-forward down-projection
+        // Paper scale: td = 128, head_dim = 16.
+        (128, 128, 16),  // QKᵀ scores per head
+        (128, 16, 128),  // softmax(scores) · V per head
+        (128, 128, 128), // projections at paper width
+        (256, 128, 128), // feed-forward up-projection
+    ];
+    for &(m, n, k) in shapes {
+        for layout in [Layout::Normal, Layout::Transposed] {
+            let spec = GemmSpec {
+                m,
+                n,
+                k,
+                a_layout: layout,
+                b_layout: Layout::Normal,
+                accumulate: false,
+                seed: (m * 131 + n * 17 + k * 3) as u64,
+            };
+            for backend in backends_under_test() {
+                spec.check(backend, budget_for(backend));
+            }
+        }
+    }
+}
+
 /// The ResNet's conv geometries at bench scale, forward and backward.
 #[test]
 fn resnet_conv_geometries_are_oracle_checked() {

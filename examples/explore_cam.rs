@@ -26,7 +26,7 @@ fn main() {
     cfg.n_ensemble = 3;
     cfg.train.epochs = 8;
     let mut model = CamalModel::train(&cfg, &case.train, &case.val, 4);
-    println!("ensemble kernels: {:?}\n", model.kernels());
+    println!("ensemble backbones: {:?}\n", model.describe_members());
 
     let loc = model.localize_set(&case.test, 16);
     let mut shown = 0;

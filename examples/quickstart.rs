@@ -34,9 +34,9 @@ fn main() {
     cfg.train.epochs = 8;
     let mut model = CamalModel::train(&cfg, &case.train, &case.val, 4);
     println!(
-        "trained ensemble of {} ResNets (kernels {:?}) in {:.1}s",
+        "trained ensemble of {} detectors ({:?}) in {:.1}s",
         model.ensemble_size(),
-        model.kernels(),
+        model.describe_members(),
         model.train_stats.total_secs
     );
 

@@ -125,8 +125,7 @@ fn serving_surfaces_are_backend_invariant() {
     use camal::stream::{serve, HouseholdSeries, StreamConfig};
     use nilm_data::series::TimeSeries;
     use nilm_data::templates::{template, DatasetId};
-    use nilm_models::detector::build_detector;
-    use nilm_models::Backbone;
+    use nilm_models::detector::{build_from_spec, BackboneSpec};
     use nilm_serve::gateway::{Gateway, GatewayConfig};
     use nilm_serve::http::read_response;
     use nilm_serve::protocol::{localize_request, localize_response, Detail, HouseholdRow};
@@ -140,24 +139,32 @@ fn serving_surfaces_are_backend_invariant() {
     const WINDOW: usize = 32;
 
     /// Untrained-but-deterministic model: same seed → identical weights, so
-    /// each serving surface gets its own equal copy.
+    /// each serving surface gets its own equal copy. Deliberately
+    /// heterogeneous — two ResNets plus a TransApp — so the invariance check
+    /// also covers the attention GEMMs (QKᵀ, attention-weighted V, and the
+    /// feed-forward projections).
     fn model(seed: u64) -> CamalModel {
-        let kernels = [5usize, 9];
+        let specs = [
+            BackboneSpec::ResNet { kernel: 5, width_div: 16 },
+            BackboneSpec::ResNet { kernel: 9, width_div: 16 },
+            BackboneSpec::TransApp { d_model: 16, heads: 2, d_ff: 32, layers: 1, downsample: 4 },
+        ];
         let cfg = CamalConfig {
-            n_ensemble: kernels.len(),
-            kernels: kernels.to_vec(),
+            n_ensemble: specs.len(),
+            kernels: vec![5, 9],
+            candidates: vec![specs[2]],
             trials: 1,
             width_div: 16,
             ..CamalConfig::default()
         };
-        let members = kernels
+        let members = specs
             .iter()
             .enumerate()
-            .map(|(i, &k)| {
+            .map(|(i, &spec)| {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
                 EnsembleMember {
-                    net: build_detector(&mut rng, Backbone::ResNet, k, cfg.width_div),
-                    kernel: k,
+                    net: build_from_spec(&mut rng, spec),
+                    spec,
                     val_loss: 0.5 + i as f32,
                 }
             })
