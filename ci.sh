@@ -85,8 +85,12 @@ if [ "$MODE" != "quick" ]; then
     ./target/release/camal_gateway train --smoke --zoo "$GW_DIR/zoo" --out "$GW_DIR"
     # Serve on an ephemeral port; the whole server is bounded by `timeout`
     # so a wedged gateway cannot hang CI. --addr-file publishes the port.
+    # --queue 1024: the reactor load stage below holds 128 x 4 = 512
+    # requests in flight; the zero-errors gate needs the queue to admit
+    # the whole burst (the default 256 would correctly shed ~half as 503).
     timeout 120 ./target/release/camal_gateway serve \
-        --zoo "$GW_DIR/zoo" --addr 127.0.0.1:0 --addr-file "$GW_DIR/addr.txt" &
+        --zoo "$GW_DIR/zoo" --addr 127.0.0.1:0 --addr-file "$GW_DIR/addr.txt" \
+        --queue 1024 &
     GW_PID=$!
     for _ in $(seq 1 150); do [ -s "$GW_DIR/addr.txt" ] && break; sleep 0.2; done
     [ -s "$GW_DIR/addr.txt" ] || { echo "gateway never published its address"; kill "$GW_PID" 2>/dev/null; exit 1; }
@@ -118,6 +122,12 @@ PY
     # Loadgen against the live server (report JSON re-validated in-process).
     ./target/release/camal_gateway loadgen --addr "$GW_ADDR" \
         --connections 2 --requests 40 --detail summary --out "$GW_DIR"
+    # Reactor load stage: 128 keep-alive connections with pipelined bursts
+    # against the epoll event loop. Hard gates: zero non-200 responses and
+    # a bounded p99 — an unfair or leaky reactor fails here, not in prod.
+    ./target/release/camal_gateway loadgen --addr "$GW_ADDR" \
+        --connections 128 --requests 1024 --pipeline 4 --detail summary \
+        --max-errors 0 --max-p99-ms 2000 --out "$GW_DIR"
     curl -sfS "http://$GW_ADDR/metrics" -o "$GW_DIR/metrics.json"
     python3 -c "import json,sys; json.load(open('$GW_DIR/metrics.json'))"
     curl -sfS -X POST "http://$GW_ADDR/admin/shutdown" >/dev/null

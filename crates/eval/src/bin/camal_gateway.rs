@@ -7,7 +7,8 @@
 //! camal_gateway serve   [--zoo DIR] [--addr HOST:PORT] [--addr-file PATH]
 //!                       [--queue N] [--max-coalesce N] [--batch N]
 //! camal_gateway loadgen --addr HOST:PORT [--connections N] [--requests N]
-//!                       [--houses N] [--request-windows N] [--out DIR]
+//!                       [--houses N] [--request-windows N] [--pipeline N]
+//!                       [--max-errors N] [--max-p99-ms F] [--out DIR]
 //! camal_gateway demo    [--smoke|--quick|--full] [--requests N]
 //!                       [--request-windows N] [--zoo DIR] [--out DIR]
 //! camal_gateway chaos   [--smoke|--quick|--full] [--requests N]
@@ -21,8 +22,10 @@
 //! (port 0 = ephemeral; `--addr-file` writes the bound address for
 //! scripts), and serves `GET /healthz`, `GET /metrics`, `GET /v1/models`
 //! and `POST /v1/localize` until `POST /admin/shutdown`. `loadgen` fires
-//! keep-alive localize requests over real sockets and emits a validated
-//! requests/s + latency report. `demo` does train → serve → verify
+//! keep-alive localize requests over real sockets — optionally pipelined
+//! `--pipeline` deep per burst — and emits a validated requests/s +
+//! latency report; `--max-errors` / `--max-p99-ms` turn the run into a
+//! hard CI gate. `demo` does train → serve → verify
 //! byte-identical responses vs `camal::stream::serve` → prove concurrent
 //! loadgen beats sequential → shut down — the gate CI and `run_all` run.
 //! `chaos` trains, then arms the `batcher.panic` and

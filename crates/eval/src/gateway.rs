@@ -19,7 +19,9 @@ use nilm_data::series::TimeSeries;
 use nilm_data::templates::{template, DatasetId};
 use nilm_serve::http::read_response;
 use nilm_serve::protocol::{localize_request, localize_response, Detail, HouseholdRow};
-use nilm_serve::{run_loadgen, Gateway, GatewayConfig, LoadgenReport};
+use nilm_serve::{
+    run_loadgen, run_loadgen_with, Gateway, GatewayConfig, LoadgenOptions, LoadgenReport,
+};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -173,12 +175,16 @@ pub fn arg_detail(args: &[String]) -> Detail {
 
 /// Runs the loadgen mode against a running gateway and returns the
 /// validated report document. Flags: `--connections`, `--requests`,
-/// `--houses`, `--request-windows`, `--detail`.
+/// `--houses`, `--request-windows`, `--detail`, `--pipeline` (requests
+/// written per burst before reading responses), plus two optional hard
+/// gates that make the run fail loudly for CI: `--max-errors N` (non-200
+/// count may not exceed N) and `--max-p99-ms F` (p99 latency bound).
 pub fn loadgen_run(addr: &str, args: &[String]) -> JsonValue {
     let connections = arg_usize(args, "--connections", 4);
     let requests = arg_usize(args, "--requests", 64);
     let houses = arg_usize(args, "--houses", 1);
     let windows = arg_usize(args, "--request-windows", 8);
+    let pipeline = arg_usize(args, "--pipeline", 1);
     let detail = arg_detail(args);
     let keep_alive = !args.iter().any(|a| a == "--no-keepalive");
     let key = gateway_key();
@@ -186,12 +192,38 @@ pub fn loadgen_run(addr: &str, args: &[String]) -> JsonValue {
     let body = request_body(&[key], houses, windows, window, step_s, 0x10AD, detail);
     println!(
         "loadgen: {requests} requests x {houses} household(s) x {windows} windows over \
-         {connections} {} connection(s) against {addr}",
+         {connections} {} connection(s) (pipeline depth {pipeline}) against {addr}",
         if keep_alive { "keep-alive" } else { "one-shot" }
     );
-    let report = run_loadgen(addr, connections, requests, &body, keep_alive)
-        .unwrap_or_else(|e| panic!("loadgen failed: {e}"));
+    let opts = LoadgenOptions {
+        connections,
+        total_requests: requests,
+        keep_alive,
+        pipeline,
+        ..LoadgenOptions::default()
+    };
+    let report =
+        run_loadgen_with(addr, &body, &opts).unwrap_or_else(|e| panic!("loadgen failed: {e}"));
     print_report("loadgen", &report);
+    if let Some(max_errors) = arg_value(args, "--max-errors").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| panic!("--max-errors must be an integer, not {v:?}"))
+    }) {
+        assert!(
+            report.errors <= max_errors,
+            "loadgen gate failed: {} non-200 responses (allowed {max_errors}): {:?}",
+            report.errors,
+            report.by_status
+        );
+    }
+    if let Some(max_p99) = arg_value(args, "--max-p99-ms").map(|v| {
+        v.parse::<f64>().unwrap_or_else(|_| panic!("--max-p99-ms must be a number, not {v:?}"))
+    }) {
+        assert!(
+            report.p99_ms <= max_p99,
+            "loadgen gate failed: p99 {:.2}ms exceeds the {max_p99}ms bound",
+            report.p99_ms
+        );
+    }
     JsonValue::object([
         ("schema", JsonValue::String("camal_gateway_loadgen/v1".into())),
         ("addr", JsonValue::String(addr.to_string())),
@@ -199,6 +231,7 @@ pub fn loadgen_run(addr: &str, args: &[String]) -> JsonValue {
         ("houses_per_request", JsonValue::Number(houses as f64)),
         ("windows_per_house", JsonValue::Number(windows as f64)),
         ("keep_alive", JsonValue::Bool(keep_alive)),
+        ("pipeline", JsonValue::Number(pipeline as f64)),
         ("report", loadgen_json(&report)),
     ])
 }

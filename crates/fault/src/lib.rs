@@ -36,6 +36,9 @@
 //! | `batcher.panic`        | the gateway batcher panics with jobs in flight     |
 //! | `gateway.slow_pass`    | a batcher pass stalls past the request deadline    |
 //! | `queue.full`           | a queue push reports `Full` (load shed)            |
+//! | `reactor.panic`        | the gateway's epoll event loop panics mid-tick     |
+//! | `worker.wedge`         | a gateway worker naps past the request deadline    |
+//! | `conn.short_write`     | socket flushes write 1 byte then report blocked    |
 //!
 //! ```
 //! // Unarmed points never fire.

@@ -1,57 +1,66 @@
-//! The gateway server: accept loop, per-connection handlers, and the
-//! micro-batching scheduler thread.
+//! The gateway server: the epoll reactor front end, the decode worker
+//! pool, and the micro-batching scheduler thread.
 //!
-//! One thread owns the [`ModelRegistry`] — the **batcher**. Connection
-//! handlers never touch models; they parse + validate requests, enqueue
-//! jobs on the bounded [`JobQueue`], and block on a per-job response
-//! channel. The batcher pops the first waiting job, drains whatever else
-//! queued up behind it (the concurrent backlog), groups jobs by requested
-//! key set, and serves each group as **one**
-//! [`camal::fleet::serve_fleet`] pass with every job's households merged —
-//! so windows from different requests share GEMM batches. Because window
-//! scoring is row-independent (eval-mode BatchNorm, per-row GEMM tiles),
-//! coalescing never changes a response: each one is bit-identical to a
-//! direct [`camal::stream::serve`] call, which the concurrency tests pin.
+//! Connections are owned by one event-loop thread (the **reactor**, see
+//! the private `reactor` module): readiness-driven incremental parsing, pipelined
+//! in-order responses, non-blocking writes, per-connection backpressure,
+//! and per-request deadlines all live there. Decoded requests go to a
+//! small **worker pool** that JSON-parses + validates them; localize jobs
+//! land on the bounded [`JobQueue`].
 //!
-//! Overload: a full queue answers `503` immediately (load shedding), so
-//! handler threads never pile up behind a slow batcher unbounded.
-//! Shutdown: [`Gateway::shutdown`] (or `POST /admin/shutdown`) stops the
-//! accept loop, lets in-flight connections finish their current request,
-//! drains the queue, and joins every thread.
+//! One thread owns the [`ModelRegistry`] — the **batcher**. It pops the
+//! first waiting job, drains whatever else queued up behind it (the
+//! concurrent backlog), groups jobs by requested key set, and serves each
+//! group as **one** [`camal::fleet::serve_fleet`] pass with every job's
+//! households merged — so windows from different requests share GEMM
+//! batches. Because window scoring is row-independent (eval-mode
+//! BatchNorm, per-row GEMM tiles), coalescing never changes a response:
+//! each one is bit-identical to a direct [`camal::stream::serve`] call,
+//! which the concurrency tests pin.
+//!
+//! Overload: a full queue answers `503` immediately (load shedding), a
+//! full per-connection pipeline drops read interest (backpressure), and a
+//! connection flood past `max_connections` sheds with `503` at accept.
+//! Shutdown: [`Gateway::shutdown`] (or `POST /admin/shutdown`) closes the
+//! listener first, lets live connections drain their in-flight requests
+//! (bounded by their deadlines), then stops the workers and lets the
+//! batcher close the queue — accept → connections → batcher, in order.
 //!
 //! Failure is a first-class input, not an afterthought. The batcher runs
 //! under a supervisor (`supervise_batcher`): a panic anywhere in a pass
-//! is caught, the in-flight jobs' reply channels drop (their handlers
-//! answer `503` + `Retry-After` instead of hanging or `500`ing), and a
-//! fresh batcher generation is respawned with the registry rebuilt from
-//! the startup `RegistrySpec` — file-backed checkpoints re-register
-//! their paths, pinned models are restored from byte snapshots taken at
-//! warm time. Handlers never block forever: the localize handler waits on
-//! the reply channel with `recv_timeout` bounded by
-//! [`GatewayConfig::deadline`] (overridable per request via the
-//! `X-Camal-Deadline-Ms` header), so even a wedged pass turns into a
-//! timely `503` + `Retry-After`. Registry load failures and quarantines
-//! surface as `503` + `Retry-After` too — `500` is reserved for genuine
+//! is caught, the in-flight jobs' `ReplyHandle`s drop — which answers
+//! their connections `503` + `Retry-After` instead of hanging or
+//! `500`ing — and a fresh batcher generation is respawned with the
+//! registry rebuilt from the startup `RegistrySpec`: file-backed
+//! checkpoints re-register their paths, pinned models are restored from
+//! byte snapshots taken at warm time. The reactor arms a deadline per
+//! request ([`GatewayConfig::deadline`], overridable via the
+//! `X-Camal-Deadline-Ms` header), so even a wedged worker or batcher pass
+//! turns into a timely `503` + `Retry-After`. The reactor itself is
+//! supervised too: an event-loop panic closes that generation's sockets
+//! cleanly and respawns the loop. Registry load failures and quarantines
+//! surface as `503` + `Retry-After` — `500` is reserved for genuine
 //! programming errors.
 
-use crate::http::{read_request, write_json, write_json_with, HttpLimits, Request};
+use crate::http::{HttpLimits, Request};
 use crate::metrics::Metrics;
 use crate::protocol::{error_body, localize_response, parse_localize, Detail, HouseholdRow};
 use crate::queue::{JobQueue, PushError};
+use crate::reactor::ReplyHandle;
+use crate::sys::Waker;
 use camal::fleet::{serve_fleet, FleetConfig, FleetError};
 use camal::registry::{ModelKey, ModelRegistry, QuarantinePolicy, RegistryError};
 use camal::stream::HouseholdSeries;
 use camal::CamalModel;
 use nilm_json::JsonValue;
 use std::collections::BTreeMap;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs of a [`Gateway`].
 #[derive(Clone, Debug)]
@@ -77,11 +86,21 @@ pub struct GatewayConfig {
     pub limits: HttpLimits,
     /// Apply Table I duration priors on stitched timelines.
     pub apply_priors: bool,
-    /// How long a handler waits for the batcher's reply before answering
+    /// How long the reactor waits for a request's reply before answering
     /// `503` + `Retry-After` on its own. Overridable per request with the
     /// `X-Camal-Deadline-Ms` header. This is the anti-wedge bound: no
-    /// localize request ever outlives it, whatever the batcher is doing.
+    /// request ever outlives it, whatever the workers or batcher are
+    /// doing.
     pub deadline: Duration,
+    /// Size of the decode/validate worker pool between the reactor and
+    /// the batcher. `0` (the default) sizes it automatically: the
+    /// `NILM_REACTOR_WORKERS` environment variable if set, else one
+    /// worker per available core.
+    pub reactor_workers: usize,
+    /// Per-connection in-flight pipeline bound. A connection with this
+    /// many unanswered requests stops being read (backpressure) until
+    /// responses drain.
+    pub max_pipeline: usize,
 }
 
 impl Default for GatewayConfig {
@@ -97,6 +116,8 @@ impl Default for GatewayConfig {
             limits: HttpLimits::default(),
             apply_priors: true,
             deadline: Duration::from_secs(30),
+            reactor_workers: 0,
+            max_pipeline: 32,
         }
     }
 }
@@ -118,23 +139,24 @@ pub struct ModelMeta {
 
 /// A computed HTTP response: status line plus body, with an optional
 /// `Retry-After` value (seconds) that `503`s carry so clients can back
-/// off deliberately instead of guessing.
+/// off deliberately instead of guessing. The reactor turns it into wire
+/// bytes with [`crate::http::encode_response_with`].
 #[derive(Clone, Debug)]
-struct Reply {
-    status: u16,
-    reason: &'static str,
-    body: String,
-    retry_after: Option<u64>,
+pub(crate) struct Reply {
+    pub(crate) status: u16,
+    pub(crate) reason: &'static str,
+    pub(crate) body: String,
+    pub(crate) retry_after: Option<u64>,
 }
 
 impl Reply {
     /// A reply with no extra headers.
-    fn new(status: u16, reason: &'static str, body: String) -> Reply {
+    pub(crate) fn new(status: u16, reason: &'static str, body: String) -> Reply {
         Reply { status, reason, body, retry_after: None }
     }
 
     /// A `503` carrying `Retry-After: {retry_after_s}`.
-    fn unavailable(message: &str, retry_after_s: u64) -> Reply {
+    pub(crate) fn unavailable(message: &str, retry_after_s: u64) -> Reply {
         Reply {
             status: 503,
             reason: "Service Unavailable",
@@ -202,7 +224,7 @@ impl RegistrySpec {
     }
 }
 
-struct Job {
+pub(crate) struct Job {
     /// Requested keys, deduplicated, in request order (response order).
     keys: Vec<ModelKey>,
     /// Sorted copy of `keys` — the coalescing identity: jobs wanting the
@@ -210,25 +232,32 @@ struct Job {
     group: Vec<ModelKey>,
     households: Vec<HouseholdSeries>,
     detail: Detail,
-    reply: mpsc::Sender<Reply>,
+    /// Exactly-once reply channel back to the reactor; dropping it
+    /// unanswered (a batcher panic's unwind) answers the connection
+    /// `503` + `Retry-After` automatically.
+    pub(crate) reply: ReplyHandle,
 }
 
-struct Shared {
-    cfg: GatewayConfig,
-    addr: SocketAddr,
-    models: BTreeMap<ModelKey, ModelMeta>,
-    queue: JobQueue<Job>,
-    metrics: Metrics,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) cfg: GatewayConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) models: BTreeMap<ModelKey, ModelMeta>,
+    pub(crate) queue: JobQueue<Job>,
+    pub(crate) metrics: Metrics,
+    pub(crate) shutdown: AtomicBool,
+    /// Interrupts the reactor's `epoll_wait`: completions, shutdown. The
+    /// pipe lives here so it outlives reactor generations (the supervisor
+    /// re-registers it after a respawn).
+    pub(crate) waker: Waker,
 }
 
 impl Shared {
-    /// Flags shutdown and pokes the accept loop awake with a self-connect.
-    fn request_shutdown(&self) {
+    /// Flags shutdown and pokes the reactor awake.
+    pub(crate) fn request_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        let _ = TcpStream::connect(self.addr);
+        self.waker.handle().wake();
     }
 }
 
@@ -236,16 +265,17 @@ impl Shared {
 /// server threads running for the rest of the process.
 pub struct Gateway {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Gateway {
     /// Binds, warms every registered model (lazy checkpoints load now, so
     /// corrupt files fail fast instead of per-request), and spawns the
-    /// accept loop and the batcher thread. The registry moves into the
-    /// batcher — it is the only thread that touches models afterwards.
+    /// reactor, its worker pool, and the batcher thread. The registry
+    /// moves into the batcher — it is the only thread that touches models
+    /// afterwards.
     pub fn start(mut registry: ModelRegistry, cfg: GatewayConfig) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -275,11 +305,11 @@ impl Gateway {
             queue: JobQueue::new(cfg.queue_capacity),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            waker: Waker::new()?,
             cfg,
             addr,
             models,
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let batcher = {
             let shared = shared.clone();
@@ -288,15 +318,13 @@ impl Gateway {
                 .spawn(move || supervise_batcher(&shared, registry, &spec))
                 .expect("spawn batcher thread")
         };
-        let accept = {
-            let shared = shared.clone();
-            let conns = conns.clone();
-            std::thread::Builder::new()
-                .name("gateway-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn accept thread")
-        };
-        Ok(Gateway { shared, accept: Some(accept), batcher: Some(batcher), conns })
+        let handles = crate::reactor::spawn(shared.clone(), listener)?;
+        Ok(Gateway {
+            shared,
+            reactor: Some(handles.reactor),
+            workers: handles.workers,
+            batcher: Some(batcher),
+        })
     }
 
     /// The bound socket address (resolves port 0).
@@ -309,10 +337,10 @@ impl Gateway {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and joins every server thread: the accept loop
-    /// first (no new connections), then the connection handlers (each
-    /// finishes its in-flight request), then the batcher (drains the
-    /// queue). Bounded by the read timeout per idle connection.
+    /// Requests shutdown and joins every server thread: the reactor first
+    /// (it closes the listener, drains live connections bounded by their
+    /// deadlines, then exits), then the worker pool (its channel closed
+    /// when the reactor dropped it), then the batcher (drains the queue).
     pub fn shutdown(mut self) {
         self.shared.request_shutdown();
         self.join_all();
@@ -326,20 +354,16 @@ impl Gateway {
     }
 
     fn join_all(&mut self) {
-        if let Some(h) = self.accept.take() {
+        // Ordered teardown: reactor (accept + connections) → workers →
+        // batcher. The reactor exits only once every connection drained,
+        // dropping the work channel; the idle workers then see it closed
+        // and exit, after which the batcher can conclude the queue is
+        // conclusively empty and close it.
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
-        // After the accept loop exits no new handler can appear; join the
-        // existing ones (they stop pushing jobs), then the batcher can see
-        // a conclusively empty queue.
-        loop {
-            let handle = self.conns.lock().expect("conns lock").pop();
-            match handle {
-                Some(h) => {
-                    let _ = h.join();
-                }
-                None => break,
-            }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
@@ -347,117 +371,9 @@ impl Gateway {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        let mut stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Transient accept errors (e.g. EMFILE under fd pressure)
-                // return immediately; back off instead of busy-spinning a
-                // core until the condition clears.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // The wake-up self-connect (or a late client) during shutdown.
-            return;
-        }
-        {
-            // Reap finished handlers and bound the live count: one thread
-            // per connection must not grow without limit under a flood.
-            let mut conns = conns.lock().expect("conns lock");
-            if conns.len() >= shared.cfg.max_connections {
-                conns.retain(|h| !h.is_finished());
-            }
-            if conns.len() >= shared.cfg.max_connections {
-                drop(conns);
-                shared.metrics.shed();
-                let _ = write_json_with(
-                    &mut stream,
-                    503,
-                    "Service Unavailable",
-                    &error_body("connection limit reached, retry later"),
-                    false,
-                    &[("Retry-After", "1".into())],
-                );
-                continue;
-            }
-            let shared = shared.clone();
-            match std::thread::Builder::new()
-                .name("gateway-conn".into())
-                .spawn(move || handle_connection(stream, &shared))
-            {
-                Ok(handle) => conns.push(handle),
-                // Thread exhaustion must degrade (drop this connection),
-                // not panic the accept loop and wedge the server.
-                Err(_) => continue,
-            }
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(&stream);
-    loop {
-        let request = match read_request(&mut reader, &shared.cfg.limits) {
-            Ok(r) => r,
-            Err(e) => {
-                // Parse errors get a best-effort 4xx before closing; dead
-                // or timed-out sockets are just dropped. Either way the
-                // connection ends here — framing is unreliable after an
-                // error.
-                if let Some((status, reason)) = e.status() {
-                    shared.metrics.response(status);
-                    let _ = write_json(
-                        &mut (&stream),
-                        status,
-                        reason,
-                        &error_body(&e.to_string()),
-                        false,
-                    );
-                }
-                return;
-            }
-        };
-        let reply = route(&request, shared);
-        // Re-read the flag after routing: /admin/shutdown flips it inside
-        // `route`, and its own response must already announce `close`.
-        let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-        shared.metrics.response(reply.status);
-        let mut extra: Vec<(&str, String)> = Vec::new();
-        if let Some(secs) = reply.retry_after {
-            extra.push(("Retry-After", secs.to_string()));
-        }
-        if write_json_with(
-            &mut (&stream),
-            reply.status,
-            reply.reason,
-            &reply.body,
-            keep_alive,
-            &extra,
-        )
-        .is_err()
-        {
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
-    }
-}
-
-/// Dispatches one request.
-fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
+/// Dispatches one request: computes the reply (or enqueues a batcher job
+/// that will) and answers through `reply`. Runs on a worker thread.
+pub(crate) fn route(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.request("healthz");
@@ -467,11 +383,15 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
                 ("queue_depth", JsonValue::Number(shared.queue.depth() as f64)),
                 ("shutting_down", JsonValue::Bool(shared.shutdown.load(Ordering::SeqCst))),
             ]);
-            Reply::new(200, "OK", doc.to_compact())
+            reply.send(Reply::new(200, "OK", doc.to_compact()));
         }
         ("GET", "/metrics") => {
             shared.metrics.request("metrics");
-            Reply::new(200, "OK", shared.metrics.to_json(shared.queue.depth()).to_pretty())
+            reply.send(Reply::new(
+                200,
+                "OK",
+                shared.metrics.to_json(shared.queue.depth()).to_pretty(),
+            ));
         }
         ("GET", "/v1/models") => {
             shared.metrics.request("models");
@@ -498,65 +418,66 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
                     ])
                 })
                 .collect();
-            Reply::new(
+            reply.send(Reply::new(
                 200,
                 "OK",
                 JsonValue::object([("models", JsonValue::Array(rows))]).to_compact(),
-            )
+            ));
         }
         ("POST", "/v1/localize") => {
             shared.metrics.request("localize");
-            handle_localize(request, shared)
+            handle_localize(request, shared, reply);
         }
         ("POST", "/admin/shutdown") => {
             shared.metrics.request("shutdown");
             shared.request_shutdown();
-            Reply::new(200, "OK", JsonValue::object([("ok", JsonValue::Bool(true))]).to_compact())
+            reply.send(Reply::new(
+                200,
+                "OK",
+                JsonValue::object([("ok", JsonValue::Bool(true))]).to_compact(),
+            ));
         }
         (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/localize" | "/admin/shutdown") => {
             shared.metrics.request("other");
-            Reply::new(405, "Method Not Allowed", error_body("method not allowed for this path"))
+            reply.send(Reply::new(
+                405,
+                "Method Not Allowed",
+                error_body("method not allowed for this path"),
+            ));
         }
         _ => {
             shared.metrics.request("other");
-            Reply::new(404, "Not Found", error_body("no such route"))
+            reply.send(Reply::new(404, "Not Found", error_body("no such route")));
         }
     }
 }
 
-/// Validates a localize request against the model snapshot, enqueues it,
-/// and waits for the batcher's reply — bounded by the request deadline
-/// (`X-Camal-Deadline-Ms` header, falling back to
-/// [`GatewayConfig::deadline`]), never forever.
-fn handle_localize(request: &Request, shared: &Arc<Shared>) -> Reply {
-    let start = Instant::now();
-    let deadline = request
-        .header("x-camal-deadline-ms")
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(Duration::from_millis)
-        .unwrap_or(shared.cfg.deadline)
-        .max(Duration::from_millis(1));
+/// Validates a localize request against the model snapshot and enqueues it
+/// for the batcher, which answers through the job's [`ReplyHandle`]. The
+/// reactor armed this request's deadline at dispatch, so nothing here (or
+/// downstream) can strand the connection.
+fn handle_localize(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle) {
     let parsed = match parse_localize(&request.body) {
         Ok(p) => p,
-        Err(e) => return Reply::new(400, "Bad Request", error_body(&e)),
+        Err(e) => return reply.send(Reply::new(400, "Bad Request", error_body(&e))),
     };
-    // Validate against the startup snapshot so handlers never touch the
+    // Validate against the startup snapshot so workers never touch the
     // registry: every key must be registered, and one pass needs a single
     // resolution and window across its models.
     let mut step_s = 0u32;
     let mut window = 0usize;
     for key in &parsed.appliances {
         let Some(meta) = shared.models.get(key) else {
-            return Reply::new(
+            return reply.send(Reply::new(
                 404,
                 "Not Found",
                 error_body(&format!("model {key} is not registered")),
-            );
+            ));
         };
         if step_s == 0 {
             (step_s, window) = (meta.step_s, meta.window);
         } else if meta.step_s != step_s || meta.window != window {
-            return Reply::new(
+            return reply.send(Reply::new(
                 400,
                 "Bad Request",
                 error_body(&format!(
@@ -564,57 +485,33 @@ fn handle_localize(request: &Request, shared: &Arc<Shared>) -> Reply {
                      step {step_s} s / window {window}; request them separately",
                     meta.step_s, meta.window
                 )),
-            );
+            ));
         }
     }
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Reply::unavailable("gateway is shutting down", 1);
+        return reply.send(Reply::unavailable("gateway is shutting down", 1));
     }
     let mut group = parsed.appliances.clone();
     group.sort();
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         keys: parsed.appliances,
         group,
         households: parsed.households,
         detail: parsed.detail,
-        reply: tx,
+        reply,
     };
     match shared.queue.push(job) {
-        Ok(()) => {}
-        Err(PushError::Full) => {
+        Ok(()) => {
+            shared.metrics.queue_depth(shared.queue.depth());
+        }
+        Err((job, PushError::Full)) => {
             shared.metrics.shed();
-            return Reply::unavailable("queue full, retry later", 1);
+            job.reply.send(Reply::unavailable("queue full, retry later", 1));
         }
         // The batcher already exited; a job pushed now would never be
-        // served, so answer here instead of blocking on `rx` forever.
-        Err(PushError::Closed) => {
-            return Reply::unavailable("gateway is shutting down", 1);
-        }
-    }
-    shared.metrics.queue_depth(shared.queue.depth());
-    match rx.recv_timeout(deadline) {
-        Ok(reply) => {
-            shared.metrics.latency_ms(start.elapsed().as_secs_f64() * 1e3);
-            reply
-        }
-        // The batcher is wedged or overloaded past this request's
-        // deadline. Answer now — if the pass finishes later, its send to
-        // the dropped receiver fails harmlessly.
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            shared.metrics.deadline_timeout();
-            Reply::unavailable(
-                &format!(
-                    "deadline of {} ms expired before the batcher replied, retry later",
-                    deadline.as_millis()
-                ),
-                1,
-            )
-        }
-        // The batcher panicked with our job in flight; the supervisor is
-        // respawning it. Retrying shortly will hit the fresh generation.
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            Reply::unavailable("batcher restarting after a fault, retry shortly", 1)
+        // served, so answer immediately.
+        Err((job, PushError::Closed)) => {
+            job.reply.send(Reply::unavailable("gateway is shutting down", 1));
         }
     }
 }
@@ -643,7 +540,7 @@ fn supervise_batcher(shared: &Arc<Shared>, registry: ModelRegistry, spec: &Regis
         registry = loop {
             if shared.shutdown.load(Ordering::SeqCst) {
                 for job in shared.queue.close() {
-                    let _ = job.reply.send(Reply::unavailable("gateway is shutting down", 1));
+                    job.reply.send(Reply::unavailable("gateway is shutting down", 1));
                 }
                 return;
             }
@@ -673,7 +570,7 @@ fn batcher_loop(shared: &Arc<Shared>, registry: &mut ModelRegistry) {
                 // (its push fails with `Closed`) — never stranded waiting
                 // on a batcher that is gone.
                 for job in shared.queue.close() {
-                    let _ = job.reply.send(Reply::unavailable("gateway is shutting down", 1));
+                    job.reply.send(Reply::unavailable("gateway is shutting down", 1));
                 }
                 return;
             }
@@ -744,8 +641,8 @@ fn serve_group(
             shared
                 .metrics
                 .shard_recovery(result.summary.shard_retries, result.summary.households_degraded);
-            for (job, (start, len)) in jobs.iter().zip(&ranges) {
-                let rows: Vec<HouseholdRow> = (*start..start + len)
+            for (job, (start, len)) in jobs.into_iter().zip(ranges) {
+                let rows: Vec<HouseholdRow> = (start..start + len)
                     .map(|hi| {
                         let hh = &result.households[hi];
                         HouseholdRow {
@@ -764,7 +661,7 @@ fn serve_group(
                     })
                     .collect();
                 let body = localize_response(&job.keys, &rows, job.detail).to_compact();
-                let _ = job.reply.send(Reply::new(200, "OK", body));
+                job.reply.send(Reply::new(200, "OK", body));
             }
         }
         Err(e) => {
@@ -784,8 +681,8 @@ fn serve_group(
                     error_body(&format!("fleet pass failed: {e}")),
                 ),
             };
-            for job in &jobs {
-                let _ = job.reply.send(reply.clone());
+            for job in jobs {
+                job.reply.send(reply.clone());
             }
         }
     }

@@ -1,4 +1,5 @@
-//! Minimal HTTP/1.1 layer on blocking `std::net` streams.
+//! Minimal HTTP/1.1 layer: an **incremental** request parser plus response
+//! framing helpers.
 //!
 //! Implements exactly the slice of RFC 9112 the gateway needs: request-line
 //! parsing, header parsing with hard limits, `Content-Length` bodies,
@@ -6,9 +7,19 @@
 //! transfer-encoding is **not** supported (a request declaring it gets
 //! `411 Length Required`); the gateway's clients always send sized bodies.
 //!
+//! The core is [`RequestParser`], a push-style state machine that consumes
+//! arbitrary byte chunks — a reactor feeds it whatever `read(2)` returned —
+//! and yields complete [`Request`]s. Parsing is **chunking-invariant**:
+//! any split of a byte stream into chunks (1-byte drips, split CRLFs, split
+//! bodies) parses to the same requests, and a malformed stream fails with
+//! the same error at the same byte offset, as the whole-buffer parse. The
+//! blocking [`read_request`] used by tests and simple clients is a thin
+//! loop over the same parser, so there is exactly one parse implementation.
+//!
 //! Every malformed input maps to an error value (never a panic), and every
 //! read is bounded by the caller-supplied limits plus the socket read
-//! timeout, so a hostile peer cannot hang a handler thread forever.
+//! timeout or reactor idle deadline, so a hostile peer cannot hang the
+//! server.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -124,59 +135,280 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Reads one CRLF- (or bare-LF-) terminated line of at most `max` bytes.
-/// Returns `Ok(None)` on clean EOF before the first byte.
-fn read_line(
-    reader: &mut BufReader<impl Read>,
-    max: usize,
-    over_limit: HttpError,
-) -> Result<Option<String>, HttpError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let buf = match reader.fill_buf() {
-            Ok(b) => b,
-            Err(e) => return Err(HttpError::Io(e)),
-        };
-        if buf.is_empty() {
-            // EOF.
-            if line.is_empty() {
-                return Ok(None);
+/// A parse failure with the byte offset (into the connection's request
+/// stream, counting every byte the parser consumed) at which it was
+/// detected. Detection offsets are **chunking-invariant**: feeding the same
+/// byte stream in any chunk split fails at the same offset.
+#[derive(Debug)]
+pub struct ParseError {
+    /// What went wrong (one of the 4xx-mapped variants; the incremental
+    /// parser never produces `Closed` or `Io`).
+    pub error: HttpError,
+    /// Total bytes consumed by the parser when the error was detected.
+    pub offset: u64,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.error, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Internal states of [`RequestParser`].
+#[derive(Debug)]
+enum ParseState {
+    /// Accumulating the request line (leading empty lines are skipped).
+    Line,
+    /// Accumulating header lines of a partially parsed request.
+    Headers { method: String, path: String, http10: bool, headers: Vec<(String, String)> },
+    /// Copying `remaining` body bytes into the request.
+    Body { request: Request, remaining: usize },
+    /// A previous feed failed; the connection's framing is unreliable.
+    Failed,
+}
+
+/// Push-style incremental HTTP/1.1 request parser.
+///
+/// Feed it arbitrary byte chunks as they arrive; it consumes input up to at
+/// most one complete request per call (so pipelined requests stay framed —
+/// the caller re-feeds the remainder) and returns the parsed [`Request`]
+/// when its last body byte lands. The request line and headers are scanned
+/// byte-at-a-time, which makes limit violations and malformed-input errors
+/// fire at a deterministic byte offset regardless of how the stream was
+/// chunked; bodies are copied in bulk.
+///
+/// After an error the parser stays [`RequestParser::failed`] — byte framing
+/// after a malformed request is unreliable, so the connection must be
+/// closed (after a best-effort 4xx).
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: HttpLimits,
+    state: ParseState,
+    /// Raw bytes of the line being accumulated (terminator included while
+    /// counting, stripped at completion).
+    line: Vec<u8>,
+    /// Total bytes consumed over the parser's lifetime (across requests).
+    consumed: u64,
+}
+
+impl RequestParser {
+    /// A fresh parser enforcing `limits`.
+    pub fn new(limits: HttpLimits) -> RequestParser {
+        RequestParser { limits, state: ParseState::Line, line: Vec::new(), consumed: 0 }
+    }
+
+    /// True when the parser sits at a request boundary with no partial
+    /// input buffered — the state in which a peer close is the clean end
+    /// of a keep-alive connection rather than a truncation.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::Line) && self.line.is_empty()
+    }
+
+    /// True once a feed has failed; the connection must be closed.
+    pub fn failed(&self) -> bool {
+        matches!(self.state, ParseState::Failed)
+    }
+
+    /// Total bytes consumed so far (across all requests on the stream).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The error a peer EOF at the current parse position maps to:
+    /// truncated line/headers are `Malformed` (answered `400`), a truncated
+    /// body is an I/O-level truncation (connection just dropped), and EOF
+    /// at a request boundary is the clean `Closed`.
+    pub fn eof_error(&self) -> HttpError {
+        match &self.state {
+            ParseState::Line if self.line.is_empty() => HttpError::Closed,
+            ParseState::Line => HttpError::Malformed("eof inside line".into()),
+            ParseState::Headers { .. } => {
+                if self.line.is_empty() {
+                    HttpError::Malformed("eof inside headers".into())
+                } else {
+                    HttpError::Malformed("eof inside line".into())
+                }
             }
-            return Err(HttpError::Malformed("eof inside line".into()));
+            ParseState::Body { .. } => HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside body",
+            )),
+            ParseState::Failed => HttpError::Malformed("parser already failed".into()),
         }
-        let nl = buf.iter().position(|&b| b == b'\n');
-        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
-        if line.len() + take > max + 2 {
-            return Err(over_limit);
-        }
-        line.extend_from_slice(&buf[..take]);
-        reader.consume(take);
-        if nl.is_some() {
-            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
-                line.pop();
+    }
+
+    fn fail(&mut self, error: HttpError) -> ParseError {
+        self.state = ParseState::Failed;
+        ParseError { error, offset: self.consumed }
+    }
+
+    /// Consumes bytes from `input`. Returns how many bytes were consumed
+    /// plus the completed request, if its final byte was reached. Consuming
+    /// stops right after a completed request — re-feed the remainder to
+    /// parse the next pipelined request. On error the consumed count is
+    /// whatever was eaten up to the offending byte and the parser is dead.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Request>), ParseError> {
+        let mut i = 0usize;
+        while i < input.len() {
+            match &mut self.state {
+                ParseState::Failed => {
+                    return Err(ParseError {
+                        error: HttpError::Malformed("parser already failed".into()),
+                        offset: self.consumed,
+                    })
+                }
+                ParseState::Body { request, remaining } => {
+                    let take = (*remaining).min(input.len() - i);
+                    request.body.extend_from_slice(&input[i..i + take]);
+                    *remaining -= take;
+                    i += take;
+                    self.consumed += take as u64;
+                    if *remaining == 0 {
+                        let request = std::mem::take(request);
+                        self.state = ParseState::Line;
+                        return Ok((i, Some(request)));
+                    }
+                    // Body exhausted the chunk.
+                    return Ok((i, None));
+                }
+                _ => {
+                    // Request line or header section: accumulate one byte.
+                    let byte = input[i];
+                    i += 1;
+                    self.consumed += 1;
+                    let max = match self.state {
+                        ParseState::Line => self.limits.max_request_line,
+                        _ => self.limits.max_header_line,
+                    };
+                    // Mirrors the historical blocking reader's bound: raw
+                    // line bytes (terminator included) may not exceed
+                    // `max + 2` (room for CRLF).
+                    if self.line.len() + 1 > max + 2 {
+                        let over = match self.state {
+                            ParseState::Line => HttpError::UriTooLong,
+                            _ => HttpError::HeadersTooLarge,
+                        };
+                        return Err(self.fail(over));
+                    }
+                    if byte != b'\n' {
+                        self.line.push(byte);
+                        continue;
+                    }
+                    while self.line.last() == Some(&b'\r') {
+                        self.line.pop();
+                    }
+                    let line = match String::from_utf8(std::mem::take(&mut self.line)) {
+                        Ok(l) => l,
+                        Err(_) => {
+                            return Err(
+                                self.fail(HttpError::Malformed("non-UTF-8 header bytes".into()))
+                            )
+                        }
+                    };
+                    match self.on_line(line) {
+                        Ok(Some(request)) => return Ok((i, Some(request))),
+                        Ok(None) => {}
+                        Err(e) => return Err(self.fail(e)),
+                    }
+                }
             }
-            return Ok(Some(
-                String::from_utf8(line)
-                    .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?,
-            ));
+        }
+        Ok((i, None))
+    }
+
+    /// Handles one completed (terminator-stripped) line. `Ok(Some)` is a
+    /// finished body-less request.
+    fn on_line(&mut self, line: String) -> Result<Option<Request>, HttpError> {
+        match &mut self.state {
+            ParseState::Line => {
+                if line.is_empty() {
+                    // RFC 9112 allows (skipped) empty lines before the
+                    // request line.
+                    return Ok(None);
+                }
+                let (method, path, http10) = parse_request_line(&line)?;
+                self.state = ParseState::Headers { method, path, http10, headers: Vec::new() };
+                Ok(None)
+            }
+            ParseState::Headers { method, path, http10, headers } => {
+                if !line.is_empty() {
+                    if headers.len() >= self.limits.max_headers {
+                        return Err(HttpError::HeadersTooLarge);
+                    }
+                    let (name, value) = line.split_once(':').ok_or_else(|| {
+                        HttpError::Malformed(format!("header without ':' ({line:?})"))
+                    })?;
+                    if name.is_empty() || name.contains(' ') {
+                        return Err(HttpError::Malformed("invalid header name".into()));
+                    }
+                    headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+                    return Ok(None);
+                }
+                // Blank line: headers complete. Validate framing.
+                let request = Request {
+                    method: std::mem::take(method),
+                    path: std::mem::take(path),
+                    http10: *http10,
+                    headers: std::mem::take(headers),
+                    body: Vec::new(),
+                };
+                if request
+                    .header("transfer-encoding")
+                    .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+                {
+                    return Err(HttpError::LengthRequired);
+                }
+                // RFC 9112 §6.3: duplicate Content-Length headers are a
+                // framing desync (request-smuggling vector on keep-alive
+                // connections) and must be rejected.
+                if request.headers.iter().filter(|(k, _)| k == "content-length").count() > 1 {
+                    return Err(HttpError::Malformed("duplicate content-length headers".into()));
+                }
+                let content_length =
+                    match request.header("content-length") {
+                        Some(v) => Some(v.trim().parse::<usize>().map_err(|_| {
+                            HttpError::Malformed(format!("bad content-length {v:?}"))
+                        })?),
+                        None => None,
+                    };
+                match content_length {
+                    Some(n) if n > self.limits.max_body => Err(HttpError::BodyTooLarge),
+                    Some(n) if n > 0 => {
+                        let mut request = request;
+                        request.body.reserve_exact(n.min(1 << 20));
+                        self.state = ParseState::Body { request, remaining: n };
+                        Ok(None)
+                    }
+                    // RFC 9112: no (or zero) Content-Length and no
+                    // Transfer-Encoding means no body — legal even for
+                    // POST (`curl -X POST` sends exactly this).
+                    _ => {
+                        self.state = ParseState::Line;
+                        Ok(Some(request))
+                    }
+                }
+            }
+            _ => unreachable!("on_line is only called from line-accumulating states"),
         }
     }
 }
 
-/// Reads and parses one request from the stream. `Err(HttpError::Closed)`
-/// is the clean end of a keep-alive connection.
-pub fn read_request(
-    reader: &mut BufReader<&TcpStream>,
-    limits: &HttpLimits,
-) -> Result<Request, HttpError> {
-    // Request line. Tolerate (skip) leading empty lines, as RFC 9112 allows.
-    let line = loop {
-        match read_line(reader, limits.max_request_line, HttpError::UriTooLong)? {
-            None => return Err(HttpError::Closed),
-            Some(l) if l.is_empty() => continue,
-            Some(l) => break l,
+impl Default for Request {
+    fn default() -> Request {
+        Request {
+            method: String::new(),
+            path: String::new(),
+            http10: false,
+            headers: Vec::new(),
+            body: Vec::new(),
         }
-    };
+    }
+}
+
+/// Splits and validates `METHOD TARGET HTTP/1.x`.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
     let mut parts = line.split(' ').filter(|p| !p.is_empty());
     let method = parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
     let path = parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
@@ -188,68 +420,68 @@ pub fn read_request(
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
     }
-    let http10 = version == "HTTP/1.0";
     if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
         return Err(HttpError::Malformed("invalid method".into()));
     }
+    Ok((method.to_string(), path.to_string(), version == "HTTP/1.0"))
+}
 
-    // Headers.
-    let mut headers: Vec<(String, String)> = Vec::new();
+/// Reads and parses one request from a blocking stream — a loop over
+/// [`RequestParser`], so blocking and reactor parsing share one
+/// implementation. `Err(HttpError::Closed)` is the clean end of a
+/// keep-alive connection.
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    limits: &HttpLimits,
+) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new(*limits);
     loop {
-        let line = read_line(reader, limits.max_header_line, HttpError::HeadersTooLarge)?
-            .ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
-        if line.is_empty() {
-            break;
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if buf.is_empty() {
+            return Err(parser.eof_error());
         }
-        if headers.len() >= limits.max_headers {
-            return Err(HttpError::HeadersTooLarge);
+        let (n, request) = match parser.feed(buf) {
+            Ok(out) => out,
+            Err(e) => return Err(e.error),
+        };
+        reader.consume(n);
+        if let Some(request) = request {
+            return Ok(request);
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::Malformed(format!("header without ':' ({line:?})")))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpError::Malformed("invalid header name".into()));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
+}
 
-    // Body.
-    let mut request = Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        http10,
-        headers,
-        body: Vec::new(),
-    };
-    if request.header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
-        return Err(HttpError::LengthRequired);
+/// Serializes one response (status line, headers, body) into a byte
+/// buffer. This is the single framing implementation: the blocking
+/// [`write_response_with`] and the reactor's outbox both emit these exact
+/// bytes, which keeps reactor responses byte-identical to the historical
+/// thread-per-connection handler.
+pub fn encode_response_with(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
     }
-    // RFC 9112 §6.3: duplicate Content-Length headers are a framing
-    // desync (request-smuggling vector on keep-alive connections) and
-    // must be rejected.
-    if request.headers.iter().filter(|(k, _)| k == "content-length").count() > 1 {
-        return Err(HttpError::Malformed("duplicate content-length headers".into()));
-    }
-    let content_length = match request.header("content-length") {
-        Some(v) => Some(
-            v.trim()
-                .parse::<usize>()
-                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
-        ),
-        None => None,
-    };
-    match content_length {
-        Some(n) if n > limits.max_body => return Err(HttpError::BodyTooLarge),
-        Some(n) => {
-            let mut body = vec![0u8; n];
-            reader.read_exact(&mut body).map_err(HttpError::Io)?;
-            request.body = body;
-        }
-        // RFC 9112: no Content-Length and no Transfer-Encoding means no
-        // body — legal even for POST (`curl -X POST` sends exactly this).
-        None => {}
-    }
-    Ok(request)
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
 }
 
 /// Writes one response with a sized body and extra headers (e.g.
@@ -264,20 +496,8 @@ pub fn write_response_with(
     keep_alive: bool,
     extra_headers: &[(&str, String)],
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let bytes = encode_response_with(status, reason, content_type, body, keep_alive, extra_headers);
+    stream.write_all(&bytes)?;
     stream.flush()
 }
 
@@ -345,6 +565,47 @@ impl Response {
     /// The body as UTF-8, if it is.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line of at most `max` bytes.
+/// Returns `Ok(None)` on clean EOF before the first byte. (Client-side
+/// helper for [`read_response`]; the server side parses through
+/// [`RequestParser`].)
+fn read_line(
+    reader: &mut BufReader<impl Read>,
+    max: usize,
+    over_limit: HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if buf.is_empty() {
+            // EOF.
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Malformed("eof inside line".into()));
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
+        if line.len() + take > max + 2 {
+            return Err(over_limit);
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if nl.is_some() {
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(
+                String::from_utf8(line)
+                    .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?,
+            ));
+        }
     }
 }
 

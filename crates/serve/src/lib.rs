@@ -8,35 +8,47 @@
 //! beats issuing the same requests one at a time.
 //!
 //! ```text
-//!   TCP clients ── accept loop ── per-connection handler threads
-//!                                      │ parse HTTP + JSON, validate
-//!                                      ▼
-//!                                bounded job queue ──(full)→ 503
-//!                                      │
-//!                                batcher thread (owns the ModelRegistry)
-//!                                      │ drain queue, group by key set,
-//!                                      │ merge households, ONE fleet pass
-//!                                      ▼
-//!                         camal::fleet::serve_fleet (shared GEMM batches)
-//!                                      │ split per request
-//!                                      ▼
-//!                        per-connection response channels → HTTP responses
+//!   TCP clients ══ epoll ══▶ reactor thread (owns every connection)
+//!                               │ incremental parse / in-order write
+//!                               │ state machines, backpressure,
+//!                               │ per-request deadlines, fairness
+//!                               ▼
+//!                          worker pool (decode + validate)
+//!                               │
+//!                          bounded job queue ──(full)→ 503
+//!                               │
+//!                          batcher thread (owns the ModelRegistry)
+//!                               │ drain queue, group by key set,
+//!                               │ merge households, ONE fleet pass
+//!                               ▼
+//!                  camal::fleet::serve_fleet (shared GEMM batches)
+//!                               │ split per request
+//!                               ▼
+//!                  completions channel ──▶ reactor ──▶ HTTP responses
 //! ```
 //!
 //! Modules:
-//! - [`http`] — minimal HTTP/1.1 request/response layer: request-line and
-//!   header parsing, `Content-Length` bodies, keep-alive, hard limits that
-//!   map to 4xx statuses. Never panics on malformed input.
+//! - [`http`] — minimal HTTP/1.1 layer around an **incremental**,
+//!   chunking-invariant request parser ([`http::RequestParser`]),
+//!   `Content-Length` bodies, keep-alive, hard limits that map to 4xx
+//!   statuses. Never panics on malformed input.
+//! - [`sys`] — the vendored epoll + wake-pipe shim (no `libc` crate):
+//!   level/edge-triggered readiness polling and cross-thread wakeups.
 //! - [`protocol`] — the `POST /v1/localize` JSON request/response schemas
 //!   over [`nilm_json`].
-//! - [`queue`] — the bounded job queue between connection handlers and the
+//! - [`queue`] — the bounded job queue between the workers and the
 //!   batcher (load shedding with 503 when full).
-//! - [`metrics`] — request counters, micro-batch size histogram, queue
+//! - [`metrics`] — request counters, micro-batch size histogram, reactor
+//!   counters (`epoll_wakeups`, `partial_writes`, backlog peaks), queue
 //!   depth and latency percentiles, served as JSON on `GET /metrics`.
-//! - [`gateway`] — the server: accept loop, batcher thread, graceful
-//!   shutdown.
-//! - [`loadgen`] — a real-socket load generator measuring requests/s and
-//!   latency percentiles against a running gateway.
+//! - [`gateway`] — the server: configuration, routing, the batcher
+//!   thread, supervision, graceful shutdown.
+//! - [`loadgen`] — a real-socket load generator (optionally pipelined)
+//!   measuring requests/s and latency percentiles against a running
+//!   gateway.
+//!
+//! (The reactor event loop and per-connection state machines live in the
+//! crate-private `reactor` and `conn` modules.)
 //!
 //! Micro-batching never changes results: the fleet engine scores each
 //! window independently (eval-mode BatchNorm, row-independent GEMMs), so a
@@ -45,12 +57,15 @@
 
 #![warn(missing_docs)]
 
+mod conn;
 pub mod gateway;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+mod reactor;
+pub mod sys;
 
 pub use gateway::{Gateway, GatewayConfig};
-pub use loadgen::{run_loadgen, LoadgenReport};
+pub use loadgen::{run_loadgen, run_loadgen_with, LoadgenOptions, LoadgenReport};

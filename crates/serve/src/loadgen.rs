@@ -74,6 +74,46 @@ impl std::fmt::Display for LoadgenError {
 
 impl std::error::Error for LoadgenError {}
 
+/// Knobs for [`run_loadgen_with`]. [`run_loadgen`] is the
+/// closed-loop (`pipeline = 1`) shorthand.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Concurrent TCP connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub total_requests: usize,
+    /// Persistent connections (`false` = fresh connection per request).
+    pub keep_alive: bool,
+    /// Requests written back-to-back before the first response is read
+    /// (HTTP/1.1 pipelining). `1` is the classic closed loop; higher
+    /// depths exercise the reactor's per-connection in-flight pipeline
+    /// and in-order response writer. Ignored when `keep_alive` is off.
+    pub pipeline: usize,
+    /// Open-loop pacing: each connection fires its `k`-th request at
+    /// `start + k * pace` (wall-clock schedule) instead of immediately
+    /// after the previous response. Latency is measured from the
+    /// *scheduled* send time, so a backed-up server cannot hide queueing
+    /// delay by slowing the sender down (the coordinated-omission
+    /// correction). `None` is the classic closed loop. Comparing tail
+    /// latency across connection counts is only meaningful paced: a
+    /// closed loop at N connections keeps N requests in flight, so its
+    /// latency grows ~linearly in N by Little's law no matter how good
+    /// the server is. Ignored when `keep_alive` is off or `pipeline > 1`.
+    pub pace: Option<Duration>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            connections: 1,
+            total_requests: 1,
+            keep_alive: true,
+            pipeline: 1,
+            pace: None,
+        }
+    }
+}
+
 /// Fires `total_requests` requests with body `body` at
 /// `addr`/`/v1/localize` over `connections` connections (keep-alive when
 /// `keep_alive`, one fresh connection per request otherwise). Requests
@@ -86,7 +126,29 @@ pub fn run_loadgen(
     body: &str,
     keep_alive: bool,
 ) -> Result<LoadgenReport, LoadgenError> {
-    let connections = connections.max(1);
+    run_loadgen_with(
+        addr,
+        body,
+        &LoadgenOptions { connections, total_requests, keep_alive, ..LoadgenOptions::default() },
+    )
+}
+
+/// [`run_loadgen`] with explicit [`LoadgenOptions`] — in particular a
+/// pipelining depth: each connection writes `pipeline` requests in one
+/// burst, then reads that many responses in order (latency is measured
+/// per request from its wave's first byte out). Pipelined waves are what
+/// force the gateway to hold several decoded requests in flight per
+/// connection and still answer strictly in order.
+pub fn run_loadgen_with(
+    addr: &str,
+    body: &str,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, LoadgenError> {
+    let connections = opts.connections.max(1);
+    let total_requests = opts.total_requests;
+    let keep_alive = opts.keep_alive;
+    let pipeline = opts.pipeline.max(1);
+    let pace = opts.pace.filter(|_| keep_alive && pipeline == 1);
     let request = format!(
         "POST /v1/localize HTTP/1.1\r\nHost: gateway\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}\r\n{body}",
         body.len(),
@@ -102,7 +164,7 @@ pub fn run_loadgen(
             .iter()
             .map(|&n| {
                 let request = request.as_str();
-                scope.spawn(move || worker(addr, n, request, keep_alive))
+                scope.spawn(move || worker(addr, n, request, keep_alive, pipeline, pace))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
@@ -171,13 +233,16 @@ impl WorkerTally {
     }
 }
 
-/// One closed-loop worker: `n` request/response cycles, either over one
-/// persistent connection or over a fresh connection each cycle.
+/// One worker: `n` request/response cycles, either over one persistent
+/// connection (optionally pipelined `depth` at a time, optionally on an
+/// open-loop `pace` schedule) or over a fresh connection each cycle.
 fn worker(
     addr: &str,
     n: usize,
     request: &str,
     keep_alive: bool,
+    depth: usize,
+    pace: Option<Duration>,
 ) -> Result<WorkerTally, LoadgenError> {
     let mut tally = WorkerTally::default();
     if n == 0 {
@@ -193,13 +258,39 @@ fn worker(
     if keep_alive {
         let stream = connect()?;
         let mut reader = BufReader::new(&stream);
-        for _ in 0..n {
+        if let Some(interval) = pace {
+            // Open loop: request k is due at t0 + k*interval, and latency
+            // counts from that *scheduled* instant — if the server backs
+            // up, the wait to get the request out the door is charged to
+            // the server, not silently dropped from the measurement.
+            let t0 = Instant::now();
+            for k in 0..n {
+                let scheduled = t0 + interval.saturating_mul(k as u32);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                (&stream)
+                    .write_all(request.as_bytes())
+                    .map_err(|e| LoadgenError::Http(HttpError::Io(e)))?;
+                let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
+                tally.record(scheduled, &response);
+            }
+            return Ok(tally);
+        }
+        let mut remaining = n;
+        while remaining > 0 {
+            let wave = depth.min(remaining);
+            remaining -= wave;
             let start = Instant::now();
+            let burst = request.repeat(wave);
             (&stream)
-                .write_all(request.as_bytes())
+                .write_all(burst.as_bytes())
                 .map_err(|e| LoadgenError::Http(HttpError::Io(e)))?;
-            let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
-            tally.record(start, &response);
+            for _ in 0..wave {
+                let response = read_response(&mut reader).map_err(LoadgenError::Http)?;
+                tally.record(start, &response);
+            }
         }
     } else {
         for _ in 0..n {

@@ -59,6 +59,21 @@ struct Inner {
     /// (panicked or exited); `registry_current` is the live generation.
     registry_base: RegistryStats,
     registry_current: RegistryStats,
+    /// `epoll_wait` returns in the reactor (each is one wake of the event
+    /// loop), and the total readiness events those wakes delivered — the
+    /// ratio `ready_events_per_wake` is the batching efficiency of the
+    /// event loop itself.
+    epoll_wakeups: u64,
+    ready_events: u64,
+    /// Response writes that could not complete in one `write` call
+    /// (`EWOULDBLOCK` or a short write) and parked bytes in the outbox
+    /// until the socket signalled writable again.
+    partial_writes: u64,
+    /// Largest per-connection in-flight pipeline (requests parsed but not
+    /// yet answered) observed on any connection.
+    conn_backlog_peak: usize,
+    /// Reactor generations respawned after an event-loop panic.
+    reactor_restarts: u64,
 }
 
 /// `a + b` per counter (RegistryStats has no Add impl of its own).
@@ -166,6 +181,29 @@ impl Metrics {
         m.registry_current = RegistryStats::default();
     }
 
+    /// Records one reactor wake and how many readiness events it carried.
+    pub fn reactor_wake(&self, ready_events: usize) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.epoll_wakeups += 1;
+        m.ready_events += ready_events as u64;
+    }
+
+    /// Counts one response write parked on `EWOULDBLOCK` / a short write.
+    pub fn partial_write(&self) {
+        self.inner.lock().expect("metrics lock").partial_writes += 1;
+    }
+
+    /// Records a connection's in-flight pipeline depth; keeps the peak.
+    pub fn conn_backlog(&self, depth: usize) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.conn_backlog_peak = m.conn_backlog_peak.max(depth);
+    }
+
+    /// Counts one reactor respawn after an event-loop panic.
+    pub fn reactor_restart(&self) {
+        self.inner.lock().expect("metrics lock").reactor_restarts += 1;
+    }
+
     /// Snapshot as the `GET /metrics` JSON document. `queue_depth` is the
     /// live depth sampled by the caller.
     pub fn to_json(&self, queue_depth: usize) -> JsonValue {
@@ -209,6 +247,18 @@ impl Metrics {
                     ("p99", JsonValue::Number(percentile(&m.latencies_ms, 99.0))),
                 ]),
             ),
+            ("epoll_wakeups", JsonValue::Number(m.epoll_wakeups as f64)),
+            (
+                "ready_events_per_wake",
+                JsonValue::Number(if m.epoll_wakeups > 0 {
+                    m.ready_events as f64 / m.epoll_wakeups as f64
+                } else {
+                    0.0
+                }),
+            ),
+            ("partial_writes", JsonValue::Number(m.partial_writes as f64)),
+            ("conn_backlog_peak", JsonValue::Number(m.conn_backlog_peak as f64)),
+            ("reactor_restarts", JsonValue::Number(m.reactor_restarts as f64)),
             ("batcher_restarts", JsonValue::Number(m.batcher_restarts as f64)),
             ("deadline_timeouts", JsonValue::Number(m.deadline_timeouts as f64)),
             ("shard_retries_total", JsonValue::Number(m.shard_retries as f64)),

@@ -48,15 +48,17 @@ impl<T> JobQueue<T> {
     }
 
     /// Enqueues a job, or rejects it when the queue is full (load shed) or
-    /// closed (the consumer is gone). The `queue.full` fault point injects
-    /// artificial capacity rejections for overload testing.
-    pub fn push(&self, job: T) -> Result<(), PushError> {
+    /// closed (the consumer is gone). A rejected job is handed back to the
+    /// caller — jobs carry reply handles that must answer the *right* 503,
+    /// not a generic drop-path fallback. The `queue.full` fault point
+    /// injects artificial capacity rejections for overload testing.
+    pub fn push(&self, job: T) -> Result<(), (T, PushError)> {
         let mut q = self.inner.lock().expect("queue lock");
         if q.closed {
-            return Err(PushError::Closed);
+            return Err((job, PushError::Closed));
         }
         if q.jobs.len() >= self.capacity || nilm_fault::fires("queue.full") {
-            return Err(PushError::Full);
+            return Err((job, PushError::Full));
         }
         q.jobs.push_back(job);
         drop(q);
@@ -114,7 +116,7 @@ mod tests {
         assert_eq!(q.push(1), Ok(()));
         assert_eq!(q.push(2), Ok(()));
         assert_eq!(q.push(3), Ok(()));
-        assert_eq!(q.push(4), Err(PushError::Full), "capacity 3 must shed the 4th");
+        assert_eq!(q.push(4), Err((4, PushError::Full)), "capacity 3 must shed the 4th");
         assert_eq!(q.depth(), 3);
         assert_eq!(q.pop_wait(Duration::from_millis(1)), Some(1));
         assert_eq!(q.drain(10), vec![2, 3]);
@@ -127,7 +129,7 @@ mod tests {
         q.push(1).unwrap();
         q.push(2).unwrap();
         assert_eq!(q.close(), vec![1, 2], "closing drains racing jobs atomically");
-        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert_eq!(q.push(3), Err((3, PushError::Closed)));
         assert_eq!(q.depth(), 0);
     }
 

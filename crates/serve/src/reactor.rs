@@ -1,0 +1,693 @@
+//! The gateway's epoll reactor: one event-loop thread multiplexing every
+//! connection, plus a worker pool that decodes requests off the loop.
+//!
+//! ```text
+//!            epoll_wait                    mpsc                 JobQueue
+//!  sockets ─────────────▶ reactor thread ──────▶ worker pool ──────────▶ batcher
+//!            readiness     │  ▲   parse/write     decode+route            fleet pass
+//!                          │  │   state machines  validate
+//!                          │  └──────────────────────┴──────────────────────┘
+//!                          │        completions channel + wake pipe
+//!                          ▼
+//!                     responses, in request order per connection
+//! ```
+//!
+//! The reactor thread owns the listener, the [`Poller`], and every
+//! [`Conn`]. Each wake it: accepts new sockets (shedding over
+//! `max_connections` with a canned 503), pumps readable connections
+//! through the incremental parser and dispatches complete requests to the
+//! workers, drains the completions channel back into connection outboxes,
+//! expires per-request deadlines, reaps idle connections (slow-loris gets
+//! a 408; a never-wrote-anything connection is closed silently), and
+//! flushes outboxes — parking on `EWOULDBLOCK` with write-interest
+//! re-registration. Connections are visited in rotating order with a
+//! per-wake read cap, so one flooding client cannot monopolize a wake.
+//!
+//! Workers never block the loop: they JSON-decode, validate against the
+//! model snapshot, and either answer immediately (health, metrics, errors)
+//! or enqueue a batcher job carrying a [`ReplyHandle`]. Replies flow back
+//! through one completions channel; the wake pipe interrupts `epoll_wait`
+//! so a completion is written the moment it exists. Deadlines are armed in
+//! the *reactor* at dispatch time, so a wedged worker or batcher still
+//! turns into a timely `503` — nothing downstream of the loop is trusted
+//! to be alive.
+//!
+//! The loop runs under a supervisor: a panic (the `reactor.panic` fault
+//! point injects one) drops the generation's poller and connections —
+//! closing every socket cleanly — and respawns a fresh loop on the same
+//! listener, waker, and channels. In-flight batcher work completes into
+//! the new generation and is dropped as stale; clients reconnect and
+//! retry. Shutdown is ordered: the listener closes first, live
+//! connections drain (bounded by their deadlines), then the loop exits,
+//! the work channel drops (workers exit), and the batcher closes the
+//! queue.
+
+use crate::conn::{Conn, WriteProgress};
+use crate::gateway::{route, Reply, Shared};
+use crate::http::{encode_response_with, Request};
+use crate::protocol::error_body;
+use crate::sys::{Interest, Poller};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll-set token of the listener socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Poll-set token of the wake pipe's read end.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// Per-connection read budget per wake — the fairness bound: a flooder's
+/// extra bytes wait for the next rotation instead of starving its peers.
+const READ_BUDGET: usize = 64 * 1024;
+/// Upper bound on one epoll wait; idle ticks also drive fault-free
+/// deadline/reaper scans when no readiness arrives.
+const MAX_WAIT: Duration = Duration::from_millis(25);
+
+/// One finished request: which connection/slot it answers, and the reply.
+pub(crate) struct Completion {
+    conn_id: u64,
+    seq: u64,
+    reply: Reply,
+}
+
+/// Clonable sender half of the completions channel; every send also wakes
+/// the reactor so the response goes out immediately.
+#[derive(Clone)]
+pub(crate) struct CompletionSender {
+    tx: mpsc::Sender<Completion>,
+    wake: crate::sys::WakeHandle,
+}
+
+impl CompletionSender {
+    fn send(&self, conn_id: u64, seq: u64, reply: Reply) {
+        // A dead receiver means the gateway is gone; nothing to answer.
+        let _ = self.tx.send(Completion { conn_id, seq, reply });
+        self.wake.wake();
+    }
+}
+
+/// The per-request reply channel handed to workers and batcher jobs.
+///
+/// Exactly one reply reaches the reactor per handle: either an explicit
+/// [`ReplyHandle::send`], or — if the handle is dropped unanswered, which
+/// is what a batcher panic's unwind does to in-flight jobs — an automatic
+/// `503 Retry-After` so the waiting connection learns about the fault
+/// immediately instead of burning its full deadline.
+pub(crate) struct ReplyHandle {
+    sender: CompletionSender,
+    conn_id: u64,
+    seq: u64,
+    sent: bool,
+}
+
+impl ReplyHandle {
+    /// Answers the request.
+    pub fn send(mut self, reply: Reply) {
+        self.sent = true;
+        self.sender.send(self.conn_id, self.seq, reply);
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.sender.send(
+                self.conn_id,
+                self.seq,
+                Reply::unavailable("batcher restarting after a fault, retry shortly", 1),
+            );
+        }
+    }
+}
+
+/// One decoded-request unit for the worker pool.
+struct Work {
+    conn_id: u64,
+    seq: u64,
+    request: Request,
+    /// The request's effective deadline (already armed reactor-side; the
+    /// `worker.wedge` fault sleeps past it to prove the deadline answers).
+    deadline: Duration,
+}
+
+/// Join handles of the serving threads [`spawn`] started.
+pub(crate) struct ReactorHandles {
+    /// The supervised event-loop thread.
+    pub reactor: JoinHandle<()>,
+    /// The decode/validate worker pool.
+    pub workers: Vec<JoinHandle<()>>,
+}
+
+/// How many workers to run: the config knob, else `NILM_REACTOR_WORKERS`,
+/// else one per available core.
+fn worker_count(shared: &Shared) -> usize {
+    if shared.cfg.reactor_workers > 0 {
+        return shared.cfg.reactor_workers;
+    }
+    if let Ok(v) = std::env::var("NILM_REACTOR_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Spawns the reactor thread and its worker pool on `listener`.
+pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<ReactorHandles> {
+    listener.set_nonblocking(true)?;
+    let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+    let (work_tx, work_rx) = mpsc::channel::<Work>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let completions = CompletionSender { tx: completion_tx, wake: shared.waker.handle() };
+
+    let mut workers = Vec::new();
+    for i in 0..worker_count(&shared) {
+        let shared = shared.clone();
+        let work_rx = work_rx.clone();
+        let completions = completions.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("gateway-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &work_rx, &completions))
+                .expect("spawn gateway worker"),
+        );
+    }
+    let reactor = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("gateway-reactor".into())
+            .spawn(move || {
+                supervise_reactor(&shared, listener, &completion_rx, work_tx, &completions)
+            })
+            .expect("spawn gateway reactor")
+    };
+    Ok(ReactorHandles { reactor, workers })
+}
+
+/// Runs the event loop under a panic supervisor. A clean return is
+/// shutdown; a panic drops the generation's poller and connections (every
+/// socket closes cleanly) and respawns the loop on the surviving listener,
+/// waker, and channels.
+fn supervise_reactor(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    completion_rx: &mpsc::Receiver<Completion>,
+    work_tx: mpsc::Sender<Work>,
+    completions: &CompletionSender,
+) {
+    let mut listener = Some(listener);
+    let mut next_conn_id: u64 = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_reactor(
+                shared,
+                &mut listener,
+                completion_rx,
+                &work_tx,
+                completions,
+                &mut next_conn_id,
+            )
+        }));
+        match outcome {
+            Ok(()) => return,
+            Err(_) => {
+                shared.metrics.reactor_restart();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Brief pause so a persistently failing environment (e.g.
+                // epoll fd exhaustion) cannot respawn-spin a core.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // `work_tx` drops on return → workers' recv errors → pool exits.
+}
+
+/// One reactor generation: owns the poller and the connection table for
+/// its lifetime. Unwinding out of here closes every connection.
+fn run_reactor(
+    shared: &Arc<Shared>,
+    listener: &mut Option<TcpListener>,
+    completion_rx: &mpsc::Receiver<Completion>,
+    work_tx: &mpsc::Sender<Work>,
+    completions: &CompletionSender,
+    next_conn_id: &mut u64,
+) {
+    let poller = Poller::new().expect("create epoll instance");
+    if let Some(l) = listener.as_ref() {
+        poller.register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ).expect("register listener");
+    }
+    // The wake pipe is edge-triggered: it is drained to empty every wake,
+    // so a level re-arm would only produce redundant wakeups.
+    poller
+        .register(shared.waker.read_fd(), TOKEN_WAKER, Interest::READ.edge())
+        .expect("register wake pipe");
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    // Registered interest per connection, to skip no-op re-registrations.
+    let mut interests: HashMap<u64, Interest> = HashMap::new();
+    // Pending per-request deadlines: (expiry, conn, seq, deadline-ms).
+    let mut deadlines: BinaryHeap<Reverse<(Instant, u64, u64, u64)>> = BinaryHeap::new();
+    let mut events: Vec<crate::sys::Event> = Vec::new();
+    let mut rotate: usize = 0;
+
+    loop {
+        // The injected event-loop panic: lands between waits, with the
+        // connection table live — exactly what supervision must survive.
+        nilm_fault::maybe_panic("reactor.panic");
+
+        let now = Instant::now();
+        let mut timeout = MAX_WAIT;
+        if let Some(Reverse((t, ..))) = deadlines.peek() {
+            timeout = timeout.min(t.saturating_duration_since(now));
+        }
+        events.clear();
+        let n = poller.wait(&mut events, Some(timeout)).expect("epoll_wait");
+        shared.metrics.reactor_wake(n);
+        shared.waker.drain();
+        let now = Instant::now();
+
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if shutting_down {
+            if let Some(l) = listener.take() {
+                // Stop accepting before draining: shutdown order is
+                // accept → connections → batcher.
+                let _ = poller.deregister(l.as_raw_fd());
+            }
+        }
+
+        // Readiness, visited in rotating order for inter-connection
+        // fairness.
+        let len = events.len();
+        if len > 0 {
+            rotate = rotate.wrapping_add(1) % len;
+        }
+        for k in 0..len {
+            let ev = events[(k + rotate) % len];
+            match ev.token {
+                TOKEN_WAKER => {}
+                TOKEN_LISTENER => accept_ready(
+                    shared,
+                    listener,
+                    &poller,
+                    &mut conns,
+                    &mut interests,
+                    next_conn_id,
+                    now,
+                ),
+                id => {
+                    let Some(conn) = conns.get_mut(&id) else { continue };
+                    let mut dead = false;
+                    if ev.readable() {
+                        match conn.read_some(READ_BUDGET, now) {
+                            Ok(_) => {}
+                            Err(_) => dead = true,
+                        }
+                    }
+                    if !dead && ev.writable() && conn.wants_write() {
+                        dead = flush_conn(shared, conn);
+                    }
+                    if dead {
+                        drop_conn(&poller, &mut conns, &mut interests, id);
+                    }
+                }
+            }
+        }
+
+        // Pump every connection with buffered input or freshly-ready
+        // output. (Cheap when idle: the table is small and the checks are
+        // a few flag reads.)
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        for id in ids {
+            let keep = pump_conn(shared, &mut conns, id, work_tx, completions, &mut deadlines, now);
+            if !keep {
+                drop_conn(&poller, &mut conns, &mut interests, id);
+            }
+        }
+
+        // Route completions (batcher replies, worker answers) into their
+        // pipeline slots and flush what became ready.
+        while let Ok(done) = completion_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&done.conn_id) else { continue };
+            let keep_alive = {
+                let slot = conn.pipeline.iter().find(|f| f.seq == done.seq);
+                slot.map(|f| f.keep_alive).unwrap_or(false)
+                    && !shared.shutdown.load(Ordering::SeqCst)
+            };
+            let bytes = encode_reply(&done.reply, keep_alive);
+            if let Some((is_localize, dispatched)) = conn.complete(done.seq, bytes, keep_alive) {
+                shared.metrics.response(done.reply.status);
+                if is_localize {
+                    shared.metrics.latency_ms(dispatched.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            let keep = pump_conn(
+                shared,
+                &mut conns,
+                done.conn_id,
+                work_tx,
+                completions,
+                &mut deadlines,
+                now,
+            );
+            if !keep {
+                drop_conn(&poller, &mut conns, &mut interests, done.conn_id);
+            }
+        }
+
+        // Expired deadlines answer their slot with the timeout 503; a
+        // completion arriving later finds the slot filled and is dropped.
+        while let Some(Reverse((t, ..))) = deadlines.peek() {
+            if *t > now {
+                break;
+            }
+            let Reverse((_, conn_id, seq, deadline_ms)) = deadlines.pop().expect("peeked");
+            let Some(conn) = conns.get_mut(&conn_id) else { continue };
+            let reply = Reply::unavailable(
+                &format!(
+                    "deadline of {deadline_ms} ms expired before the batcher replied, retry later"
+                ),
+                1,
+            );
+            let keep_alive = {
+                let slot = conn.pipeline.iter().find(|f| f.seq == seq);
+                match slot {
+                    Some(f) if f.response.is_none() => {
+                        f.keep_alive && !shared.shutdown.load(Ordering::SeqCst)
+                    }
+                    // Already answered (or gone): nothing to expire.
+                    _ => {
+                        continue;
+                    }
+                }
+            };
+            let bytes = encode_reply(&reply, keep_alive);
+            if conn.complete(seq, bytes, keep_alive).is_some() {
+                shared.metrics.deadline_timeout();
+                shared.metrics.response(reply.status);
+            }
+            let keep =
+                pump_conn(shared, &mut conns, conn_id, work_tx, completions, &mut deadlines, now);
+            if !keep {
+                drop_conn(&poller, &mut conns, &mut interests, conn_id);
+            }
+        }
+
+        // Idle reaping. A connection that never sent a byte of the next
+        // request is closed silently (keep-alive expiry); one that went
+        // quiet mid-request is a slow-loris and gets a 408 first.
+        let idle_cut = shared.cfg.read_timeout;
+        let idle_ids: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| c.is_quiescent() && now.duration_since(c.last_activity) >= idle_cut)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in idle_ids {
+            let conn = conns.get_mut(&id).expect("idle conn exists");
+            if conn.parser.is_idle() && !conn.has_buffered_input() {
+                drop_conn(&poller, &mut conns, &mut interests, id);
+            } else {
+                shared.metrics.response(408);
+                conn.push_synthetic_response(
+                    encode_response_with(
+                        408,
+                        "Request Timeout",
+                        "application/json",
+                        error_body("idle deadline expired before the request completed").as_bytes(),
+                        false,
+                        &[],
+                    ),
+                    now,
+                );
+                conn.poison_input();
+                conn.promote();
+                if flush_conn(shared, conn) || conn.is_quiescent() {
+                    drop_conn(&poller, &mut conns, &mut interests, id);
+                }
+            }
+        }
+
+        if shutting_down {
+            // Quiescent connections close now; ones with in-flight work
+            // drain first (bounded by their deadlines).
+            let done_ids: Vec<u64> =
+                conns.iter().filter(|(_, c)| c.is_quiescent()).map(|(id, _)| *id).collect();
+            for id in done_ids {
+                drop_conn(&poller, &mut conns, &mut interests, id);
+            }
+            if conns.is_empty() {
+                return;
+            }
+        }
+
+        // Re-register interest where it changed.
+        for (id, conn) in conns.iter() {
+            let want = Interest {
+                readable: conn.wants_read(shared.cfg.max_pipeline),
+                writable: conn.wants_write(),
+                edge: false,
+            };
+            let current = interests.get(id).copied();
+            if current != Some(want) {
+                if poller.reregister(conn.stream.as_raw_fd(), *id, want).is_ok() {
+                    interests.insert(*id, want);
+                }
+            }
+        }
+    }
+}
+
+/// Accepts every pending connection; over `max_connections` each extra
+/// socket gets a best-effort canned `503` + `Retry-After` and is dropped.
+fn accept_ready(
+    shared: &Arc<Shared>,
+    listener: &Option<TcpListener>,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    interests: &mut HashMap<u64, Interest>,
+    next_conn_id: &mut u64,
+    now: Instant,
+) {
+    let Some(listener) = listener.as_ref() else { return };
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            // Transient accept errors (EMFILE under fd pressure): leave
+            // the remainder for the next wake instead of spinning.
+            Err(_) => return,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            continue;
+        }
+        if conns.len() >= shared.cfg.max_connections {
+            shared.metrics.shed();
+            shared.metrics.response(503);
+            let _ = stream.set_nonblocking(true);
+            let body = error_body("connection limit reached, retry later");
+            let bytes = encode_response_with(
+                503,
+                "Service Unavailable",
+                "application/json",
+                body.as_bytes(),
+                false,
+                &[("Retry-After", "1".into())],
+            );
+            let mut stream = stream;
+            let _ = std::io::Write::write(&mut stream, &bytes);
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = *next_conn_id;
+        *next_conn_id += 1;
+        if poller.register(stream.as_raw_fd(), id, Interest::READ).is_err() {
+            continue;
+        }
+        interests.insert(id, Interest::READ);
+        conns.insert(id, Conn::new(stream, shared.cfg.limits, now));
+    }
+}
+
+/// Parses buffered input into requests (up to the pipeline bound),
+/// dispatches them to the workers, arms their deadlines, promotes ready
+/// responses, and flushes. Returns `false` when the connection must close.
+fn pump_conn(
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    id: u64,
+    work_tx: &mpsc::Sender<Work>,
+    completions: &CompletionSender,
+    deadlines: &mut BinaryHeap<Reverse<(Instant, u64, u64, u64)>>,
+    now: Instant,
+) -> bool {
+    let Some(conn) = conns.get_mut(&id) else { return true };
+    while !conn.close_after_flush && conn.pipeline.len() < shared.cfg.max_pipeline {
+        match conn.parse_next() {
+            Ok(Some(request)) => {
+                let deadline = request
+                    .header("x-camal-deadline-ms")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_millis)
+                    .unwrap_or(shared.cfg.deadline)
+                    .max(Duration::from_millis(1));
+                let keep_alive = request.keep_alive();
+                let is_localize = request.method == "POST" && request.path == "/v1/localize";
+                let seq = conn.begin_request(keep_alive, is_localize, now);
+                shared.metrics.conn_backlog(conn.pipeline.len());
+                deadlines.push(Reverse((now + deadline, id, seq, deadline.as_millis() as u64)));
+                if work_tx.send(Work { conn_id: id, seq, request, deadline }).is_err() {
+                    // Worker pool is gone (shutdown race): answer directly.
+                    let handle =
+                        ReplyHandle { sender: completions.clone(), conn_id: id, seq, sent: false };
+                    handle.send(Reply::unavailable("gateway is shutting down", 1));
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Framing is unreliable after a parse error: answer a
+                // best-effort 4xx in order, drop buffered input, close.
+                if let Some((status, reason)) = e.error.status() {
+                    shared.metrics.response(status);
+                    conn.push_synthetic_response(
+                        encode_response_with(
+                            status,
+                            reason,
+                            "application/json",
+                            error_body(&e.error.to_string()).as_bytes(),
+                            false,
+                            &[],
+                        ),
+                        now,
+                    );
+                }
+                conn.poison_input();
+                break;
+            }
+        }
+    }
+    // Peer EOF with a request half-parsed: answer what the truncation
+    // maps to (400 for a cut line/headers, silence for a cut body) and
+    // close once flushed — same contract as the blocking reader.
+    if conn.peer_eof
+        && !conn.close_after_flush
+        && !conn.has_buffered_input()
+        && conn.pipeline.is_empty()
+        && !conn.parser.is_idle()
+        && !conn.parser.failed()
+    {
+        let err = conn.parser.eof_error();
+        if let Some((status, reason)) = err.status() {
+            shared.metrics.response(status);
+            // The synthetic response closes the connection itself once it
+            // flushes (setting close_after_flush here would gate promote).
+            conn.push_synthetic_response(
+                encode_response_with(
+                    status,
+                    reason,
+                    "application/json",
+                    error_body(&err.to_string()).as_bytes(),
+                    false,
+                    &[],
+                ),
+                now,
+            );
+        } else {
+            // A body truncated mid-stream: nothing useful to say, close.
+            conn.close_after_flush = true;
+        }
+    }
+    conn.promote();
+    if conn.wants_write() && flush_conn(shared, conn) {
+        return false;
+    }
+    if conn.close_after_flush && conn.outbox_empty() {
+        return false;
+    }
+    if conn.peer_eof && conn.is_quiescent() && !conn.has_buffered_input() {
+        return false;
+    }
+    true
+}
+
+/// Flushes a connection's outbox. Returns `true` when the connection died.
+fn flush_conn(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
+    let force_short = nilm_fault::fires("conn.short_write");
+    match conn.write_some(force_short) {
+        WriteProgress::Flushed => false,
+        WriteProgress::Partial => {
+            shared.metrics.partial_write();
+            false
+        }
+        WriteProgress::PeerGone => true,
+    }
+}
+
+/// Removes a connection from the poll set and the table (closing it).
+fn drop_conn(
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    interests: &mut HashMap<u64, Interest>,
+    id: u64,
+) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+    }
+    interests.remove(&id);
+}
+
+/// Encodes a [`Reply`] with the framing the thread-per-connection handler
+/// used, byte for byte.
+fn encode_reply(reply: &Reply, keep_alive: bool) -> Vec<u8> {
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if let Some(secs) = reply.retry_after {
+        extra.push(("Retry-After", secs.to_string()));
+    }
+    encode_response_with(
+        reply.status,
+        reply.reason,
+        "application/json",
+        reply.body.as_bytes(),
+        keep_alive,
+        &extra,
+    )
+}
+
+/// One decode/validate worker: pulls requests off the shared channel and
+/// routes them. Localize requests end up on the batcher queue; everything
+/// else is answered inline through the completions channel.
+fn worker_loop(
+    shared: &Arc<Shared>,
+    work_rx: &Mutex<mpsc::Receiver<Work>>,
+    completions: &CompletionSender,
+) {
+    loop {
+        let work = {
+            let rx = work_rx.lock().expect("work channel lock");
+            rx.recv()
+        };
+        let Ok(work) = work else { return };
+        // A wedged worker: sleeps past the request's deadline, proving the
+        // reactor-side timer answers even when decode itself is stuck.
+        if nilm_fault::fires("worker.wedge") {
+            std::thread::sleep(work.deadline.saturating_mul(2));
+        }
+        let handle = ReplyHandle {
+            sender: completions.clone(),
+            conn_id: work.conn_id,
+            seq: work.seq,
+            sent: false,
+        };
+        route(&work.request, shared, handle);
+    }
+}

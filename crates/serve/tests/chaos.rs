@@ -368,6 +368,146 @@ fn injected_queue_full_sheds_cleanly() {
 }
 
 #[test]
+fn reactor_panic_respawns_the_event_loop_and_serving_resumes() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5, 7], 51));
+    let mut oracle = random_model(&[5, 7], 51);
+    let cfg = test_config();
+    let batch = cfg.batch_windows;
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(3, 12)];
+    let body = localize_request(&[kettle()], &households, Detail::Full).to_compact();
+    let expected = expected_body(&mut oracle, &households, batch);
+
+    // Healthy baseline, and a keep-alive connection that will be live when
+    // the event loop dies.
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body_str().unwrap(), expected);
+    let survivor = TcpStream::connect(&addr).expect("connect");
+    survivor.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    (&survivor).write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut survivor_reader = BufReader::new(&survivor);
+    assert_eq!(read_response(&mut survivor_reader).expect("pre-panic response").status, 200);
+
+    // Kill the event loop once. The idle tick (<=25ms) trips it; the
+    // supervisor respawns a fresh reactor on the same listener.
+    nilm_fault::arm_limited("reactor.panic", 1.0, 43, Some(1));
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The idle keep-alive connection was owned by the dead generation: it
+    // must be closed cleanly (EOF or reset), never left hanging.
+    let start = Instant::now();
+    let gone = match std::io::Read::read(&mut survivor_reader, &mut [0u8; 16]) {
+        Ok(0) | Err(_) => true,
+        Ok(_) => false,
+    };
+    assert!(gone, "connections of the dead reactor generation must be closed");
+    assert!(start.elapsed() < Duration::from_secs(5), "close must be prompt, not a timeout");
+
+    // A reconnect+retry must land on the respawned reactor and be
+    // byte-identical to the pre-panic baseline.
+    let start = Instant::now();
+    let response = post_localize(&addr, &body);
+    assert!(start.elapsed() < Duration::from_secs(10), "no timely reply after reactor respawn");
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert_eq!(response.body_str().unwrap(), expected);
+
+    let doc = metrics_doc(&addr);
+    assert!(counter(&doc, "reactor_restarts") >= 1, "restart must be visible in metrics");
+    let fired = doc
+        .get("faults")
+        .and_then(|f| f.get("reactor.panic"))
+        .and_then(|p| p.get("fired"))
+        .and_then(JsonValue::as_usize);
+    assert_eq!(fired, Some(1), "fault counters must be exported");
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+}
+
+#[test]
+fn wedged_worker_is_answered_by_the_reactor_deadline() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5], 53));
+    // The wedged worker naps 2x this deadline with the request checked out;
+    // the reactor's deadline heap must answer the client anyway.
+    let cfg = GatewayConfig { deadline: Duration::from_millis(250), ..test_config() };
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(2, 13)];
+    let body = localize_request(&[kettle()], &households, Detail::Summary).to_compact();
+
+    nilm_fault::arm_limited("worker.wedge", 1.0, 47, Some(1));
+    let start = Instant::now();
+    let response = post_localize(&addr, &body);
+    let elapsed = start.elapsed();
+    assert_503_with_retry_after(&response);
+    assert!(response.body_str().unwrap().contains("deadline"), "{:?}", response.body_str());
+    assert!(
+        elapsed >= Duration::from_millis(200) && elapsed < Duration::from_secs(5),
+        "deadline reply took {elapsed:?}, want ~250ms"
+    );
+
+    // Once the wedged worker wakes back up, the pool serves normally.
+    std::thread::sleep(Duration::from_millis(700));
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert!(counter(&metrics_doc(&addr), "deadline_timeouts") >= 1);
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+}
+
+#[test]
+fn forced_short_writes_still_deliver_byte_identical_responses() {
+    let _g = faults();
+    let mut registry = ModelRegistry::unbounded();
+    registry.insert(kettle(), random_model(&[5, 7], 57));
+    let mut oracle = random_model(&[5, 7], 57);
+    let cfg = test_config();
+    let batch = cfg.batch_windows;
+    let gateway = Gateway::start(registry, cfg).expect("gateway starts");
+    let addr = gateway.addr().to_string();
+
+    let households = vec![toy_household(3, 14)];
+    let body = localize_request(&[kettle()], &households, Detail::Full).to_compact();
+    let expected = expected_body(&mut oracle, &households, batch);
+
+    // Every flush now writes ONE byte and reports the socket as blocked,
+    // forcing the reactor through the partial-write / re-register-WRITE /
+    // resume path on every single response byte. The client must still see
+    // the exact same bytes, just slower.
+    nilm_fault::arm("conn.short_write", 1.0, 61);
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert_eq!(
+        response.body_str().unwrap(),
+        expected,
+        "byte-at-a-time flushing must not corrupt or reorder the response"
+    );
+    nilm_fault::disarm("conn.short_write");
+
+    assert!(
+        counter(&metrics_doc(&addr), "partial_writes") >= 1,
+        "the partial-write path must be visible in metrics"
+    );
+
+    // Fault cleared: healthy and still byte-identical.
+    let response = post_localize(&addr, &body);
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body_str().unwrap(), expected);
+
+    nilm_fault::disarm_all();
+    gateway.shutdown();
+}
+
+#[test]
 fn shard_panic_inside_the_gateway_retries_or_degrades() {
     let _g = faults();
     let mut registry = ModelRegistry::unbounded();
