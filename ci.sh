@@ -88,9 +88,11 @@ if [ "$MODE" != "quick" ]; then
     # --queue 1024: the reactor load stage below holds 128 x 4 = 512
     # requests in flight; the zero-errors gate needs the queue to admit
     # the whole burst (the default 256 would correctly shed ~half as 503).
+    # --trace: request tracing on from the start, so the observability
+    # gates below can pull a socket-to-kernel trace out of /debug/trace.
     timeout 120 ./target/release/camal_gateway serve \
         --zoo "$GW_DIR/zoo" --addr 127.0.0.1:0 --addr-file "$GW_DIR/addr.txt" \
-        --queue 1024 &
+        --queue 1024 --trace &
     GW_PID=$!
     for _ in $(seq 1 150); do [ -s "$GW_DIR/addr.txt" ] && break; sleep 0.2; done
     [ -s "$GW_DIR/addr.txt" ] || { echo "gateway never published its address"; kill "$GW_PID" 2>/dev/null; exit 1; }
@@ -119,9 +121,19 @@ hh = doc["households"][0]
 assert hh["id"] == "ci-house" and "refit:kettle" in hh["results"], doc
 print("localize round-trip ok:", json.dumps(hh["results"]["refit:kettle"]))
 PY
-    # Loadgen against the live server (report JSON re-validated in-process).
+    # Loadgen against the live server (report JSON re-validated in-process),
+    # with the full HDR latency histogram dumped and validated.
     ./target/release/camal_gateway loadgen --addr "$GW_ADDR" \
-        --connections 2 --requests 40 --detail summary --out "$GW_DIR"
+        --connections 2 --requests 40 --detail summary \
+        --latency-json "$GW_DIR/latency_hist.json" --out "$GW_DIR"
+    python3 - "$GW_DIR" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1] + "/latency_hist.json"))
+assert doc["count"] == 40, doc
+assert sum(b["count"] for b in doc["buckets"]) == doc["count"], doc
+assert doc["min_ms"] <= doc["p50_ms"] <= doc["p99_ms"] <= doc["max_ms"] * 1.01, doc
+print("latency histogram ok:", doc["count"], "samples in", len(doc["buckets"]), "buckets")
+PY
     # Reactor load stage: 128 keep-alive connections with pipelined bursts
     # against the epoll event loop. Hard gates: zero non-200 responses and
     # a bounded p99 — an unfair or leaky reactor fails here, not in prod.
@@ -130,6 +142,81 @@ PY
         --max-errors 0 --max-p99-ms 2000 --out "$GW_DIR"
     curl -sfS "http://$GW_ADDR/metrics" -o "$GW_DIR/metrics.json"
     python3 -c "import json,sys; json.load(open('$GW_DIR/metrics.json'))"
+
+    # Observability gates against the live server.
+    # 1. Readiness: a warmed gateway answers /readyz 200 with ready=true
+    #    (the 503 paths — shutdown drain, dead batcher, saturated queue —
+    #    are pinned by the nilm_serve obs_trace integration test).
+    curl -sfS "http://$GW_ADDR/readyz" -o "$GW_DIR/readyz.json"
+    python3 - "$GW_DIR" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1] + "/readyz.json"))
+assert doc["ready"] is True and doc["reason"] is None, doc
+assert doc["queue_capacity"] > 0, doc
+print("readyz ok:", json.dumps(doc))
+PY
+    # 2. Trace completeness: a localize request sent with an explicit
+    #    X-Camal-Trace-Id must come back out of /debug/trace as one
+    #    connected tree covering every pipeline stage down to the kernels.
+    TRACE_ID=00000000c0ffee11
+    curl -sfS -X POST "http://$GW_ADDR/v1/localize" \
+        -H 'Content-Type: application/json' -H "X-Camal-Trace-Id: $TRACE_ID" \
+        --data @"$GW_DIR/request.json" -o /dev/null
+    # The root span is recorded once the response's last byte is on the
+    # wire; give the reactor a beat before reading the trace back.
+    sleep 0.3
+    curl -sfS "http://$GW_ADDR/debug/trace?id=$TRACE_ID" -o "$GW_DIR/trace.json"
+    python3 - "$GW_DIR" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1] + "/trace.json"))
+spans = doc["spans"]
+names = {s["name"] for s in spans}
+required = {"request", "parse", "queue_wait", "coalesce",
+            "preprocess", "infer", "stitch", "write", "kernel"}
+missing = required - names
+assert not missing, f"trace is missing stages: {sorted(missing)}"
+ids = {s["span"] for s in spans}
+dangling = [s["name"] for s in spans if s["parent"] != 0 and s["parent"] not in ids]
+assert not dangling, f"dangling parent links from: {dangling}"
+roots = [s for s in spans if s["parent"] == 0]
+assert len(roots) == 1 and roots[0]["name"] == "request", roots
+print(f"debug/trace ok: {len(spans)} spans, all stages present, tree connected")
+PY
+    # 3. Prometheus exposition: every sample belongs to a declared family
+    #    (HELP + TYPE), and no series is emitted twice.
+    curl -sfS "http://$GW_ADDR/metrics?format=prometheus" -o "$GW_DIR/metrics.prom"
+    python3 - "$GW_DIR" <<'PY'
+import sys
+helps, types, series = set(), set(), set()
+for line in open(sys.argv[1] + "/metrics.prom"):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        helps.add(line.split()[2])
+    elif line.startswith("# TYPE "):
+        types.add(line.split()[2])
+    elif line.startswith("#"):
+        continue
+    else:
+        key = line.rsplit(" ", 1)[0]
+        assert key not in series, f"duplicate series: {key}"
+        series.add(key)
+        name = key.split("{")[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and stem in types:
+                base = stem
+                break
+        assert base in types, f"sample {name} has no TYPE line"
+        assert base in helps, f"sample {name} has no HELP line"
+assert types == helps, f"HELP/TYPE mismatch: {types ^ helps}"
+assert any(s.startswith("nilm_request_duration_seconds_bucket") for s in series)
+assert any(s.startswith("nilm_stage_duration_seconds_bucket") for s in series)
+print(f"prometheus ok: {len(types)} families, {len(series)} series, no duplicates")
+PY
+
     curl -sfS -X POST "http://$GW_ADDR/admin/shutdown" >/dev/null
     wait "$GW_PID"
     echo "gateway shut down cleanly"
@@ -148,12 +235,13 @@ PY
     cargo bench -p nilm_bench --bench bench_gateway_rps -- --smoke --out "$PWD/target/ci-gateway"
 fi
 
-# `camal`, `nilm_data`, `nilm_fault`, `nilm_json`, `nilm_models` and
-# `nilm_serve` opt into #![warn(missing_docs)]; with rustdoc warnings denied
-# this step is the docs gate: any undocumented public item in those crates
-# (the backbone zoo — detector/resnet/inception/transapp — included) fails CI.
-step "docs gate: cargo doc -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_models -p nilm_serve (missing_docs denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_models -p nilm_serve
+# `camal`, `nilm_data`, `nilm_fault`, `nilm_json`, `nilm_models`,
+# `nilm_obs` and `nilm_serve` opt into #![warn(missing_docs)]; with rustdoc
+# warnings denied this step is the docs gate: any undocumented public item
+# in those crates (the backbone zoo — detector/resnet/inception/transapp —
+# included) fails CI.
+step "docs gate: cargo doc -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_models -p nilm_obs -p nilm_serve (missing_docs denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p camal -p nilm_data -p nilm_fault -p nilm_json -p nilm_models -p nilm_obs -p nilm_serve
 
 step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

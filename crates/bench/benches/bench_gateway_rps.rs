@@ -174,6 +174,42 @@ fn main() {
         "sequential-single  {:7.1} req/s  p50 {:6.2} ms  p99 {:6.2} ms (1 conn/request)",
         sequential_single.requests_per_second, sequential_single.p50_ms, sequential_single.p99_ms
     );
+
+    // Tracing overhead: the closed-loop 4-connection workload with request
+    // tracing off vs on (spans recorded socket-to-kernel into the bounded
+    // ring). Rounds interleave off/on and ALTERNATE which side goes first
+    // (off-on, on-off, ...) so monotonic drift — allocator aging, thermal —
+    // cancels instead of landing on whichever side always ran second. Runs
+    // *before* the concurrency sweep: the 256-connection row fragments the
+    // heap, which adds noise larger than the delta being measured. The
+    // claim is that the on/off delta stays within the box's ±10% run noise.
+    let trace_requests = if smoke { 300 } else { 3000 };
+    let mut trace_off_runs: Vec<LoadgenReport> = Vec::new();
+    let mut trace_on_runs: Vec<LoadgenReport> = Vec::new();
+    let mut trace_run = |on: bool| {
+        nilm_obs::trace::set_enabled(on);
+        let report = run_loadgen(&addr, 4, trace_requests, &body, true).expect("trace run");
+        if on {
+            trace_on_runs.push(report);
+        } else {
+            trace_off_runs.push(report);
+        }
+    };
+    for round in 0..6 {
+        let first_on = round % 2 == 1;
+        trace_run(first_on);
+        trace_run(!first_on);
+    }
+    nilm_obs::trace::set_enabled(false);
+    let trace_off = best_by_rps(&mut trace_off_runs);
+    let trace_on = best_by_rps(&mut trace_on_runs);
+    let trace_overhead_pct =
+        (trace_off.requests_per_second / trace_on.requests_per_second.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "trace overhead:    {:7.1} req/s off vs {:7.1} req/s on = {trace_overhead_pct:+.1}% \
+         (run noise ±10%)",
+        trace_off.requests_per_second, trace_on.requests_per_second
+    );
     // Well below the ~26k req/s closed-loop capacity of this box, so the
     // paced rows measure queueing behaviour, not saturation collapse.
     let paced_target_rps = 8000.0;
@@ -216,6 +252,7 @@ fn main() {
         );
         keepalive_reports.push((connections, r, p));
     }
+
     gateway.shutdown();
 
     // Deterministic server-side coalescing effect (no sockets involved).
@@ -287,6 +324,27 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "trace_overhead",
+            JsonValue::object([
+                ("connections", JsonValue::Number(4.0)),
+                ("requests", JsonValue::Number(trace_requests as f64)),
+                ("off", report_json(&trace_off)),
+                ("on", report_json(&trace_on)),
+                ("overhead_pct", JsonValue::Number(trace_overhead_pct)),
+                (
+                    "note",
+                    JsonValue::String(
+                        "Closed-loop rps with NILM_TRACE off vs on (spans recorded for every \
+                         request, socket to kernel). Best of 6 interleaved rounds with the \
+                         off/on order alternating each round so drift cancels, measured \
+                         before the concurrency sweep fragments the heap; the delta must \
+                         sit within this box's ±10% run-to-run noise."
+                            .into(),
+                    ),
+                ),
+            ]),
         ),
         (
             "coalescing",

@@ -65,6 +65,12 @@ pub(crate) struct SharedPassCounters {
     pub inferences: usize,
     /// Batch tensors assembled (each reused across all models).
     pub batches: usize,
+    /// CPU-seconds spent in stage 1 (preprocess), summed across shards.
+    pub preprocess_s: f64,
+    /// CPU-seconds spent in stage 2 (batched inference), summed across shards.
+    pub infer_s: f64,
+    /// CPU-seconds spent in stage 3 (stitch + power), summed across shards.
+    pub stitch_s: f64,
 }
 
 /// One scored window's origin, for stitching.
@@ -109,6 +115,8 @@ pub(crate) fn serve_shared(
 
     // Stage 1 — per-household §V-B preprocessing and window slicing, done
     // once per feed no matter how many models consume it.
+    let mut stage_span = nilm_obs::trace::span("preprocess");
+    let stage_start = Instant::now();
     let mut aggregates: Vec<TimeSeries> = Vec::with_capacity(households.len());
     let mut jobs: Vec<WindowJob> = Vec::new();
     let mut timelines: Vec<Vec<HouseholdTimeline>> =
@@ -140,11 +148,22 @@ pub(crate) fn serve_shared(
         }
         aggregates.push(agg);
     }
+    counters.preprocess_s = stage_start.elapsed().as_secs_f64();
+    if let Some(mut span) = stage_span.take() {
+        span.set_detail(format!(
+            "households={} windows={}",
+            households.len(),
+            counters.windows_scored
+        ));
+        span.finish();
+    }
 
     // Stage 2 — batched inference pooled across households; every assembled
     // batch is fanned out across all models before the next one is built,
     // so batch assembly cost is paid once per chunk, not once per model.
     let batch = batch.max(1);
+    let mut stage_span = nilm_obs::trace::span("infer");
+    let stage_start = Instant::now();
     let mut x = Tensor::zeros(&[0]);
     for chunk in jobs.chunks(batch) {
         counters.batches += 1;
@@ -169,9 +188,21 @@ pub(crate) fn serve_shared(
             }
         }
     }
+    counters.infer_s = stage_start.elapsed().as_secs_f64();
+    if let Some(mut span) = stage_span.take() {
+        span.set_detail(format!(
+            "models={} batches={} inferences={}",
+            models.len(),
+            counters.batches,
+            counters.inferences
+        ));
+        span.finish();
+    }
 
     // Stage 3 — timeline-level post-processing and power estimation, per
     // (model, household) with the model's appliance plan.
+    let stage_span = nilm_obs::trace::span("stitch");
+    let stage_start = Instant::now();
     for (per_model, plan) in timelines.iter_mut().zip(plans) {
         for (tl, agg) in per_model.iter_mut().zip(&aggregates) {
             tl.status = tl.raw_status.clone();
@@ -184,6 +215,8 @@ pub(crate) fn serve_shared(
             tl.power_w = estimate_power(&tl.status, plan.avg_power_w, &agg.values);
         }
     }
+    counters.stitch_s = stage_start.elapsed().as_secs_f64();
+    drop(stage_span);
     (timelines, counters)
 }
 
@@ -309,6 +342,13 @@ pub struct FleetSummary {
     pub elapsed_s: f64,
     /// `inferences / elapsed_s`.
     pub windows_per_second: f64,
+    /// CPU-seconds in the preprocess stage, summed across shards (can
+    /// exceed `elapsed_s` when shards run in parallel).
+    pub preprocess_s: f64,
+    /// CPU-seconds in the batched-inference stage, summed across shards.
+    pub infer_s: f64,
+    /// CPU-seconds in the stitch/power stage, summed across shards.
+    pub stitch_s: f64,
     /// Shards that panicked once and were retried on fresh model copies.
     pub shard_retries: usize,
     /// Households answered with zeroed placeholder timelines because their
@@ -606,9 +646,16 @@ pub fn serve_fleet(
             snapshots.push(registry.get_mut(key)?.to_bytes());
         }
         let start = Instant::now();
+        // Shard workers run on pool threads with no trace context of their
+        // own; hand each one a snapshot of the caller's so per-stage spans
+        // (and kernel children) keep landing in the requests' traces.
+        let trace_ctx = nilm_obs::trace::snapshot();
         shard_results = households
             .par_chunks(per_shard)
-            .map(|shard| run_shard_guarded(&snapshots, &plans, shard, window, cfg))
+            .map(|shard| {
+                let _ctx = nilm_obs::trace::set_context(&trace_ctx);
+                run_shard_guarded(&snapshots, &plans, shard, window, cfg)
+            })
             .collect();
         elapsed_s = start.elapsed().as_secs_f64();
     }
@@ -626,6 +673,9 @@ pub fn serve_fleet(
         counters.windows_scored += c.windows_scored;
         counters.inferences += c.inferences;
         counters.batches += c.batches;
+        counters.preprocess_s += c.preprocess_s;
+        counters.infer_s += c.infer_s;
+        counters.stitch_s += c.stitch_s;
         shard_retries += outcome.retries;
         let shard_len = outcome.timelines.first().map_or(0, Vec::len);
         if outcome.degraded.is_some() {
@@ -654,6 +704,9 @@ pub fn serve_fleet(
         batches: counters.batches,
         elapsed_s,
         windows_per_second: counters.inferences as f64 / elapsed_s.max(1e-9),
+        preprocess_s: counters.preprocess_s,
+        infer_s: counters.infer_s,
+        stitch_s: counters.stitch_s,
         shard_retries,
         households_degraded,
     };

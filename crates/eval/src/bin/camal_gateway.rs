@@ -5,10 +5,11 @@
 //! ```text
 //! camal_gateway train   [--smoke|--quick|--full] [--zoo DIR] [--out DIR]
 //! camal_gateway serve   [--zoo DIR] [--addr HOST:PORT] [--addr-file PATH]
-//!                       [--queue N] [--max-coalesce N] [--batch N]
+//!                       [--queue N] [--max-coalesce N] [--batch N] [--trace]
 //! camal_gateway loadgen --addr HOST:PORT [--connections N] [--requests N]
 //!                       [--houses N] [--request-windows N] [--pipeline N]
-//!                       [--max-errors N] [--max-p99-ms F] [--out DIR]
+//!                       [--max-errors N] [--max-p99-ms F]
+//!                       [--latency-json PATH] [--out DIR]
 //! camal_gateway demo    [--smoke|--quick|--full] [--requests N]
 //!                       [--request-windows N] [--zoo DIR] [--out DIR]
 //! camal_gateway chaos   [--smoke|--quick|--full] [--requests N]
@@ -20,12 +21,17 @@
 //! `refit_kettle.ckpt` into the zoo directory. `serve` scans the zoo into
 //! a [`camal::registry::ModelRegistry`], warms every checkpoint, binds
 //! (port 0 = ephemeral; `--addr-file` writes the bound address for
-//! scripts), and serves `GET /healthz`, `GET /metrics`, `GET /v1/models`
-//! and `POST /v1/localize` until `POST /admin/shutdown`. `loadgen` fires
+//! scripts), and serves `GET /healthz`, `GET /readyz`, `GET /metrics`
+//! (`?format=prometheus` for text exposition), `GET /v1/models`,
+//! `GET /debug/trace?id=<trace>` and `POST /v1/localize` until
+//! `POST /admin/shutdown`. `--trace` turns request tracing on from the
+//! start (equivalent to `NILM_TRACE=1`); slow-request logging comes from
+//! the `NILM_LOG=slow[:ms]` environment variable. `loadgen` fires
 //! keep-alive localize requests over real sockets — optionally pipelined
 //! `--pipeline` deep per burst — and emits a validated requests/s +
 //! latency report; `--max-errors` / `--max-p99-ms` turn the run into a
-//! hard CI gate. `demo` does train → serve → verify
+//! hard CI gate and `--latency-json` dumps the full HDR latency
+//! histogram. `demo` does train → serve → verify
 //! byte-identical responses vs `camal::stream::serve` → prove concurrent
 //! loadgen beats sequential → shut down — the gate CI and `run_all` run.
 //! `chaos` trains, then arms the `batcher.panic` and
@@ -52,6 +58,9 @@ fn main() {
             gateway::train_gateway_zoo(&scale, &args);
         }
         "serve" => {
+            if args.iter().any(|a| a == "--trace") {
+                nilm_obs::trace::set_enabled(true);
+            }
             let zoo = gateway::gateway_zoo_dir(&args);
             let mut registry = ModelRegistry::unbounded();
             let found = registry

@@ -138,6 +138,33 @@ pub fn loadgen_json(r: &LoadgenReport) -> JsonValue {
     ])
 }
 
+/// The full latency distribution of a run as JSON: summary statistics plus
+/// every nonzero HDR bucket (`le_ms` upper edge → cumulative-free count),
+/// so offline tooling can compute any quantile without the raw samples.
+pub fn latency_histogram_json(r: &LoadgenReport) -> JsonValue {
+    let h = &r.latency;
+    let buckets: Vec<JsonValue> = h
+        .nonzero_buckets()
+        .map(|(le_ms, count)| {
+            JsonValue::object([
+                ("le_ms", JsonValue::Number(le_ms)),
+                ("count", JsonValue::Number(count as f64)),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("count", JsonValue::Number(h.count() as f64)),
+        ("mean_ms", JsonValue::Number(h.mean_ms())),
+        ("min_ms", JsonValue::Number(h.min_ms())),
+        ("max_ms", JsonValue::Number(h.max_ms())),
+        ("p50_ms", JsonValue::Number(h.quantile_ms(0.50))),
+        ("p90_ms", JsonValue::Number(h.quantile_ms(0.90))),
+        ("p99_ms", JsonValue::Number(h.quantile_ms(0.99))),
+        ("p999_ms", JsonValue::Number(h.quantile_ms(0.999))),
+        ("buckets", JsonValue::Array(buckets)),
+    ])
+}
+
 fn print_report(label: &str, r: &LoadgenReport) {
     println!(
         "  {label:<12} {:2} conn  {:5} ok {:3} err  {:7.1} req/s  p50 {:7.2} ms  p99 {:7.2} ms",
@@ -179,6 +206,8 @@ pub fn arg_detail(args: &[String]) -> Detail {
 /// written per burst before reading responses), plus two optional hard
 /// gates that make the run fail loudly for CI: `--max-errors N` (non-200
 /// count may not exceed N) and `--max-p99-ms F` (p99 latency bound).
+/// `--latency-json PATH` additionally dumps the full latency histogram
+/// (HDR buckets + p50/p90/p99/p999) to `PATH`.
 pub fn loadgen_run(addr: &str, args: &[String]) -> JsonValue {
     let connections = arg_usize(args, "--connections", 4);
     let requests = arg_usize(args, "--requests", 64);
@@ -223,6 +252,12 @@ pub fn loadgen_run(addr: &str, args: &[String]) -> JsonValue {
             "loadgen gate failed: p99 {:.2}ms exceeds the {max_p99}ms bound",
             report.p99_ms
         );
+    }
+    if let Some(path) = arg_value(args, "--latency-json") {
+        let text = latency_histogram_json(&report).to_pretty();
+        nilm_json::validate(&text).expect("latency histogram must serialize to valid JSON");
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("  latency histogram -> {path}");
     }
     JsonValue::object([
         ("schema", JsonValue::String("camal_gateway_loadgen/v1".into())),

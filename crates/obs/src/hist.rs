@@ -1,0 +1,230 @@
+//! Log-linear HDR-style latency histograms.
+//!
+//! Samples are recorded in integer microseconds. Buckets are laid out
+//! log-linearly: the first [`SUB_BUCKETS`] buckets are 1 µs wide (values
+//! `0..SUB_BUCKETS` µs), and every octave above that is split into
+//! [`SUB_BUCKETS`] equal-width sub-buckets. Reporting the midpoint of a
+//! bucket therefore bounds the quantile error to
+//! `max(value / (2 * SUB_BUCKETS), 1 µs)` — with 128 sub-buckets that is a
+//! ~0.4% relative error, comfortably inside the ~1% budget, at a bounded
+//! memory cost (the count vector grows on demand and tops out at ~58 KiB
+//! for week-long samples).
+//!
+//! Histograms merge by element-wise addition, which is exact and
+//! associative — the property tests in `tests/hist_props.rs` pin both the
+//! quantile-error bound and merge associativity.
+
+/// Sub-buckets per octave. Must be a power of two.
+pub const SUB_BUCKETS: usize = 128;
+const LOG_SUB: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// A mergeable log-linear histogram of non-negative durations.
+///
+/// All recording APIs take milliseconds as `f64` (the unit the serving
+/// stack reports in); storage is integer microseconds.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_BUCKETS as u64 {
+        return us as usize;
+    }
+    let exp = 63 - us.leading_zeros();
+    let shift = exp - LOG_SUB;
+    let block = (shift + 1) as usize;
+    let offset = ((us >> shift) as usize) - SUB_BUCKETS;
+    block * SUB_BUCKETS + offset
+}
+
+/// Midpoint of bucket `i` in microseconds (the value quantiles report).
+fn bucket_mid_us(i: usize) -> f64 {
+    let (lo, width) = bucket_bounds_us(i);
+    lo as f64 + width as f64 / 2.0
+}
+
+/// `(lower_edge, width)` of bucket `i` in microseconds.
+fn bucket_bounds_us(i: usize) -> (u64, u64) {
+    if i < SUB_BUCKETS {
+        return (i as u64, 1);
+    }
+    let block = i / SUB_BUCKETS;
+    let offset = (i % SUB_BUCKETS) as u64;
+    let shift = (block - 1) as u32;
+    (((SUB_BUCKETS as u64) + offset) << shift, 1u64 << shift)
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { counts: Vec::new(), count: 0, sum_us: 0, min_us: u64::MAX, max_us: 0 }
+    }
+
+    /// Records one sample, given in milliseconds. Negative and non-finite
+    /// samples are clamped to zero.
+    pub fn record_ms(&mut self, ms: f64) {
+        let us = if ms.is_finite() && ms > 0.0 { (ms * 1000.0).round() as u64 } else { 0 };
+        self.record_us(us);
+    }
+
+    /// Records one sample in integer microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let idx = bucket_index(us);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in milliseconds.
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_us as f64 / 1000.0
+    }
+
+    /// Mean sample, in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64 / 1000.0
+        }
+    }
+
+    /// Smallest recorded sample in milliseconds (0 when empty).
+    pub fn min_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_us as f64 / 1000.0
+        }
+    }
+
+    /// Largest recorded sample in milliseconds (0 when empty).
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1000.0
+    }
+
+    /// Nearest-rank quantile estimate in milliseconds. `q` is clamped to
+    /// `[0, 1]`; an empty histogram reports 0. The estimate is the midpoint
+    /// of the bucket holding the nearest-rank sample, so the error versus
+    /// the exact sorted quantile is bounded by
+    /// `max(exact / (2 * SUB_BUCKETS), 1 µs)` plus the 0.5 µs recording
+    /// rounding.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_mid_us(i) / 1000.0;
+            }
+        }
+        self.max_ms()
+    }
+
+    /// Merges `other` into `self` by element-wise bucket addition. Exact:
+    /// the merged histogram is identical to one that recorded both sample
+    /// streams directly, so merge is associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Iterates non-empty buckets as `(upper_edge_ms, count)` in ascending
+    /// order — the raw form exporters (Prometheus `le` buckets, JSON
+    /// distribution dumps) build on.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let (lo, width) = bucket_bounds_us(i);
+            ((lo + width) as f64 / 1000.0, c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        let mut prev = 0usize;
+        for us in 0u64..100_000 {
+            let idx = bucket_index(us);
+            assert!(idx == prev || idx == prev + 1, "gap at {us}: {prev} -> {idx}");
+            let (lo, width) = bucket_bounds_us(idx);
+            assert!(us >= lo && us < lo + width, "{us} outside bucket {idx} [{lo}, {lo}+{width})");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_within_bound() {
+        let mut h = Histogram::new();
+        let samples: Vec<f64> = (1..=10_000).map(|i| (i as f64) * 0.037).collect();
+        for &s in &samples {
+            h.record_ms(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = (((q * samples.len() as f64).ceil() as usize).max(1)) - 1;
+            let exact = samples[rank];
+            let est = h.quantile_ms(q);
+            let bound = (exact / (2.0 * SUB_BUCKETS as f64)).max(0.0015);
+            assert!((est - exact).abs() <= bound, "q={q}: est {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_direct_recording() {
+        let (mut a, mut b, mut direct) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 0..1000u64 {
+            let v = (i * i) % 7919;
+            if i % 2 == 0 {
+                a.record_us(v);
+            } else {
+                b.record_us(v);
+            }
+            direct.record_us(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.counts, direct.counts);
+        assert_eq!(a.sum_us, direct.sum_us);
+        assert_eq!((a.min_us, a.max_us), (direct.min_us, direct.max_us));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.min_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Observability backbone for the CamAL serving stack.
+//!
+//! Everything in here is dependency-free (stdlib only) so it can sit next
+//! to `nilm_fault`-style crates at the root of the workspace DAG and be
+//! consumed by `nilm_tensor` (kernel dispatch timing) just as easily as by
+//! `nilm_serve` (request traces, latency histograms, Prometheus
+//! exposition). The crate has four pieces:
+//!
+//! * [`hist`] — log-linear HDR-style histograms: bounded memory, ~1%
+//!   quantile error, exactly mergeable. These replace lossy last-N latency
+//!   rings wherever quantiles are reported.
+//! * [`trace`] — structured request tracing: trace IDs minted at the
+//!   gateway, spans with monotonic start/duration and parent links,
+//!   cross-thread context propagation, all recorded into a bounded ring.
+//!   Gated by `NILM_TRACE`; when off the cost is one relaxed atomic load.
+//! * [`kernel`] — cumulative per-`(op, shape, backend)` kernel timing,
+//!   fed by `nilm_tensor::dispatch` and surfaced through both exporters.
+//! * [`prom`] — Prometheus text-exposition writer (`# HELP`/`# TYPE`
+//!   lines, duplicate-series protection, histogram `le` buckets).
+//!
+//! The slow-request stderr log lives in [`slowlog`] and is gated by
+//! `NILM_LOG` (`NILM_LOG=slow` or `NILM_LOG=slow:<ms>`).
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod kernel;
+pub mod prom;
+pub mod slowlog;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use trace::{SpanRecord, TraceId};

@@ -1,0 +1,149 @@
+//! Prometheus text-exposition (version 0.0.4) writer.
+//!
+//! A tiny append-only builder that enforces the format rules the CI gate
+//! checks: every series is preceded by exactly one `# HELP` + `# TYPE`
+//! pair, samples of one metric family are contiguous, label values are
+//! escaped, and emitting the same `metric{labels}` twice panics in debug
+//! builds (duplicate series are a scrape error in Prometheus).
+
+use crate::hist::Histogram;
+use std::collections::BTreeSet;
+
+/// Append-only exposition-format builder.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    families: BTreeSet<String>,
+    series: BTreeSet<String>,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PromWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a metric family: one `# HELP` + `# TYPE` pair. Must be
+    /// called once per family before its samples; repeat declarations are
+    /// ignored so helpers can declare defensively.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        if self.families.insert(name.to_string()) {
+            self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
+    }
+
+    /// Emits one sample line `name{labels} value`.
+    ///
+    /// Panics (debug assertion) if the identical series was already
+    /// emitted — duplicate series make the exposition invalid.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let series = if labels.is_empty() {
+            name.to_string()
+        } else {
+            let inner: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+            format!("{name}{{{}}}", inner.join(","))
+        };
+        debug_assert!(self.series.insert(series.clone()), "duplicate series {series}");
+        self.out.push_str(&series);
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// Emits a full histogram family member: cumulative `_bucket` lines
+    /// (with a closing `le="+Inf"`), `_sum` (seconds), and `_count`.
+    /// Values recorded in milliseconds are exposed in seconds, the
+    /// Prometheus base unit.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        let mut cum = 0u64;
+        let mut le_buf: Vec<(String, u64)> = Vec::new();
+        for (upper_ms, count) in h.nonzero_buckets() {
+            cum += count;
+            le_buf.push((format!("{}", upper_ms / 1000.0), cum));
+        }
+        let bucket = format!("{name}_bucket");
+        for (le, cum) in &le_buf {
+            with_le.push(("le", le));
+            self.sample(&bucket, &with_le, *cum as f64);
+            with_le.pop();
+        }
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket, &with_le, h.count() as f64);
+        with_le.pop();
+        self.sample(&format!("{name}_sum"), labels, h.sum_ms() / 1000.0);
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// Finishes the exposition and returns the text body.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_has_help_type_and_escaped_labels() {
+        let mut w = PromWriter::new();
+        w.family("nilm_requests_total", "counter", "Total requests.");
+        w.sample("nilm_requests_total", &[("route", "/v1/localize")], 42.0);
+        w.sample("nilm_requests_total", &[("route", "weird\"\\\nroute")], 1.0);
+        let text = w.into_string();
+        assert!(text.starts_with("# HELP nilm_requests_total Total requests.\n"));
+        assert!(text.contains("# TYPE nilm_requests_total counter\n"));
+        assert!(text.contains("nilm_requests_total{route=\"/v1/localize\"} 42\n"));
+        assert!(text.contains("weird\\\"\\\\\\nroute"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate series")]
+    fn duplicate_series_panics_in_debug() {
+        let mut w = PromWriter::new();
+        w.family("m", "gauge", "x");
+        w.sample("m", &[("a", "b")], 1.0);
+        w.sample("m", &[("a", "b")], 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let mut h = Histogram::new();
+        for ms in [1.0, 2.0, 2.0, 500.0] {
+            h.record_ms(ms);
+        }
+        let mut w = PromWriter::new();
+        w.family("nilm_latency_seconds", "histogram", "Latency.");
+        w.histogram("nilm_latency_seconds", &[("route", "/v1/localize")], &h);
+        let text = w.into_string();
+        assert!(text.contains("le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("nilm_latency_seconds_count{route=\"/v1/localize\"} 4\n"));
+        // Bucket counts are cumulative: the last finite bucket holds all 4.
+        let last_finite =
+            text.lines().filter(|l| l.contains("_bucket") && !l.contains("+Inf")).last().unwrap();
+        assert!(last_finite.ends_with(" 4"), "{last_finite}");
+    }
+}

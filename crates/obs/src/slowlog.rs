@@ -1,0 +1,92 @@
+//! Slow-request stderr logging, gated by `NILM_LOG`.
+//!
+//! `NILM_LOG=slow` enables the log with the default threshold
+//! ([`DEFAULT_THRESHOLD_MS`]); `NILM_LOG=slow:250` sets a 250 ms
+//! threshold. Anything else (or unset) disables it. The gate costs one
+//! relaxed atomic load when off, so the check can sit on the request
+//! completion path.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Threshold used by plain `NILM_LOG=slow`, in milliseconds.
+pub const DEFAULT_THRESHOLD_MS: f64 = 500.0;
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+/// Threshold in microseconds, valid when STATE == ON.
+static THRESHOLD_US: AtomicU64 = AtomicU64::new(0);
+
+#[cold]
+fn init_from_env() -> bool {
+    let spec = std::env::var("NILM_LOG").unwrap_or_default();
+    let spec = spec.trim();
+    let threshold_ms = if spec == "slow" {
+        Some(DEFAULT_THRESHOLD_MS)
+    } else if let Some(rest) = spec.strip_prefix("slow:") {
+        rest.trim().parse::<f64>().ok().filter(|t| t.is_finite() && *t >= 0.0)
+    } else {
+        None
+    };
+    match threshold_ms {
+        Some(t) => {
+            THRESHOLD_US.store((t * 1000.0) as u64, Ordering::Relaxed);
+            STATE.store(STATE_ON, Ordering::Relaxed);
+            true
+        }
+        None => {
+            STATE.store(STATE_OFF, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// The active slow-log threshold in milliseconds, or `None` when the log
+/// is disabled. One relaxed atomic load after the first call.
+#[inline]
+pub fn threshold_ms() -> Option<f64> {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => Some(THRESHOLD_US.load(Ordering::Relaxed) as f64 / 1000.0),
+        STATE_OFF => None,
+        _ => {
+            if init_from_env() {
+                Some(THRESHOLD_US.load(Ordering::Relaxed) as f64 / 1000.0)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Force-enables the slow log at `ms` (tests / CLI flags); `None`
+/// disables. Overrides the environment.
+pub fn set_threshold_ms(ms: Option<f64>) {
+    match ms {
+        Some(t) => {
+            THRESHOLD_US.store((t.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+            STATE.store(STATE_ON, Ordering::Relaxed);
+        }
+        None => STATE.store(STATE_OFF, Ordering::Relaxed),
+    }
+}
+
+/// Emits one slow-request line to stderr. Callers format the breakdown;
+/// this just prefixes and prints so all slow-log output greps alike.
+pub fn emit(line: &str) {
+    eprintln!("[nilm-slow] {line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_take_effect_and_disable() {
+        set_threshold_ms(Some(250.0));
+        assert_eq!(threshold_ms(), Some(250.0));
+        set_threshold_ms(None);
+        assert_eq!(threshold_ms(), None);
+    }
+}

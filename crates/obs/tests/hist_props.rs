@@ -1,0 +1,100 @@
+//! Property tests for the log-linear histogram: quantile-error bound
+//! against exact sorted quantiles on adversarial sample sets, and merge
+//! associativity.
+
+use nilm_obs::hist::{Histogram, SUB_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Adversarial sample generator: mixes sub-microsecond values, dense
+/// clusters around bucket edges, heavy tails and exact duplicates.
+fn samples() -> BoxedStrategy<Vec<f64>> {
+    prop_oneof![
+        // Uniform small values, many landing in the 1 µs linear region.
+        vec(0.0f64..0.5, 1..300),
+        // Mid-range latencies with duplicates (small integer grid).
+        vec(0u32..2000, 1..300).prop_map(|v| v.into_iter().map(|x| x as f64 * 0.25).collect()),
+        // Heavy tail: milliseconds to minutes, log-ish spread.
+        vec(0.0f64..18.0, 1..200).prop_map(|v| v.into_iter().map(|x| x.exp() * 1e-3).collect()),
+        // Bucket-edge adversary: values at and around powers of two (µs).
+        vec(0u32..60, 1..300).prop_map(|v| {
+            v.into_iter()
+                .map(|x| {
+                    let (exp, off) = (x / 3, x % 3);
+                    ((1i64 << exp) + off as i64 - 1).max(0) as f64 / 1000.0
+                })
+                .collect()
+        }),
+    ]
+    .boxed()
+}
+
+/// Exact nearest-rank quantile on the raw samples, after the same
+/// microsecond rounding the histogram applies on record.
+fn exact_quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).max(1) - 1;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+proptest! {
+    /// The histogram quantile is within `max(exact/(2*SUB_BUCKETS), 1.5 µs)`
+    /// of the exact sorted-sample quantile, at every probed quantile.
+    #[test]
+    fn quantile_error_is_bounded(samples in samples(), qx in 0u32..=100) {
+        let mut h = Histogram::new();
+        let mut us: Vec<u64> = Vec::with_capacity(samples.len());
+        for &s in &samples {
+            h.record_ms(s);
+            us.push((s.max(0.0) * 1000.0).round() as u64);
+        }
+        us.sort_unstable();
+        let q = qx as f64 / 100.0;
+        let exact = exact_quantile_ms(&us, q);
+        let est = h.quantile_ms(q);
+        // Midpoint reporting bounds the error to half a bucket width:
+        // relative 1/(2*SUB_BUCKETS) in the log region, 0.5 µs absolute in
+        // the linear region (plus rounding slack).
+        // The tiny additive term absorbs f64 rounding when the error sits
+        // exactly on the theoretical bound (e.g. samples at 2^k µs).
+        let bound = (exact / (2.0 * SUB_BUCKETS as f64)).max(0.0015) * (1.0 + 1e-9) + 1e-9;
+        prop_assert!(
+            (est - exact).abs() <= bound,
+            "q={} est={} exact={} bound={}", q, est, exact, bound
+        );
+    }
+
+    /// Merging is associative and equals recording the concatenated stream:
+    /// (a ∪ b) ∪ c and a ∪ (b ∪ c) agree with the direct histogram on
+    /// every statistic and every bucket.
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let record = |xs: &[f64]| {
+            let mut h = Histogram::new();
+            for &x in xs { h.record_ms(x); }
+            h
+        };
+        let (ha, hb, hc) = (record(&a), record(&b), record(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = record(&all);
+
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), direct.count());
+            prop_assert_eq!(h.sum_ms(), direct.sum_ms());
+            prop_assert_eq!(h.min_ms(), direct.min_ms());
+            prop_assert_eq!(h.max_ms(), direct.max_ms());
+            let merged_buckets: Vec<(f64, u64)> = h.nonzero_buckets().collect();
+            let direct_buckets: Vec<(f64, u64)> = direct.nonzero_buckets().collect();
+            prop_assert_eq!(merged_buckets, direct_buckets);
+        }
+    }
+}

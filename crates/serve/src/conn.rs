@@ -34,16 +34,55 @@ pub(crate) struct InFlight {
     /// The request's own keep-alive wish (`Connection` header semantics);
     /// the reactor combines it with the shutdown flag at encode time.
     pub keep_alive: bool,
-    /// Whether this is a `POST /v1/localize` (drives the latency metric).
-    pub is_localize: bool,
+    /// Route label (`"localize"`, `"healthz"`, ...) — keys the per-route
+    /// latency histogram and rides into the slow-request log.
+    pub route: &'static str,
+    /// Trace ID minted (or accepted inbound) at parse time; echoed on the
+    /// response as `X-Camal-Trace-Id`. Never 0 for a parsed request.
+    pub trace: u64,
+    /// Pre-minted root "request" span ID (0 when tracing is off); every
+    /// stage span of this request parents to it.
+    pub root_span: u64,
     /// When the request was handed to the worker pool; latency and the
     /// request deadline are measured from here.
     pub dispatched: Instant,
+    /// `dispatched` on the trace clock (ns since the trace epoch).
+    pub dispatched_ns: u64,
+    /// HTTP status of the completion that filled the slot (0 while empty).
+    pub status: u16,
     /// Encoded response bytes once the completion (or deadline) arrived.
     pub response: Option<Vec<u8>>,
     /// Whether the encoded response announced `Connection: keep-alive`;
     /// `false` closes the connection once the response is flushed.
     pub effective_keep_alive: bool,
+}
+
+/// One response whose bytes have been promoted into the outbox; resolved
+/// into a completed-write record once the socket has taken all of them.
+/// The reactor turns completed writes into the `write` stage metric, the
+/// closing trace spans, and the slow-request log line.
+#[derive(Debug)]
+pub(crate) struct PendingWrite {
+    /// The response is fully written once `Conn::bytes_sent` reaches this.
+    end_at: u64,
+    /// Route label of the request being answered.
+    pub route: &'static str,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Trace ID (0 for synthetic responses with no parsed request).
+    pub trace: u64,
+    /// Root span ID (0 when tracing is off).
+    pub root_span: u64,
+    /// When the request was dispatched (end-to-end latency start).
+    pub dispatched: Instant,
+    /// `dispatched` on the trace clock.
+    pub dispatched_ns: u64,
+    /// When the response entered the outbox (write-stage start).
+    pub promoted: Instant,
+    /// `promoted` on the trace clock.
+    pub promoted_ns: u64,
+    /// Encoded response size in bytes.
+    pub bytes: usize,
 }
 
 /// How far a [`Conn::write_some`] call got.
@@ -74,6 +113,12 @@ pub(crate) struct Conn {
     outpos: usize,
     /// Parsed-but-unanswered requests, front = oldest.
     pub pipeline: VecDeque<InFlight>,
+    /// Promoted responses not yet fully written, front = oldest.
+    pending_writes: VecDeque<PendingWrite>,
+    /// Total response bytes ever moved into the outbox.
+    bytes_queued: u64,
+    /// Total response bytes ever accepted by the socket.
+    bytes_sent: u64,
     next_seq: u64,
     /// Set when the connection must close once the outbox drains: a
     /// `Connection: close` response, a parse error's 4xx, shutdown.
@@ -99,6 +144,9 @@ impl Conn {
             outbox: Vec::new(),
             outpos: 0,
             pipeline: VecDeque::new(),
+            pending_writes: VecDeque::new(),
+            bytes_queued: 0,
+            bytes_sent: 0,
             next_seq: 0,
             close_after_flush: false,
             peer_eof: false,
@@ -165,14 +213,26 @@ impl Conn {
 
     /// Registers a dispatched request in the pipeline and returns its
     /// sequence number.
-    pub fn begin_request(&mut self, keep_alive: bool, is_localize: bool, now: Instant) -> u64 {
+    pub fn begin_request(
+        &mut self,
+        keep_alive: bool,
+        route: &'static str,
+        trace: u64,
+        root_span: u64,
+        now: Instant,
+        now_ns: u64,
+    ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pipeline.push_back(InFlight {
             seq,
             keep_alive,
-            is_localize,
+            route,
+            trace,
+            root_span,
             dispatched: now,
+            dispatched_ns: now_ns,
+            status: 0,
             response: None,
             effective_keep_alive: keep_alive,
         });
@@ -182,14 +242,18 @@ impl Conn {
     /// Enqueues an already-encoded response that has no pipeline slot (a
     /// parse error's 4xx, the slow-loris 408). It must still respect
     /// response order, so it rides the pipeline as a pre-completed entry.
-    pub fn push_synthetic_response(&mut self, bytes: Vec<u8>, now: Instant) {
+    pub fn push_synthetic_response(&mut self, bytes: Vec<u8>, status: u16, now: Instant) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pipeline.push_back(InFlight {
             seq,
             keep_alive: false,
-            is_localize: false,
+            route: "error",
+            trace: 0,
+            root_span: 0,
             dispatched: now,
+            dispatched_ns: nilm_obs::trace::now_ns(),
+            status,
             response: Some(bytes),
             effective_keep_alive: false,
         });
@@ -204,14 +268,16 @@ impl Conn {
         seq: u64,
         bytes: Vec<u8>,
         effective_keep_alive: bool,
-    ) -> Option<(bool, Instant)> {
+        status: u16,
+    ) -> Option<(&'static str, Instant)> {
         let slot = self.pipeline.iter_mut().find(|f| f.seq == seq)?;
         if slot.response.is_some() {
             return None;
         }
         slot.response = Some(bytes);
         slot.effective_keep_alive = effective_keep_alive;
-        Some((slot.is_localize, slot.dispatched))
+        slot.status = status;
+        Some((slot.route, slot.dispatched))
     }
 
     /// Moves consecutively-ready responses from the pipeline front into
@@ -225,13 +291,41 @@ impl Conn {
                 break;
             }
             let front = self.pipeline.pop_front().expect("front exists");
-            self.outbox.extend_from_slice(front.response.as_deref().unwrap_or_default());
+            let bytes = front.response.as_deref().unwrap_or_default();
+            self.outbox.extend_from_slice(bytes);
+            self.bytes_queued += bytes.len() as u64;
+            self.pending_writes.push_back(PendingWrite {
+                end_at: self.bytes_queued,
+                route: front.route,
+                status: front.status,
+                trace: front.trace,
+                root_span: front.root_span,
+                dispatched: front.dispatched,
+                dispatched_ns: front.dispatched_ns,
+                promoted: Instant::now(),
+                promoted_ns: nilm_obs::trace::now_ns(),
+                bytes: bytes.len(),
+            });
             if !front.effective_keep_alive {
                 self.close_after_flush = true;
                 self.pipeline.clear();
                 self.inbuf.clear();
             }
         }
+    }
+
+    /// Drains the responses whose last byte has been accepted by the
+    /// socket since the previous call. The reactor records each as one
+    /// completed `write` stage.
+    pub fn take_completed_writes(&mut self) -> Vec<PendingWrite> {
+        let mut done = Vec::new();
+        while let Some(front) = self.pending_writes.front() {
+            if front.end_at > self.bytes_sent {
+                break;
+            }
+            done.push(self.pending_writes.pop_front().expect("front exists"));
+        }
+        done
     }
 
     /// Writes as much of the outbox as the socket accepts. `force_short`
@@ -245,6 +339,7 @@ impl Conn {
                 Ok(0) => return WriteProgress::PeerGone,
                 Ok(n) => {
                     self.outpos += n;
+                    self.bytes_sent += n as u64;
                     if force_short && self.outpos < self.outbox.len() {
                         // One byte went out; park the rest for the next
                         // writable event, as a genuinely full socket would.
@@ -318,13 +413,13 @@ mod tests {
     fn out_of_order_completions_are_written_in_request_order() {
         let (mut conn, mut client) = pair();
         let now = Instant::now();
-        let a = conn.begin_request(true, false, now);
-        let b = conn.begin_request(true, false, now);
+        let a = conn.begin_request(true, "other", 0, 0, now, 0);
+        let b = conn.begin_request(true, "other", 0, 0, now, 0);
         // Complete the *second* request first: nothing may flush yet.
-        assert!(conn.complete(b, b"B".to_vec(), true).is_some());
+        assert!(conn.complete(b, b"B".to_vec(), true, 200).is_some());
         conn.promote();
         assert!(conn.outbox_empty(), "response B must wait behind unanswered A");
-        assert!(conn.complete(a, b"A".to_vec(), true).is_some());
+        assert!(conn.complete(a, b"A".to_vec(), true, 200).is_some());
         conn.promote();
         assert_eq!(conn.write_some(false), WriteProgress::Flushed);
         assert_eq!(drain_client(&mut client, 2), b"AB");
@@ -334,23 +429,23 @@ mod tests {
     fn stale_completions_are_dropped() {
         let (mut conn, _client) = pair();
         let now = Instant::now();
-        let a = conn.begin_request(true, false, now);
-        assert!(conn.complete(a, b"first".to_vec(), true).is_some());
+        let a = conn.begin_request(true, "other", 0, 0, now, 0);
+        assert!(conn.complete(a, b"first".to_vec(), true, 200).is_some());
         assert!(
-            conn.complete(a, b"late duplicate".to_vec(), true).is_none(),
+            conn.complete(a, b"late duplicate".to_vec(), true, 200).is_none(),
             "a second completion for the same seq must be ignored"
         );
-        assert!(conn.complete(999, b"unknown".to_vec(), true).is_none());
+        assert!(conn.complete(999, b"unknown".to_vec(), true, 200).is_none());
     }
 
     #[test]
     fn forced_short_writes_resume_where_they_stopped() {
         let (mut conn, mut client) = pair();
         let now = Instant::now();
-        let seq = conn.begin_request(true, false, now);
+        let seq = conn.begin_request(true, "other", 0, 0, now, 0);
         let body = encode_response_with(200, "OK", "application/json", b"{\"ok\":true}", true, &[]);
         let total = body.len();
-        conn.complete(seq, body, true);
+        conn.complete(seq, body, true, 200);
         conn.promote();
         // Drip the response one byte per "writable event".
         let mut rounds = 0;
@@ -363,12 +458,35 @@ mod tests {
     }
 
     #[test]
+    fn completed_writes_resolve_only_when_the_last_byte_leaves() {
+        let (mut conn, mut client) = pair();
+        let now = Instant::now();
+        let seq = conn.begin_request(true, "localize", 42, 7, now, 123);
+        conn.complete(seq, b"hello".to_vec(), true, 200);
+        conn.promote();
+        assert!(conn.take_completed_writes().is_empty(), "nothing written yet");
+        // Drip one byte per "writable event": the pending write must not
+        // resolve until the final byte is accepted.
+        let mut rounds = 0;
+        while conn.write_some(true) == WriteProgress::Partial {
+            assert!(conn.take_completed_writes().is_empty(), "write is still partial");
+            rounds += 1;
+            assert!(rounds < 100, "short writes must make progress");
+        }
+        let done = conn.take_completed_writes();
+        assert_eq!(done.len(), 1);
+        let w = &done[0];
+        assert_eq!((w.route, w.status, w.trace, w.root_span, w.bytes), ("localize", 200, 42, 7, 5));
+        assert_eq!(drain_client(&mut client, 5), b"hello");
+    }
+
+    #[test]
     fn close_response_discards_pipelined_leftovers() {
         let (mut conn, mut client) = pair();
         let now = Instant::now();
-        let a = conn.begin_request(false, false, now);
-        let _b = conn.begin_request(true, false, now);
-        conn.complete(a, b"bye".to_vec(), false);
+        let a = conn.begin_request(false, "other", 0, 0, now, 0);
+        let _b = conn.begin_request(true, "other", 0, 0, now, 0);
+        conn.complete(a, b"bye".to_vec(), false, 200);
         conn.promote();
         assert!(conn.close_after_flush);
         assert!(conn.pipeline.is_empty(), "requests behind a close response are discarded");
@@ -382,11 +500,11 @@ mod tests {
         let (mut conn, _client) = pair();
         let now = Instant::now();
         assert!(conn.wants_read(2));
-        conn.begin_request(true, false, now);
+        conn.begin_request(true, "other", 0, 0, now, 0);
         assert!(conn.wants_read(2));
-        let a = conn.begin_request(true, false, now);
+        let a = conn.begin_request(true, "other", 0, 0, now, 0);
         assert!(!conn.wants_read(2), "a full pipeline must stop reading");
-        conn.complete(a, b"x".to_vec(), true);
+        conn.complete(a, b"x".to_vec(), true, 200);
         // Still full until the front drains too — order, not count alone.
         assert!(!conn.wants_read(2));
     }

@@ -60,7 +60,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Gateway`].
 #[derive(Clone, Debug)]
@@ -147,12 +147,18 @@ pub(crate) struct Reply {
     pub(crate) reason: &'static str,
     pub(crate) body: String,
     pub(crate) retry_after: Option<u64>,
+    pub(crate) content_type: &'static str,
 }
 
 impl Reply {
-    /// A reply with no extra headers.
+    /// A JSON reply with no extra headers.
     pub(crate) fn new(status: u16, reason: &'static str, body: String) -> Reply {
-        Reply { status, reason, body, retry_after: None }
+        Reply { status, reason, body, retry_after: None, content_type: "application/json" }
+    }
+
+    /// A `200` with a non-JSON body (the Prometheus exposition).
+    pub(crate) fn plain_text(body: String, content_type: &'static str) -> Reply {
+        Reply { status: 200, reason: "OK", body, retry_after: None, content_type }
     }
 
     /// A `503` carrying `Retry-After: {retry_after_s}`.
@@ -162,6 +168,7 @@ impl Reply {
             reason: "Service Unavailable",
             body: error_body(message),
             retry_after: Some(retry_after_s.max(1)),
+            content_type: "application/json",
         }
     }
 }
@@ -232,6 +239,13 @@ pub(crate) struct Job {
     group: Vec<ModelKey>,
     households: Vec<HouseholdSeries>,
     detail: Detail,
+    /// The request's `(trace_id, root_span_id)`: batcher stage spans
+    /// (queue-wait, coalesce, fleet stages) parent to the root span.
+    trace: (u64, u64),
+    /// When the job entered the queue — the queue-wait stage starts here.
+    enqueued: Instant,
+    /// `enqueued` on the trace clock.
+    enqueued_ns: u64,
     /// Exactly-once reply channel back to the reactor; dropping it
     /// unanswered (a batcher panic's unwind) answers the connection
     /// `503` + `Retry-After` automatically.
@@ -245,6 +259,14 @@ pub(crate) struct Shared {
     pub(crate) queue: JobQueue<Job>,
     pub(crate) metrics: Metrics,
     pub(crate) shutdown: AtomicBool,
+    /// Flipped true once every model is warm and the serving threads are
+    /// up — the `/readyz` warm gate.
+    pub(crate) ready: AtomicBool,
+    /// True while a batcher generation is inside its serving loop; false
+    /// between a panic and the respawned generation's first pass, and
+    /// permanently false after shutdown. `/readyz` reports 503 when the
+    /// batcher is down.
+    pub(crate) batcher_alive: AtomicBool,
     /// Interrupts the reactor's `epoll_wait`: completions, shutdown. The
     /// pipe lives here so it outlives reactor generations (the supervisor
     /// re-registers it after a respawn).
@@ -305,6 +327,8 @@ impl Gateway {
             queue: JobQueue::new(cfg.queue_capacity),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            batcher_alive: AtomicBool::new(false),
             waker: Waker::new()?,
             cfg,
             addr,
@@ -319,6 +343,8 @@ impl Gateway {
                 .expect("spawn batcher thread")
         };
         let handles = crate::reactor::spawn(shared.clone(), listener)?;
+        // Models are warm (loaded above) and every serving thread is up.
+        shared.ready.store(true, Ordering::SeqCst);
         Ok(Gateway {
             shared,
             reactor: Some(handles.reactor),
@@ -371,10 +397,41 @@ impl Gateway {
     }
 }
 
+/// Metrics route label for one `(method, path)` pair; the query string is
+/// ignored. The reactor stamps this on every request at parse time so the
+/// per-route latency histogram and the slow-request log agree with the
+/// dispatch below.
+pub(crate) fn route_label(method: &str, path: &str) -> &'static str {
+    let path = path.split('?').next().unwrap_or(path);
+    match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/readyz") => "readyz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/v1/models") => "models",
+        ("GET", "/debug/trace") => "debug_trace",
+        ("POST", "/v1/localize") => "localize",
+        ("POST", "/admin/shutdown") => "shutdown",
+        _ => "other",
+    }
+}
+
+/// The value of query parameter `key` in `query` (no percent-decoding —
+/// the gateway's parameters are plain hex IDs and format names).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
 /// Dispatches one request: computes the reply (or enqueues a batcher job
 /// that will) and answers through `reply`. Runs on a worker thread.
 pub(crate) fn route(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle) {
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             shared.metrics.request("healthz");
             let doc = JsonValue::object([
@@ -385,13 +442,28 @@ pub(crate) fn route(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle)
             ]);
             reply.send(Reply::new(200, "OK", doc.to_compact()));
         }
+        ("GET", "/readyz") => {
+            shared.metrics.request("readyz");
+            reply.send(readyz_reply(shared));
+        }
         ("GET", "/metrics") => {
             shared.metrics.request("metrics");
-            reply.send(Reply::new(
-                200,
-                "OK",
-                shared.metrics.to_json(shared.queue.depth()).to_pretty(),
-            ));
+            if query_param(query, "format") == Some("prometheus") {
+                reply.send(Reply::plain_text(
+                    shared.metrics.to_prometheus(shared.queue.depth()),
+                    "text/plain; version=0.0.4",
+                ));
+            } else {
+                reply.send(Reply::new(
+                    200,
+                    "OK",
+                    shared.metrics.to_json(shared.queue.depth()).to_pretty(),
+                ));
+            }
+        }
+        ("GET", "/debug/trace") => {
+            shared.metrics.request("debug_trace");
+            reply.send(debug_trace_reply(query));
         }
         ("GET", "/v1/models") => {
             shared.metrics.request("models");
@@ -437,7 +509,11 @@ pub(crate) fn route(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle)
                 JsonValue::object([("ok", JsonValue::Bool(true))]).to_compact(),
             ));
         }
-        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/localize" | "/admin/shutdown") => {
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/v1/models" | "/v1/localize" | "/admin/shutdown"
+            | "/debug/trace",
+        ) => {
             shared.metrics.request("other");
             reply.send(Reply::new(
                 405,
@@ -450,6 +526,86 @@ pub(crate) fn route(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle)
             reply.send(Reply::new(404, "Not Found", error_body("no such route")));
         }
     }
+}
+
+/// Computes the `/readyz` answer: `200` when the gateway can serve a
+/// localize request right now, else `503` with a JSON reason. Liveness
+/// (`/healthz`) stays `200` in states where readiness correctly drops —
+/// draining on shutdown, batcher respawning, queue saturated.
+fn readyz_reply(shared: &Arc<Shared>) -> Reply {
+    let depth = shared.queue.depth();
+    let reason = if shared.shutdown.load(Ordering::SeqCst) {
+        Some("shutting down")
+    } else if !shared.ready.load(Ordering::SeqCst) {
+        Some("models not warm yet")
+    } else if !shared.batcher_alive.load(Ordering::SeqCst) {
+        Some("batcher is restarting")
+    } else if depth >= shared.cfg.queue_capacity {
+        Some("queue saturated")
+    } else {
+        None
+    };
+    let doc = JsonValue::object([
+        ("ready", JsonValue::Bool(reason.is_none())),
+        (
+            "reason",
+            match reason {
+                Some(r) => JsonValue::String(r.into()),
+                None => JsonValue::Null,
+            },
+        ),
+        ("queue_depth", JsonValue::Number(depth as f64)),
+        ("queue_capacity", JsonValue::Number(shared.cfg.queue_capacity as f64)),
+    ]);
+    match reason {
+        None => Reply::new(200, "OK", doc.to_compact()),
+        Some(_) => Reply {
+            status: 503,
+            reason: "Service Unavailable",
+            body: doc.to_compact(),
+            retry_after: Some(1),
+            content_type: "application/json",
+        },
+    }
+}
+
+/// Computes the `GET /debug/trace?id=<hex>` answer: the recorded spans of
+/// one trace as a JSON timeline, sorted by start time.
+fn debug_trace_reply(query: &str) -> Reply {
+    let Some(id) = query_param(query, "id") else {
+        return Reply::new(400, "Bad Request", error_body("missing query parameter id=<trace-id>"));
+    };
+    let Some(trace) = nilm_obs::trace::TraceId::parse(id) else {
+        return Reply::new(400, "Bad Request", error_body("id must be 1-16 hex digits, nonzero"));
+    };
+    let mut spans = nilm_obs::trace::trace_spans(trace);
+    if spans.is_empty() {
+        let hint = if nilm_obs::trace::enabled() {
+            "unknown trace id, or its spans were evicted from the ring"
+        } else {
+            "tracing is off (set NILM_TRACE=1 or --trace); no spans are recorded"
+        };
+        return Reply::new(404, "Not Found", error_body(hint));
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.span));
+    let rows: Vec<JsonValue> = spans
+        .iter()
+        .map(|s| {
+            JsonValue::object([
+                ("span", JsonValue::Number(s.span as f64)),
+                ("parent", JsonValue::Number(s.parent as f64)),
+                ("name", JsonValue::String(s.name.into())),
+                ("detail", JsonValue::String(s.detail.to_string())),
+                ("start_us", JsonValue::Number(s.start_ns as f64 / 1e3)),
+                ("dur_us", JsonValue::Number(s.dur_ns as f64 / 1e3)),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::object([
+        ("trace", JsonValue::String(trace.to_hex())),
+        ("spans", JsonValue::Array(rows)),
+    ]);
+    Reply::new(200, "OK", doc.to_pretty())
 }
 
 /// Validates a localize request against the model snapshot and enqueues it
@@ -498,6 +654,9 @@ fn handle_localize(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle) 
         group,
         households: parsed.households,
         detail: parsed.detail,
+        trace: reply.trace,
+        enqueued: Instant::now(),
+        enqueued_ns: nilm_obs::trace::now_ns(),
         reply,
     };
     match shared.queue.push(job) {
@@ -526,7 +685,9 @@ fn handle_localize(request: &Request, shared: &Arc<Shared>, reply: ReplyHandle) 
 fn supervise_batcher(shared: &Arc<Shared>, registry: ModelRegistry, spec: &RegistrySpec) {
     let mut registry = registry;
     loop {
+        shared.batcher_alive.store(true, Ordering::SeqCst);
         let outcome = catch_unwind(AssertUnwindSafe(|| batcher_loop(shared, &mut registry)));
+        shared.batcher_alive.store(false, Ordering::SeqCst);
         if outcome.is_ok() {
             // batcher_loop only returns on shutdown, after closing the
             // queue and answering every drained job.
@@ -614,6 +775,28 @@ fn serve_group(
         apply_priors: shared.cfg.apply_priors,
     };
     let mut jobs = jobs;
+    // Every job's queue-wait stage ends here, where the batcher takes
+    // ownership of the group; the coalesce stage (merging households into
+    // one pass) starts.
+    let coalesce_start = Instant::now();
+    let coalesce_start_ns = nilm_obs::trace::now_ns();
+    let tracing = nilm_obs::trace::enabled();
+    for job in &jobs {
+        shared.metrics.stage_ms(
+            "queue_wait",
+            coalesce_start.duration_since(job.enqueued).as_secs_f64() * 1e3,
+        );
+        if tracing && job.trace.1 != 0 {
+            nilm_obs::trace::record_span(
+                nilm_obs::trace::TraceId(job.trace.0),
+                job.trace.1,
+                "queue_wait",
+                String::new(),
+                job.enqueued_ns,
+                coalesce_start_ns.saturating_sub(job.enqueued_ns).max(1),
+            );
+        }
+    }
     let mut merged: Vec<HouseholdSeries> = Vec::new();
     let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
     for job in &mut jobs {
@@ -624,12 +807,37 @@ fn serve_group(
         ranges.push((merged.len(), households.len()));
         merged.extend(households);
     }
+    let coalesce_ms = coalesce_start.elapsed().as_secs_f64() * 1e3;
+    shared.metrics.stage_ms("coalesce", coalesce_ms);
+    if tracing {
+        for job in &jobs {
+            if job.trace.1 != 0 {
+                nilm_obs::trace::record_span(
+                    nilm_obs::trace::TraceId(job.trace.0),
+                    job.trace.1,
+                    "coalesce",
+                    format!("jobs={} households={}", jobs.len(), merged.len()),
+                    coalesce_start_ns,
+                    ((coalesce_ms * 1e6) as u64).max(1),
+                );
+            }
+        }
+    }
     // Emulates a pass stuck on slow storage or a runaway computation:
     // sleeps past every waiting handler's deadline, so the requests are
     // answered `503` + `Retry-After` by the deadline path, not by luck.
     if nilm_fault::fires("gateway.slow_pass") {
         std::thread::sleep(shared.cfg.deadline.saturating_mul(2));
     }
+    // The fleet pass runs with every job's trace in context: the stage
+    // spans recorded inside `serve_fleet` (preprocess, infer + kernel
+    // children, stitch) are duplicated per coalesced request.
+    let ctx: Vec<nilm_obs::trace::CtxEntry> = if tracing {
+        jobs.iter().filter(|j| j.trace.1 != 0).map(|j| j.trace).collect()
+    } else {
+        Vec::new()
+    };
+    let _ctx = nilm_obs::trace::set_context(&ctx);
     match serve_fleet(registry, keys, &merged, &cfg) {
         Ok(result) => {
             shared.metrics.batch(
@@ -641,6 +849,9 @@ fn serve_group(
             shared
                 .metrics
                 .shard_recovery(result.summary.shard_retries, result.summary.households_degraded);
+            shared.metrics.stage_ms("preprocess", result.summary.preprocess_s * 1e3);
+            shared.metrics.stage_ms("infer", result.summary.infer_s * 1e3);
+            shared.metrics.stage_ms("stitch", result.summary.stitch_s * 1e3);
             for (job, (start, len)) in jobs.into_iter().zip(ranges) {
                 let rows: Vec<HouseholdRow> = (start..start + len)
                     .map(|hi| {

@@ -16,6 +16,7 @@
 
 use crate::http::{read_response, HttpError};
 use crate::metrics::percentile;
+use nilm_obs::hist::Histogram;
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -51,6 +52,10 @@ pub struct LoadgenReport {
     pub mean_ms: f64,
     /// Total response body bytes read.
     pub body_bytes: usize,
+    /// Full latency distribution (log-linear HDR buckets, every sample
+    /// retained at ~1% value resolution) — `--latency-json` dumps this, and
+    /// it answers any quantile the three summary fields above don't.
+    pub latency: Histogram,
 }
 
 /// Errors the load generator can hit (connection-level; HTTP error
@@ -187,6 +192,10 @@ pub fn run_loadgen_with(
         }
     }
     let completed = ok + errors;
+    let mut latency = Histogram::new();
+    for &ms in &latencies {
+        latency.record_ms(ms);
+    }
     Ok(LoadgenReport {
         connections,
         ok,
@@ -203,6 +212,7 @@ pub fn run_loadgen_with(
             latencies.iter().sum::<f64>() / latencies.len() as f64
         },
         body_bytes,
+        latency,
     })
 }
 

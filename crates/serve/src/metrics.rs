@@ -1,25 +1,31 @@
-//! Operational metrics of the gateway, served as JSON on `GET /metrics`.
+//! Operational metrics of the gateway, served as JSON on `GET /metrics`
+//! and in Prometheus text exposition on `GET /metrics?format=prometheus`.
 //!
 //! Counters are grouped behind one mutex (the gateway records a handful of
 //! updates per request — contention is negligible next to inference) and
-//! snapshot into a [`JsonValue`] document on demand. Latencies keep a
-//! bounded ring of recent samples, so percentiles reflect current behavior
-//! and memory stays constant under sustained load.
+//! snapshot into a [`JsonValue`] document or an exposition body on demand.
+//! Latencies live in [`nilm_obs::hist::Histogram`]s — log-linear HDR-style
+//! histograms with bounded memory and a ~0.4% quantile error — keyed by
+//! route, plus one histogram per pipeline stage (`parse`, `queue_wait`,
+//! `coalesce`, `preprocess`, `infer`, `stitch`, `write`), so the full
+//! latency distribution survives indefinitely instead of a lossy last-N
+//! window.
 //!
 //! Recovery is observable, not just tested: the document carries batcher
 //! restarts, per-request deadline timeouts, fleet shard retries and
 //! degraded households, the registry's load-failure / quarantine counters
 //! (kept monotonic across batcher restarts by folding each dead
 //! generation's totals into a base), and — when fault injection is armed —
-//! per-point trial/fire counts from [`nilm_fault::stats`].
+//! per-point trial/fire counts from [`nilm_fault::stats`]. Cumulative
+//! per-`(op, shape, backend)` kernel timings from
+//! [`nilm_obs::kernel::stats`] ride along in both exporters.
 
 use camal::registry::RegistryStats;
 use nilm_json::JsonValue;
+use nilm_obs::hist::Histogram;
+use nilm_obs::prom::PromWriter;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-
-/// How many recent per-request latencies the percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
 
 #[derive(Default)]
 struct Inner {
@@ -41,11 +47,11 @@ struct Inner {
     inferences_total: u64,
     /// Peak queue depth observed at enqueue time.
     queue_peak: usize,
-    /// Recent localize latencies in milliseconds (ring buffer).
-    latencies_ms: Vec<f64>,
-    latency_next: usize,
-    latency_count: u64,
-    latency_sum_ms: f64,
+    /// End-to-end latency distribution per route (dispatch → reply).
+    latency: BTreeMap<&'static str, Histogram>,
+    /// Per-pipeline-stage duration distributions (`parse`, `queue_wait`,
+    /// `coalesce`, `preprocess`, `infer`, `stitch`, `write`).
+    stages: BTreeMap<&'static str, Histogram>,
     /// Batcher generations respawned after a panic.
     batcher_restarts: u64,
     /// Localize requests answered 503 because the per-request deadline
@@ -134,18 +140,16 @@ impl Metrics {
         m.inferences_total += inferences as u64;
     }
 
-    /// Records one localize request's end-to-end latency.
-    pub fn latency_ms(&self, ms: f64) {
+    /// Records one request's end-to-end latency under its route label.
+    pub fn latency_ms(&self, route: &'static str, ms: f64) {
         let mut m = self.inner.lock().expect("metrics lock");
-        m.latency_count += 1;
-        m.latency_sum_ms += ms;
-        if m.latencies_ms.len() < LATENCY_WINDOW {
-            m.latencies_ms.push(ms);
-        } else {
-            let i = m.latency_next;
-            m.latencies_ms[i] = ms;
-        }
-        m.latency_next = (m.latency_next + 1) % LATENCY_WINDOW;
+        m.latency.entry(route).or_default().record_ms(ms);
+    }
+
+    /// Records one pipeline-stage duration sample.
+    pub fn stage_ms(&self, stage: &'static str, ms: f64) {
+        let mut m = self.inner.lock().expect("metrics lock");
+        m.stages.entry(stage).or_default().record_ms(ms);
     }
 
     /// Counts one batcher respawn after a panic.
@@ -220,6 +224,11 @@ impl Metrics {
             .iter()
             .map(|(k, v)| (format!("{k:04}"), JsonValue::Number(*v as f64)))
             .collect();
+        let localize = m.latency.get("localize");
+        let by_route: BTreeMap<String, JsonValue> =
+            m.latency.iter().map(|(k, h)| (k.to_string(), hist_json(h))).collect();
+        let stages: BTreeMap<String, JsonValue> =
+            m.stages.iter().map(|(k, h)| (k.to_string(), hist_json(h))).collect();
         JsonValue::object([
             ("requests_total", JsonValue::Number(m.requests_total as f64)),
             ("requests_by_route", JsonValue::Object(routes)),
@@ -232,21 +241,29 @@ impl Metrics {
             ("queue_depth", JsonValue::Number(queue_depth as f64)),
             ("queue_peak", JsonValue::Number(m.queue_peak as f64)),
             (
+                // Localize end-to-end latency, the headline series. Kept at
+                // the top level (and in this shape) for dashboard
+                // continuity; `latency_by_route` has every route.
                 "latency_ms",
                 JsonValue::object([
-                    ("count", JsonValue::Number(m.latency_count as f64)),
                     (
-                        "mean",
-                        JsonValue::Number(if m.latency_count > 0 {
-                            m.latency_sum_ms / m.latency_count as f64
-                        } else {
-                            0.0
-                        }),
+                        "count",
+                        JsonValue::Number(localize.map(Histogram::count).unwrap_or(0) as f64),
                     ),
-                    ("p50", JsonValue::Number(percentile(&m.latencies_ms, 50.0))),
-                    ("p99", JsonValue::Number(percentile(&m.latencies_ms, 99.0))),
+                    ("mean", JsonValue::Number(localize.map(Histogram::mean_ms).unwrap_or(0.0))),
+                    (
+                        "p50",
+                        JsonValue::Number(localize.map(|h| h.quantile_ms(0.50)).unwrap_or(0.0)),
+                    ),
+                    (
+                        "p99",
+                        JsonValue::Number(localize.map(|h| h.quantile_ms(0.99)).unwrap_or(0.0)),
+                    ),
                 ]),
             ),
+            ("latency_by_route", JsonValue::Object(by_route)),
+            ("stages", JsonValue::Object(stages)),
+            ("kernels", kernels_json()),
             ("epoll_wakeups", JsonValue::Number(m.epoll_wakeups as f64)),
             (
                 "ready_events_per_wake",
@@ -265,8 +282,191 @@ impl Metrics {
             ("households_degraded_total", JsonValue::Number(m.households_degraded as f64)),
             ("registry", registry_json(add_stats(m.registry_base, m.registry_current))),
             ("faults", faults_json()),
+            (
+                "trace",
+                JsonValue::object([
+                    ("enabled", JsonValue::Bool(nilm_obs::trace::enabled())),
+                    ("ring_spans", JsonValue::Number(nilm_obs::trace::ring_len() as f64)),
+                ]),
+            ),
         ])
     }
+
+    /// Snapshot as a Prometheus text-exposition (0.0.4) body, for
+    /// `GET /metrics?format=prometheus`.
+    pub fn to_prometheus(&self, queue_depth: usize) -> String {
+        let m = self.inner.lock().expect("metrics lock");
+        let mut w = PromWriter::new();
+
+        w.family("nilm_requests_total", "counter", "Requests received, by route.");
+        for (route, n) in &m.by_route {
+            w.sample("nilm_requests_total", &[("route", route)], *n as f64);
+        }
+        w.family("nilm_responses_total", "counter", "Responses sent, by HTTP status.");
+        for (status, n) in &m.by_status {
+            w.sample("nilm_responses_total", &[("status", &status.to_string())], *n as f64);
+        }
+        w.family("nilm_shed_total", "counter", "Requests shed by the full queue.");
+        w.sample("nilm_shed_total", &[], m.shed_total as f64);
+
+        w.family(
+            "nilm_batch_passes_total",
+            "counter",
+            "Batcher passes, by number of coalesced requests.",
+        );
+        for (requests, n) in &m.batch_requests_hist {
+            w.sample("nilm_batch_passes_total", &[("requests", &requests.to_string())], *n as f64);
+        }
+        w.family("nilm_gemm_batches_total", "counter", "GEMM batch tensors assembled.");
+        w.sample("nilm_gemm_batches_total", &[], m.gemm_batches_total as f64);
+        w.family("nilm_windows_scored_total", "counter", "Detector windows scored.");
+        w.sample("nilm_windows_scored_total", &[], m.windows_scored_total as f64);
+        w.family("nilm_inferences_total", "counter", "Ensemble-member inferences run.");
+        w.sample("nilm_inferences_total", &[], m.inferences_total as f64);
+
+        w.family("nilm_queue_depth", "gauge", "Jobs waiting in the batcher queue now.");
+        w.sample("nilm_queue_depth", &[], queue_depth as f64);
+        w.family("nilm_queue_peak", "gauge", "Peak queue depth observed at enqueue.");
+        w.sample("nilm_queue_peak", &[], m.queue_peak as f64);
+
+        w.family(
+            "nilm_request_duration_seconds",
+            "histogram",
+            "End-to-end request latency (dispatch to reply), by route.",
+        );
+        for (route, h) in &m.latency {
+            w.histogram("nilm_request_duration_seconds", &[("route", route)], h);
+        }
+        w.family(
+            "nilm_stage_duration_seconds",
+            "histogram",
+            "Per-pipeline-stage duration (parse, queue_wait, coalesce, preprocess, infer, \
+             stitch, write).",
+        );
+        for (stage, h) in &m.stages {
+            w.histogram("nilm_stage_duration_seconds", &[("stage", stage)], h);
+        }
+
+        w.family(
+            "nilm_kernel_calls_total",
+            "counter",
+            "Production kernel invocations, by op, GEMM shape, thread count, and backend.",
+        );
+        w.family(
+            "nilm_kernel_seconds_total",
+            "counter",
+            "Cumulative time inside production kernels, by op, shape, and backend.",
+        );
+        for (key, stat) in nilm_obs::kernel::stats() {
+            let (m_s, n_s, k_s, t_s) =
+                (key.m.to_string(), key.n.to_string(), key.k.to_string(), key.threads.to_string());
+            let labels: [(&str, &str); 6] = [
+                ("op", key.op),
+                ("m", &m_s),
+                ("n", &n_s),
+                ("k", &k_s),
+                ("threads", &t_s),
+                ("backend", key.backend),
+            ];
+            w.sample("nilm_kernel_calls_total", &labels, stat.calls as f64);
+            w.sample("nilm_kernel_seconds_total", &labels, stat.total_ns as f64 / 1e9);
+        }
+
+        w.family("nilm_epoll_wakeups_total", "counter", "Reactor event-loop wakeups.");
+        w.sample("nilm_epoll_wakeups_total", &[], m.epoll_wakeups as f64);
+        w.family("nilm_ready_events_total", "counter", "Readiness events delivered to the loop.");
+        w.sample("nilm_ready_events_total", &[], m.ready_events as f64);
+        w.family("nilm_partial_writes_total", "counter", "Response writes parked on EWOULDBLOCK.");
+        w.sample("nilm_partial_writes_total", &[], m.partial_writes as f64);
+        w.family("nilm_conn_backlog_peak", "gauge", "Largest per-connection pipeline observed.");
+        w.sample("nilm_conn_backlog_peak", &[], m.conn_backlog_peak as f64);
+
+        w.family("nilm_reactor_restarts_total", "counter", "Reactor respawns after a panic.");
+        w.sample("nilm_reactor_restarts_total", &[], m.reactor_restarts as f64);
+        w.family("nilm_batcher_restarts_total", "counter", "Batcher respawns after a panic.");
+        w.sample("nilm_batcher_restarts_total", &[], m.batcher_restarts as f64);
+        w.family(
+            "nilm_deadline_timeouts_total",
+            "counter",
+            "Requests answered 503 by the reactor deadline.",
+        );
+        w.sample("nilm_deadline_timeouts_total", &[], m.deadline_timeouts as f64);
+        w.family("nilm_shard_retries_total", "counter", "Fleet shards retried after a panic.");
+        w.sample("nilm_shard_retries_total", &[], m.shard_retries as f64);
+        w.family(
+            "nilm_households_degraded_total",
+            "counter",
+            "Households answered with degraded placeholder rows.",
+        );
+        w.sample("nilm_households_degraded_total", &[], m.households_degraded as f64);
+
+        let reg = add_stats(m.registry_base, m.registry_current);
+        w.family(
+            "nilm_registry_events_total",
+            "counter",
+            "Model registry events across all batcher generations.",
+        );
+        for (event, n) in [
+            ("hits", reg.hits),
+            ("loads", reg.loads),
+            ("evictions", reg.evictions),
+            ("load_failures", reg.load_failures),
+            ("quarantines", reg.quarantines),
+        ] {
+            w.sample("nilm_registry_events_total", &[("event", event)], n as f64);
+        }
+
+        let faults = nilm_fault::stats();
+        if !faults.is_empty() {
+            w.family("nilm_fault_trials_total", "counter", "Fault-point evaluations.");
+            w.family("nilm_fault_fired_total", "counter", "Fault-point injections fired.");
+            for (point, s) in &faults {
+                w.sample("nilm_fault_trials_total", &[("point", point)], s.trials as f64);
+            }
+            for (point, s) in &faults {
+                w.sample("nilm_fault_fired_total", &[("point", point)], s.fired as f64);
+            }
+        }
+
+        w.family("nilm_trace_enabled", "gauge", "Whether NILM_TRACE span recording is on.");
+        w.sample("nilm_trace_enabled", &[], if nilm_obs::trace::enabled() { 1.0 } else { 0.0 });
+        w.family("nilm_trace_ring_spans", "gauge", "Spans currently held in the trace ring.");
+        w.sample("nilm_trace_ring_spans", &[], nilm_obs::trace::ring_len() as f64);
+
+        w.into_string()
+    }
+}
+
+/// One histogram as a JSON summary object.
+fn hist_json(h: &Histogram) -> JsonValue {
+    JsonValue::object([
+        ("count", JsonValue::Number(h.count() as f64)),
+        ("mean_ms", JsonValue::Number(h.mean_ms())),
+        ("p50_ms", JsonValue::Number(h.quantile_ms(0.50))),
+        ("p99_ms", JsonValue::Number(h.quantile_ms(0.99))),
+        ("max_ms", JsonValue::Number(h.max_ms())),
+    ])
+}
+
+/// Cumulative kernel timings as a JSON object keyed by a readable
+/// `op MxNxK tT backend` label.
+fn kernels_json() -> JsonValue {
+    let rows: BTreeMap<String, JsonValue> = nilm_obs::kernel::stats()
+        .into_iter()
+        .map(|(key, stat)| {
+            (
+                format!(
+                    "{} {}x{}x{} t{} {}",
+                    key.op, key.m, key.n, key.k, key.threads, key.backend
+                ),
+                JsonValue::object([
+                    ("calls", JsonValue::Number(stat.calls as f64)),
+                    ("total_ms", JsonValue::Number(stat.total_ns as f64 / 1e6)),
+                ]),
+            )
+        })
+        .collect();
+    JsonValue::Object(rows)
 }
 
 /// Registry totals (all batcher generations combined) as a JSON object.
@@ -333,8 +533,9 @@ mod tests {
         m.shed();
         m.queue_depth(5);
         m.batch(4, 2, 48, 96);
-        m.latency_ms(10.0);
-        m.latency_ms(30.0);
+        m.latency_ms("localize", 10.0);
+        m.latency_ms("localize", 30.0);
+        m.stage_ms("infer", 8.5);
         let doc = m.to_json(1);
         nilm_json::validate(&doc.to_pretty()).unwrap();
         assert_eq!(doc.get("requests_total").and_then(JsonValue::as_f64), Some(2.0));
@@ -348,17 +549,70 @@ mod tests {
         assert_eq!(doc.get("queue_peak").and_then(JsonValue::as_f64), Some(5.0));
         let lat = doc.get("latency_ms").unwrap();
         assert_eq!(lat.get("count").and_then(JsonValue::as_f64), Some(2.0));
-        assert_eq!(lat.get("p99").and_then(JsonValue::as_f64), Some(30.0));
+        // Histogram quantiles report the bucket midpoint: within the
+        // documented ~0.4% bound of the exact 30 ms sample, not exact.
+        let p99 = lat.get("p99").and_then(JsonValue::as_f64).unwrap();
+        assert!((p99 - 30.0).abs() <= 30.0 / 256.0 + 0.001, "p99 {p99} drifted from 30 ms");
+        let stage = doc.get("stages").and_then(|s| s.get("infer")).unwrap();
+        assert_eq!(stage.get("count").and_then(JsonValue::as_f64), Some(1.0));
     }
 
     #[test]
-    fn latency_ring_is_bounded() {
+    fn latency_histograms_keep_every_sample() {
+        // The old last-4096 ring forgot early samples; the histogram must
+        // keep every one (count is exact, quantiles within bound).
         let m = Metrics::new();
-        for i in 0..(LATENCY_WINDOW + 100) {
-            m.latency_ms(i as f64);
+        for i in 0..10_000u64 {
+            m.latency_ms("localize", i as f64 / 10.0);
+            m.latency_ms("healthz", 0.05);
         }
-        let inner = m.inner.lock().unwrap();
-        assert_eq!(inner.latencies_ms.len(), LATENCY_WINDOW);
-        assert_eq!(inner.latency_count as usize, LATENCY_WINDOW + 100);
+        let doc = m.to_json(0);
+        let lat = doc.get("latency_ms").unwrap();
+        assert_eq!(lat.get("count").and_then(JsonValue::as_f64), Some(10_000.0));
+        let p99 = lat.get("p99").and_then(JsonValue::as_f64).unwrap();
+        let exact = 990.0;
+        assert!((p99 - exact).abs() <= exact / 256.0 + 0.001, "p99 {p99} vs ~{exact}");
+        let hz = doc.get("latency_by_route").and_then(|r| r.get("healthz")).unwrap();
+        assert_eq!(hz.get("count").and_then(JsonValue::as_f64), Some(10_000.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::new();
+        m.request("localize");
+        m.response(200);
+        m.latency_ms("localize", 12.5);
+        m.latency_ms("healthz", 0.2);
+        m.stage_ms("infer", 9.0);
+        m.stage_ms("write", 0.1);
+        m.batch(2, 1, 10, 20);
+        let text = m.to_prometheus(3);
+        // Every series line's family was declared with HELP + TYPE, and no
+        // series repeats — the two invariants the CI gate re-checks over
+        // a live gateway.
+        let mut declared = std::collections::BTreeSet::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                declared.insert(rest.split(' ').next().unwrap().to_string());
+            } else if line.starts_with('#') {
+                continue;
+            } else {
+                let series = line.rsplit_once(' ').unwrap().0.to_string();
+                let family = series.split('{').next().unwrap();
+                let base = family
+                    .strip_suffix("_bucket")
+                    .or_else(|| family.strip_suffix("_sum"))
+                    .or_else(|| family.strip_suffix("_count"))
+                    .filter(|b| declared.contains(*b))
+                    .unwrap_or(family);
+                assert!(declared.contains(base), "undeclared family for {series}");
+                assert!(seen.insert(series.clone()), "duplicate series {series}");
+            }
+        }
+        assert!(text.contains("nilm_request_duration_seconds_bucket{route=\"localize\","));
+        assert!(text.contains("le=\"+Inf\"}"));
+        assert!(text.contains("nilm_stage_duration_seconds_count{stage=\"infer\"} 1"));
+        assert!(text.contains("nilm_queue_depth 3"));
     }
 }

@@ -47,6 +47,7 @@ use crate::gateway::{route, Reply, Shared};
 use crate::http::{encode_response_with, Request};
 use crate::protocol::error_body;
 use crate::sys::{Interest, Poller};
+use nilm_obs::trace::TraceId;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::TcpListener;
@@ -102,6 +103,10 @@ pub(crate) struct ReplyHandle {
     sender: CompletionSender,
     conn_id: u64,
     seq: u64,
+    /// The request's `(trace_id, root_span_id)`, minted at parse time.
+    /// Rides the handle so batcher jobs can parent their stage spans
+    /// (queue-wait, coalesce, fleet stages) to the request's root span.
+    pub(crate) trace: (u64, u64),
     sent: bool,
 }
 
@@ -130,6 +135,8 @@ struct Work {
     conn_id: u64,
     seq: u64,
     request: Request,
+    /// `(trace_id, root_span_id)` minted at parse time.
+    trace: (u64, u64),
     /// The request's effective deadline (already armed reactor-side; the
     /// `worker.wedge` fault sleeps past it to prove the deadline answers).
     deadline: Duration,
@@ -337,17 +344,20 @@ fn run_reactor(
         // pipeline slots and flush what became ready.
         while let Ok(done) = completion_rx.try_recv() {
             let Some(conn) = conns.get_mut(&done.conn_id) else { continue };
-            let keep_alive = {
+            let (keep_alive, trace) = {
                 let slot = conn.pipeline.iter().find(|f| f.seq == done.seq);
-                slot.map(|f| f.keep_alive).unwrap_or(false)
-                    && !shared.shutdown.load(Ordering::SeqCst)
+                (
+                    slot.map(|f| f.keep_alive).unwrap_or(false)
+                        && !shared.shutdown.load(Ordering::SeqCst),
+                    slot.map(|f| f.trace).unwrap_or(0),
+                )
             };
-            let bytes = encode_reply(&done.reply, keep_alive);
-            if let Some((is_localize, dispatched)) = conn.complete(done.seq, bytes, keep_alive) {
+            let bytes = encode_reply(&done.reply, keep_alive, trace);
+            if let Some((route, dispatched)) =
+                conn.complete(done.seq, bytes, keep_alive, done.reply.status)
+            {
                 shared.metrics.response(done.reply.status);
-                if is_localize {
-                    shared.metrics.latency_ms(dispatched.elapsed().as_secs_f64() * 1e3);
-                }
+                shared.metrics.latency_ms(route, dispatched.elapsed().as_secs_f64() * 1e3);
             }
             let keep = pump_conn(
                 shared,
@@ -377,11 +387,11 @@ fn run_reactor(
                 ),
                 1,
             );
-            let keep_alive = {
+            let (keep_alive, trace) = {
                 let slot = conn.pipeline.iter().find(|f| f.seq == seq);
                 match slot {
                     Some(f) if f.response.is_none() => {
-                        f.keep_alive && !shared.shutdown.load(Ordering::SeqCst)
+                        (f.keep_alive && !shared.shutdown.load(Ordering::SeqCst), f.trace)
                     }
                     // Already answered (or gone): nothing to expire.
                     _ => {
@@ -389,10 +399,11 @@ fn run_reactor(
                     }
                 }
             };
-            let bytes = encode_reply(&reply, keep_alive);
-            if conn.complete(seq, bytes, keep_alive).is_some() {
+            let bytes = encode_reply(&reply, keep_alive, trace);
+            if let Some((route, dispatched)) = conn.complete(seq, bytes, keep_alive, reply.status) {
                 shared.metrics.deadline_timeout();
                 shared.metrics.response(reply.status);
+                shared.metrics.latency_ms(route, dispatched.elapsed().as_secs_f64() * 1e3);
             }
             let keep =
                 pump_conn(shared, &mut conns, conn_id, work_tx, completions, &mut deadlines, now);
@@ -425,6 +436,7 @@ fn run_reactor(
                         false,
                         &[],
                     ),
+                    408,
                     now,
                 );
                 conn.poison_input();
@@ -533,8 +545,12 @@ fn pump_conn(
 ) -> bool {
     let Some(conn) = conns.get_mut(&id) else { return true };
     while !conn.close_after_flush && conn.pipeline.len() < shared.cfg.max_pipeline {
+        let parse_start = Instant::now();
+        let parse_start_ns = nilm_obs::trace::now_ns();
         match conn.parse_next() {
             Ok(Some(request)) => {
+                let parse_ms = parse_start.elapsed().as_secs_f64() * 1e3;
+                shared.metrics.stage_ms("parse", parse_ms);
                 let deadline = request
                     .header("x-camal-deadline-ms")
                     .and_then(|v| v.trim().parse::<u64>().ok())
@@ -542,14 +558,47 @@ fn pump_conn(
                     .unwrap_or(shared.cfg.deadline)
                     .max(Duration::from_millis(1));
                 let keep_alive = request.keep_alive();
-                let is_localize = request.method == "POST" && request.path == "/v1/localize";
-                let seq = conn.begin_request(keep_alive, is_localize, now);
+                // Accept an inbound trace ID (client-stitched traces) or
+                // mint one; either way the response echoes it back in
+                // `X-Camal-Trace-Id`.
+                let trace_id = request
+                    .header("x-camal-trace-id")
+                    .and_then(TraceId::parse)
+                    .unwrap_or_else(nilm_obs::trace::mint_trace_id);
+                // 0 when tracing is off — which also gates the span below,
+                // so the detail string is never built for nothing.
+                let root_span = nilm_obs::trace::mint_span_id();
+                if root_span != 0 {
+                    nilm_obs::trace::record_span(
+                        trace_id,
+                        root_span,
+                        "parse",
+                        format!("method={} path={}", request.method, request.path),
+                        parse_start_ns,
+                        ((parse_ms * 1e6) as u64).max(1),
+                    );
+                }
+                let route = crate::gateway::route_label(&request.method, &request.path);
+                let seq = conn.begin_request(
+                    keep_alive,
+                    route,
+                    trace_id.0,
+                    root_span,
+                    now,
+                    nilm_obs::trace::now_ns(),
+                );
                 shared.metrics.conn_backlog(conn.pipeline.len());
                 deadlines.push(Reverse((now + deadline, id, seq, deadline.as_millis() as u64)));
-                if work_tx.send(Work { conn_id: id, seq, request, deadline }).is_err() {
+                let trace = (trace_id.0, root_span);
+                if work_tx.send(Work { conn_id: id, seq, request, trace, deadline }).is_err() {
                     // Worker pool is gone (shutdown race): answer directly.
-                    let handle =
-                        ReplyHandle { sender: completions.clone(), conn_id: id, seq, sent: false };
+                    let handle = ReplyHandle {
+                        sender: completions.clone(),
+                        conn_id: id,
+                        seq,
+                        trace,
+                        sent: false,
+                    };
                     handle.send(Reply::unavailable("gateway is shutting down", 1));
                 }
             }
@@ -568,6 +617,7 @@ fn pump_conn(
                             false,
                             &[],
                         ),
+                        status,
                         now,
                     );
                 }
@@ -600,6 +650,7 @@ fn pump_conn(
                     false,
                     &[],
                 ),
+                status,
                 now,
             );
         } else {
@@ -623,7 +674,11 @@ fn pump_conn(
 /// Flushes a connection's outbox. Returns `true` when the connection died.
 fn flush_conn(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
     let force_short = nilm_fault::fires("conn.short_write");
-    match conn.write_some(force_short) {
+    let progress = conn.write_some(force_short);
+    for write in conn.take_completed_writes() {
+        finish_write(shared, &write);
+    }
+    match progress {
         WriteProgress::Flushed => false,
         WriteProgress::Partial => {
             shared.metrics.partial_write();
@@ -631,6 +686,61 @@ fn flush_conn(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
         }
         WriteProgress::PeerGone => true,
     }
+}
+
+/// One response fully handed to the socket: closes out the request's
+/// observability — the `write` stage sample and span, the root "request"
+/// span (under the ID minted at parse time, so every stage recorded in
+/// between already parents to it), and the slow-request log line.
+fn finish_write(shared: &Arc<Shared>, write: &crate::conn::PendingWrite) {
+    let now_ns = nilm_obs::trace::now_ns();
+    let write_ms = write.promoted.elapsed().as_secs_f64() * 1e3;
+    let total_ms = write.dispatched.elapsed().as_secs_f64() * 1e3;
+    shared.metrics.stage_ms("write", write_ms);
+    if write.root_span != 0 {
+        let trace = TraceId(write.trace);
+        nilm_obs::trace::record_span(
+            trace,
+            write.root_span,
+            "write",
+            format!("bytes={}", write.bytes),
+            write.promoted_ns,
+            now_ns.saturating_sub(write.promoted_ns).max(1),
+        );
+        nilm_obs::trace::record_span_with_id(
+            trace,
+            0,
+            write.root_span,
+            "request",
+            request_detail(write.route, write.status),
+            write.dispatched_ns,
+            now_ns.saturating_sub(write.dispatched_ns).max(1),
+        );
+    }
+    if let Some(threshold) = nilm_obs::slowlog::threshold_ms() {
+        if total_ms >= threshold && write.trace != 0 {
+            nilm_obs::slowlog::emit(&format!(
+                "route={} status={} total_ms={total_ms:.1} write_ms={write_ms:.1} trace={}",
+                write.route,
+                write.status,
+                TraceId(write.trace).to_hex(),
+            ));
+        }
+    }
+}
+
+/// Interned `route=... status=...` detail for the root "request" span.
+/// The (route, status) space is small and fixed — route labels are
+/// `&'static str` from `route_label` — so each combination formats once
+/// per process and every later record is allocation-free.
+fn request_detail(route: &'static str, status: u16) -> &'static str {
+    use std::collections::HashMap as Map;
+    use std::sync::OnceLock;
+    static DETAILS: OnceLock<Mutex<Map<(&'static str, u16), &'static str>>> = OnceLock::new();
+    let mut map =
+        DETAILS.get_or_init(|| Mutex::new(Map::new())).lock().unwrap_or_else(|p| p.into_inner());
+    map.entry((route, status))
+        .or_insert_with(|| Box::leak(format!("route={route} status={status}").into_boxed_str()))
 }
 
 /// Removes a connection from the poll set and the table (closing it).
@@ -647,16 +757,20 @@ fn drop_conn(
 }
 
 /// Encodes a [`Reply`] with the framing the thread-per-connection handler
-/// used, byte for byte.
-fn encode_reply(reply: &Reply, keep_alive: bool) -> Vec<u8> {
+/// used — the body stays byte-identical; `trace` (when nonzero) adds the
+/// `X-Camal-Trace-Id` echo header.
+fn encode_reply(reply: &Reply, keep_alive: bool, trace: u64) -> Vec<u8> {
     let mut extra: Vec<(&str, String)> = Vec::new();
     if let Some(secs) = reply.retry_after {
         extra.push(("Retry-After", secs.to_string()));
     }
+    if trace != 0 {
+        extra.push(("X-Camal-Trace-Id", TraceId(trace).to_hex()));
+    }
     encode_response_with(
         reply.status,
         reply.reason,
-        "application/json",
+        reply.content_type,
         reply.body.as_bytes(),
         keep_alive,
         &extra,
@@ -686,6 +800,7 @@ fn worker_loop(
             sender: completions.clone(),
             conn_id: work.conn_id,
             seq: work.seq,
+            trace: work.trace,
             sent: false,
         };
         route(&work.request, shared, handle);

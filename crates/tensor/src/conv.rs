@@ -666,19 +666,35 @@ impl Layer for Conv1d {
         assert_eq!(c_in, self.in_c, "Conv1d expected {} input channels, got {}", self.in_c, c_in);
         let geo = self.geometry(t_in);
         let mut out = Tensor::zeros(&[b, self.out_c, geo.t_out]);
+        // Every resolved arm runs under `dispatch::observe`, which feeds
+        // the cumulative per-(op, shape, backend) kernel table and, inside
+        // a traced request, records the "kernel" child span. The Auto arm
+        // gets the same treatment inside `dispatch::autotune`.
         match self.resolved_backend() {
-            ConvBackend::Naive => self.forward_naive(x, &geo, &mut out),
-            ConvBackend::Gemm => self.forward_gemm(x, &geo, &mut out, KernelMode::Scalar),
+            ConvBackend::Naive => {
+                dispatch::observe(Self::forward_key(&geo, b), Backend::Naive, || {
+                    self.forward_naive(x, &geo, &mut out)
+                })
+            }
+            ConvBackend::Gemm => {
+                dispatch::observe(Self::forward_key(&geo, b), Backend::Gemm, || {
+                    self.forward_gemm(x, &geo, &mut out, KernelMode::Scalar)
+                })
+            }
             ConvBackend::Simd => {
                 let kmode = kernel_mode_for(Some(Backend::Simd));
-                if kmode == KernelMode::Simd && Self::direct_simd_eligible(&geo) {
-                    self.forward_simd_direct(x, &geo, &mut out)
-                } else {
-                    self.forward_gemm(x, &geo, &mut out, kmode)
-                }
+                dispatch::observe(Self::forward_key(&geo, b), Backend::Simd, || {
+                    if kmode == KernelMode::Simd && Self::direct_simd_eligible(&geo) {
+                        self.forward_simd_direct(x, &geo, &mut out)
+                    } else {
+                        self.forward_gemm(x, &geo, &mut out, kmode)
+                    }
+                })
             }
             ConvBackend::Auto if !Self::auto_tunes(&geo, b) => {
-                self.forward_naive(x, &geo, &mut out)
+                dispatch::observe(Self::forward_key(&geo, b), Backend::Naive, || {
+                    self.forward_naive(x, &geo, &mut out)
+                })
             }
             ConvBackend::Auto => {
                 let key = Self::forward_key(&geo, b);

@@ -159,6 +159,59 @@ impl ShapeKey {
 /// Timed runs per candidate when autotuning (plus one untimed warm-up).
 const AUTOTUNE_REPS: usize = 2;
 
+/// Converts a [`ShapeKey`] + winning backend into the observability key
+/// the cumulative kernel table is indexed by.
+fn obs_key(key: ShapeKey, backend: Backend) -> nilm_obs::kernel::KernelKey {
+    nilm_obs::kernel::KernelKey {
+        op: key.op,
+        m: key.m,
+        n: key.n,
+        k: key.k,
+        threads: key.threads,
+        backend: backend.as_str(),
+    }
+}
+
+/// Runs one production kernel execution under observation: the elapsed
+/// time lands in the cumulative per-`(op, shape, backend)` table
+/// ([`nilm_obs::kernel`]) surfaced by the gateway's `/metrics` exporters,
+/// and — when the calling thread carries a trace context (`NILM_TRACE=on`
+/// inside a traced request) — a `"kernel"` child span naming
+/// op/shape/backend is recorded under the enclosing stage span.
+///
+/// Kernel executions are coarse (one per layer forward), so the always-on
+/// table costs one short mutex acquisition per call; the span path is
+/// gated to a single relaxed atomic load when tracing is off.
+pub fn observe<R>(key: ShapeKey, backend: Backend, run: impl FnOnce() -> R) -> R {
+    let mut span = nilm_obs::trace::span("kernel");
+    let start = Instant::now();
+    let out = run();
+    let dur_ns = start.elapsed().as_nanos() as u64;
+    nilm_obs::kernel::record(obs_key(key, backend), dur_ns);
+    if let Some(span) = span.as_mut() {
+        span.set_detail(span_detail(key, backend));
+    }
+    out
+}
+
+/// The `"kernel"` span detail for a shape, interned so the trace hot path
+/// formats each distinct `(shape, backend)` once per process and records a
+/// `&'static str` thereafter. Shapes are bounded (the autotuner keys the
+/// same space), so the leak is bounded too.
+fn span_detail(key: ShapeKey, backend: Backend) -> &'static str {
+    static DETAILS: OnceLock<Mutex<HashMap<(ShapeKey, Backend), &'static str>>> = OnceLock::new();
+    let mut map = DETAILS.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+    map.entry((key, backend)).or_insert_with(|| {
+        Box::leak(
+            format!(
+                "op={} m={} n={} k={} threads={} backend={}",
+                key.op, key.m, key.n, key.k, key.threads, backend
+            )
+            .into_boxed_str(),
+        )
+    })
+}
+
 fn cache() -> &'static Mutex<HashMap<ShapeKey, Backend>> {
     static CACHE: OnceLock<Mutex<HashMap<ShapeKey, Backend>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -200,12 +253,12 @@ pub fn tuned_entries() -> Vec<(ShapeKey, Backend)> {
 pub fn autotune(key: ShapeKey, candidates: &[Backend], mut run: impl FnMut(Backend)) -> Backend {
     assert!(!candidates.is_empty(), "autotune needs at least one candidate");
     if let Some(choice) = cached_choice(key) {
-        run(choice);
+        observe(key, choice, || run(choice));
         return choice;
     }
     if candidates.len() == 1 {
         record_choice(key, candidates[0]);
-        run(candidates[0]);
+        observe(key, candidates[0], || run(candidates[0]));
         return candidates[0];
     }
     let mut best = candidates[0];
@@ -224,6 +277,10 @@ pub fn autotune(key: ShapeKey, candidates: &[Backend], mut run: impl FnMut(Backe
         }
     }
     record_choice(key, best);
+    // The race itself did real work once: account the winner's best rep in
+    // the cumulative table so first-touch shapes aren't invisible. (No
+    // span: the tuning race is measurement, not a request stage.)
+    nilm_obs::kernel::record(obs_key(key, best), (best_elapsed * 1e9) as u64);
     // The caller's buffers currently hold the last candidate's output; all
     // candidates are bit-identical, so no final re-run is needed.
     best

@@ -22,5 +22,6 @@ pub use nilm_fault;
 pub use nilm_json;
 pub use nilm_metrics;
 pub use nilm_models;
+pub use nilm_obs;
 pub use nilm_serve;
 pub use nilm_tensor;
